@@ -1,0 +1,45 @@
+//! Partition-geometry analysis of processor allocation policies.
+//!
+//! This crate turns the machine models of `netpart-machines` and the
+//! isoperimetric results of `netpart-iso` into the artefacts Section 3.2 of
+//! the paper reports:
+//!
+//! * [`optimize`] — best / worst geometries per partition size and
+//!   improvement proposals for a given current geometry.
+//! * [`report`] — the paper's partition tables (Tables 1, 2, 5, 6, 7) as
+//!   structured rows plus plain-text rendering.
+//! * [`series`] — the bisection-bandwidth curves of Figures 1, 2 and 7.
+//! * [`scheduler`] — the future-work contention-aware allocation advisor
+//!   (allocate a sub-optimal partition now vs wait for a better one).
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_alloc::optimize;
+//! use netpart_machines::{known, PartitionGeometry};
+//!
+//! // What should a 2048-node (4-midplane) allocation on Mira look like?
+//! let mira = known::mira();
+//! let best = optimize::best_geometry(&mira, 4).unwrap();
+//! assert_eq!(best, PartitionGeometry::new([2, 2, 1, 1]));
+//! assert_eq!(best.bisection_links(), 512);
+//!
+//! // The production scheduler's 4 x 1 x 1 x 1 geometry leaves a 2x speedup
+//! // on the table for contention-bound workloads.
+//! let current = PartitionGeometry::new([4, 1, 1, 1]);
+//! let (proposed, speedup) = optimize::propose_improvement(&mira, &current).unwrap();
+//! assert_eq!(proposed, best);
+//! assert_eq!(speedup, 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod optimize;
+pub mod report;
+pub mod scheduler;
+pub mod series;
+
+pub use optimize::{best_geometry, extremes, propose_improvement, worst_geometry, GeometryExtremes};
+pub use report::{current_vs_proposed, machine_design_table, render_comparison, worst_vs_best, ComparisonRow};
+pub use scheduler::{advise, Advice, ContentionHint, JobRequest};
+pub use series::{best_case_series, render_series, scheduler_series, worst_case_series, Series};

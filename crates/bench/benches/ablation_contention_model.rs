@@ -1,0 +1,25 @@
+//! Ablation: max-min fair fluid simulation vs the static bottleneck bound.
+//!
+//! Both models preserve the geometry effect (the paper's x2); the fluid model
+//! additionally captures path diversity. This bench measures their cost gap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_netsim::{traffic, FlowSim, TorusNetwork};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_model");
+    group.sample_size(10);
+    let network = TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]);
+    let flows = traffic::pairwise_exchange_flows(&traffic::bisection_pairs(&network), 2.0);
+    let sim = FlowSim::default();
+    group.bench_with_input(BenchmarkId::from_parameter("maxmin_fluid"), &(), |b, ()| {
+        b.iter(|| sim.simulate(black_box(&network), black_box(&flows)).makespan)
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("static_bottleneck"), &(), |b, ()| {
+        b.iter(|| sim.static_estimate(black_box(&network), black_box(&flows)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

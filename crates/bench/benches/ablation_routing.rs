@@ -1,0 +1,29 @@
+//! Ablation: how the routing tie-break affects the bisection-pairing time.
+//!
+//! DESIGN.md calls out the tie-breaking rule for antipodal traffic as a
+//! modelling choice; this bench quantifies it (the geometry effect the paper
+//! reports survives every rule).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_netsim::{traffic, DimensionOrdered, FlowSim, TieBreak, TorusNetwork};
+
+fn bench_tie_breaks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing_by_tie_break");
+    group.sample_size(10);
+    let network = TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]);
+    let flows = traffic::pairwise_exchange_flows(&traffic::bisection_pairs(&network), 2.0);
+    for (label, tie_break) in [
+        ("positive", TieBreak::Positive),
+        ("source_parity", TieBreak::SourceParity),
+        ("node_parity", TieBreak::NodeParity),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &tie_break, |b, &tb| {
+            let sim = FlowSim::new(DimensionOrdered { tie_break: tb, reverse_dimension_order: false });
+            b.iter(|| sim.simulate(black_box(&network), black_box(&flows)).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tie_breaks);
+criterion_main!(benches);

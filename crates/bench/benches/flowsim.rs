@@ -1,0 +1,38 @@
+//! Benchmarks of the flow-level network simulator at increasing scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_netsim::{traffic, FlowSim, PingPongPlan, TorusNetwork};
+
+fn bench_bisection_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisection_pairing_round");
+    group.sample_size(10);
+    for (label, dims) in [
+        ("1_midplane_512_nodes", vec![4usize, 4, 4, 4, 2]),
+        ("4_midplanes_2048_nodes", vec![16, 4, 4, 4, 2]),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dims, |b, dims| {
+            let network = TorusNetwork::bgq_partition(dims);
+            let sim = FlowSim::default();
+            let plan = PingPongPlan {
+                rounds: 5,
+                warmup_rounds: 4,
+                round_gigabytes: 2.0,
+                chunks: 16,
+            };
+            b.iter(|| traffic::run_bisection_pairing(black_box(&network), plan, &sim).round_time)
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_throughput(c: &mut Criterion) {
+    c.bench_function("route_all_antipodal_pairs_2048_nodes", |b| {
+        let network = TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]);
+        let sim = FlowSim::default();
+        let flows = traffic::pairwise_exchange_flows(&traffic::bisection_pairs(&network), 1.0);
+        b.iter(|| sim.route_flows(black_box(&network), black_box(&flows)).len())
+    });
+}
+
+criterion_group!(benches, bench_bisection_pairing, bench_routing_throughput);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmarks of the isoperimetric analysis kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netpart_iso::{bound, cuboid, expansion};
+
+fn bench_bound_evaluation(c: &mut Criterion) {
+    let mira = [16usize, 16, 12, 8, 2];
+    c.bench_function("theorem31_bound_mira_half", |b| {
+        let n: u64 = mira.iter().map(|&a| a as u64).product();
+        b.iter(|| bound::general_torus_bound(black_box(&mira), black_box(n / 2)))
+    });
+    c.bench_function("theorem31_bound_sweep_1k_sizes", |b| {
+        b.iter(|| {
+            (1..=1000u64)
+                .map(|t| bound::general_torus_bound(black_box(&mira), t))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_cuboid_search(c: &mut Criterion) {
+    let sequoia = [16usize, 16, 16, 12, 2];
+    c.bench_function("min_cut_cuboid_sequoia_half", |b| {
+        let n: u64 = sequoia.iter().map(|&a| a as u64).product();
+        b.iter(|| cuboid::min_cut_cuboid(black_box(&sequoia), black_box(n / 2)))
+    });
+    c.bench_function("cuboid_enumeration_4096", |b| {
+        b.iter(|| cuboid::enumerate_cuboid_extents(black_box(&sequoia), black_box(4096)).len())
+    });
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    c.bench_function("cuboid_small_set_expansion_midplane", |b| {
+        b.iter(|| expansion::cuboid_small_set_expansion(black_box(&[4, 4, 4, 4, 2]), black_box(256)))
+    });
+}
+
+criterion_group!(benches, bench_bound_evaluation, bench_cuboid_search, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation bench: bisection sensitivity of the future-work kernels.
+//!
+//! Regenerates the sensitivity ordering (pairing > FFT > nearest-neighbour
+//! ring) on scaled-down partitions with the paper's ×2 geometry contrast.
+//! The measured quantity is the simulation cost; the printed sensitivity
+//! values land in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netpart_contention::{ContentionModel, Kernel};
+use netpart_kernels::{bisection_sensitivity, FftConfig, NBodyConfig, Workload};
+use std::time::Duration;
+
+const LOW: [usize; 4] = [8, 4, 2, 2];
+const HIGH: [usize; 4] = [4, 4, 4, 2];
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisection_sensitivity");
+    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    let workloads = [
+        ("pairing", Workload::BisectionPairing { gigabytes: 0.25 }),
+        ("fft", Workload::Fft(FftConfig::four_step(1 << 22, 128))),
+        (
+            "nbody_ring",
+            Workload::NBody(NBodyConfig {
+                bodies: 1 << 18,
+                ranks: 128,
+            }),
+        ),
+    ];
+    for (label, workload) in workloads {
+        group.bench_function(label, |b| {
+            b.iter(|| bisection_sensitivity(black_box(&workload), &LOW, &HIGH).sensitivity())
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_bound");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    // The analytic bound on a full-scale Mira partition (no simulation).
+    let model = ContentionModel::bgq(Kernel::StrassenMatmul { n: 32_928 });
+    let dims = [16usize, 16, 4, 4, 2];
+    group.bench_function("strassen_16midplane_bound", |b| {
+        b.iter(|| model.contention_bound(black_box(&dims)).seconds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity, bench_contention_bound);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks of the local matrix-multiplication kernels (classical vs
+//! Strassen-Winograd, sequential vs rayon-parallel).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_strassen::dense::{matmul_classical, matmul_parallel, Matrix};
+use netpart_strassen::winograd::strassen_winograd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("classical", n), &n, |bench, _| {
+            bench.iter(|| matmul_classical(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| matmul_parallel(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("strassen_winograd", n), &n, |bench, _| {
+            bench.iter(|| strassen_winograd(black_box(&a), black_box(&b), 64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of partition-geometry enumeration and policy analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netpart_alloc::{best_geometry, worst_vs_best};
+use netpart_machines::{enumerate_geometries, known};
+
+fn bench_enumeration(c: &mut Criterion) {
+    c.bench_function("enumerate_geometries_sequoia_all_sizes", |b| {
+        let sequoia = known::sequoia();
+        b.iter(|| {
+            (1..=sequoia.num_midplanes())
+                .map(|m| enumerate_geometries(black_box(sequoia.midplane_dims()), m).len())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("best_geometry_mira_96", |b| {
+        let mira = known::mira();
+        b.iter(|| best_geometry(black_box(&mira), black_box(96)))
+    });
+}
+
+fn bench_full_reports(c: &mut Criterion) {
+    c.bench_function("worst_vs_best_juqueen_full_table", |b| {
+        let juqueen = known::juqueen();
+        b.iter(|| worst_vs_best(black_box(&juqueen)).len())
+    });
+}
+
+criterion_group!(benches, bench_enumeration, bench_full_reports);
+criterion_main!(benches);

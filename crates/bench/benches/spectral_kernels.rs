@@ -1,0 +1,55 @@
+//! Microbenchmarks of the spectral machinery: Laplacian products, Fiedler
+//! extraction and sweep-based bisection on partition-sized tori.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netpart_spectral::{
+    fiedler, spectral_bisection, EigenOptions, Laplacian,
+};
+use netpart_topology::{SlimFly, Torus};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+}
+
+fn bench_laplacian_matvec(c: &mut Criterion) {
+    let mut group = quick(c);
+    // One Blue Gene/Q midplane and a 4-midplane partition.
+    for dims in [vec![4usize, 4, 4, 4, 2], vec![8, 8, 4, 4, 2]] {
+        let torus = Torus::new(dims.clone());
+        let lap = Laplacian::combinatorial(&torus);
+        let x: Vec<f64> = (0..lap.n()).map(|i| (i as f64).sin()).collect();
+        group.bench_function(format!("matvec_{}nodes", lap.n()), |b| {
+            b.iter(|| lap.apply(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fiedler(c: &mut Criterion) {
+    let mut group = quick(c);
+    let midplane = Torus::new(vec![4, 4, 4, 4, 2]);
+    let lap = Laplacian::combinatorial(&midplane);
+    group.bench_function("fiedler_midplane_512", |b| {
+        b.iter(|| fiedler(black_box(&lap), EigenOptions::default()).value)
+    });
+    group.finish();
+}
+
+fn bench_spectral_bisection(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.bench_function("spectral_bisection_2048node_partition", |b| {
+        let partition = Torus::new(vec![16, 4, 4, 4, 2]);
+        b.iter(|| spectral_bisection(black_box(&partition), EigenOptions::default()).cut_capacity)
+    });
+    group.bench_function("spectral_bisection_slimfly_q13", |b| {
+        let slimfly = SlimFly::new(13);
+        b.iter(|| spectral_bisection(black_box(&slimfly), EigenOptions::default()).cut_capacity)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_laplacian_matvec, bench_fiedler, bench_spectral_bisection);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Run every table and figure generator in sequence.
+//!
+//! Analysis-only artefacts (Tables 1-7, Figures 1, 2, 7) are cheap; the
+//! simulation figures (3-6) take minutes at full scale, so this driver runs
+//! them with the same code paths the individual binaries use but prints a
+//! progress line per artefact. Use the individual binaries for full control.
+
+use std::process::Command;
+
+fn main() {
+    let analysis = [
+        "table1_mira_improved",
+        "table2_juqueen_diff",
+        "table3_matmul_params",
+        "table4_scaling_params",
+        "table5_machine_design",
+        "table6_mira_full",
+        "table7_juqueen_full",
+        "fig1_mira_bisection",
+        "fig2_juqueen_bisection",
+        "fig7_machine_design",
+        "fig3_mira_pairing",
+        "fig4_juqueen_pairing",
+        "fig5_mira_matmul",
+        "fig6_strong_scaling",
+        // Extension experiments (future-work items of Section 5).
+        "ext1_bisection_sensitivity",
+        "ext2_scheduler_policies",
+        "ext3_kernel_advice",
+        "ext4_spectral_validation",
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("cannot locate sibling binaries");
+    let mut failures = 0;
+    for name in analysis {
+        eprintln!("==> {name}");
+        let status = Command::new(exe_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("    FAILED: {other:?}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} generators failed");
+        std::process::exit(1);
+    }
+    eprintln!("all experiment artefacts regenerated under results/");
+}

@@ -1,0 +1,69 @@
+//! Extension experiment 3: inevitable-contention classification of kernels.
+//!
+//! For each kernel of the paper's future-work list, computes the runtime
+//! lower-bound breakdown (contention / injection bandwidth / computation) on
+//! the worst and best admissible Mira geometries for each improvable size,
+//! and reports the predicted payoff of the proposed geometries. This is the
+//! quantitative backing for the claim that direct N-body and tuned FFT /
+//! classical matmul would show a larger partition-geometry effect than the
+//! Strassen experiment of Section 4.
+
+use netpart_alloc::report::render_table;
+use netpart_bench::{emit, header, secs};
+use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
+use netpart_machines::known;
+
+fn main() {
+    let mira = known::mira();
+    let node = NodeModel::bgq();
+    let kernels = [
+        ("Strassen n=32928", Kernel::StrassenMatmul { n: 32_928 }),
+        ("classical n=65536", Kernel::ClassicalMatmul { n: 65_536 }),
+        ("N-body 4M bodies", Kernel::DirectNBody { bodies: 1 << 22 }),
+        ("FFT 2^30 points", Kernel::Fft { n: 1 << 30 }),
+        (
+            "pairing 2 GB/rank",
+            Kernel::Custom {
+                words_per_proc: 2e9 / 8.0,
+                flops_per_proc: 1.0,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, kernel) in kernels {
+        let model = ContentionModel::bgq(kernel);
+        for midplanes in [4usize, 8, 16, 24] {
+            let advice = advise_kernel(&mira, &model, &node, midplanes)
+                .expect("Mira supports these sizes");
+            let worst = &advice.worst_breakdown;
+            rows.push(vec![
+                label.to_string(),
+                midplanes.to_string(),
+                format!("{:?}", advice.worst_geometry.dims()),
+                secs(worst.contention_seconds),
+                secs(worst.compute_seconds),
+                format!("{:?}", advice.regime()),
+                format!("{:.2}", advice.predicted_speedup()),
+                if advice.geometry_matters() { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    let mut out = header(
+        "Kernel-aware contention lower bounds on Mira partitions (extension experiment)",
+        "the inevitable-contention analysis referenced in Sections 2 and 5",
+    );
+    out.push_str(&render_table(
+        &[
+            "kernel",
+            "midplanes",
+            "worst geometry",
+            "contention LB (s)",
+            "compute LB (s)",
+            "regime",
+            "predicted speedup",
+            "geometry matters",
+        ],
+        &rows,
+    ));
+    emit("ext3_kernel_advice", &out);
+}

@@ -1,0 +1,20 @@
+//! Figure 1: Mira's normalized bisection bandwidth, current vs proposed.
+
+use netpart_alloc::series::{best_case_series_at, render_series, scheduler_series};
+use netpart_bench::{emit, header};
+use netpart_machines::{known, AllocationSystem};
+
+fn main() {
+    let production = AllocationSystem::mira_production();
+    let sizes = production.supported_sizes();
+    let series = [
+        scheduler_series(&production, "Current partitions"),
+        best_case_series_at(&known::mira(), &sizes, "Proposed partitions"),
+    ];
+    let mut out = header(
+        "Mira: normalized bisection bandwidth of currently-defined and proposed partition geometries",
+        "Figure 1",
+    );
+    out.push_str(&render_series(&series));
+    emit("fig1_mira_bisection", &out);
+}

@@ -1,0 +1,20 @@
+//! Figure 2: JUQUEEN's normalized bisection bandwidth, best vs worst case.
+
+use netpart_alloc::series::{best_case_series, render_series, worst_case_series};
+use netpart_bench::{emit, header};
+use netpart_machines::known;
+
+fn main() {
+    let juqueen = known::juqueen();
+    let series = [
+        worst_case_series(&juqueen, "Worst-case partitions"),
+        best_case_series(&juqueen, "Best-case partitions"),
+    ];
+    let mut out = header(
+        "JUQUEEN: normalized bisection bandwidth of best and worst-case partition geometries",
+        "Figure 2",
+    );
+    out.push_str(&render_series(&series));
+    out.push_str("\nThe drops at 5, 7, 10, 14, 20, 28 and 40 midplanes are ring-shaped partitions.\n");
+    emit("fig2_juqueen_bisection", &out);
+}

@@ -1,0 +1,50 @@
+//! Figure 5: CAPS matrix multiplication communication times on Mira
+//! (simulated). Full scale; run with `--release`.
+
+use netpart_alloc::report::render_table;
+use netpart_bench::{emit, header, secs};
+use netpart_core::experiments::{mira_fig5_configs, mira_matmul_experiment};
+
+fn main() {
+    // Allow a quick run for smoke testing: NETPART_FIG5_SCALE=small shrinks
+    // the rank counts and matrix dimension by 13x / 3.5x.
+    let configs = if std::env::var("NETPART_FIG5_SCALE").as_deref() == Ok("small") {
+        mira_fig5_configs()
+            .into_iter()
+            .map(|(m, mut c)| {
+                c.ranks = if c.ranks == 117649 { 16807 } else { 2401 };
+                c.matrix_dim = 9604;
+                (m, c)
+            })
+            .collect()
+    } else {
+        mira_fig5_configs()
+    };
+    let results = mira_matmul_experiment(&configs);
+    let headers = [
+        "Midplanes", "Ranks", "Matrix dim",
+        "Comm current (s)", "Comm proposed (s)", "Comm ratio",
+        "Computation (s)", "Wallclock ratio",
+    ];
+    let body: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.midplanes.to_string(),
+                r.config.ranks.to_string(),
+                r.config.matrix_dim.to_string(),
+                secs(r.current.communication_seconds),
+                secs(r.proposed.communication_seconds),
+                format!("{:.2}", r.communication_ratio()),
+                secs(r.current.computation_seconds),
+                format!("{:.2}", r.wallclock_ratio()),
+            ]
+        })
+        .collect();
+    let mut out = header(
+        "Mira: matrix multiplication experiment, communication time per partition type (paper: comm ratios x1.37-x1.52, wallclock x1.08-x1.22)",
+        "Figure 5 / Table 3",
+    );
+    out.push_str(&render_table(&headers, &body));
+    emit("fig5_mira_matmul", &out);
+}

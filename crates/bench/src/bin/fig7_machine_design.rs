@@ -1,0 +1,19 @@
+//! Figure 7: bisection bandwidth of JUQUEEN vs the hypothetical machines.
+
+use netpart_alloc::series::{best_case_series, render_series};
+use netpart_bench::{emit, header};
+use netpart_machines::known;
+
+fn main() {
+    let series = [
+        best_case_series(&known::juqueen(), "JUQUEEN"),
+        best_case_series(&known::juqueen_48(), "JUQUEEN-48"),
+        best_case_series(&known::juqueen_54(), "JUQUEEN-54"),
+    ];
+    let mut out = header(
+        "Normalized bisection bandwidth comparison between JUQUEEN, JUQUEEN-48 and JUQUEEN-54 (best-case partitions)",
+        "Figure 7",
+    );
+    out.push_str(&render_series(&series));
+    emit("fig7_machine_design", &out);
+}

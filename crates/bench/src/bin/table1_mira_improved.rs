@@ -1,0 +1,18 @@
+//! Table 1: Mira partitions whose bisection bandwidth the paper improves.
+
+use netpart_alloc::render_comparison;
+use netpart_bench::{emit, header};
+use netpart_machines::AllocationSystem;
+
+fn main() {
+    let rows: Vec<_> = netpart_alloc::current_vs_proposed(&AllocationSystem::mira_production())
+        .into_iter()
+        .filter(|r| r.improved.is_some())
+        .collect();
+    let mut out = header(
+        "Mira: current vs proposed partition geometries (improved sizes only)",
+        "Table 1",
+    );
+    out.push_str(&render_comparison(&rows, "Current Geometry", "Proposed Geometry"));
+    emit("table1_mira_improved", &out);
+}

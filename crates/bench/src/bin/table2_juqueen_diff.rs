@@ -1,0 +1,18 @@
+//! Table 2: JUQUEEN sizes where the best and worst geometries differ.
+
+use netpart_alloc::render_comparison;
+use netpart_bench::{emit, header};
+use netpart_machines::known;
+
+fn main() {
+    let rows: Vec<_> = netpart_alloc::worst_vs_best(&known::juqueen())
+        .into_iter()
+        .filter(|r| r.improved.is_some())
+        .collect();
+    let mut out = header(
+        "JUQUEEN: worst-case vs best-case partition geometries (sizes with a spread)",
+        "Table 2",
+    );
+    out.push_str(&render_comparison(&rows, "Worst Geometry", "Best Geometry"));
+    emit("table2_juqueen_diff", &out);
+}

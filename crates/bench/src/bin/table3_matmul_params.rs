@@ -1,0 +1,29 @@
+//! Table 3: parameters of the matrix multiplication experiment on Mira.
+
+use netpart_alloc::report::render_table;
+use netpart_bench::{emit, header};
+use netpart_machines::NODES_PER_MIDPLANE;
+use netpart_mpi::{MappingStrategy, RankMapping};
+use netpart_strassen::mira_table3_configs;
+
+fn main() {
+    let headers = ["P (nodes)", "Midplanes", "MPI Ranks", "Max. active cores", "Avg cores per proc", "Matrix dimension"];
+    let body: Vec<Vec<String>> = mira_table3_configs()
+        .into_iter()
+        .map(|(midplanes, config)| {
+            let nodes = midplanes * NODES_PER_MIDPLANE;
+            let mapping = RankMapping::new(config.ranks, nodes, config.max_ranks_per_node, MappingStrategy::Balanced);
+            vec![
+                nodes.to_string(),
+                midplanes.to_string(),
+                config.ranks.to_string(),
+                config.max_ranks_per_node.to_string(),
+                format!("{:.2}", mapping.avg_ranks_per_occupied_node()),
+                config.matrix_dim.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = header("Parameters of the matrix multiplication experiment on Mira", "Table 3");
+    out.push_str(&render_table(&headers, &body));
+    emit("table3_matmul_params", &out);
+}

@@ -1,0 +1,38 @@
+//! Table 4: parameters of the strong-scaling experiment on Mira.
+
+use netpart_alloc::report::render_table;
+use netpart_bench::{emit, header};
+use netpart_machines::NODES_PER_MIDPLANE;
+use netpart_mpi::{MappingStrategy, RankMapping};
+use netpart_strassen::mira_table4_plan;
+
+fn main() {
+    let headers = ["P (nodes)", "Midplanes", "MPI Ranks", "Max. active cores", "Avg cores per proc", "Current BW", "Proposed BW"];
+    let body: Vec<Vec<String>> = mira_table4_plan()
+        .into_iter()
+        .map(|point| {
+            let nodes = point.midplanes * NODES_PER_MIDPLANE;
+            let mapping = RankMapping::new(
+                point.config.ranks,
+                nodes,
+                point.config.max_ranks_per_node,
+                MappingStrategy::Balanced,
+            );
+            vec![
+                nodes.to_string(),
+                point.midplanes.to_string(),
+                point.config.ranks.to_string(),
+                point.config.max_ranks_per_node.to_string(),
+                format!("{:.2}", mapping.avg_ranks_per_occupied_node()),
+                point.current.bisection_links().to_string(),
+                point.proposed.bisection_links().to_string(),
+            ]
+        })
+        .collect();
+    let mut out = header(
+        "Strong scaling experiment parameters on Mira (matrix dimension 9408)",
+        "Table 4",
+    );
+    out.push_str(&render_table(&headers, &body));
+    emit("table4_scaling_params", &out);
+}

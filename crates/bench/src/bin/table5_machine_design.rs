@@ -1,0 +1,41 @@
+//! Table 5: best-case partitions of JUQUEEN and the hypothetical machines.
+
+use netpart_alloc::{machine_design_table, report::render_table};
+use netpart_bench::{emit, header};
+use netpart_machines::known;
+
+fn main() {
+    let machines = [known::juqueen(), known::juqueen_54(), known::juqueen_48()];
+    let rows = machine_design_table(&machines);
+    let headers = [
+        "P (nodes)", "Midplanes",
+        "JUQUEEN", "J BW",
+        "JUQUEEN-54", "J-54 BW",
+        "JUQUEEN-48", "J-48 BW",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.nodes.to_string(), r.midplanes.to_string()];
+            for cell in &r.per_machine {
+                match cell {
+                    Some((g, bw)) => {
+                        row.push(g.to_string());
+                        row.push(bw.to_string());
+                    }
+                    None => {
+                        row.push(String::new());
+                        row.push(String::new());
+                    }
+                }
+            }
+            row
+        })
+        .collect();
+    let mut out = header(
+        "Best-case partitions of JUQUEEN, JUQUEEN-54 and JUQUEEN-48",
+        "Table 5",
+    );
+    out.push_str(&render_table(&headers, &body));
+    emit("table5_machine_design", &out);
+}

@@ -1,0 +1,15 @@
+//! Table 6: the full list of Mira's current and proposed partitions.
+
+use netpart_alloc::render_comparison;
+use netpart_bench::{emit, header};
+use netpart_machines::AllocationSystem;
+
+fn main() {
+    let rows = netpart_alloc::current_vs_proposed(&AllocationSystem::mira_production());
+    let mut out = header(
+        "Mira: normalized bisection bandwidths of all current and proposed partitions",
+        "Table 6 (Appendix A)",
+    );
+    out.push_str(&render_comparison(&rows, "Current Geometry", "New Geometry"));
+    emit("table6_mira_full", &out);
+}

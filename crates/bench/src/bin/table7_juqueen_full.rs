@@ -1,0 +1,15 @@
+//! Table 7: the full list of JUQUEEN best/worst-case allocations.
+
+use netpart_alloc::render_comparison;
+use netpart_bench::{emit, header};
+use netpart_machines::known;
+
+fn main() {
+    let rows = netpart_alloc::worst_vs_best(&known::juqueen());
+    let mut out = header(
+        "JUQUEEN: allocation best and worst cases by compute node count",
+        "Table 7 (Appendix A)",
+    );
+    out.push_str(&render_comparison(&rows, "Worst-case Geometry", "Proposed Geometry"));
+    emit("table7_juqueen_full", &out);
+}

@@ -1,0 +1,74 @@
+//! Shared plumbing for the experiment-regeneration binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! recomputes it and prints it in a layout close to the original. The
+//! helpers here handle the output conventions: echo to stdout and also write
+//! a copy under `results/` so EXPERIMENTS.md can reference stable artefacts.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are stored (`results/` at the
+/// workspace root, overridable with `NETPART_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("NETPART_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // The binaries run from the workspace root via `cargo run`; fall back to
+    // the current directory otherwise.
+    PathBuf::from("results")
+}
+
+/// Print a report to stdout and persist it under `results/<name>.txt`.
+/// Failures to write the file are reported but not fatal (the console output
+/// is the primary artefact).
+pub fn emit(name: &str, body: &str) {
+    println!("{body}");
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("note: could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.txt"));
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Render a header line for an experiment report.
+pub fn header(title: &str, source: &str) -> String {
+    format!("{title}\n(reproduces {source} of 'Network Partitioning and Avoidable Contention', SPAA 2020)\n")
+}
+
+/// Format seconds with three significant decimals.
+pub fn secs(t: f64) -> String {
+    format!("{t:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_mentions_the_source() {
+        let h = header("Table 1", "Table 1");
+        assert!(h.contains("SPAA 2020"));
+        assert!(h.starts_with("Table 1"));
+    }
+
+    #[test]
+    fn secs_formats_three_decimals() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(secs(0.1), "0.100");
+    }
+
+    #[test]
+    fn results_dir_honours_env_override() {
+        std::env::set_var("NETPART_RESULTS_DIR", "/tmp/netpart-test-results");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/netpart-test-results"));
+        std::env::remove_var("NETPART_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,47 @@
+//! Inevitable-contention lower bounds for parallel kernels on partitioned
+//! networks.
+//!
+//! The paper's analysis tells a scheduler *which* partition geometry has the
+//! best internal bisection; this crate answers the complementary question the
+//! future-work section raises: *does it matter for this job?* Following
+//! Ballard et al. (COMHPC 2016, reference [7] of the paper), it combines
+//!
+//! * per-processor communication-cost models of the kernels of interest
+//!   ([`kernels`]: classical and Strassen-Winograd matrix multiplication,
+//!   direct N-body, FFT, or custom costs),
+//! * the edge-isoperimetric cut profile of the partition (via
+//!   `netpart-iso`), and
+//! * the link and node hardware parameters ([`bounds::NodeModel`]),
+//!
+//! into link-contention lower bounds, runtime-regime classification
+//! (contention / bandwidth / compute bound) and kernel-aware allocation
+//! advice ([`advisor`]).
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
+//! use netpart_machines::known;
+//!
+//! // Is a 2 GB-per-rank exchange contention-bound on a 4-midplane Mira job?
+//! let model = ContentionModel::bgq(Kernel::Custom {
+//!     words_per_proc: 2e9 / 8.0,
+//!     flops_per_proc: 1.0,
+//! });
+//! let advice = advise_kernel(&known::mira(), &model, &NodeModel::bgq(), 4).unwrap();
+//! assert!(advice.geometry_matters());
+//! assert_eq!(advice.predicted_speedup(), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod bounds;
+pub mod kernels;
+
+pub use advisor::{advise_kernel, sizes_where_geometry_matters, KernelAdvice};
+pub use bounds::{
+    runtime_breakdown, ContentionBound, ContentionModel, NodeModel, RuntimeBreakdown, RuntimeRegime,
+    BYTES_PER_WORD,
+};
+pub use kernels::Kernel;

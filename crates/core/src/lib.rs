@@ -1,0 +1,46 @@
+//! Network partitioning and avoidable contention — the high-level API.
+//!
+//! This crate ties the substrates together into the workflow the paper
+//! describes: analyse a machine's allocation policy with edge-isoperimetric
+//! tools, propose better partition geometries, predict the speedup for
+//! contention-bound workloads, and validate those predictions against the
+//! simulated experiments.
+//!
+//! * [`analysis`] — policy analysis, per-size recommendations, predicted
+//!   speedups (Section 3).
+//! * [`experiments`] — drivers for the bisection-pairing, matrix
+//!   multiplication and strong-scaling experiments (Section 4).
+//! * [`predict`] — predicted-vs-measured bookkeeping (the ×2.00 vs ×1.92
+//!   style comparisons).
+//! * [`topologies`] — the Section 5 recipe applied to hypercubes, HyperX,
+//!   Dragonfly and weighted tori.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_core::analysis;
+//! use netpart_machines::{known, AllocationSystem};
+//!
+//! // Analyse Mira's production allocation policy.
+//! let report = analysis::analyze_policy(&AllocationSystem::mira_production());
+//! assert_eq!(report.improvable_sizes(), vec![4, 8, 16, 24]);
+//! assert_eq!(report.max_speedup(), 2.0);
+//!
+//! // Ask for the best 8192-node (16 midplane) allocation.
+//! let rec = analysis::recommend(&known::mira(), 16).unwrap();
+//! assert_eq!(rec.bisection_links, 2048);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod experiments;
+pub mod predict;
+pub mod topologies;
+
+pub use analysis::{analyze_policy, best_geometry_catalog, predicted_speedup, recommend, PolicyAnalysis, Recommendation};
+pub use experiments::{
+    bisection_pairing_experiment, juqueen_fig4_cases, mira_fig3_cases, mira_fig5_configs,
+    mira_matmul_experiment, pairing_speedups, MatmulMeasurement, PairingMeasurement,
+};
+pub use predict::{implied_contention_fraction, PredictionCheck};

@@ -1,0 +1,166 @@
+//! Bisection bandwidth of torus networks and partitions.
+//!
+//! The bisection bandwidth of a network is the minimum total capacity of
+//! links that must be removed to split the node set into two equal halves.
+//! For Blue Gene/Q systems the paper (following Chen et al.) uses the closed
+//! form `2 · N / L` links, where `N` is the node count and `L` the longest
+//! dimension; this module provides that formula, the slab-based general torus
+//! bisection, and an exhaustive reference implementation for small graphs.
+
+use netpart_topology::{indicator, Topology};
+
+/// Bisection bandwidth (in links) of a torus with the given extents, computed
+/// as the best axis-aligned half-slab.
+///
+/// For every dimension `i` with even extent, the slab covering half of
+/// dimension `i` cuts `N/a_i` columns with two links (the two wrap-around
+/// directions) per column; the bisection is the minimum over dimensions,
+/// i.e. `2·N/L` where `L` is the longest even dimension. Dimensions with odd
+/// extent cannot be halved by a slab and are skipped.
+///
+/// # Panics
+/// Panics if no dimension has an even extent (no axis-aligned bisection
+/// exists; use [`exact_bisection`] on small instances instead).
+pub fn torus_bisection_links(dims: &[usize]) -> u64 {
+    assert!(!dims.is_empty() && dims.iter().all(|&a| a >= 1));
+    let n: u64 = dims.iter().map(|&a| a as u64).product();
+    let best = dims
+        .iter()
+        .filter(|&&a| a >= 2 && a % 2 == 0)
+        .map(|&a| 2 * (n / a as u64))
+        .min();
+    best.expect("torus has no even dimension; no axis-aligned bisection exists")
+}
+
+/// The Blue Gene/Q bisection-bandwidth formula `2 · N / L` (in links), where
+/// `L` is the longest dimension (Chen et al., SC'12).
+///
+/// # Panics
+/// Panics unless the longest dimension is even and at least 4 (the regime in
+/// which the published formula applies; shorter dimensions fall back to
+/// [`torus_bisection_links`]).
+pub fn bgq_bisection_links(node_dims: &[usize]) -> u64 {
+    let l = *node_dims.iter().max().expect("empty dimension list") as u64;
+    assert!(l >= 4 && l % 2 == 0, "BG/Q formula requires an even longest dimension >= 4");
+    let n: u64 = node_dims.iter().map(|&a| a as u64).product();
+    2 * n / l
+}
+
+/// Exhaustive bisection of an arbitrary topology: the minimum unweighted cut
+/// over all subsets of exactly `floor(N/2)` nodes. Returns `(subset, cut)`.
+///
+/// Exponential; intended for validation on graphs with at most ~20 nodes.
+///
+/// # Panics
+/// Panics if the graph has more than 24 nodes.
+pub fn exact_bisection<T: Topology>(topo: &T) -> (Vec<usize>, usize) {
+    let n = topo.num_nodes();
+    assert!(n <= 24, "exact bisection is exponential; {n} nodes is too many");
+    let t = n / 2;
+    crate::exact::exact_min_cut_with_size(topo, t, true)
+}
+
+/// Normalized bisection bandwidth of a Blue Gene/Q *partition* given its
+/// node-level dimensions, in links (each link contributes one unit of
+/// capacity), exactly as reported in the paper's figures and tables.
+pub fn partition_bisection_links(node_dims: &[usize]) -> u64 {
+    torus_bisection_links(node_dims)
+}
+
+/// Verify that a candidate bisection value is achievable by an explicit
+/// half-slab subset, returning the indicator of that subset. Used by tests
+/// and by the simulator to place the two sides of a bisection-pairing
+/// benchmark.
+pub fn half_slab_indicator(dims: &[usize]) -> Vec<bool> {
+    let torus = netpart_topology::Torus::new(dims.to_vec());
+    let n: u64 = dims.iter().map(|&a| a as u64).product();
+    // Pick the dimension achieving the bisection.
+    let (best_dim, _) = dims
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a >= 2 && a % 2 == 0)
+        .map(|(i, &a)| (i, 2 * (n / a as u64)))
+        .min_by_key(|&(_, cut)| cut)
+        .expect("no even dimension");
+    let mut extent: Vec<usize> = dims.to_vec();
+    extent[best_dim] = dims[best_dim] / 2;
+    let cuboid = netpart_topology::torus::Cuboid::at_origin(extent);
+    let nodes = torus.cuboid_nodes(&cuboid);
+    indicator(torus.num_nodes(), &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_topology::{Torus, Topology};
+
+    #[test]
+    fn paper_machine_bisections() {
+        // Mira: 16 x 16 x 12 x 8 x 2 -> 2 * 49152 / 16 = 6144 links.
+        assert_eq!(torus_bisection_links(&[16, 16, 12, 8, 2]), 6144);
+        assert_eq!(bgq_bisection_links(&[16, 16, 12, 8, 2]), 6144);
+        // JUQUEEN: 28 x 8 x 8 x 8 x 2 -> 2 * 28672 / 28 = 2048.
+        assert_eq!(torus_bisection_links(&[28, 8, 8, 8, 2]), 2048);
+        // Sequoia: 16 x 16 x 16 x 12 x 2 -> 2 * 98304 / 16 = 12288.
+        assert_eq!(torus_bisection_links(&[16, 16, 16, 12, 2]), 12288);
+        // A single midplane: 4 x 4 x 4 x 4 x 2 -> 256.
+        assert_eq!(torus_bisection_links(&[4, 4, 4, 4, 2]), 256);
+    }
+
+    #[test]
+    fn paper_partition_bisections_from_tables() {
+        // Table 6/7 values (node-level dims of midplane cuboids).
+        let cases: &[(&[usize], u64)] = &[
+            (&[16, 4, 4, 4, 2], 256),  // 4 x 1 x 1 x 1 midplanes (current, 4 mp)
+            (&[8, 8, 4, 4, 2], 512),   // 2 x 2 x 1 x 1 (proposed, 4 mp)
+            (&[16, 8, 4, 4, 2], 512),  // 4 x 2 x 1 x 1 (current, 8 mp)
+            (&[8, 8, 8, 4, 2], 1024),  // 2 x 2 x 2 x 1 (proposed, 8 mp)
+            (&[16, 16, 4, 4, 2], 1024), // 4 x 4 x 1 x 1 (current, 16 mp)
+            (&[8, 8, 8, 8, 2], 2048),  // 2 x 2 x 2 x 2 (proposed, 16 mp)
+            (&[16, 12, 8, 4, 2], 1536), // 4 x 3 x 2 x 1 (current, 24 mp)
+            (&[12, 8, 8, 8, 2], 2048), // 3 x 2 x 2 x 2 (proposed, 24 mp)
+            (&[12, 12, 12, 4, 2], 2304), // 3 x 3 x 3 x 1 (JUQUEEN-54, 27 mp)
+            (&[12, 12, 8, 8, 2], 3072), // 3 x 3 x 2 x 2 (36 mp)
+            (&[12, 12, 12, 8, 2], 4608), // 3 x 3 x 3 x 2 (54 mp)
+        ];
+        for &(dims, expected) in cases {
+            assert_eq!(partition_bisection_links(dims), expected, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn slab_bisection_matches_exhaustive_on_small_tori() {
+        for dims in [vec![4, 4], vec![6, 2], vec![4, 2, 2], vec![2, 2, 2, 2]] {
+            let torus = Torus::new(dims.clone());
+            let (_, exact) = exact_bisection(&torus);
+            assert_eq!(
+                torus_bisection_links(&dims),
+                exact as u64,
+                "dims {dims:?}: slab vs exhaustive"
+            );
+        }
+    }
+
+    #[test]
+    fn half_slab_indicator_achieves_the_bisection() {
+        for dims in [vec![8, 4, 2], vec![16, 4, 4, 4, 2], vec![6, 4]] {
+            let torus = Torus::new(dims.clone());
+            let ind = half_slab_indicator(&dims);
+            let selected = ind.iter().filter(|&&b| b).count();
+            assert_eq!(selected, torus.num_nodes() / 2);
+            assert_eq!(torus.cut_size(&ind) as u64, torus_bisection_links(&dims));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis-aligned bisection")]
+    fn all_odd_torus_has_no_slab_bisection() {
+        let _ = torus_bisection_links(&[3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an even longest dimension")]
+    fn bgq_formula_rejects_tiny_dims() {
+        let _ = bgq_bisection_links(&[2, 2]);
+    }
+}

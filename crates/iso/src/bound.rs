@@ -1,0 +1,179 @@
+//! Edge-isoperimetric lower bounds on torus graphs.
+//!
+//! * Theorem 2.1 (Bollobás–Leader 1991): for a cubic `D`-dimensional torus
+//!   `[n]^D` and any subset `S` of size `t ≤ n^D / 2`,
+//!   `|E(S, S̄)| ≥ min_r 2(D-r) · n^{r/(D-r)} · t^{(D-r-1)/(D-r)}`.
+//! * Theorem 3.1 (the paper's generalization): for a torus with arbitrary
+//!   extents `a_1 ≥ a_2 ≥ ... ≥ a_D` and any **cuboid** `S` of size
+//!   `t ≤ |V|/2`,
+//!   `|E(S, S̄)| ≥ min_r 2(D-r) · (a_D · a_{D-1} ⋯ a_{D-r+1})^{1/(D-r)} · t^{(D-r-1)/(D-r)}`
+//!   (the product runs over the `r` smallest extents).
+//!
+//! The value `r` ranges over `0..D`; intuitively the bound corresponding to
+//! `r` describes subsets that fully wrap the `r` smallest dimensions and are
+//! cube-like in the remaining `D-r`.
+
+/// The Theorem 3.1 lower bound for a torus with the given extents and a
+/// cuboid subset of size `t`.
+///
+/// The extents may be given in any order (they are sorted internally).
+/// Returns 0 for `t == 0` and for subsets covering the whole torus.
+///
+/// # Panics
+/// Panics if `dims` is empty, any extent is zero, or `t > |V| / 2`.
+pub fn general_torus_bound(dims: &[usize], t: u64) -> f64 {
+    term_for_r(dims, t, best_r(dims, t))
+}
+
+/// The value of `r` that minimizes the Theorem 3.1 expression (the "shape
+/// class" of the extremal cuboid: it wraps the `r` smallest dimensions).
+///
+/// # Panics
+/// Same conditions as [`general_torus_bound`].
+pub fn best_r(dims: &[usize], t: u64) -> usize {
+    let total = validate(dims, t);
+    if t == 0 || u128::from(t) == total {
+        return 0;
+    }
+    let d = dims.len();
+    (0..d)
+        .min_by(|&r1, &r2| {
+            term_for_r(dims, t, r1)
+                .partial_cmp(&term_for_r(dims, t, r2))
+                .expect("bound terms are finite")
+        })
+        .unwrap_or(0)
+}
+
+/// The Theorem 3.1 expression for a specific `r` (exposed for analysis and
+/// testing; the theorem's bound is the minimum over `r`).
+///
+/// # Panics
+/// Panics if `r >= dims.len()` or the common validation fails.
+pub fn term_for_r(dims: &[usize], t: u64, r: usize) -> f64 {
+    validate(dims, t);
+    let d = dims.len();
+    assert!(r < d, "r = {r} out of range 0..{d}");
+    if t == 0 {
+        return 0.0;
+    }
+    let mut sorted = dims.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending: a_1 >= ... >= a_D
+    // Product of the r smallest extents: a_D * a_{D-1} * ... * a_{D-r+1}.
+    let k: f64 = sorted.iter().rev().take(r).map(|&a| a as f64).product();
+    let exponent_den = (d - r) as f64;
+    2.0 * (d - r) as f64 * k.powf(1.0 / exponent_den) * (t as f64).powf((exponent_den - 1.0) / exponent_den)
+}
+
+/// The Theorem 2.1 (Bollobás–Leader) lower bound for the cubic torus `[n]^D`.
+///
+/// # Panics
+/// Panics if `n == 0`, `d == 0` or `t > n^d / 2`.
+pub fn cubic_torus_bound(n: usize, d: usize, t: u64) -> f64 {
+    assert!(d >= 1, "dimension must be positive");
+    general_torus_bound(&vec![n; d], t)
+}
+
+fn validate(dims: &[usize], t: u64) -> u128 {
+    assert!(!dims.is_empty(), "torus must have at least one dimension");
+    assert!(dims.iter().all(|&a| a >= 1), "torus extents must be >= 1");
+    let total: u128 = dims.iter().map(|&a| a as u128).product();
+    assert!(
+        u128::from(t) <= total / 2 || u128::from(t) == total,
+        "subset size {t} exceeds half the torus ({total} nodes)"
+    );
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::enumerate_cuboid_extents;
+    use netpart_topology::Torus;
+
+    #[test]
+    fn cubic_bound_matches_paper_construction() {
+        // For a cubic torus [n]^D and t = s^D, the r = 0 term equals the cut
+        // of an s-cube, 2*D*s^(D-1); the theorem's bound (min over r) can
+        // only be smaller.
+        let n = 8;
+        let d = 3;
+        let s = 4u64;
+        let t = s.pow(3);
+        let bound = cubic_torus_bound(n, d, t);
+        let cube_cut = 2.0 * d as f64 * (s as f64).powi(2);
+        assert!(bound <= cube_cut + 1e-9);
+        assert!((term_for_r(&[n; 3], t, 0) - cube_cut).abs() < 1e-6);
+        // For small t the r = 0 term is the minimizer and the bound is tight.
+        let small = 8u64; // a 2x2x2 cube
+        assert!((cubic_torus_bound(n, d, small) - 2.0 * 3.0 * 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_is_zero_for_empty_set() {
+        assert_eq!(general_torus_bound(&[4, 4, 4], 0), 0.0);
+    }
+
+    #[test]
+    fn bound_never_exceeds_any_cuboid_cut() {
+        // Theorem 3.1: the bound is a valid lower bound for every cuboid.
+        let dims = vec![6, 4, 4, 2];
+        let torus = Torus::new(dims.clone());
+        let total: u64 = dims.iter().map(|&a| a as u64).product();
+        for t in 1..=total / 2 {
+            let bound = general_torus_bound(&dims, t);
+            for extent in enumerate_cuboid_extents(&dims, t) {
+                let cut = torus.cuboid_cut_size(&extent) as f64;
+                assert!(
+                    bound <= cut + 1e-6,
+                    "bound {bound} exceeds cut {cut} of cuboid {extent:?} (t = {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_for_half_slab_of_bgq_partition() {
+        // Node dims of a 2x2x1x1-midplane partition: 8x8x4x4x2, N = 2048.
+        let dims = [8, 8, 4, 4, 2];
+        let n: u64 = dims.iter().product::<usize>() as u64;
+        let torus = Torus::new(dims.to_vec());
+        let half_slab = [4usize, 8, 4, 4, 2];
+        let cut = torus.cuboid_cut_size(&half_slab) as f64;
+        let bound = general_torus_bound(&dims, n / 2);
+        assert!(bound <= cut + 1e-9);
+        // The bound with r = D-1 equals 2 * (product of the 4 smallest dims),
+        // which matches the half-slab cut exactly.
+        assert!((term_for_r(&dims, n / 2, dims.len() - 1) - cut).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_r_prefers_full_wrap_for_large_subsets() {
+        // For t = N/2 on an elongated torus the extremal cuboid wraps all but
+        // the longest dimension, i.e. r = D - 1.
+        let dims = [28, 8, 8, 8, 2];
+        let n: u64 = dims.iter().product::<usize>() as u64;
+        assert_eq!(best_r(&dims, n / 2), dims.len() - 1);
+    }
+
+    #[test]
+    fn best_r_prefers_compact_cubes_for_small_subsets() {
+        let dims = [16, 16, 12, 8, 2];
+        assert_eq!(best_r(&dims, 8), 1);
+    }
+
+    #[test]
+    fn cubic_matches_general_on_cubic_input() {
+        for t in [1u64, 7, 32, 100, 2048] {
+            let a = cubic_torus_bound(16, 3, t);
+            let b = general_torus_bound(&[16, 16, 16], t);
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds half")]
+    fn rejects_oversized_subsets() {
+        let _ = general_torus_bound(&[4, 4], 9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Brute-force reference solutions of the edge-isoperimetric problem.
+//!
+//! These exhaustive solvers enumerate every subset of the requested size and
+//! are therefore only usable on small instances (≤ ~24 nodes). They exist to
+//! validate the closed-form bounds and constructions of the rest of the
+//! crate — all property tests that compare a formula against "ground truth"
+//! go through this module.
+
+use netpart_topology::{indicator, Topology};
+
+/// Minimum unweighted cut over all subsets of exactly `t` nodes.
+/// Returns `(subset, cut_size)`.
+///
+/// # Panics
+/// Panics if the instance is too large (more than 24 nodes) or `t` exceeds
+/// the node count.
+pub fn exact_min_cut<T: Topology>(topo: &T, t: usize) -> (Vec<usize>, usize) {
+    exact_min_cut_with_size(topo, t, false)
+}
+
+/// Internal variant allowing the caller to skip the size guard adjustment.
+/// `exact_bisection` reuses this to avoid duplicating the enumeration.
+pub(crate) fn exact_min_cut_with_size<T: Topology>(
+    topo: &T,
+    t: usize,
+    _from_bisection: bool,
+) -> (Vec<usize>, usize) {
+    let n = topo.num_nodes();
+    assert!(n <= 24, "exhaustive search is exponential; {n} nodes is too many");
+    assert!(t <= n, "subset size {t} exceeds node count {n}");
+    let mut best_cut = usize::MAX;
+    let mut best_subset = Vec::new();
+    for subset in combinations(n, t) {
+        let ind = indicator(n, &subset);
+        let cut = topo.cut_size(&ind);
+        if cut < best_cut {
+            best_cut = cut;
+            best_subset = subset;
+        }
+    }
+    (best_subset, best_cut)
+}
+
+/// Minimum *weighted* cut over all subsets of exactly `t` nodes.
+/// Returns `(subset, cut_capacity)`.
+///
+/// # Panics
+/// Same size limits as [`exact_min_cut`].
+pub fn exact_min_cut_capacity<T: Topology>(topo: &T, t: usize) -> (Vec<usize>, f64) {
+    let n = topo.num_nodes();
+    assert!(n <= 24, "exhaustive search is exponential; {n} nodes is too many");
+    assert!(t <= n, "subset size {t} exceeds node count {n}");
+    let mut best_cut = f64::INFINITY;
+    let mut best_subset = Vec::new();
+    for subset in combinations(n, t) {
+        let ind = indicator(n, &subset);
+        let cut = topo.cut_capacity(&ind);
+        if cut < best_cut {
+            best_cut = cut;
+            best_subset = subset;
+        }
+    }
+    (best_subset, best_cut)
+}
+
+/// Iterator over all `t`-element subsets of `0..n` in lexicographic order.
+pub fn combinations(n: usize, t: usize) -> Combinations {
+    Combinations {
+        n,
+        t,
+        current: (0..t).collect(),
+        done: t > n,
+        first: true,
+    }
+}
+
+/// See [`combinations`].
+pub struct Combinations {
+    n: usize,
+    t: usize,
+    current: Vec<usize>,
+    done: bool,
+    first: bool,
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            return Some(self.current.clone());
+        }
+        // Find the rightmost element that can be incremented.
+        let t = self.t;
+        if t == 0 {
+            self.done = true;
+            return None;
+        }
+        let mut i = t;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.current[i] < self.n - (t - i) {
+                self.current[i] += 1;
+                for j in i + 1..t {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                return Some(self.current.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_topology::{Hypercube, Torus};
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        assert_eq!(combinations(5, 2).count(), 10);
+        assert_eq!(combinations(6, 3).count(), 20);
+        assert_eq!(combinations(4, 0).count(), 1);
+        assert_eq!(combinations(4, 4).count(), 1);
+        assert_eq!(combinations(3, 4).count(), 0);
+    }
+
+    #[test]
+    fn combinations_are_unique_and_sorted() {
+        let all: Vec<Vec<usize>> = combinations(6, 3).collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn ring_min_cut_is_two_for_any_interval_size() {
+        let ring = Torus::new(vec![8]);
+        for t in 1..=4 {
+            let (_, cut) = exact_min_cut(&ring, t);
+            assert_eq!(cut, 2, "a contiguous arc of a ring has cut 2");
+        }
+    }
+
+    #[test]
+    fn hypercube_min_cut_matches_subcubes() {
+        // In Q_3, the best 4-node subset is a 2-dimensional subcube with cut 4.
+        let q3 = Hypercube::new(3);
+        let (subset, cut) = exact_min_cut(&q3, 4);
+        assert_eq!(cut, 4);
+        assert_eq!(subset.len(), 4);
+    }
+
+    #[test]
+    fn weighted_cut_prefers_cheap_dimensions() {
+        // Torus 4x2 with expensive links in dimension 0. The best 4-node
+        // subset is the 4x1 slab, which cuts only the cheap length-2
+        // dimension (two parallel links per column, 4 columns, capacity 1).
+        let torus = Torus::with_capacities(vec![4, 2], vec![10.0, 1.0]);
+        let (_, cut) = exact_min_cut_capacity(&torus, 4);
+        let slab_wrapping_dim1 = torus.cuboid_cut_capacity(&[2, 2]); // cuts dim0: 2*2*10 = 40
+        let slab_wrapping_dim0 = torus.cuboid_cut_capacity(&[4, 1]); // cuts dim1: 2*4*1 = 8
+        assert!(cut <= slab_wrapping_dim1 + 1e-9);
+        assert!(cut <= slab_wrapping_dim0 + 1e-9);
+        assert!((cut - 8.0).abs() < 1e-9);
+        assert!((slab_wrapping_dim0 - 8.0).abs() < 1e-9);
+        assert!((slab_wrapping_dim1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_cut_never_below_theorem_bound_on_small_tori() {
+        let dims = vec![4, 2, 2];
+        let torus = Torus::new(dims.clone());
+        let n = torus.num_nodes();
+        for t in 1..=n / 2 {
+            let (_, cut) = exact_min_cut(&torus, t);
+            let bound = crate::bound::general_torus_bound(&dims, t as u64);
+            // Theorem 3.1 is stated for cuboids; the paper conjectures it for
+            // arbitrary subsets. On these small instances the conjecture
+            // holds, which we verify here.
+            assert!(
+                bound <= cut as f64 + 1e-6,
+                "t={t}: bound {bound} exceeds exact optimum {cut}"
+            );
+        }
+    }
+}

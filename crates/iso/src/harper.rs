@@ -1,0 +1,121 @@
+//! Harper's exact solution of the edge-isoperimetric problem on hypercubes.
+//!
+//! Harper (1964) showed that initial segments of the binary counting order
+//! minimize the edge boundary among all subsets of the same size in `Q_d`.
+//! The cut size of such a segment satisfies a simple two-copy recursion,
+//! implemented here in closed form; the paper uses this result both as the
+//! base case of Lemma 3.2 (tori with all extents equal to 2) and for the
+//! analysis of hypercube-based machines such as Pleiades.
+
+/// Vertices of the optimal (Harper) subset of size `t` in `Q_d`: the initial
+/// segment `0..t` of the binary counting order.
+///
+/// # Panics
+/// Panics if `t > 2^d`.
+pub fn harper_initial_segment(d: u32, t: u64) -> Vec<usize> {
+    let n = 1u64 << d;
+    assert!(t <= n, "subset size {t} exceeds 2^{d}");
+    (0..t as usize).collect()
+}
+
+/// The exact minimum edge boundary of a `t`-vertex subset of the hypercube
+/// `Q_d` (attained by [`harper_initial_segment`]).
+///
+/// Recursion over the two `Q_{d-1}` halves: if the segment fits in the lower
+/// half it keeps its `t` matching edges to the upper half; otherwise the
+/// lower half is full and only the unmatched part of the upper half cuts
+/// matching edges.
+///
+/// # Panics
+/// Panics if `t > 2^d`.
+pub fn harper_cut(d: u32, t: u64) -> u64 {
+    let n = 1u64 << d;
+    assert!(t <= n, "subset size {t} exceeds 2^{d}");
+    if t == 0 || t == n {
+        return 0;
+    }
+    let half = n / 2;
+    if t <= half {
+        harper_cut(d - 1, t) + t
+    } else {
+        harper_cut(d - 1, t - half) + (n - t)
+    }
+}
+
+/// The bisection bandwidth of `Q_d` in links: `2^{d-1}`.
+pub fn hypercube_bisection(d: u32) -> u64 {
+    if d == 0 {
+        0
+    } else {
+        1u64 << (d - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_min_cut;
+    use netpart_topology::{indicator, Hypercube, Topology};
+
+    #[test]
+    fn closed_form_matches_explicit_counting() {
+        for d in 1..=4u32 {
+            let q = Hypercube::new(d);
+            for t in 0..=q.num_nodes() as u64 {
+                let segment = harper_initial_segment(d, t);
+                let ind = indicator(q.num_nodes(), &segment);
+                assert_eq!(
+                    harper_cut(d, t),
+                    q.cut_size(&ind) as u64,
+                    "d={d}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harper_segments_are_optimal_on_small_cubes() {
+        for d in 1..=4u32 {
+            let q = Hypercube::new(d);
+            for t in 1..=q.num_nodes() / 2 {
+                let (_, optimal) = exact_min_cut(&q, t);
+                assert_eq!(
+                    harper_cut(d, t as u64),
+                    optimal as u64,
+                    "d={d}, t={t}: Harper segment should be optimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subcube_sizes_have_subcube_cuts() {
+        // A k-dimensional subcube of Q_d has cut 2^k * (d - k).
+        for d in 2..=6u32 {
+            for k in 0..=d {
+                let t = 1u64 << k;
+                if t <= (1u64 << d) / 2 || k == d {
+                    assert_eq!(harper_cut(d, t), t * (d - k) as u64, "d={d}, k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_is_half_the_nodes() {
+        assert_eq!(hypercube_bisection(0), 0);
+        assert_eq!(hypercube_bisection(1), 1);
+        assert_eq!(hypercube_bisection(10), 512);
+        assert_eq!(harper_cut(10, 512), 512);
+    }
+
+    #[test]
+    fn cut_is_symmetric_in_t() {
+        // |E(S, S_bar)| = |E(S_bar, S)|: cut(t) == cut(2^d - t).
+        let d = 6u32;
+        let n = 1u64 << d;
+        for t in 0..=n {
+            assert_eq!(harper_cut(d, t), harper_cut(d, n - t));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Lindsey's exact solution for Cartesian products of cliques (HyperX).
+//!
+//! Lindsey (1964) solved the edge-isoperimetric problem on products of
+//! cliques `K_{a_1} x ... x K_{a_D}`: optimal subsets are initial segments of
+//! the order that fills the *largest* clique first (equivalently, the
+//! lexicographic order whose most significant coordinate is the smallest
+//! clique). The paper uses this to apply its partition analysis to regular
+//! HyperX networks, whose network graphs are exactly such products.
+
+/// Coordinates of the Lindsey-optimal subset of size `t` in
+/// `K_{a_1} x ... x K_{a_D}` (coordinates are reported in the *original*
+/// dimension order of `dims`).
+///
+/// # Panics
+/// Panics if `t` exceeds the number of vertices or `dims` is empty.
+pub fn lindsey_initial_segment(dims: &[usize], t: u64) -> Vec<Vec<usize>> {
+    let n: u64 = validate(dims, t);
+    let _ = n;
+    // Fill order: most significant coordinate = smallest clique, least
+    // significant (fastest varying) = largest clique.
+    let mut order: Vec<usize> = (0..dims.len()).collect();
+    order.sort_by_key(|&i| dims[i]); // ascending: smallest first (most significant)
+    let ordered_dims: Vec<usize> = order.iter().map(|&i| dims[i]).collect();
+    let mut out = Vec::with_capacity(t as usize);
+    for rank in 0..t {
+        let mut rest = rank;
+        let mut coord_ordered = vec![0usize; dims.len()];
+        for i in (0..ordered_dims.len()).rev() {
+            coord_ordered[i] = (rest % ordered_dims[i] as u64) as usize;
+            rest /= ordered_dims[i] as u64;
+        }
+        // Scatter back to the original dimension order.
+        let mut coord = vec![0usize; dims.len()];
+        for (pos, &dim_index) in order.iter().enumerate() {
+            coord[dim_index] = coord_ordered[pos];
+        }
+        out.push(coord);
+    }
+    out
+}
+
+/// The exact minimum edge boundary of a `t`-vertex subset of
+/// `K_{a_1} x ... x K_{a_D}` (attained by [`lindsey_initial_segment`]),
+/// assuming unit link capacities.
+///
+/// Computed by the block recursion over the most significant (smallest)
+/// clique: with block size `B = N / a_min`, `q = t / B` full blocks and
+/// `rem = t % B` extra vertices, the clique edges contribute
+/// `(B - rem)·q·(a_min - q) + rem·(q+1)·(a_min - q - 1)` and the partial
+/// block recurses on the remaining dimensions.
+///
+/// # Panics
+/// Panics if `t` exceeds the number of vertices or `dims` is empty.
+pub fn lindsey_cut(dims: &[usize], t: u64) -> u64 {
+    validate(dims, t);
+    let mut sorted = dims.to_vec();
+    sorted.sort_unstable(); // ascending; index 0 = most significant
+    cut_recursive(&sorted, t)
+}
+
+fn cut_recursive(sorted_ascending: &[usize], t: u64) -> u64 {
+    if t == 0 {
+        return 0;
+    }
+    if sorted_ascending.len() == 1 {
+        let a = sorted_ascending[0] as u64;
+        return t * (a - t);
+    }
+    let m = sorted_ascending[0] as u64;
+    let rest = &sorted_ascending[1..];
+    let block: u64 = rest.iter().map(|&a| a as u64).product();
+    let q = t / block;
+    let rem = t % block;
+    let clique_edges = (block - rem) * q * (m - q) + rem * (q + 1) * (m.saturating_sub(q + 1));
+    clique_edges + cut_recursive(rest, rem)
+}
+
+/// Bisection bandwidth of a HyperX `K_{a_1} x ... x K_{a_D}` with
+/// per-dimension link capacities: following Ahn et al., the bisection is
+/// attained by halving a single clique `K_i` and keeping every other
+/// dimension whole, giving `⌈a_i/2⌉·⌊a_i/2⌋ · (N / a_i) · c_i`; the bisection
+/// is the minimum over `i`.
+pub fn hyperx_bisection(dims: &[usize], capacities: &[f64]) -> f64 {
+    assert_eq!(dims.len(), capacities.len());
+    assert!(!dims.is_empty());
+    let n: u64 = dims.iter().map(|&a| a as u64).product();
+    dims.iter()
+        .zip(capacities)
+        .map(|(&a, &c)| {
+            let a = a as u64;
+            let half_lo = a / 2;
+            let half_hi = a - half_lo;
+            (half_lo * half_hi * (n / a)) as f64 * c
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn validate(dims: &[usize], t: u64) -> u64 {
+    assert!(!dims.is_empty(), "product of cliques needs at least one factor");
+    assert!(dims.iter().all(|&a| a >= 1), "clique sizes must be >= 1");
+    let n: u64 = dims.iter().map(|&a| a as u64).product();
+    assert!(t <= n, "subset size {t} exceeds vertex count {n}");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_min_cut;
+    use netpart_topology::{indicator, HyperX, Topology};
+
+    #[test]
+    fn closed_form_matches_explicit_counting() {
+        for dims in [vec![3, 2], vec![4, 3], vec![2, 2, 3], vec![5, 2]] {
+            let hx = HyperX::regular(dims.clone());
+            let n = hx.num_nodes() as u64;
+            for t in 0..=n {
+                let coords = lindsey_initial_segment(&dims, t);
+                let nodes: Vec<usize> = coords.iter().map(|c| hx.index_of(c)).collect();
+                let ind = indicator(hx.num_nodes(), &nodes);
+                assert_eq!(
+                    lindsey_cut(&dims, t),
+                    hx.cut_size(&ind) as u64,
+                    "dims {dims:?}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lindsey_segments_are_optimal_on_small_products() {
+        for dims in [vec![3, 2], vec![4, 3], vec![2, 2, 3]] {
+            let hx = HyperX::regular(dims.clone());
+            let n = hx.num_nodes();
+            for t in 1..=n / 2 {
+                let (_, optimal) = exact_min_cut(&hx, t);
+                assert_eq!(
+                    lindsey_cut(&dims, t as u64),
+                    optimal as u64,
+                    "dims {dims:?}, t={t}: Lindsey segment should be optimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_clique_cut_is_t_times_complement() {
+        assert_eq!(lindsey_cut(&[7], 3), 3 * 4);
+        assert_eq!(lindsey_cut(&[7], 0), 0);
+        assert_eq!(lindsey_cut(&[7], 7), 0);
+    }
+
+    #[test]
+    fn hyperx_bisection_halves_the_smallest_effective_dimension() {
+        // Regular K4 x K4: halving either clique gives 2*2*4 = 16.
+        assert_eq!(hyperx_bisection(&[4, 4], &[1.0, 1.0]), 16.0);
+        // K8 x K2: halving K2 gives 1*1*8 = 8; halving K8 gives 4*4*2 = 32.
+        assert_eq!(hyperx_bisection(&[8, 2], &[1.0, 1.0]), 8.0);
+        // Heterogeneous capacities can shift the choice: make the K2 links
+        // expensive enough and halving K8 becomes cheaper.
+        assert_eq!(hyperx_bisection(&[8, 2], &[1.0, 5.0]), 32.0);
+    }
+
+    #[test]
+    fn bisection_matches_lindsey_cut_at_half_for_regular_hyperx() {
+        for dims in [vec![4, 4], vec![4, 3, 2], vec![6, 2]] {
+            let n: u64 = dims.iter().map(|&a| a as u64).product();
+            if n % 2 == 0 {
+                let caps = vec![1.0; dims.len()];
+                assert_eq!(
+                    hyperx_bisection(&dims, &caps),
+                    lindsey_cut(&dims, n / 2) as f64,
+                    "dims {dims:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_has_requested_size_and_unique_vertices() {
+        let dims = vec![4, 3, 2];
+        let coords = lindsey_initial_segment(&dims, 13);
+        assert_eq!(coords.len(), 13);
+        let mut dedup = coords.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 13);
+        for c in &coords {
+            for (ci, ai) in c.iter().zip(&dims) {
+                assert!(ci < ai);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Weighted edge-isoperimetric analysis.
+//!
+//! Some topologies discussed in Section 5 have links of unequal capacity:
+//! low-dimensional tori built from heterogeneous cables (Cray XK7), the
+//! intra-group `K_6` links of a Cray XC Dragonfly (capacity 3 relative to the
+//! `K_16` links) and its inter-group links (capacity 4). For those networks
+//! the quantity of interest is the minimum cut *capacity* rather than the
+//! minimum number of cut links; this module provides the weighted variants
+//! used by the analysis and reporting layers.
+
+use netpart_topology::{indicator, Dragonfly, Torus, Topology};
+
+use crate::cuboid::enumerate_cuboid_extents;
+
+/// Minimum-capacity cuboid of volume `t` inside a torus with per-dimension
+/// link capacities. Returns `(extent, cut_capacity)`, or `None` when no
+/// cuboid of that volume fits.
+pub fn weighted_min_cut_cuboid(dims: &[usize], capacities: &[f64], t: u64) -> Option<(Vec<usize>, f64)> {
+    assert_eq!(dims.len(), capacities.len());
+    let torus = Torus::with_capacities(dims.to_vec(), capacities.to_vec());
+    enumerate_cuboid_extents(dims, t)
+        .into_iter()
+        .map(|extent| {
+            let cut = torus.cuboid_cut_capacity(&extent);
+            (extent, cut)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite capacities"))
+}
+
+/// Bisection capacity of a weighted torus, over axis-aligned half slabs.
+///
+/// # Panics
+/// Panics if no dimension has an even extent.
+pub fn weighted_torus_bisection(dims: &[usize], capacities: &[f64]) -> f64 {
+    assert_eq!(dims.len(), capacities.len());
+    let n: u64 = dims.iter().map(|&a| a as u64).product();
+    dims.iter()
+        .zip(capacities)
+        .filter(|&(&a, _)| a >= 2 && a % 2 == 0)
+        .map(|(&a, &c)| 2.0 * (n / a as u64) as f64 * c)
+        .fold(f64::NAN, f64::min)
+        .pipe_assert_finite()
+}
+
+/// Capacity of the cut that splits a Dragonfly into two halves at group
+/// granularity (the first `⌈G/2⌉` groups versus the rest). Because all
+/// intra-group links stay inside a side, the cut consists of global links
+/// only; this is the quantity the paper's method needs for Dragonfly-based
+/// allocation analysis.
+pub fn dragonfly_group_bisection(df: &Dragonfly) -> f64 {
+    let groups = df.groups();
+    let routers = df.routers_per_group();
+    let half_groups = groups / 2;
+    let nodes: Vec<usize> = (0..half_groups * routers).collect();
+    let ind = indicator(df.num_nodes(), &nodes);
+    df.cut_capacity(&ind)
+}
+
+trait AssertFinite {
+    fn pipe_assert_finite(self) -> f64;
+}
+
+impl AssertFinite for f64 {
+    fn pipe_assert_finite(self) -> f64 {
+        assert!(
+            self.is_finite(),
+            "torus has no even dimension; no axis-aligned bisection exists"
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_min_cut_capacity;
+    use netpart_topology::GlobalArrangement;
+
+    #[test]
+    fn weighted_bisection_picks_the_cheapest_dimension() {
+        // 8x8 torus; dimension 1 links are 10x more expensive, so the
+        // bisection cuts dimension 0.
+        let bw = weighted_torus_bisection(&[8, 8], &[1.0, 10.0]);
+        assert!((bw - 16.0).abs() < 1e-9);
+        // With unit capacities both dimensions tie at 16.
+        assert!((weighted_torus_bisection(&[8, 8], &[1.0, 1.0]) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_min_cut_cuboid_matches_exhaustive_on_small_instances() {
+        let dims = vec![4, 2, 2];
+        let caps = vec![2.0, 1.0, 0.5];
+        let torus = Torus::with_capacities(dims.clone(), caps.clone());
+        let t = 4u64;
+        let (_, cuboid_cut) = weighted_min_cut_cuboid(&dims, &caps, t).unwrap();
+        let (_, exact_cut) = exact_min_cut_capacity(&torus, t as usize);
+        // The exhaustive optimum ranges over arbitrary subsets, so it can only
+        // be <= the cuboid optimum; here they coincide.
+        assert!(exact_cut <= cuboid_cut + 1e-9);
+        assert!((exact_cut - cuboid_cut).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cray_xk7_style_weighted_torus() {
+        // A 3-D torus with a fat dimension: bisection should use a thin one.
+        let bw = weighted_torus_bisection(&[16, 8, 8], &[4.0, 1.0, 1.0]);
+        // Cutting dim 1: 2 * (1024/8) * 1.0 = 256; dim 0: 2 * 64 * 4 = 512.
+        assert!((bw - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dragonfly_bisection_counts_only_global_links() {
+        let df = Dragonfly::new(4, 2, 2, 1.0, 3.0, 4.0, 3, GlobalArrangement::Relative);
+        let cut = dragonfly_group_bisection(&df);
+        assert!(cut > 0.0);
+        // Every cut link must have capacity that is a multiple of the global
+        // capacity (4.0): intra-group links never cross group boundaries.
+        let per_global = cut / 4.0;
+        assert!((per_global - per_global.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis-aligned bisection")]
+    fn odd_weighted_torus_panics() {
+        let _ = weighted_torus_bisection(&[3, 5], &[1.0, 1.0]);
+    }
+}

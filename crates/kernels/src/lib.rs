@@ -1,0 +1,41 @@
+//! Communication models of the paper's future-work kernels and the
+//! bisection-sensitivity harness built on top of them.
+//!
+//! The paper validates its analysis with a synthetic pairing benchmark and
+//! CAPS matrix multiplication, and predicts in its future-work section that
+//! direct N-body, FFT and tuned classical matrix multiplication would show
+//! the partition-geometry effect even more clearly. This crate provides
+//! those kernels as traffic generators over the simulated MPI layer, plus the
+//! proposed "bisection sensitivity" methodology for scoring how much any
+//! benchmark cares about partition geometry:
+//!
+//! * [`nbody`] — systolic-ring all-pairs N-body step.
+//! * [`fft`] — transpose (all-to-all) phases of a distributed FFT.
+//! * [`summa`] — broadcast phases of SUMMA classical matrix multiplication.
+//! * [`sensitivity`] — run any workload on two equal-sized geometries and
+//!   report the elasticity of its runtime with respect to the bisection.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_kernels::{bisection_sensitivity, Workload};
+//!
+//! // Compare a ring-shaped and a balanced 64-node partition.
+//! let workload = Workload::BisectionPairing { gigabytes: 0.25 };
+//! let report = bisection_sensitivity(&workload, &[8, 4, 2], &[4, 4, 4]);
+//! assert_eq!(report.bisection_ratio(), 2.0);
+//! // The pairing benchmark detects essentially the full bisection difference.
+//! assert!(report.sensitivity() > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod nbody;
+pub mod sensitivity;
+pub mod summa;
+
+pub use fft::{run_fft, transpose_phases, FftConfig, FftResult};
+pub use nbody::{ring_step_phase, run_nbody_step, NBodyConfig, NBodyStepResult};
+pub use sensitivity::{bisection_sensitivity, SensitivityReport, Workload};
+pub use summa::{run_summa, step_phase, SummaConfig, SummaResult};

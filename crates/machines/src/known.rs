@@ -1,0 +1,143 @@
+//! The concrete machines analysed in the paper.
+//!
+//! * **Mira** (Argonne): 49,152 nodes, 4 x 4 x 3 x 2 midplanes, scheduler
+//!   restricted to a predefined list of partitions (Table 6).
+//! * **JUQUEEN** (Jülich): 28,672 nodes, 7 x 2 x 2 x 2 midplanes, scheduler
+//!   accepts any cuboid of midplanes that fits (Table 7).
+//! * **Sequoia** (LLNL): 98,304 nodes, 4 x 4 x 4 x 3 midplanes; analysis
+//!   only (the machine moved to classified work in 2013).
+//! * **JUQUEEN-48** and **JUQUEEN-54**: the hypothetical better-balanced
+//!   machines of Section 5 (Figure 7, Table 5).
+
+use crate::bgq::BlueGeneQ;
+use crate::partition::PartitionGeometry;
+
+/// Mira (Argonne National Laboratory).
+pub fn mira() -> BlueGeneQ {
+    BlueGeneQ::new("Mira", [4, 4, 3, 2])
+}
+
+/// JUQUEEN (Jülich Supercomputing Centre).
+pub fn juqueen() -> BlueGeneQ {
+    BlueGeneQ::new("JUQUEEN", [7, 2, 2, 2])
+}
+
+/// Sequoia (Lawrence Livermore National Laboratory).
+pub fn sequoia() -> BlueGeneQ {
+    BlueGeneQ::new("Sequoia", [4, 4, 4, 3])
+}
+
+/// The hypothetical 48-midplane machine of Section 5 (4 x 3 x 2 x 2).
+pub fn juqueen_48() -> BlueGeneQ {
+    BlueGeneQ::new("JUQUEEN-48", [4, 3, 2, 2])
+}
+
+/// The hypothetical 54-midplane machine of Section 5 (3 x 3 x 3 x 2).
+pub fn juqueen_54() -> BlueGeneQ {
+    BlueGeneQ::new("JUQUEEN-54", [3, 3, 3, 2])
+}
+
+/// Mira's predefined scheduler partitions (Table 6, "current geometry"),
+/// as `(midplane count, geometry)` pairs in increasing size order.
+pub fn mira_scheduler_partitions() -> Vec<(usize, PartitionGeometry)> {
+    [
+        (1, [1, 1, 1, 1]),
+        (2, [2, 1, 1, 1]),
+        (4, [4, 1, 1, 1]),
+        (8, [4, 2, 1, 1]),
+        (16, [4, 4, 1, 1]),
+        (24, [4, 3, 2, 1]),
+        (32, [4, 4, 2, 1]),
+        (48, [4, 4, 3, 1]),
+        (64, [4, 4, 2, 2]),
+        (96, [4, 4, 3, 2]),
+    ]
+    .into_iter()
+    .map(|(m, dims)| (m, PartitionGeometry::new(dims)))
+    .collect()
+}
+
+/// The proposed replacement geometries from Table 1 / Table 6 ("new
+/// geometry"), for the sizes where the paper proposes an improvement.
+pub fn mira_proposed_partitions() -> Vec<(usize, PartitionGeometry)> {
+    [
+        (4, [2, 2, 1, 1]),
+        (8, [2, 2, 2, 1]),
+        (16, [2, 2, 2, 2]),
+        (24, [3, 2, 2, 2]),
+    ]
+    .into_iter()
+    .map(|(m, dims)| (m, PartitionGeometry::new(dims)))
+    .collect()
+}
+
+/// All machines the paper discusses, in presentation order.
+pub fn all_machines() -> Vec<BlueGeneQ> {
+    vec![mira(), juqueen(), sequoia(), juqueen_48(), juqueen_54()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_sizes_match_the_paper() {
+        assert_eq!(mira().num_nodes(), 49152);
+        assert_eq!(juqueen().num_nodes(), 28672);
+        assert_eq!(sequoia().num_nodes(), 98304);
+        assert_eq!(juqueen_48().num_midplanes(), 48);
+        assert_eq!(juqueen_54().num_midplanes(), 54);
+    }
+
+    #[test]
+    fn sequoia_network_size() {
+        assert_eq!(sequoia().node_dims(), [16, 16, 16, 12, 2]);
+        assert_eq!(sequoia().bisection_links(), 12288);
+    }
+
+    #[test]
+    fn hypothetical_machines_are_subgraphs_of_mira() {
+        // Section 5: both hypothetical machines fit inside Mira's network, so
+        // their physical construction is feasible.
+        let mira = mira();
+        assert!(mira.admits(&juqueen_48().as_partition()));
+        assert!(mira.admits(&juqueen_54().as_partition()));
+    }
+
+    #[test]
+    fn mira_scheduler_partitions_are_valid_and_sized_correctly() {
+        let mira = mira();
+        for (midplanes, geometry) in mira_scheduler_partitions() {
+            assert_eq!(geometry.num_midplanes(), midplanes);
+            assert!(mira.admits(&geometry), "scheduler geometry {geometry} must fit");
+        }
+    }
+
+    #[test]
+    fn proposed_partitions_strictly_improve_bisection() {
+        let current: std::collections::BTreeMap<usize, PartitionGeometry> =
+            mira_scheduler_partitions().into_iter().collect();
+        for (midplanes, proposed) in mira_proposed_partitions() {
+            let cur = current[&midplanes];
+            assert!(proposed.dominates(&cur), "{proposed} should dominate {cur}");
+            assert!(
+                proposed.bisection_links() > cur.bisection_links(),
+                "size {midplanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_bisection_improvements() {
+        // Table 1 rows: (midplanes, current BW, proposed BW).
+        let expected = [(4usize, 256u64, 512u64), (8, 512, 1024), (16, 1024, 2048), (24, 1536, 2048)];
+        let current: std::collections::BTreeMap<usize, PartitionGeometry> =
+            mira_scheduler_partitions().into_iter().collect();
+        let proposed: std::collections::BTreeMap<usize, PartitionGeometry> =
+            mira_proposed_partitions().into_iter().collect();
+        for (m, cur_bw, new_bw) in expected {
+            assert_eq!(current[&m].bisection_links(), cur_bw, "current, {m} midplanes");
+            assert_eq!(proposed[&m].bisection_links(), new_bw, "proposed, {m} midplanes");
+        }
+    }
+}

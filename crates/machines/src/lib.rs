@@ -1,0 +1,45 @@
+//! Blue Gene/Q machine models and allocation policies.
+//!
+//! This crate describes the systems the paper analyses — Mira, JUQUEEN,
+//! Sequoia, and the hypothetical JUQUEEN-48 / JUQUEEN-54 machines — at the
+//! granularity the allocation layer works with: cuboids of 512-node
+//! midplanes.
+//!
+//! * [`midplane`] — the 4 x 4 x 4 x 4 x 2 midplane building block and
+//!   Blue Gene/Q link constants.
+//! * [`partition`] — canonical partition geometries, their node-level torus
+//!   dimensions and internal bisection bandwidth, and enumeration of every
+//!   geometry of a given size that fits a machine.
+//! * [`bgq`] — the machine type itself.
+//! * [`known`] — the concrete machines and Mira's predefined partition list.
+//! * [`allocation`] — predefined vs flexible allocation policies and the
+//!   best/worst geometries a size-only request can receive.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_machines::{known, partition::PartitionGeometry};
+//!
+//! let mira = known::mira();
+//! assert_eq!(mira.num_nodes(), 49152);
+//!
+//! // The paper's headline example: a 4-midplane allocation.
+//! let current = PartitionGeometry::new([4, 1, 1, 1]);
+//! let proposed = PartitionGeometry::new([2, 2, 1, 1]);
+//! assert!(mira.admits(&current) && mira.admits(&proposed));
+//! assert_eq!(current.bisection_links(), 256);
+//! assert_eq!(proposed.bisection_links(), 512);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod bgq;
+pub mod known;
+pub mod midplane;
+pub mod partition;
+
+pub use allocation::{AllocationPolicy, AllocationSystem};
+pub use bgq::BlueGeneQ;
+pub use midplane::{LINK_BANDWIDTH_GB_PER_S, MIDPLANE_DIMS, NODES_PER_MIDPLANE};
+pub use partition::{enumerate_geometries, PartitionGeometry};

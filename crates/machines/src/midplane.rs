@@ -1,0 +1,71 @@
+//! The Blue Gene/Q midplane: the allocation unit of every machine we model.
+//!
+//! A midplane is a physical arrangement of 512 compute nodes internally
+//! connected as a 4 x 4 x 4 x 4 x 2 torus; the length-2 "E" dimension is
+//! internal to the midplane and never exposed to the allocation layer. A
+//! physical rack holds two midplanes. All partitions considered in the paper
+//! are cuboids of whole midplanes, so machine and partition geometries are
+//! expressed in midplane units and converted to node-level dimensions here.
+
+use netpart_topology::Torus;
+
+/// Node-level extents of one midplane.
+pub const MIDPLANE_DIMS: [usize; 5] = [4, 4, 4, 4, 2];
+
+/// Compute nodes per midplane.
+pub const NODES_PER_MIDPLANE: usize = 512;
+
+/// Midplanes per physical rack.
+pub const MIDPLANES_PER_RACK: usize = 2;
+
+/// Node-level extent of each midplane-level dimension (the four allocatable
+/// dimensions are 4 nodes long per midplane).
+pub const NODES_PER_MIDPLANE_DIM: usize = 4;
+
+/// Capacity of a single Blue Gene/Q link in gigabytes per second per
+/// direction (Chen et al., SC'12).
+pub const LINK_BANDWIDTH_GB_PER_S: f64 = 2.0;
+
+/// The torus network of a single midplane.
+pub fn midplane_torus() -> Torus {
+    Torus::new(MIDPLANE_DIMS.to_vec())
+}
+
+/// Node-level dimensions of a cuboid of midplanes with the given
+/// midplane-level extents (the four allocatable dimensions scale by 4, and
+/// the internal length-2 dimension is appended).
+pub fn node_dims(midplane_dims: &[usize; 4]) -> [usize; 5] {
+    [
+        midplane_dims[0] * NODES_PER_MIDPLANE_DIM,
+        midplane_dims[1] * NODES_PER_MIDPLANE_DIM,
+        midplane_dims[2] * NODES_PER_MIDPLANE_DIM,
+        midplane_dims[3] * NODES_PER_MIDPLANE_DIM,
+        2,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_topology::Topology;
+
+    #[test]
+    fn midplane_has_512_nodes_with_10_links_each() {
+        let torus = midplane_torus();
+        assert_eq!(torus.num_nodes(), NODES_PER_MIDPLANE);
+        assert_eq!(torus.degree(0), 10);
+        assert!(torus.is_regular());
+    }
+
+    #[test]
+    fn node_dims_scale_allocatable_dimensions_by_four() {
+        assert_eq!(node_dims(&[4, 4, 3, 2]), [16, 16, 12, 8, 2]);
+        assert_eq!(node_dims(&[1, 1, 1, 1]), MIDPLANE_DIMS);
+        assert_eq!(node_dims(&[7, 2, 2, 2]), [28, 8, 8, 8, 2]);
+    }
+
+    #[test]
+    fn midplane_bisection_is_256_links() {
+        assert_eq!(netpart_iso::torus_bisection_links(&MIDPLANE_DIMS), 256);
+    }
+}

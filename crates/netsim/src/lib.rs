@@ -1,0 +1,45 @@
+//! Flow-level simulator of torus interconnects.
+//!
+//! This crate stands in for the Blue Gene/Q hardware the paper's experiments
+//! ran on. It models a partition's network as a set of directed channels
+//! (2 GB/s per direction per link), routes messages with dimension-ordered
+//! routing, and shares channel bandwidth max–min fairly among concurrent
+//! messages. That is exactly the level of detail needed to reproduce the
+//! paper's contention effects: which links traffic crosses, and how many
+//! flows share the bottleneck links.
+//!
+//! * [`network`] — the channel-level torus network.
+//! * [`routing`] — dimension-ordered routing with configurable tie-breaking.
+//! * [`flow`] — the max–min fair fluid simulation.
+//! * [`traffic`] — traffic patterns, including the Section 4.1
+//!   bisection-pairing benchmark.
+//! * [`stats`] — link-load diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_netsim::{FlowSim, PingPongPlan, TorusNetwork, traffic};
+//!
+//! // Two geometries of the same 4-midplane (2048 node) allocation:
+//! let current = TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]);
+//! let proposed = TorusNetwork::bgq_partition(&[8, 8, 4, 4, 2]);
+//! let sim = FlowSim::default();
+//! let plan = PingPongPlan::paper_default();
+//! let a = traffic::run_bisection_pairing(&current, plan, &sim);
+//! let b = traffic::run_bisection_pairing(&proposed, plan, &sim);
+//! assert!(a.total_time > 1.8 * b.total_time, "geometry change ~halves the time");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod network;
+pub mod routing;
+pub mod stats;
+pub mod traffic;
+
+pub use flow::{Flow, FlowSim, FlowSimResult};
+pub use network::{Channel, ChannelId, TorusNetwork};
+pub use routing::{DimensionOrdered, TieBreak};
+pub use stats::{load_stats, LoadStats};
+pub use traffic::{bisection_pairs, pairwise_exchange_flows, run_bisection_pairing, PingPongPlan, PingPongResult};

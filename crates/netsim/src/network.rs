@@ -1,0 +1,196 @@
+//! Torus network model with directed channels.
+//!
+//! The simulator works at the granularity of *directed channels*: every
+//! physical bidirectional link of the torus contributes two channels, one per
+//! direction, each with the full per-direction bandwidth (2 GB/s on
+//! Blue Gene/Q). Traffic flowing in opposite directions over the same cable
+//! therefore does not contend, exactly as on the real hardware.
+//!
+//! Length-2 dimensions have two parallel cables between the same node pair
+//! (the `+` and `-` wrap-around links); they are modelled as distinct links,
+//! and dimension-ordered routing naturally uses the `+` cable for `+1` hops
+//! and the `-` cable for `-1` hops.
+
+use netpart_topology::Torus;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a directed channel (see [`TorusNetwork::num_channels`]).
+pub type ChannelId = usize;
+
+/// A physical unidirectional channel of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Source node of the channel.
+    pub from: usize,
+    /// Destination node of the channel.
+    pub to: usize,
+    /// Torus dimension the channel travels along.
+    pub dim: usize,
+    /// `+1` or `-1`: the direction of travel along the dimension.
+    pub direction: i8,
+    /// Bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// A torus network with directed channels and O(1) hop-to-channel lookup.
+#[derive(Debug, Clone)]
+pub struct TorusNetwork {
+    torus: Torus,
+    channels: Vec<Channel>,
+    /// `hop_channel[node * ndim * 2 + dim * 2 + dir_bit]` is the channel for
+    /// the hop leaving `node` along `dim` in direction `+1` (`dir_bit = 0`)
+    /// or `-1` (`dir_bit = 1`); `usize::MAX` when the dimension has length 1.
+    hop_channel: Vec<usize>,
+}
+
+impl TorusNetwork {
+    /// Build the network for a torus, giving every channel the same
+    /// bandwidth (GB/s per direction).
+    pub fn new(torus: Torus, bandwidth_gbs: f64) -> Self {
+        assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
+        let ndim = torus.ndim();
+        let n = netpart_topology::coord::volume(torus.dims());
+        let mut channels = Vec::new();
+        let mut hop_channel = vec![usize::MAX; n * ndim * 2];
+        for node in 0..n {
+            let coord = torus.coord_of(node);
+            for (d, &a) in torus.dims().iter().enumerate() {
+                if a < 2 {
+                    continue;
+                }
+                for (dir_bit, step) in [(0usize, 1usize), (1, a - 1)] {
+                    let mut next = coord.clone();
+                    next[d] = (coord[d] + step) % a;
+                    let to = torus.index_of(&next);
+                    let id = channels.len();
+                    channels.push(Channel {
+                        from: node,
+                        to,
+                        dim: d,
+                        direction: if dir_bit == 0 { 1 } else { -1 },
+                        bandwidth_gbs: bandwidth_gbs * torus.capacities()[d],
+                    });
+                    hop_channel[node * ndim * 2 + d * 2 + dir_bit] = id;
+                }
+            }
+        }
+        Self {
+            torus,
+            channels,
+            hop_channel,
+        }
+    }
+
+    /// Build the network of a Blue Gene/Q partition with the standard 2 GB/s
+    /// per-direction link bandwidth.
+    pub fn bgq_partition(node_dims: &[usize]) -> Self {
+        Self::new(Torus::new(node_dims.to_vec()), 2.0)
+    }
+
+    /// The underlying torus.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        netpart_topology::coord::volume(self.torus.dims())
+    }
+
+    /// Number of directed channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// All channels, indexed by [`ChannelId`].
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The channel taken when leaving `node` along `dim` in `direction`
+    /// (`+1` or `-1`).
+    ///
+    /// # Panics
+    /// Panics if the dimension has length 1 (no channel exists) or the
+    /// direction is not `±1`.
+    pub fn hop_channel(&self, node: usize, dim: usize, direction: i8) -> ChannelId {
+        let dir_bit = match direction {
+            1 => 0,
+            -1 => 1,
+            other => panic!("direction must be +1 or -1, got {other}"),
+        };
+        let ndim = self.torus.ndim();
+        let id = self.hop_channel[node * ndim * 2 + dim * 2 + dir_bit];
+        assert!(id != usize::MAX, "dimension {dim} has no channels");
+        id
+    }
+
+    /// Aggregate one-directional capacity (GB/s) crossing the bisection of
+    /// the partition, for reference against the link-count formula.
+    pub fn bisection_capacity_gbs(&self) -> f64 {
+        let links = netpart_iso::torus_bisection_links(self.torus.dims());
+        links as f64 * self.channels.first().map_or(0.0, |c| c.bandwidth_gbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_counts_match_link_counts() {
+        // Each undirected link yields exactly two directed channels.
+        use netpart_topology::Topology;
+        for dims in [vec![4, 4], vec![4, 2, 2], vec![4, 4, 4, 4, 2]] {
+            let torus = Torus::new(dims.clone());
+            let links = torus.num_links();
+            let net = TorusNetwork::new(torus, 2.0);
+            assert_eq!(net.num_channels(), 2 * links, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn hop_lookup_is_consistent_with_channel_endpoints() {
+        let net = TorusNetwork::bgq_partition(&[4, 4, 2]);
+        let torus = net.torus().clone();
+        for node in 0..net.num_nodes() {
+            for dim in 0..3 {
+                for dir in [1i8, -1] {
+                    let id = net.hop_channel(node, dim, dir);
+                    let ch = net.channels()[id];
+                    assert_eq!(ch.from, node);
+                    assert_eq!(ch.dim, dim);
+                    assert_eq!(ch.direction, dir);
+                    let mut coord = torus.coord_of(node);
+                    let a = torus.dims()[dim];
+                    coord[dim] = (coord[dim] + if dir == 1 { 1 } else { a - 1 }) % a;
+                    assert_eq!(ch.to, torus.index_of(&coord));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_two_dimensions_have_two_distinct_cables() {
+        let net = TorusNetwork::bgq_partition(&[4, 2]);
+        let plus = net.hop_channel(0, 1, 1);
+        let minus = net.hop_channel(0, 1, -1);
+        assert_ne!(plus, minus, "the +1 and -1 cables are distinct hardware");
+        assert_eq!(net.channels()[plus].to, net.channels()[minus].to);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no channels")]
+    fn degenerate_dimension_has_no_channel() {
+        let net = TorusNetwork::bgq_partition(&[4, 1]);
+        let _ = net.hop_channel(0, 1, 1);
+    }
+
+    #[test]
+    fn bgq_partition_channel_bandwidth_is_two_gbs() {
+        let net = TorusNetwork::bgq_partition(&[8, 8, 4, 4, 2]);
+        assert!((net.channels()[0].bandwidth_gbs - 2.0).abs() < 1e-12);
+        // 512 bisection links at 2 GB/s.
+        assert!((net.bisection_capacity_gbs() - 1024.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Routing algorithms.
+//!
+//! Blue Gene/Q uses deterministic dimension-ordered routing for most traffic;
+//! the simulator implements that as its default, always choosing the shorter
+//! wrap-around direction per dimension. When the displacement is exactly half
+//! the dimension length both directions are shortest; the tie-breaking rule
+//! is configurable because it is exactly the effect the paper observes on the
+//! 24-midplane Mira partition ("some of the network links of the size 3
+//! dimension are only utilized in one direction").
+
+use crate::network::{ChannelId, TorusNetwork};
+use netpart_topology::coord::wrap_displacement;
+use serde::{Deserialize, Serialize};
+
+/// How to resolve the direction when both wrap-around directions are equally
+/// short (displacement exactly half the dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TieBreak {
+    /// Always travel in the `+1` direction (the hardware default; leaves the
+    /// `-1` channels idle for antipodal traffic).
+    #[default]
+    Positive,
+    /// Choose by the parity of the source coordinate in that dimension,
+    /// spreading antipodal traffic over both directions.
+    SourceParity,
+    /// Choose by the parity of the source node index (a cheap pseudo-random
+    /// spreading rule).
+    NodeParity,
+}
+
+/// A deterministic routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DimensionOrdered {
+    /// Tie-breaking rule for half-way displacements.
+    pub tie_break: TieBreak,
+    /// Route dimensions from the last to the first instead of first to last.
+    /// (The dimension *order* does not change which channels are used per
+    /// dimension, but it is exposed for ablation completeness.)
+    pub reverse_dimension_order: bool,
+}
+
+impl DimensionOrdered {
+    /// The hardware-default routing: dimension order, positive tie-break.
+    pub fn bgq_default() -> Self {
+        Self::default()
+    }
+
+    /// The sequence of channels a packet from `src` to `dst` traverses.
+    pub fn route(&self, network: &TorusNetwork, src: usize, dst: usize) -> Vec<ChannelId> {
+        let torus = network.torus();
+        let src_coord = torus.coord_of(src);
+        let dst_coord = torus.coord_of(dst);
+        let ndim = torus.ndim();
+        let dims: Vec<usize> = if self.reverse_dimension_order {
+            (0..ndim).rev().collect()
+        } else {
+            (0..ndim).collect()
+        };
+        let mut path = Vec::new();
+        let mut current = src_coord.clone();
+        let mut node = src;
+        for &d in &dims {
+            let a = torus.dims()[d];
+            if a < 2 {
+                continue;
+            }
+            let disp = wrap_displacement(current[d], dst_coord[d], a);
+            if disp == 0 {
+                continue;
+            }
+            let is_tie = a % 2 == 0 && disp.unsigned_abs() == a / 2;
+            let direction: i8 = if is_tie {
+                match self.tie_break {
+                    TieBreak::Positive => 1,
+                    TieBreak::SourceParity => {
+                        if src_coord[d] % 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                    TieBreak::NodeParity => {
+                        if src % 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                }
+            } else if disp > 0 {
+                1
+            } else {
+                -1
+            };
+            for _ in 0..disp.unsigned_abs() {
+                let channel = network.hop_channel(node, d, direction);
+                path.push(channel);
+                node = network.channels()[channel].to;
+                current = torus.coord_of(node);
+            }
+        }
+        debug_assert_eq!(node, dst, "route must terminate at the destination");
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_topology::Torus;
+
+    fn network(dims: &[usize]) -> TorusNetwork {
+        TorusNetwork::new(Torus::new(dims.to_vec()), 2.0)
+    }
+
+    #[test]
+    fn route_length_equals_torus_distance() {
+        let net = network(&[8, 4, 2]);
+        let torus = net.torus().clone();
+        let routing = DimensionOrdered::bgq_default();
+        for src in 0..net.num_nodes() {
+            for dst in [0usize, 5, 17, 63].into_iter().filter(|&d| d < net.num_nodes()) {
+                let path = routing.route(&net, src, dst);
+                assert_eq!(path.len(), torus.distance(src, dst), "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_connected_and_ends_at_destination() {
+        let net = network(&[6, 4]);
+        let routing = DimensionOrdered::bgq_default();
+        let path = routing.route(&net, 1, 20);
+        let mut node = 1;
+        for &c in &path {
+            assert_eq!(net.channels()[c].from, node);
+            node = net.channels()[c].to;
+        }
+        assert_eq!(node, 20);
+    }
+
+    #[test]
+    fn shorter_wrap_direction_is_taken() {
+        let net = network(&[8]);
+        let routing = DimensionOrdered::bgq_default();
+        // 0 -> 6 is 2 hops in the -1 direction, not 6 hops in +1.
+        let path = routing.route(&net, 0, 6);
+        assert_eq!(path.len(), 2);
+        assert!(path.iter().all(|&c| net.channels()[c].direction == -1));
+    }
+
+    #[test]
+    fn positive_tie_break_uses_only_plus_channels() {
+        let net = network(&[8]);
+        let routing = DimensionOrdered {
+            tie_break: TieBreak::Positive,
+            reverse_dimension_order: false,
+        };
+        for src in 0..8 {
+            let dst = (src + 4) % 8;
+            let path = routing.route(&net, src, dst);
+            assert_eq!(path.len(), 4);
+            assert!(path.iter().all(|&c| net.channels()[c].direction == 1));
+        }
+    }
+
+    #[test]
+    fn parity_tie_break_uses_both_directions() {
+        let net = network(&[8]);
+        let routing = DimensionOrdered {
+            tie_break: TieBreak::SourceParity,
+            reverse_dimension_order: false,
+        };
+        let dirs: std::collections::HashSet<i8> = (0..8)
+            .map(|src| {
+                let path = routing.route(&net, src, (src + 4) % 8);
+                net.channels()[path[0]].direction
+            })
+            .collect();
+        assert_eq!(dirs.len(), 2, "antipodal traffic should use both directions");
+    }
+
+    #[test]
+    fn reverse_dimension_order_still_reaches_destination() {
+        let net = network(&[4, 4, 4]);
+        let forward = DimensionOrdered::bgq_default();
+        let reverse = DimensionOrdered {
+            tie_break: TieBreak::Positive,
+            reverse_dimension_order: true,
+        };
+        let a = forward.route(&net, 3, 42);
+        let b = reverse.route(&net, 3, 42);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b, "different dimension orders use different channels");
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let net = network(&[4, 4]);
+        let routing = DimensionOrdered::bgq_default();
+        assert!(routing.route(&net, 7, 7).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Link-load statistics and contention diagnostics.
+//!
+//! These helpers summarise how a traffic pattern stresses a partition:
+//! per-dimension channel loads, the share of traffic crossing the bisection,
+//! and utilization histograms. The figure binaries use them to explain *why*
+//! one geometry beats another, mirroring the discussion in Section 4.
+
+use crate::flow::FlowSimResult;
+use crate::network::TorusNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate channel-load statistics for one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    /// Total gigabytes injected across all channels (sum of per-hop loads).
+    pub total_channel_gb: f64,
+    /// Maximum load on any single channel (GB).
+    pub max_channel_gb: f64,
+    /// Mean load over channels that carried any traffic (GB).
+    pub mean_loaded_channel_gb: f64,
+    /// Fraction of channels that carried no traffic at all.
+    pub idle_channel_fraction: f64,
+    /// Per-dimension total load (GB), indexed by torus dimension.
+    pub per_dimension_gb: Vec<f64>,
+    /// Per-dimension maximum single-channel load (GB).
+    pub per_dimension_max_gb: Vec<f64>,
+}
+
+/// Compute load statistics from a simulation result.
+pub fn load_stats(network: &TorusNetwork, result: &FlowSimResult) -> LoadStats {
+    let ndim = network.torus().ndim();
+    let mut per_dimension_gb = vec![0.0f64; ndim];
+    let mut per_dimension_max_gb = vec![0.0f64; ndim];
+    let mut total = 0.0;
+    let mut max = 0.0f64;
+    let mut loaded = 0usize;
+    let mut loaded_sum = 0.0;
+    for (load, channel) in result.channel_load_gb.iter().zip(network.channels()) {
+        total += load;
+        max = max.max(*load);
+        if *load > 0.0 {
+            loaded += 1;
+            loaded_sum += load;
+        }
+        per_dimension_gb[channel.dim] += load;
+        per_dimension_max_gb[channel.dim] = per_dimension_max_gb[channel.dim].max(*load);
+    }
+    let n = network.num_channels();
+    LoadStats {
+        total_channel_gb: total,
+        max_channel_gb: max,
+        mean_loaded_channel_gb: if loaded > 0 { loaded_sum / loaded as f64 } else { 0.0 },
+        idle_channel_fraction: if n > 0 { (n - loaded) as f64 / n as f64 } else { 0.0 },
+        per_dimension_gb,
+        per_dimension_max_gb,
+    }
+}
+
+impl LoadStats {
+    /// The dimension carrying the highest single-channel load (the
+    /// contention bottleneck).
+    pub fn bottleneck_dimension(&self) -> usize {
+        self.per_dimension_max_gb
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Imbalance factor: max channel load divided by the mean loaded-channel
+    /// load (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_loaded_channel_gb > 0.0 {
+            self.max_channel_gb / self.mean_loaded_channel_gb
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{Flow, FlowSim};
+    use crate::traffic;
+
+    #[test]
+    fn stats_identify_the_long_dimension_as_bottleneck() {
+        // Antipodal traffic on an elongated partition bottlenecks on the
+        // longest dimension (dimension 0).
+        let net = TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]);
+        let sim = FlowSim::default();
+        let pairs = traffic::bisection_pairs(&net);
+        let flows = traffic::pairwise_exchange_flows(&pairs, 1.0);
+        let result = sim.simulate(&net, &flows);
+        let stats = load_stats(&net, &result);
+        assert_eq!(stats.bottleneck_dimension(), 0);
+        assert!(stats.imbalance() >= 1.0);
+        assert!(stats.total_channel_gb > 0.0);
+    }
+
+    #[test]
+    fn idle_fraction_reflects_unused_channels() {
+        let net = TorusNetwork::bgq_partition(&[8, 8]);
+        let sim = FlowSim::default();
+        // A single flow leaves almost every channel idle.
+        let result = sim.simulate(&net, &[Flow { src: 0, dst: 1, gigabytes: 1.0 }]);
+        let stats = load_stats(&net, &result);
+        assert!(stats.idle_channel_fraction > 0.9);
+        assert_eq!(stats.max_channel_gb, 1.0);
+        assert_eq!(stats.mean_loaded_channel_gb, 1.0);
+    }
+
+    #[test]
+    fn per_dimension_loads_sum_to_total() {
+        let net = TorusNetwork::bgq_partition(&[4, 4, 2]);
+        let sim = FlowSim::default();
+        let flows = traffic::pairwise_exchange_flows(&traffic::bisection_pairs(&net), 0.5);
+        let result = sim.simulate(&net, &flows);
+        let stats = load_stats(&net, &result);
+        let dim_sum: f64 = stats.per_dimension_gb.iter().sum();
+        assert!((dim_sum - stats.total_channel_gb).abs() < 1e-9);
+    }
+}

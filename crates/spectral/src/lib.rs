@@ -1,0 +1,46 @@
+//! Spectral approximation of expansion, conductance and bisection.
+//!
+//! The paper's related-work section points to spectral methods (Lee, Oveis
+//! Gharan and Trevisan, JACM 2014) as the way to approximate the small-set
+//! expansion of *arbitrary* network graphs — the quantity that, together with
+//! an algorithm's per-processor communication cost, decides whether a
+//! computation is inevitably contention-bound. This crate provides that
+//! spectral route for every topology in `netpart-topology`:
+//!
+//! * [`laplacian`] — weighted combinatorial and normalized Laplacians in CSR
+//!   form with rayon-parallel matrix–vector products.
+//! * [`eigen`] — a deflated shifted power iteration returning the bottom of
+//!   the spectrum (λ₂, Fiedler vector, first `k` eigenpairs), validated
+//!   against closed-form torus and hypercube spectra.
+//! * [`sweep`] — sweep cuts converting eigenvectors into explicit
+//!   low-expansion vertex sets.
+//! * [`cheeger`] — Cheeger brackets and small-set-expansion certificates.
+//! * [`bisect`] — spectral bisection with the `λ₂·N/4` lower bound, checked
+//!   against the exact `2·N/L` torus formula used throughout the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_spectral::{spectral_bisection, EigenOptions};
+//! use netpart_topology::Torus;
+//!
+//! // A 2 x 1 x 1 x 1 midplane partition at node granularity: 8 x 4 x 4 x 4 x 2.
+//! let partition = Torus::new(vec![8, 4, 4, 4, 2]);
+//! let bisection = spectral_bisection(&partition, EigenOptions::default());
+//! // The Fiedler sweep recovers the closed-form bisection of 2*N/L = 256 links.
+//! assert_eq!(bisection.cut_capacity as u64, 256);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bisect;
+pub mod cheeger;
+pub mod eigen;
+pub mod laplacian;
+pub mod sweep;
+
+pub use bisect::{bisection_gap, spectral_bisection, SpectralBisection};
+pub use cheeger::{approx_small_set_expansion, cheeger_bounds, CheegerBounds, SmallSetCertificate};
+pub use eigen::{fiedler, smallest_nontrivial_eigenpairs, torus_combinatorial_spectrum, EigenOptions, EigenPair};
+pub use laplacian::{CsrMatrix, Laplacian};
+pub use sweep::{prefix_of_size, sweep_cut, SweepCut, SweepObjective};

@@ -1,0 +1,231 @@
+//! Sweep cuts: turning an eigenvector into a low-expansion vertex set.
+//!
+//! Given any vertex embedding `x` (in practice a Fiedler vector or another
+//! low eigenvector), the sweep cut orders vertices by `x_v` and examines every
+//! prefix of that order, returning the prefix with the smallest expansion.
+//! Cheeger's inequality guarantees the Fiedler sweep is within a quadratic
+//! factor of the optimum; on the highly structured torus networks studied in
+//! the paper it recovers the optimal slab cuts exactly, which the integration
+//! tests check against the exact isoperimetric machinery in `netpart-iso`.
+
+use netpart_topology::Topology;
+
+/// The expansion measure minimised by a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepObjective {
+    /// The paper's small-set expansion: `cut / (interior + cut)`, i.e. the
+    /// fraction of a set's incident capacity that leaves the set.
+    Expansion,
+    /// Normalized-cut style conductance: `cut / min(vol(S), vol(V∖S))`.
+    Conductance,
+    /// The raw cut capacity (used for bisection searches at fixed size).
+    CutCapacity,
+}
+
+/// Result of a sweep cut.
+#[derive(Debug, Clone)]
+pub struct SweepCut {
+    /// Nodes of the selected prefix.
+    pub set: Vec<usize>,
+    /// Cut capacity leaving the set.
+    pub cut_capacity: f64,
+    /// Value of the selected objective at the optimum prefix.
+    pub objective_value: f64,
+}
+
+fn volume<T: Topology>(topo: &T, set: &[bool]) -> f64 {
+    let mut vol = 0.0;
+    for v in 0..topo.num_nodes() {
+        if set[v] {
+            for (_, cap) in topo.neighbor_links(v) {
+                vol += cap;
+            }
+        }
+    }
+    vol
+}
+
+/// Sweep the prefixes of the ordering induced by `embedding`, restricted to
+/// prefix sizes in `1..=max_size`, and return the prefix minimising
+/// `objective`.
+///
+/// The sweep maintains the cut incrementally, so the total cost is
+/// `O(E + N log N)` regardless of how many prefixes are inspected.
+///
+/// # Panics
+/// Panics if `embedding.len() != num_nodes`, or `max_size` is zero or larger
+/// than `num_nodes - 1`.
+pub fn sweep_cut<T: Topology>(
+    topo: &T,
+    embedding: &[f64],
+    max_size: usize,
+    objective: SweepObjective,
+) -> SweepCut {
+    let n = topo.num_nodes();
+    assert_eq!(embedding.len(), n, "embedding length mismatch");
+    assert!(max_size >= 1, "sweep needs at least one prefix");
+    assert!(max_size <= n - 1, "a proper cut leaves at least one node outside");
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| embedding[a].total_cmp(&embedding[b]).then(a.cmp(&b)));
+
+    let total_volume = volume(topo, &vec![true; n]);
+    let mut in_set = vec![false; n];
+    let mut cut = 0.0;
+    let mut interior = 0.0;
+    let mut vol = 0.0;
+    let mut best_value = f64::INFINITY;
+    let mut best_prefix = 1;
+    let mut best_cut = f64::INFINITY;
+
+    for (prefix_len, &v) in order.iter().enumerate().take(max_size) {
+        // Adding v: links to nodes already in the set move from cut to
+        // interior; links to outside nodes join the cut.
+        for (u, cap) in topo.neighbor_links(v) {
+            if in_set[u] {
+                cut -= cap;
+                interior += cap;
+            } else {
+                cut += cap;
+            }
+            vol += cap;
+        }
+        in_set[v] = true;
+        let size = prefix_len + 1;
+        let value = match objective {
+            SweepObjective::Expansion => {
+                let denom = interior + cut;
+                if denom <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    cut / denom
+                }
+            }
+            SweepObjective::Conductance => {
+                let denom = vol.min(total_volume - vol);
+                if denom <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    cut / denom
+                }
+            }
+            SweepObjective::CutCapacity => cut,
+        };
+        if value < best_value - 1e-15 {
+            best_value = value;
+            best_prefix = size;
+            best_cut = cut;
+        }
+    }
+
+    SweepCut {
+        set: order[..best_prefix].to_vec(),
+        cut_capacity: best_cut,
+        objective_value: best_value,
+    }
+}
+
+/// Sweep only the single prefix of exactly `size` nodes (useful when the set
+/// size is dictated by the problem, e.g. an exact bisection).
+pub fn prefix_of_size<T: Topology>(topo: &T, embedding: &[f64], size: usize) -> SweepCut {
+    let n = topo.num_nodes();
+    assert_eq!(embedding.len(), n, "embedding length mismatch");
+    assert!(size >= 1 && size < n, "prefix size must be in 1..n");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| embedding[a].total_cmp(&embedding[b]).then(a.cmp(&b)));
+    let set: Vec<usize> = order[..size].to_vec();
+    let ind = netpart_topology::indicator(n, &set);
+    let cut = topo.cut_capacity(&ind);
+    let interior = topo.interior_size(&ind) as f64;
+    let denom = interior + cut;
+    SweepCut {
+        set,
+        cut_capacity: cut,
+        objective_value: if denom > 0.0 { cut / denom } else { f64::INFINITY },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::{fiedler, EigenOptions};
+    use crate::laplacian::Laplacian;
+    use netpart_topology::{indicator, Torus, Topology};
+
+    fn fiedler_embedding(torus: &Torus) -> Vec<f64> {
+        let lap = Laplacian::combinatorial(torus);
+        fiedler(&lap, EigenOptions::default()).vector
+    }
+
+    #[test]
+    fn fiedler_sweep_recovers_ring_bisection() {
+        // On a ring of 8 nodes the optimal bisection cuts exactly 2 links.
+        let torus = Torus::new(vec![8]);
+        let embedding = fiedler_embedding(&torus);
+        let cut = prefix_of_size(&torus, &embedding, 4);
+        assert_eq!(cut.cut_capacity, 2.0);
+        // The chosen half is a contiguous arc.
+        let mut set = cut.set.clone();
+        set.sort_unstable();
+        let ind = indicator(torus.num_nodes(), &set);
+        assert_eq!(torus.cut_size(&ind), 2);
+    }
+
+    #[test]
+    fn fiedler_sweep_recovers_torus_slab_bisection() {
+        // 8 x 4 torus: optimal bisection is a 4 x 4 slab cutting 2 * 4 = 8 links.
+        let torus = Torus::new(vec![8, 4]);
+        let embedding = fiedler_embedding(&torus);
+        let cut = prefix_of_size(&torus, &embedding, 16);
+        assert_eq!(cut.cut_capacity, 8.0);
+    }
+
+    #[test]
+    fn sweep_objective_matches_manual_recount() {
+        let torus = Torus::new(vec![6, 3]);
+        let embedding = fiedler_embedding(&torus);
+        let result = sweep_cut(&torus, &embedding, 9, SweepObjective::Expansion);
+        let ind = indicator(torus.num_nodes(), &result.set);
+        let cut = torus.cut_capacity(&ind);
+        let interior = torus.interior_size(&ind) as f64;
+        assert!((result.cut_capacity - cut).abs() < 1e-9);
+        assert!((result.objective_value - cut / (interior + cut)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_never_exceeds_max_size() {
+        let torus = Torus::new(vec![5, 5]);
+        let embedding = fiedler_embedding(&torus);
+        for max_size in [1, 3, 12] {
+            let result = sweep_cut(&torus, &embedding, max_size, SweepObjective::Expansion);
+            assert!(result.set.len() <= max_size);
+            assert!(!result.set.is_empty());
+        }
+    }
+
+    #[test]
+    fn conductance_and_expansion_agree_on_regular_graph_bisection() {
+        // For a d-regular graph and |S| = N/2, conductance = cut / (d·N/2) and
+        // expansion = cut / (d·N/2) as well (interior + cut = d|S| - cut + cut... );
+        // more precisely interior + cut counts each interior edge once, so
+        // expansion >= conductance with equality iff interior edges are counted
+        // the same way. Here we just check both sweeps pick the same set on a
+        // symmetric instance.
+        let torus = Torus::new(vec![8, 2]);
+        let embedding = fiedler_embedding(&torus);
+        let a = sweep_cut(&torus, &embedding, 8, SweepObjective::Expansion);
+        let b = sweep_cut(&torus, &embedding, 8, SweepObjective::Conductance);
+        let mut sa = a.set.clone();
+        let mut sb = b.set.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding length mismatch")]
+    fn sweep_rejects_wrong_length_embedding() {
+        let torus = Torus::new(vec![4, 2]);
+        let _ = sweep_cut(&torus, &[0.0; 3], 2, SweepObjective::Expansion);
+    }
+}

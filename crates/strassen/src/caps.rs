@@ -1,0 +1,336 @@
+//! Execution model of Communication-Avoiding Parallel Strassen (CAPS).
+//!
+//! The paper's Experiment B runs the CAPS implementation of Ballard,
+//! Lipshitz et al. on Mira partitions of different geometries and compares
+//! the *communication* times. We reproduce the experiment by modelling the
+//! traffic CAPS injects and running it through the flow-level simulator:
+//!
+//! * CAPS requires `f · 7^k` MPI ranks and performs `k` BFS steps; in BFS
+//!   step `l` the ranks are divided into `7^(l+1)` groups and every rank
+//!   exchanges its share of the operands with its counterpart ranks in the 6
+//!   sibling groups.
+//! * The per-rank volume of BFS step `l` is `(7/4)^l · n² / P` matrix
+//!   elements (8-byte doubles) times an implementation constant
+//!   [`CapsConfig::exchange_factor`] covering the formation of the Winograd
+//!   S/T combinations and the assembly of the C contributions. The constant
+//!   scales all geometries identically, so the current-vs-proposed ratios the
+//!   paper reports do not depend on it.
+//! * Local computation is `strassen_flops(n, k) / (P · rate)`, calibrated by
+//!   [`CapsConfig::gflops_per_rank`]; like the paper we report computation
+//!   and communication separately.
+
+use crate::winograd::strassen_flops;
+use netpart_machines::PartitionGeometry;
+use netpart_mpi::{MappingStrategy, RankMapping};
+use netpart_netsim::flow::aggregate_flows;
+use netpart_netsim::{Flow, FlowSim, TorusNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one CAPS execution (one row of Table 3 / Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapsConfig {
+    /// Matrix dimension `n` (double-precision elements).
+    pub matrix_dim: usize,
+    /// Total MPI ranks; must be of the form `f · 7^k`.
+    pub ranks: usize,
+    /// Number of BFS steps `k`.
+    pub bfs_steps: u32,
+    /// Maximum ranks placed on one compute node ("max. active cores").
+    pub max_ranks_per_node: usize,
+    /// Sustained per-rank compute rate in GFLOP/s (calibration constant).
+    pub gflops_per_rank: f64,
+    /// Implementation constant multiplying the per-step exchange volume.
+    pub exchange_factor: f64,
+}
+
+impl CapsConfig {
+    /// A configuration with the default calibration constants.
+    pub fn new(matrix_dim: usize, ranks: usize, bfs_steps: u32, max_ranks_per_node: usize) -> Self {
+        Self {
+            matrix_dim,
+            ranks,
+            bfs_steps,
+            max_ranks_per_node,
+            gflops_per_rank: 2.4,
+            exchange_factor: 8.0,
+        }
+    }
+
+    /// Decompose the rank count as `f · 7^k` with `k` as large as possible,
+    /// returning `(f, k)`.
+    pub fn rank_decomposition(&self) -> (usize, u32) {
+        let mut f = self.ranks;
+        let mut k = 0u32;
+        while f % 7 == 0 {
+            f /= 7;
+            k += 1;
+        }
+        (f, k)
+    }
+
+    /// Whether the rank count supports the configured number of BFS steps.
+    pub fn is_valid(&self) -> bool {
+        let (_, k) = self.rank_decomposition();
+        self.ranks > 0 && k >= self.bfs_steps
+    }
+
+    /// Total floating-point operations of the run.
+    pub fn total_flops(&self) -> u64 {
+        strassen_flops(self.matrix_dim as u64, self.bfs_steps)
+    }
+
+    /// Modelled computation time in seconds.
+    pub fn computation_seconds(&self) -> f64 {
+        self.total_flops() as f64 / (self.ranks as f64 * self.gflops_per_rank * 1e9)
+    }
+
+    /// Per-rank exchange volume (GB) of BFS step `l` (0-indexed).
+    pub fn bfs_step_volume_gb(&self, level: u32) -> f64 {
+        let n = self.matrix_dim as f64;
+        let per_rank_elements = n * n / self.ranks as f64;
+        self.exchange_factor * (7.0f64 / 4.0).powi(level as i32) * per_rank_elements * 8.0 / 1e9
+    }
+}
+
+/// The Table 3 configurations: Mira matrix-multiplication experiment.
+/// Returns `(midplanes, config)` pairs.
+pub fn mira_table3_configs() -> Vec<(usize, CapsConfig)> {
+    vec![
+        (4, CapsConfig::new(32928, 31213, 4, 16)),
+        (8, CapsConfig::new(32928, 31213, 4, 8)),
+        (16, CapsConfig::new(32928, 31213, 4, 4)),
+        (24, CapsConfig::new(21952, 117649, 4, 16)),
+    ]
+}
+
+/// Result of one simulated CAPS execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapsRunResult {
+    /// Partition geometry the run used.
+    pub geometry: PartitionGeometry,
+    /// Modelled computation time (seconds); identical across geometries of
+    /// the same size and parameters.
+    pub computation_seconds: f64,
+    /// Simulated communication time (seconds), the quantity Figure 5 plots.
+    pub communication_seconds: f64,
+    /// Per-BFS-step communication times (seconds).
+    pub per_step_seconds: Vec<f64>,
+}
+
+impl CapsRunResult {
+    /// Total modelled wall-clock time (no overlap, as in the paper's
+    /// no-communication-hiding accounting).
+    pub fn total_seconds(&self) -> f64 {
+        self.computation_seconds + self.communication_seconds
+    }
+}
+
+/// The node-level flows of BFS step `level` for the given rank mapping:
+/// every rank exchanges the step volume (split evenly) with its 6
+/// counterpart ranks in the sibling subgroups of its current group.
+pub fn bfs_step_flows(config: &CapsConfig, mapping: &RankMapping, level: u32) -> Vec<Flow> {
+    let p = config.ranks;
+    let groups_after = 7usize.pow(level + 1);
+    let group_size = p / groups_after;
+    assert!(group_size >= 1, "too many BFS steps for {p} ranks");
+    let per_pair_gb = config.bfs_step_volume_gb(level) / 6.0;
+    let mut flows = Vec::with_capacity(p * 6);
+    for rank in 0..p {
+        let subgroup = rank / group_size; // global index of the rank's subgroup
+        let position = rank % group_size;
+        let parent = subgroup / 7;
+        for sibling in 0..7 {
+            let other_subgroup = parent * 7 + sibling;
+            if other_subgroup == subgroup {
+                continue;
+            }
+            let counterpart = other_subgroup * group_size + position;
+            flows.push(Flow {
+                src: mapping.node_of(rank),
+                dst: mapping.node_of(counterpart),
+                gigabytes: per_pair_gb,
+            });
+        }
+    }
+    aggregate_flows(&flows)
+}
+
+/// Simulate a CAPS execution on a partition geometry.
+///
+/// # Panics
+/// Panics if the rank count does not support the configured BFS steps or the
+/// ranks do not fit on the partition under `max_ranks_per_node`.
+pub fn run_caps(
+    config: &CapsConfig,
+    geometry: &PartitionGeometry,
+    strategy: MappingStrategy,
+    sim: &FlowSim,
+) -> CapsRunResult {
+    assert!(config.is_valid(), "rank count {} does not support {} BFS steps", config.ranks, config.bfs_steps);
+    let network = TorusNetwork::bgq_partition(&geometry.node_dims());
+    let mapping = RankMapping::new(
+        config.ranks,
+        network.num_nodes(),
+        config.max_ranks_per_node,
+        strategy,
+    );
+    let mut per_step_seconds = Vec::with_capacity(config.bfs_steps as usize);
+    for level in 0..config.bfs_steps {
+        let flows = bfs_step_flows(config, &mapping, level);
+        let time = if flows.is_empty() {
+            0.0
+        } else {
+            sim.simulate(&network, &flows).makespan
+        };
+        per_step_seconds.push(time);
+    }
+    CapsRunResult {
+        geometry: *geometry,
+        computation_seconds: config.computation_seconds(),
+        communication_seconds: per_step_seconds.iter().sum(),
+        per_step_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_decomposition_matches_table3() {
+        let (f, k) = CapsConfig::new(32928, 31213, 4, 16).rank_decomposition();
+        assert_eq!((f, k), (13, 4));
+        let (f, k) = CapsConfig::new(21952, 117649, 4, 16).rank_decomposition();
+        assert_eq!((f, k), (1, 6));
+        assert!(CapsConfig::new(32928, 31213, 4, 16).is_valid());
+        assert!(!CapsConfig::new(32928, 31213, 5, 16).is_valid());
+    }
+
+    #[test]
+    fn table3_matrix_dims_respect_caps_divisibility() {
+        // The matrix dimension must contain enough powers of 7 (and of 2) to
+        // be divisible through ceil(k/2) Strassen levels of quadrant splits,
+        // as the CAPS implementation requires.
+        for (_, config) in mira_table3_configs() {
+            let needed = 7usize.pow(config.bfs_steps.div_ceil(2)) * 2usize.pow(config.bfs_steps / 2);
+            assert_eq!(
+                config.matrix_dim % needed,
+                0,
+                "dim {} must be divisible by {needed}",
+                config.matrix_dim
+            );
+        }
+    }
+
+    #[test]
+    fn step_volume_grows_by_seven_fourths() {
+        let config = CapsConfig::new(32928, 31213, 4, 16);
+        let v0 = config.bfs_step_volume_gb(0);
+        let v1 = config.bfs_step_volume_gb(1);
+        assert!((v1 / v0 - 1.75).abs() < 1e-12);
+        assert!(v0 > 0.0);
+    }
+
+    #[test]
+    fn bfs_flows_connect_counterparts_within_parent_groups() {
+        let config = CapsConfig {
+            matrix_dim: 1372,
+            ranks: 49,
+            bfs_steps: 2,
+            max_ranks_per_node: 1,
+            gflops_per_rank: 2.4,
+            exchange_factor: 8.0,
+        };
+        let mapping = RankMapping::new(49, 64, 1, MappingStrategy::Linear);
+        // Level 0: 7 groups of 7; every rank talks to 6 counterparts.
+        let flows = bfs_step_flows(&config, &mapping, 0);
+        assert!(!flows.is_empty());
+        // Level 1: groups of 1 within parents of 7; still 6 counterparts but
+        // all nearby (within the same 7-rank parent group).
+        let flows1 = bfs_step_flows(&config, &mapping, 1);
+        for f in &flows1 {
+            assert!(f.src.abs_diff(f.dst) < 7, "level-1 exchange stays within the parent group");
+        }
+    }
+
+    #[test]
+    fn computation_time_is_geometry_independent() {
+        let config = CapsConfig::new(2744, 343, 3, 4);
+        let sim = FlowSim::default();
+        let a = run_caps(&config, &PartitionGeometry::new([2, 1, 1, 1]), MappingStrategy::Balanced, &sim);
+        let b = run_caps(&config, &PartitionGeometry::new([2, 2, 1, 1]), MappingStrategy::Balanced, &sim);
+        assert_eq!(a.computation_seconds, b.computation_seconds);
+        assert!(a.computation_seconds > 0.0);
+    }
+
+    #[test]
+    fn proposed_geometry_reduces_global_redistribution_time() {
+        // The Figure 5 effect at reduced scale, isolated on the
+        // machine-spanning part of the communication: with a single BFS step
+        // the whole redistribution crosses the partition, and the proposed
+        // geometry's doubled bisection shows up directly. (With all four BFS
+        // steps the deeper, group-local exchanges dilute the ratio towards
+        // the paper's x1.37-x1.52; the full-scale run is exercised by the
+        // fig5 binary and the ignored test below.)
+        let config = CapsConfig::new(9604, 2401, 1, 2);
+        let sim = FlowSim::default();
+        let current = run_caps(&config, &PartitionGeometry::new([4, 1, 1, 1]), MappingStrategy::Balanced, &sim);
+        let proposed = run_caps(&config, &PartitionGeometry::new([2, 2, 1, 1]), MappingStrategy::Balanced, &sim);
+        assert_eq!(current.per_step_seconds.len(), 1);
+        let ratio = current.communication_seconds / proposed.communication_seconds;
+        assert!(
+            ratio > 1.1,
+            "proposed geometry should cut the global redistribution time; ratio = {ratio}"
+        );
+        assert!(ratio < 2.5, "ratio should stay near the bisection factor; got {ratio}");
+    }
+
+    #[test]
+    fn bfs_steps_get_more_local_and_more_voluminous_with_depth() {
+        // Structural check of the execution model on a small torus, without
+        // going through full midplane-sized partitions: deeper BFS steps move
+        // more data per rank but between closer ranks.
+        let config = CapsConfig {
+            matrix_dim: 1372,
+            ranks: 343,
+            bfs_steps: 3,
+            max_ranks_per_node: 1,
+            gflops_per_rank: 2.4,
+            exchange_factor: 8.0,
+        };
+        let mapping = RankMapping::new(343, 343, 1, MappingStrategy::Balanced);
+        let mut max_distances = Vec::new();
+        for level in 0..3 {
+            assert!(config.bfs_step_volume_gb(level + 1) > config.bfs_step_volume_gb(level));
+            let flows = bfs_step_flows(&config, &mapping, level);
+            let max_distance = flows.iter().map(|f| f.src.abs_diff(f.dst)).max().unwrap();
+            max_distances.push(max_distance);
+        }
+        assert!(
+            max_distances[0] > max_distances[1] && max_distances[1] > max_distances[2],
+            "exchange distance should shrink with depth: {max_distances:?}"
+        );
+    }
+
+    /// Full-scale Figure 5 check (minutes of runtime): run with
+    /// `cargo test -p netpart-strassen -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "full-scale simulation; run explicitly"]
+    fn full_scale_four_midplane_ratio_matches_paper_band() {
+        let (midplanes, config) = mira_table3_configs()[0];
+        assert_eq!(midplanes, 4);
+        let sim = FlowSim::default();
+        let current = run_caps(&config, &PartitionGeometry::new([4, 1, 1, 1]), MappingStrategy::Balanced, &sim);
+        let proposed = run_caps(&config, &PartitionGeometry::new([2, 2, 1, 1]), MappingStrategy::Balanced, &sim);
+        let ratio = current.communication_seconds / proposed.communication_seconds;
+        assert!(ratio > 1.2 && ratio < 2.0, "paper band is 1.37-1.52; got {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn invalid_rank_count_panics() {
+        let config = CapsConfig::new(1000, 100, 2, 4);
+        let sim = FlowSim::default();
+        let _ = run_caps(&config, &PartitionGeometry::new([1, 1, 1, 1]), MappingStrategy::Balanced, &sim);
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared-memory Strassen-Winograd matrix multiplication.
+//!
+//! The Winograd variant of Strassen's algorithm uses 7 recursive
+//! multiplications and 15 additions per level (instead of 18 for the
+//! original). The paper's Experiment B benchmarks the
+//! communication-avoiding *parallel* version (CAPS) of this algorithm; the
+//! shared-memory recursion here is the "local" part of that computation and
+//! doubles as a correctness oracle and a calibration kernel for the
+//! distributed model in [`crate::caps`].
+
+use crate::dense::{matmul_classical, Matrix};
+
+/// Multiply two square matrices with Strassen-Winograd, recursing in
+/// parallel (rayon) and falling back to the classical kernel below `cutoff`.
+///
+/// # Panics
+/// Panics unless both matrices are square with the same dimension.
+pub fn strassen_winograd(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "Strassen-Winograd needs square matrices");
+    assert_eq!(b.rows(), b.cols(), "Strassen-Winograd needs square matrices");
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    let cutoff = cutoff.max(2);
+    strassen_recursive(a, b, cutoff)
+}
+
+fn strassen_recursive(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    let n = a.rows();
+    if n <= cutoff || n % 2 != 0 {
+        return matmul_classical(a, b);
+    }
+    let (a11, a12, a21, a22) = a.split_quadrants();
+    let (b11, b12, b21, b22) = b.split_quadrants();
+
+    // Winograd's 8 additions of the operands.
+    let s1 = a21.add(&a22);
+    let s2 = s1.sub(&a11);
+    let s3 = a11.sub(&a21);
+    let s4 = a12.sub(&s2);
+    let t1 = b12.sub(&b11);
+    let t2 = b22.sub(&t1);
+    let t3 = b22.sub(&b12);
+    let t4 = t2.sub(&b21);
+
+    // The 7 recursive products, evaluated as a parallel tree.
+    let ((p1, p2, (p3, p4)), ((p5, p6), p7)) = rayon::join(
+        || {
+            let (p1, (p2, rest)) = rayon::join(
+                || strassen_recursive(&a11, &b11, cutoff),
+                || {
+                    rayon::join(
+                        || strassen_recursive(&a12, &b21, cutoff),
+                        || {
+                            rayon::join(
+                                || strassen_recursive(&s4, &b22, cutoff),
+                                || strassen_recursive(&a22, &t4, cutoff),
+                            )
+                        },
+                    )
+                },
+            );
+            (p1, p2, rest)
+        },
+        || {
+            rayon::join(
+                || {
+                    rayon::join(
+                        || strassen_recursive(&s1, &t1, cutoff),
+                        || strassen_recursive(&s2, &t2, cutoff),
+                    )
+                },
+                || strassen_recursive(&s3, &t3, cutoff),
+            )
+        },
+    );
+
+    // Winograd's 7 additions assembling the result.
+    let u1 = p1.add(&p2); // C11
+    let u2 = p1.add(&p6);
+    let u3 = u2.add(&p7);
+    let u4 = u2.add(&p5);
+    let u5 = u4.add(&p3); // C12
+    let u6 = u3.sub(&p4); // C21
+    let u7 = u3.add(&p5); // C22
+
+    Matrix::from_quadrants(&u1, &u5, &u6, &u7)
+}
+
+/// Floating-point operations performed by Strassen-Winograd on an `n x n`
+/// problem with `levels` recursion levels (classical multiplication below).
+///
+/// Each level replaces one multiplication of size `m` by 7 of size `m/2`
+/// plus 15 additions of `(m/2)^2` elements.
+pub fn strassen_flops(n: u64, levels: u32) -> u64 {
+    if levels == 0 || n % 2 != 0 {
+        return crate::dense::classical_flops(n);
+    }
+    let half = n / 2;
+    7 * strassen_flops(half, levels - 1) + 15 * half * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::classical_flops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_classical_on_power_of_two_sizes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [4usize, 16, 64] {
+            let a = Matrix::random(n, n, &mut rng);
+            let b = Matrix::random(n, n, &mut rng);
+            let expected = matmul_classical(&a, &b);
+            let got = strassen_winograd(&a, &b, 8);
+            let diff = got.max_abs_diff(&expected);
+            assert!(diff < 1e-9 * n as f64, "n={n}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn matches_classical_on_even_non_power_sizes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // 48 = 16 * 3: recursion stops when the size becomes odd.
+        let a = Matrix::random(48, 48, &mut rng);
+        let b = Matrix::random(48, 48, &mut rng);
+        let diff = strassen_winograd(&a, &b, 4).max_abs_diff(&matmul_classical(&a, &b));
+        assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn odd_sizes_fall_back_to_classical() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Matrix::random(7, 7, &mut rng);
+        let b = Matrix::random(7, 7, &mut rng);
+        let diff = strassen_winograd(&a, &b, 2).max_abs_diff(&matmul_classical(&a, &b));
+        assert!(diff < 1e-12);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Matrix::random(32, 32, &mut rng);
+        let i = Matrix::identity(32);
+        assert!(strassen_winograd(&a, &i, 4).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn flop_count_beats_classical_for_deep_recursion() {
+        let n = 1 << 12;
+        let classical = classical_flops(n);
+        let strassen4 = strassen_flops(n, 4);
+        assert!(strassen4 < classical);
+        // One level saves exactly 1/8 of the multiplications at the cost of
+        // 15 (n/2)^2 additions.
+        let one = strassen_flops(n, 1);
+        assert_eq!(one, 7 * classical_flops(n / 2) + 15 * (n / 2) * (n / 2));
+    }
+
+    #[test]
+    fn zero_levels_is_classical() {
+        assert_eq!(strassen_flops(100, 0), classical_flops(100));
+    }
+}

@@ -1,0 +1,136 @@
+//! Mixed-radix coordinate indexing shared by grid-like topologies.
+//!
+//! Nodes of a `D`-dimensional grid with extents `dims = [a_1, ..., a_D]` are
+//! identified with dense indices in `0..a_1*...*a_D` using row-major order
+//! (the last dimension varies fastest). These helpers convert between the
+//! two representations and are used by every grid-like topology in this
+//! crate as well as by the simulator's routing code.
+
+/// Row-major strides for the given extents (last dimension varies fastest).
+///
+/// `strides(&[4, 3, 2]) == [6, 2, 1]`.
+pub fn strides(dims: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * dims[i + 1];
+    }
+    s
+}
+
+/// Dense index of `coord` within a grid of the given extents.
+///
+/// # Panics
+/// Panics if `coord` has the wrong length or any component is out of range.
+pub fn index_of(dims: &[usize], coord: &[usize]) -> usize {
+    assert_eq!(
+        dims.len(),
+        coord.len(),
+        "coordinate has {} components, expected {}",
+        coord.len(),
+        dims.len()
+    );
+    let mut idx = 0usize;
+    for (i, (&c, &a)) in coord.iter().zip(dims.iter()).enumerate() {
+        assert!(c < a, "coordinate component {i} = {c} out of range 0..{a}");
+        idx = idx * a + c;
+    }
+    idx
+}
+
+/// Coordinate of the dense index `idx` within a grid of the given extents.
+///
+/// # Panics
+/// Panics if `idx` is out of range.
+pub fn coord_of(dims: &[usize], idx: usize) -> Vec<usize> {
+    let total: usize = dims.iter().product();
+    assert!(idx < total.max(1), "index {idx} out of range 0..{total}");
+    let mut coord = vec![0usize; dims.len()];
+    let mut rest = idx;
+    for i in (0..dims.len()).rev() {
+        coord[i] = rest % dims[i];
+        rest /= dims[i];
+    }
+    coord
+}
+
+/// Number of nodes in a grid with the given extents (product of extents).
+pub fn volume(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// Iterate over every coordinate of the grid in index order.
+pub fn iter_coords(dims: &[usize]) -> impl Iterator<Item = Vec<usize>> + '_ {
+    let total = volume(dims);
+    (0..total).map(move |i| coord_of(dims, i))
+}
+
+/// Signed shortest displacement from `a` to `b` along a cycle of length `len`.
+///
+/// The result lies in `-len/2 ..= len/2`; positive means the `+1` direction.
+/// Used by wrap-around (torus) distance and routing computations.
+pub fn wrap_displacement(a: usize, b: usize, len: usize) -> isize {
+    assert!(len >= 1 && a < len && b < len);
+    let forward = ((b + len) - a) % len; // hops in the +1 direction
+    let backward = len - forward; // hops in the -1 direction
+    if forward <= backward {
+        forward as isize
+    } else {
+        -(backward as isize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides(&[4, 3, 2]), vec![6, 2, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn index_coord_roundtrip() {
+        let dims = [4, 3, 2];
+        for idx in 0..volume(&dims) {
+            let c = coord_of(&dims, idx);
+            assert_eq!(index_of(&dims, &c), idx);
+        }
+    }
+
+    #[test]
+    fn index_of_matches_strides() {
+        let dims = [4, 3, 2];
+        let s = strides(&dims);
+        let coord = [2, 1, 1];
+        let expected: usize = coord.iter().zip(&s).map(|(c, st)| c * st).sum();
+        assert_eq!(index_of(&dims, &coord), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_of_rejects_out_of_range_component() {
+        index_of(&[2, 2], &[0, 2]);
+    }
+
+    #[test]
+    fn wrap_displacement_picks_shorter_direction() {
+        assert_eq!(wrap_displacement(0, 1, 8), 1);
+        assert_eq!(wrap_displacement(0, 7, 8), -1);
+        assert_eq!(wrap_displacement(0, 4, 8), 4); // tie resolved to +
+        assert_eq!(wrap_displacement(3, 3, 8), 0);
+        assert_eq!(wrap_displacement(0, 1, 2), 1);
+    }
+
+    #[test]
+    fn iter_coords_covers_all_nodes_once() {
+        let dims = [3, 2, 2];
+        let coords: Vec<_> = iter_coords(&dims).collect();
+        assert_eq!(coords.len(), 12);
+        let mut sorted = coords.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12);
+    }
+}

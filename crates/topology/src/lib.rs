@@ -1,0 +1,225 @@
+//! Network topology graph models used by the contention analysis.
+//!
+//! This crate provides the graph substrate for the reproduction of
+//! *Network Partitioning and Avoidable Contention* (SPAA 2020): a family of
+//! interconnect topologies (tori, meshes, hypercubes, HyperX, Dragonfly,
+//! fat-trees) exposed through a single [`Topology`] trait, plus a flat
+//! [`LinkGraph`] representation used by the isoperimetric analysis and the
+//! network simulator.
+//!
+//! The central object of the paper is the multidimensional torus (the IBM
+//! Blue Gene/Q network is a 5-D torus); [`Torus`] therefore carries the most
+//! functionality: mixed-radix coordinate indexing, wrap-around distances,
+//! cuboid subset helpers, and exact cut-size computations for cuboids.
+//!
+//! # Example
+//!
+//! ```
+//! use netpart_topology::{Torus, Topology};
+//!
+//! // A single Blue Gene/Q midplane: 4 x 4 x 4 x 4 x 2 torus of compute nodes.
+//! let midplane = Torus::new(vec![4, 4, 4, 4, 2]);
+//! assert_eq!(midplane.num_nodes(), 512);
+//! // Every node has 10 links, exactly like the real hardware (the length-2
+//! // dimension contributes two parallel links).
+//! assert_eq!(midplane.degree(0), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod dragonfly;
+pub mod expander;
+pub mod fattree;
+pub mod graph;
+pub mod hypercube;
+pub mod hyperx;
+pub mod mesh;
+pub mod slimfly;
+pub mod tofu;
+pub mod torus;
+
+pub use coord::{coord_of, index_of, strides};
+pub use dragonfly::{Dragonfly, GlobalArrangement};
+pub use expander::Circulant;
+pub use fattree::FatTree;
+pub use graph::{Link, LinkGraph, LinkId, NodeId};
+pub use hypercube::Hypercube;
+pub use hyperx::HyperX;
+pub use mesh::Mesh;
+pub use slimfly::SlimFly;
+pub use tofu::Tofu;
+pub use torus::Torus;
+
+/// A static interconnect topology.
+///
+/// Nodes are identified by dense indices `0..num_nodes()`. Links are
+/// undirected and carry a capacity in normalized units (1.0 = one standard
+/// bidirectional link). All default methods are derived from
+/// [`Topology::neighbor_links`].
+pub trait Topology {
+    /// Number of nodes (vertices) in the topology.
+    fn num_nodes(&self) -> usize;
+
+    /// Outgoing links of `v` as `(neighbor, capacity)` pairs.
+    ///
+    /// Every undirected link `{u, v}` must appear in both `neighbor_links(u)`
+    /// and `neighbor_links(v)` with the same capacity. Self-loops are not
+    /// allowed. Parallel links (distinct physical cables between the same
+    /// pair of nodes, e.g. the two wrap-around links of a length-2 torus
+    /// dimension) appear as separate entries.
+    fn neighbor_links(&self, v: usize) -> Vec<(usize, f64)>;
+
+    /// Human-readable topology name (used in reports).
+    fn name(&self) -> String;
+
+    /// Degree (number of distinct neighbors) of node `v`.
+    fn degree(&self, v: usize) -> usize {
+        self.neighbor_links(v).len()
+    }
+
+    /// Whether all nodes have the same degree.
+    fn is_regular(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        let d0 = self.degree(0);
+        (1..self.num_nodes()).all(|v| self.degree(v) == d0)
+    }
+
+    /// All undirected links, each reported once with `u < v`.
+    fn links(&self) -> Vec<Link> {
+        let mut out = Vec::new();
+        for u in 0..self.num_nodes() {
+            for (v, cap) in self.neighbor_links(u) {
+                if u < v {
+                    out.push(Link {
+                        u,
+                        v,
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of undirected links.
+    fn num_links(&self) -> usize {
+        self.links().len()
+    }
+
+    /// Sum of capacities of links with exactly one endpoint in `set`.
+    ///
+    /// `set` is an indicator slice of length [`Topology::num_nodes`]. This is
+    /// the (weighted) perimeter |E(A, Ā)| from the paper's preliminaries.
+    fn cut_capacity(&self, set: &[bool]) -> f64 {
+        assert_eq!(set.len(), self.num_nodes(), "indicator length mismatch");
+        let mut total = 0.0;
+        for u in 0..self.num_nodes() {
+            if !set[u] {
+                continue;
+            }
+            for (v, cap) in self.neighbor_links(u) {
+                if !set[v] {
+                    total += cap;
+                }
+            }
+        }
+        total
+    }
+
+    /// Number of links with exactly one endpoint in `set` (unweighted cut).
+    fn cut_size(&self, set: &[bool]) -> usize {
+        assert_eq!(set.len(), self.num_nodes(), "indicator length mismatch");
+        let mut total = 0usize;
+        for u in 0..self.num_nodes() {
+            if !set[u] {
+                continue;
+            }
+            for (v, _) in self.neighbor_links(u) {
+                if !set[v] {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Number of links with both endpoints in `set` (the interior |E(A, A)|).
+    fn interior_size(&self, set: &[bool]) -> usize {
+        assert_eq!(set.len(), self.num_nodes(), "indicator length mismatch");
+        let mut total = 0usize;
+        for u in 0..self.num_nodes() {
+            if !set[u] {
+                continue;
+            }
+            for (v, _) in self.neighbor_links(u) {
+                if set[v] && u < v {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Materialise the topology into a flat [`LinkGraph`].
+    fn to_graph(&self) -> LinkGraph {
+        LinkGraph::from_topology_links(self.num_nodes(), &self.links())
+    }
+}
+
+/// Convert a subset of node indices into an indicator vector of length `n`.
+pub fn indicator(n: usize, nodes: &[usize]) -> Vec<bool> {
+    let mut set = vec![false; n];
+    for &v in nodes {
+        assert!(v < n, "node index {v} out of range 0..{n}");
+        set[v] = true;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indicator_marks_requested_nodes() {
+        let ind = indicator(5, &[0, 3]);
+        assert_eq!(ind, vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indicator_rejects_out_of_range() {
+        let _ = indicator(3, &[3]);
+    }
+
+    #[test]
+    fn equation_1_holds_for_regular_topologies() {
+        // k * |A| = 2 * |E(A,A)| + |E(A, A_bar)| for any subset of a k-regular graph.
+        let torus = Torus::new(vec![4, 3, 2]);
+        let k = torus.degree(0);
+        assert!(torus.is_regular());
+        let subset: Vec<usize> = (0..torus.num_nodes()).step_by(3).collect();
+        let ind = indicator(torus.num_nodes(), &subset);
+        let interior = torus.interior_size(&ind);
+        let cut = torus.cut_size(&ind);
+        assert_eq!(k * subset.len(), 2 * interior + cut);
+    }
+
+    #[test]
+    fn links_are_consistent_with_neighbor_links() {
+        let torus = Torus::new(vec![3, 3]);
+        let links = torus.links();
+        // 3x3 torus: 2 * 9 = 18 links.
+        assert_eq!(links.len(), 18);
+        for l in &links {
+            assert!(l.u < l.v);
+            assert!(torus
+                .neighbor_links(l.u)
+                .iter()
+                .any(|&(n, _)| n == l.v));
+        }
+    }
+}

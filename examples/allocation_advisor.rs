@@ -1,0 +1,43 @@
+//! A contention-aware scheduler deciding whether to wait for a better
+//! partition (the paper's future-work scenario).
+//!
+//! Run with `cargo run --example allocation_advisor`.
+
+use netpart::alloc::{advise, Advice, ContentionHint, JobRequest};
+use netpart::machines::{known, PartitionGeometry};
+
+fn main() {
+    let juqueen = known::juqueen();
+    let offered = PartitionGeometry::new([4, 2, 1, 1]); // free right now, 512 links
+    println!("A 4096-node slot is free with geometry {offered} (512 links).\n");
+
+    let jobs = [
+        ("all-to-all spectral solver", ContentionHint::ContentionBound, 3600.0),
+        ("fast matrix multiplication", ContentionHint::PartiallyBound(0.4), 3600.0),
+        ("embarrassingly parallel sweep", ContentionHint::ComputeBound, 3600.0),
+    ];
+    let expected_wait = 900.0; // seconds until an optimal 2x2x2x1 frees up
+
+    for (name, hint, runtime) in jobs {
+        let job = JobRequest {
+            midplanes: 8,
+            runtime_on_optimal: runtime,
+            hint,
+        };
+        match advise(&juqueen, &job, &offered, expected_wait) {
+            Advice::AllocateNow { predicted_runtime } => {
+                println!("{name}: run now ({predicted_runtime:.0} s predicted).");
+            }
+            Advice::WaitForBetter {
+                predicted_runtime,
+                predicted_loss_if_run_now,
+            } => {
+                println!(
+                    "{name}: wait {expected_wait:.0} s for a 2 x 2 x 2 x 1 partition \
+                     ({predicted_runtime:.0} s predicted; running now would waste {predicted_loss_if_run_now:.0} s)."
+                );
+            }
+            Advice::Infeasible => println!("{name}: request infeasible."),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Bisection sensitivity of machine benchmarks.
+//!
+//! Implements the paper's future-work proposal: "testing bisection
+//! sensitivity of machine benchmarks can be done by comparing the score of
+//! equal-sized partitions with different bisection bandwidths". Four
+//! workloads are replayed on a ring-shaped and a balanced 128-node partition
+//! (a ×2 bisection difference) and ranked by how much of that difference
+//! shows up in their run time.
+//!
+//! Run with `cargo run --release --example bisection_sensitivity`.
+
+use netpart::kernels::{bisection_sensitivity, FftConfig, NBodyConfig, SummaConfig, Workload};
+
+fn main() {
+    // Two 128-node partitions: 8x4x2x2 (32 bisection links) vs 4x4x4x2 (64).
+    let low = [8usize, 4, 2, 2];
+    let high = [4usize, 4, 4, 2];
+
+    let workloads = [
+        Workload::BisectionPairing { gigabytes: 0.5 },
+        Workload::Fft(FftConfig::four_step(1 << 24, 128)),
+        // SUMMA needs a square rank count, so it runs on 64-node partitions
+        // with the same x2 bisection contrast (8x4x2 vs 4x4x4).
+        Workload::Summa(SummaConfig::new(16_384, 64)),
+        Workload::NBody(NBodyConfig {
+            bodies: 1 << 20,
+            ranks: 128,
+        }),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>10} {:>12}",
+        "workload", "low-BW time", "high-BW time", "speedup", "sensitivity"
+    );
+    for workload in workloads {
+        let report = match workload {
+            Workload::Summa(_) => bisection_sensitivity(&workload, &[8, 4, 2], &[4, 4, 4]),
+            _ => bisection_sensitivity(&workload, &low, &high),
+        };
+        println!(
+            "{:<20} {:>11.2}s {:>11.2}s {:>9.2}x {:>12.2}",
+            workload.name(),
+            report.low_seconds,
+            report.high_seconds,
+            report.observed_speedup(),
+            report.sensitivity()
+        );
+    }
+    println!(
+        "\nSensitivity 1.0 = the benchmark time tracks the bisection exactly (contention-bound);\n\
+         0.0 = the benchmark cannot tell the geometries apart (nearest-neighbour or compute-bound)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Kernel-aware contention analysis: is a job worth a better geometry?
+//!
+//! The paper's future-work section suggests schedulers should know whether a
+//! job is network-bound before deciding which partition geometry to hand it.
+//! This example classifies four kernels on Mira's improvable partition sizes
+//! and prints, for each, the lower-bound breakdown and the payoff of the
+//! proposed geometry.
+//!
+//! Run with `cargo run --example contention_bounds`.
+
+use netpart::contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
+use netpart::machines::known;
+
+fn main() {
+    let mira = known::mira();
+    let node = NodeModel::bgq();
+    let kernels = [
+        ("classical matmul n=65536", Kernel::ClassicalMatmul { n: 65_536 }),
+        ("Strassen matmul n=32928", Kernel::StrassenMatmul { n: 32_928 }),
+        ("direct N-body n=4M", Kernel::DirectNBody { bodies: 1 << 22 }),
+        ("FFT n=2^30", Kernel::Fft { n: 1 << 30 }),
+    ];
+
+    for (label, kernel) in kernels {
+        println!("=== {label} ===");
+        let model = ContentionModel::bgq(kernel);
+        for midplanes in [4usize, 8, 16, 24] {
+            let advice = advise_kernel(&mira, &model, &node, midplanes)
+                .expect("Mira supports these sizes");
+            let worst = &advice.worst_breakdown;
+            println!(
+                "  {midplanes:>2} midplanes: worst geometry {:?} -> contention {:.3}s, \
+                 bandwidth {:.3}s, compute {:.3}s ({:?})",
+                advice.worst_geometry.dims(),
+                worst.contention_seconds,
+                worst.bandwidth_seconds,
+                worst.compute_seconds,
+                advice.regime(),
+            );
+            println!(
+                "      best geometry {:?} buys x{:.2} ({})",
+                advice.best_geometry.dims(),
+                advice.predicted_speedup(),
+                if advice.geometry_matters() {
+                    "worth waiting for"
+                } else {
+                    "not worth waiting for"
+                }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Section 5's machine-design question: would a smaller but better-balanced
+//! machine beat JUQUEEN for most partition sizes?
+//!
+//! Run with `cargo run --example machine_design`.
+
+use netpart::alloc::series::{best_case_series, render_series};
+use netpart::machines::known;
+
+fn main() {
+    let juqueen = known::juqueen();
+    let j48 = known::juqueen_48();
+    let j54 = known::juqueen_54();
+    println!(
+        "{juqueen}\n{j48}\n{j54}\n",
+        juqueen = juqueen,
+        j48 = j48,
+        j54 = j54
+    );
+    let series = [
+        best_case_series(&juqueen, "JUQUEEN"),
+        best_case_series(&j48, "JUQUEEN-48"),
+        best_case_series(&j54, "JUQUEEN-54"),
+    ];
+    println!("{}", render_series(&series));
+    println!(
+        "JUQUEEN-54 has {} fewer midplanes than JUQUEEN yet its largest partition offers x{:.2} the bisection bandwidth.",
+        juqueen.num_midplanes() - j54.num_midplanes(),
+        j54.bisection_links() as f64 / juqueen.bisection_links() as f64,
+    );
+}

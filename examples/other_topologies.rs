@@ -1,0 +1,15 @@
+//! Applying the isoperimetric recipe to non-torus networks (Section 5).
+//!
+//! Run with `cargo run --example other_topologies`.
+
+use netpart::core::topologies::topology_applicability_report;
+
+fn main() {
+    println!("How much does allocation shape matter on other topologies?\n");
+    for case in topology_applicability_report() {
+        println!("{}", case.family);
+        println!("  comparison : {}", case.comparison);
+        println!("  bisection  : {:.0} vs {:.0} capacity units", case.worse, case.better);
+        println!("  potential contention-bound speedup: x{:.2}\n", case.potential_speedup());
+    }
+}

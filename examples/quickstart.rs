@@ -1,0 +1,32 @@
+//! Quickstart: analyse an allocation policy and ask for a better partition.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use netpart::core::analysis;
+use netpart::machines::{known, AllocationSystem, PartitionGeometry};
+
+fn main() {
+    // 1. How good is Mira's production allocation policy?
+    let report = analysis::analyze_policy(&AllocationSystem::mira_production());
+    println!("Machine: {}", report.machine);
+    println!("Sizes with avoidable contention: {:?}", report.improvable_sizes());
+    println!(
+        "Largest speedup available to a contention-bound job: x{:.2}\n",
+        report.max_speedup()
+    );
+
+    // 2. What should a user ask for when allocating 8192 nodes (16 midplanes)?
+    let rec = analysis::recommend(&known::mira(), 16).expect("16 midplanes is allocatable");
+    println!(
+        "For 16 midplanes, request geometry {} ({} bisection links, x{:.2} over the worst shape).",
+        rec.geometry, rec.bisection_links, rec.speedup_over_worst
+    );
+
+    // 3. Compare two concrete geometries directly.
+    let current = PartitionGeometry::new([4, 4, 1, 1]);
+    let proposed = PartitionGeometry::new([2, 2, 2, 2]);
+    println!(
+        "Moving {current} -> {proposed} multiplies bisection bandwidth by x{:.2}.",
+        analysis::predicted_speedup(&current, &proposed)
+    );
+}

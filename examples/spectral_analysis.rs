@@ -1,0 +1,67 @@
+//! Spectral analysis of partitions and of the Section 5 topologies.
+//!
+//! For torus partitions the paper uses the closed-form `2·N/L` bisection; for
+//! arbitrary topologies (Slim Fly, expanders, irregular networks) the
+//! spectral route — Fiedler vectors, sweep cuts and Cheeger bounds — provides
+//! the same quantities approximately. This example cross-checks the two on
+//! Blue Gene/Q partitions and then applies the spectral tools to topologies
+//! with no closed form.
+//!
+//! Run with `cargo run --release --example spectral_analysis`.
+
+use netpart::iso::bisection::torus_bisection_links;
+use netpart::spectral::{cheeger_bounds, spectral_bisection, EigenOptions};
+use netpart::topology::{Circulant, SlimFly, Tofu, Topology, Torus};
+
+fn main() {
+    println!("-- Blue Gene/Q partitions: spectral sweep vs closed form --");
+    for (label, dims) in [
+        ("1 midplane (4x4x4x4x2)", vec![4usize, 4, 4, 4, 2]),
+        ("4 midplanes 4x1x1x1", vec![16, 4, 4, 4, 2]),
+        ("4 midplanes 2x2x1x1", vec![8, 8, 4, 4, 2]),
+    ] {
+        let torus = Torus::new(dims.clone());
+        let result = spectral_bisection(&torus, EigenOptions::default());
+        println!(
+            "  {label:<26} closed form {:>4} links | Fiedler sweep {:>6.0} | lower bound {:>7.1}",
+            torus_bisection_links(&dims),
+            result.cut_capacity,
+            result.lower_bound
+        );
+    }
+
+    println!("\n-- Topologies without a torus closed form --");
+    let slimfly = SlimFly::new(5);
+    let sf_bisection = spectral_bisection(&slimfly, EigenOptions::default());
+    let sf_cheeger = cheeger_bounds(&slimfly, EigenOptions::default());
+    println!(
+        "  {:<26} {} nodes, degree {}, sweep bisection {:.0} links, conductance in [{:.3}, {:.3}]",
+        slimfly.name(),
+        slimfly.num_nodes(),
+        slimfly.degree(0),
+        sf_bisection.cut_capacity,
+        sf_cheeger.lower,
+        sf_cheeger.upper
+    );
+
+    let expander = Circulant::spread(128, 4);
+    let ex_bisection = spectral_bisection(&expander, EigenOptions::default());
+    let ring = Circulant::new(128, vec![1]);
+    let ring_bisection = spectral_bisection(&ring, EigenOptions::default());
+    println!(
+        "  {:<26} sweep bisection {:.0} links (ring of equal size: {:.0})",
+        expander.name(),
+        ex_bisection.cut_capacity,
+        ring_bisection.cut_capacity
+    );
+
+    let tofu = Tofu::new(4, 3, 2);
+    let tofu_bisection = spectral_bisection(&tofu, EigenOptions::default());
+    println!(
+        "  {:<26} {} nodes, closed form {} links, sweep {:.0}",
+        tofu.name(),
+        tofu.num_nodes(),
+        torus_bisection_links(tofu.dims()),
+        tofu_bisection.cut_capacity
+    );
+}

@@ -1,0 +1,149 @@
+//! End-to-end workflow tests: contention lower bounds, kernel traffic on the
+//! simulator, and the bisection-sensitivity methodology agree with each other
+//! and with the paper's headline numbers.
+
+use netpart::contention::{
+    advise_kernel, runtime_breakdown, ContentionModel, Kernel, NodeModel, RuntimeRegime,
+};
+use netpart::kernels::{bisection_sensitivity, FftConfig, NBodyConfig, Workload};
+use netpart::machines::{known, PartitionGeometry};
+
+/// The analytic contention bound and the flow-level simulator agree on the
+/// ×2 story for a bisection-dominated workload: the bound predicts a factor
+/// two between the Table 1 geometries, and the simulated pairing workload
+/// observes (almost exactly) that factor on scaled-down partitions with the
+/// same geometry contrast.
+#[test]
+fn analytic_bound_and_simulator_tell_the_same_story() {
+    // Analytic: 2 GB per rank on the 4-midplane geometries.
+    let model = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: 2e9 / 8.0,
+        flops_per_proc: 1.0,
+    });
+    let worse: Vec<usize> = PartitionGeometry::new([4, 1, 1, 1]).node_dims().to_vec();
+    let better: Vec<usize> = PartitionGeometry::new([2, 2, 1, 1]).node_dims().to_vec();
+    let predicted = model.geometry_speedup(&worse, &better);
+    assert!((predicted - 2.0).abs() < 1e-9);
+
+    // Simulated: the same x2 geometry contrast at 128-node scale.
+    let workload = Workload::BisectionPairing { gigabytes: 0.25 };
+    let report = bisection_sensitivity(&workload, &[8, 4, 2, 2], &[4, 4, 4, 2]);
+    let observed = report.observed_speedup();
+    assert!(
+        (observed - predicted).abs() / predicted < 0.15,
+        "simulator observed {observed}, analysis predicted {predicted}"
+    );
+}
+
+/// Kernel-aware advice matches the regime each kernel is actually in: the
+/// pairing-like exchange is contention-bound and gains the full factor, a
+/// compute-dominated kernel gains nothing, and the FFT sits in between —
+/// the same ordering its simulated bisection sensitivity shows.
+#[test]
+fn kernel_ordering_is_consistent_between_bound_and_simulation() {
+    let mira = known::mira();
+    let node = NodeModel::bgq();
+
+    let pairing = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: 2e9 / 8.0,
+        flops_per_proc: 1.0,
+    });
+    let fft = ContentionModel::bgq(Kernel::Fft { n: 1 << 30 });
+    let compute = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: 1e3,
+        flops_per_proc: 1e15,
+    });
+
+    let advice_pairing = advise_kernel(&mira, &pairing, &node, 4).unwrap();
+    let advice_fft = advise_kernel(&mira, &fft, &node, 4).unwrap();
+    let advice_compute = advise_kernel(&mira, &compute, &node, 4).unwrap();
+
+    assert_eq!(advice_pairing.regime(), RuntimeRegime::ContentionBound);
+    assert_eq!(advice_compute.regime(), RuntimeRegime::ComputeBound);
+    assert!(advice_pairing.predicted_speedup() >= advice_fft.predicted_speedup());
+    assert!(advice_fft.predicted_speedup() >= advice_compute.predicted_speedup());
+
+    // Simulated sensitivities preserve the same ordering at reduced scale.
+    let s_pairing = bisection_sensitivity(
+        &Workload::BisectionPairing { gigabytes: 0.25 },
+        &[8, 4, 2, 2],
+        &[4, 4, 4, 2],
+    )
+    .sensitivity();
+    let s_fft = bisection_sensitivity(
+        &Workload::Fft(FftConfig::four_step(1 << 22, 128)),
+        &[8, 4, 2, 2],
+        &[4, 4, 4, 2],
+    )
+    .sensitivity();
+    let s_ring = bisection_sensitivity(
+        &Workload::NBody(NBodyConfig {
+            bodies: 1 << 18,
+            ranks: 128,
+        }),
+        &[8, 4, 2, 2],
+        &[4, 4, 4, 2],
+    )
+    .sensitivity();
+    assert!(s_pairing > s_fft, "pairing {s_pairing} vs fft {s_fft}");
+    assert!(s_fft > s_ring, "fft {s_fft} vs ring {s_ring}");
+}
+
+/// The runtime breakdown is monotone in the obvious directions: more words
+/// raise the contention and bandwidth terms, a faster node lowers only the
+/// compute term, and a better geometry lowers only the contention term.
+#[test]
+fn runtime_breakdown_monotonicity() {
+    let node = NodeModel::bgq();
+    let dims: Vec<usize> = PartitionGeometry::new([4, 1, 1, 1]).node_dims().to_vec();
+    let better: Vec<usize> = PartitionGeometry::new([2, 2, 1, 1]).node_dims().to_vec();
+
+    let small = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: 1e7,
+        flops_per_proc: 1e10,
+    });
+    let large = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: 2e7,
+        flops_per_proc: 1e10,
+    });
+    let b_small = runtime_breakdown(&small, &node, &dims);
+    let b_large = runtime_breakdown(&large, &node, &dims);
+    assert!(b_large.contention_seconds > b_small.contention_seconds);
+    assert!(b_large.bandwidth_seconds > b_small.bandwidth_seconds);
+    assert!((b_large.compute_seconds - b_small.compute_seconds).abs() < 1e-12);
+
+    let fast_node = NodeModel {
+        gflops_per_node: 2.0 * node.gflops_per_node,
+        injection_gbs: node.injection_gbs,
+    };
+    let b_fast = runtime_breakdown(&small, &fast_node, &dims);
+    assert!(b_fast.compute_seconds < b_small.compute_seconds);
+    assert!((b_fast.contention_seconds - b_small.contention_seconds).abs() < 1e-12);
+
+    let b_better = runtime_breakdown(&small, &node, &better);
+    assert!(b_better.contention_seconds < b_small.contention_seconds);
+    assert!((b_better.bandwidth_seconds - b_small.bandwidth_seconds).abs() < 1e-12);
+    assert!((b_better.compute_seconds - b_small.compute_seconds).abs() < 1e-12);
+}
+
+/// The advisor agrees with the paper's Table 1 on exactly which Mira sizes
+/// are worth improving for a contention-bound job.
+#[test]
+fn advisor_reproduces_improvable_size_lists() {
+    let node = NodeModel::bgq();
+    let pairing = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: 2e9 / 8.0,
+        flops_per_proc: 1.0,
+    });
+
+    let mira = known::mira();
+    let mut mira_improvable: Vec<usize> = Vec::new();
+    for midplanes in [1usize, 2, 4, 8, 16, 24, 32, 48, 64, 96] {
+        if let Some(advice) = advise_kernel(&mira, &pairing, &node, midplanes) {
+            if advice.geometry_matters() {
+                mira_improvable.push(midplanes);
+            }
+        }
+    }
+    assert_eq!(mira_improvable, vec![4, 8, 16, 24]);
+}

@@ -1,0 +1,106 @@
+//! End-to-end reproduction of the paper's analysis tables, going through the
+//! public facade API only.
+
+use netpart::alloc;
+use netpart::core::analysis;
+use netpart::machines::{known, AllocationSystem, PartitionGeometry};
+
+#[test]
+fn table1_and_table6_from_the_public_api() {
+    let rows = alloc::current_vs_proposed(&AllocationSystem::mira_production());
+    // Table 6 has ten rows; Table 1 keeps the four improved ones.
+    assert_eq!(rows.len(), 10);
+    let improved: Vec<_> = rows.iter().filter(|r| r.improved.is_some()).collect();
+    assert_eq!(improved.len(), 4);
+    let expectations = [
+        (2048usize, 4usize, "4 x 1 x 1 x 1", 256u64, "2 x 2 x 1 x 1", 512u64),
+        (4096, 8, "4 x 2 x 1 x 1", 512, "2 x 2 x 2 x 1", 1024),
+        (8192, 16, "4 x 4 x 1 x 1", 1024, "2 x 2 x 2 x 2", 2048),
+        (12288, 24, "4 x 3 x 2 x 1", 1536, "3 x 2 x 2 x 2", 2048),
+    ];
+    for ((nodes, midplanes, cur, cur_bw, new, new_bw), row) in expectations.iter().zip(&improved) {
+        assert_eq!(row.nodes, *nodes);
+        assert_eq!(row.midplanes, *midplanes);
+        assert_eq!(row.baseline.to_string(), *cur);
+        assert_eq!(row.baseline_bw, *cur_bw);
+        assert_eq!(row.improved.unwrap().to_string(), *new);
+        assert_eq!(row.improved_bw.unwrap(), *new_bw);
+    }
+}
+
+#[test]
+fn table2_and_table7_from_the_public_api() {
+    let rows = alloc::worst_vs_best(&known::juqueen());
+    assert_eq!(rows.len(), 19, "Table 7 lists 19 sizes");
+    // Table 7 worst-case bandwidths for the ring sizes.
+    for (midplanes, bw) in [(5usize, 256u64), (7, 256), (14, 512), (28, 1024), (40, 2048)] {
+        let row = rows.iter().find(|r| r.midplanes == midplanes).unwrap();
+        assert_eq!(row.baseline_bw, bw, "{midplanes} midplanes");
+        assert!(row.improved.is_none(), "{midplanes} midplanes has no spread");
+    }
+    // Table 2 rows (sizes with a spread) all show exactly a factor 2.
+    for row in rows.iter().filter(|r| r.improved.is_some()) {
+        assert_eq!(row.improved_bw.unwrap(), 2 * row.baseline_bw);
+    }
+}
+
+#[test]
+fn table5_machine_design_from_the_public_api() {
+    let machines = [known::juqueen(), known::juqueen_54(), known::juqueen_48()];
+    let rows = alloc::machine_design_table(&machines);
+    // Sizes unique to one machine appear with blanks elsewhere (e.g. 27, 54).
+    let row5 = rows.iter().find(|r| r.midplanes == 5).unwrap();
+    assert_eq!(row5.per_machine[0].unwrap().1, 256);
+    assert!(row5.per_machine[1].is_none(), "JUQUEEN-54 has no 5-midplane cuboid");
+    // Paper's Table 5 headline rows.
+    let row36 = rows.iter().find(|r| r.midplanes == 36).unwrap();
+    assert_eq!(row36.per_machine[1].unwrap().1, 3072);
+    assert_eq!(row36.per_machine[2].unwrap().1, 3072);
+    let row56 = rows.iter().find(|r| r.midplanes == 56).unwrap();
+    assert_eq!(row56.per_machine[0].unwrap().1, 2048);
+    assert!(row56.per_machine[1].is_none());
+}
+
+#[test]
+fn figure_series_are_monotone_in_the_expected_places() {
+    // Bisection bandwidth of best-case partitions never decreases when the
+    // partition size doubles within the same machine.
+    for machine in [known::mira(), known::juqueen(), known::sequoia()] {
+        let series = alloc::best_case_series(&machine, "best");
+        for &(m, bw) in &series.points {
+            if let Some(bw2) = series.at(2 * m) {
+                assert!(bw2 >= bw, "{}: {m} -> {} midplanes", machine.name(), 2 * m);
+            }
+        }
+    }
+}
+
+#[test]
+fn recommendations_agree_with_corollary_3_4() {
+    // For every feasible size on every paper machine, the recommended
+    // geometry has the minimal longest dimension among same-size geometries.
+    for machine in known::all_machines() {
+        for size in machine.feasible_sizes() {
+            let rec = analysis::recommend(&machine, size).unwrap();
+            let min_longest = machine
+                .geometries(size)
+                .into_iter()
+                .map(|g| g.longest_dim())
+                .min()
+                .unwrap();
+            assert_eq!(rec.geometry.longest_dim(), min_longest);
+        }
+    }
+}
+
+#[test]
+fn proposed_mira_policy_needs_no_further_changes() {
+    let report = analysis::analyze_policy(&AllocationSystem::mira_proposed());
+    assert!(report.is_optimal());
+    // And the proposed geometries are exactly the ones from the paper.
+    let proposed = AllocationSystem::mira_proposed();
+    assert_eq!(
+        proposed.allowed_geometries(24),
+        vec![PartitionGeometry::new([3, 2, 2, 2])]
+    );
+}

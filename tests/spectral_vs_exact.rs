@@ -1,0 +1,182 @@
+//! Cross-crate validation of the spectral machinery against the exact
+//! isoperimetric tools on the partitions and topologies of the paper.
+
+use netpart::iso::bisection::torus_bisection_links;
+use netpart::iso::bound::general_torus_bound;
+use netpart::iso::expansion::cuboid_small_set_expansion;
+use netpart::machines::known;
+use netpart::spectral::{
+    approx_small_set_expansion, cheeger_bounds, spectral_bisection, torus_combinatorial_spectrum,
+    EigenOptions, Laplacian,
+};
+use netpart::topology::{Circulant, SlimFly, Tofu, Topology, Torus};
+
+/// The Fiedler sweep recovers the closed-form bisection on the current
+/// 4-midplane Mira geometry (Table 1, first row) exactly, and never reports a
+/// cut below the closed form on the proposed geometry (whose Fiedler
+/// eigenspace is degenerate between the two equal longest dimensions, so the
+/// sweep is only guaranteed to be an upper bound there).
+#[test]
+fn spectral_sweep_matches_closed_form_on_table1_geometries() {
+    // Node-level dims: midplanes are 4x4x4x4x2 blocks; fold the factor 4
+    // into the first four dimensions.
+    let current = vec![16usize, 4, 4, 4, 2];
+    let torus = Torus::new(current.clone());
+    let sweep = spectral_bisection(&torus, EigenOptions::default());
+    assert_eq!(sweep.cut_capacity as u64, torus_bisection_links(&current));
+
+    let proposed = vec![8usize, 8, 4, 4, 2];
+    let torus = Torus::new(proposed.clone());
+    let sweep = spectral_bisection(&torus, EigenOptions::default());
+    let closed_form = torus_bisection_links(&proposed);
+    assert!(sweep.cut_capacity as u64 >= closed_form);
+    assert!(
+        sweep.cut_capacity <= 1.8 * closed_form as f64,
+        "degenerate-eigenspace sweep {} too far above the closed form {closed_form}",
+        sweep.cut_capacity
+    );
+    // Either way the proposed geometry's closed-form bisection is the x2
+    // improvement the paper reports.
+    assert_eq!(closed_form, 2 * torus_bisection_links(&current));
+}
+
+/// The closed-form torus spectrum and the iterative eigensolver agree on a
+/// midplane-shaped torus, and the algebraic connectivity is dictated by the
+/// longest dimension (the quantity the paper's Corollary 3.4 manipulates).
+#[test]
+fn fiedler_value_tracks_longest_dimension() {
+    let short = Torus::new(vec![4, 4, 2]);
+    let long = Torus::new(vec![8, 2, 2]);
+    let lambda_short = spectral_bisection(&short, EigenOptions::default()).lambda2;
+    let lambda_long = spectral_bisection(&long, EigenOptions::default()).lambda2;
+    assert!(
+        lambda_long < lambda_short,
+        "stretching the longest dimension must reduce algebraic connectivity: {lambda_long} vs {lambda_short}"
+    );
+    let spectrum = torus_combinatorial_spectrum(&[8, 2, 2]);
+    assert!((lambda_long - spectrum[1]).abs() < 1e-6);
+}
+
+/// The spectral small-set-expansion certificate never undercuts the exact
+/// cuboid expansion, and the Cheeger lower bound never exceeds it.
+#[test]
+fn spectral_certificates_bracket_cuboid_expansion() {
+    for dims in [vec![8usize, 4, 2], vec![6, 4, 2], vec![4, 4, 4]] {
+        let torus = Torus::new(dims.clone());
+        let n = torus.num_nodes();
+        let t = n / 2;
+        let cert = approx_small_set_expansion(&torus, t, 2, EigenOptions::default());
+        let exact = cuboid_small_set_expansion(&dims, t as u64);
+        assert!(
+            cert.expansion_upper_bound() >= exact - 1e-9,
+            "dims {dims:?}: certificate {} below cuboid optimum {exact}",
+            cert.expansion_upper_bound()
+        );
+        let bounds = cheeger_bounds(&torus, EigenOptions::default());
+        // Conductance lower bound <= conductance of the optimal set <= its
+        // expansion (for a regular graph conductance = cut/(d|A|) <= cut/(interior+cut)).
+        assert!(
+            bounds.lower <= exact + 1e-9,
+            "dims {dims:?}: Cheeger lower bound {} above exact expansion {exact}",
+            bounds.lower
+        );
+    }
+}
+
+/// Theorem 3.1's bound and the spectral `λ₂·N/4` bound are both valid lower
+/// bounds on the bisection; the isoperimetric one is tighter on tori.
+#[test]
+fn isoperimetric_bound_is_tighter_than_spectral_on_tori() {
+    for dims in [vec![8usize, 4, 4, 2], vec![12, 4, 4, 2], vec![16, 8, 4, 2]] {
+        let n: u64 = dims.iter().map(|&a| a as u64).product();
+        let torus = Torus::new(dims.clone());
+        let sweep = spectral_bisection(&torus, EigenOptions::default());
+        let closed_form = torus_bisection_links(&dims) as f64;
+        let theorem_bound = general_torus_bound(&dims, n / 2);
+        assert!(sweep.lower_bound <= closed_form + 1e-6, "dims {dims:?}");
+        assert!(theorem_bound <= closed_form + 1e-6, "dims {dims:?}");
+        assert!(
+            theorem_bound >= sweep.lower_bound - 1e-6,
+            "dims {dims:?}: Theorem 3.1 ({theorem_bound}) should dominate λ₂N/4 ({})",
+            sweep.lower_bound
+        );
+    }
+}
+
+/// Section 5 topologies: the spectral tools apply where no torus closed form
+/// exists, and their certificates are internally consistent.
+#[test]
+fn section5_topologies_have_consistent_spectral_certificates() {
+    let slimfly = SlimFly::new(5);
+    let sf = spectral_bisection(&slimfly, EigenOptions::default());
+    assert!(sf.is_consistent());
+    // The Hoffman–Singleton-like MMS(5) graph is an excellent expander: its
+    // bisection is a large fraction of its 175 links.
+    assert!(sf.cut_capacity >= 50.0, "Slim Fly bisection {}", sf.cut_capacity);
+
+    let expander = Circulant::spread(64, 3);
+    let ring = Circulant::new(64, vec![1]);
+    let e = spectral_bisection(&expander, EigenOptions::default());
+    let r = spectral_bisection(&ring, EigenOptions::default());
+    assert!(e.is_consistent() && r.is_consistent());
+    assert_eq!(r.cut_capacity, 2.0);
+    assert!(
+        e.cut_capacity > 4.0 * r.cut_capacity,
+        "expander bisection {} vs ring {}",
+        e.cut_capacity,
+        r.cut_capacity
+    );
+
+    // A ToFu block with a unique longest dimension: the Fiedler sweep matches
+    // the closed-form torus bisection exactly.
+    let tofu = Tofu::new(4, 2, 2);
+    let t = spectral_bisection(&tofu, EigenOptions::default());
+    assert_eq!(t.cut_capacity as u64, torus_bisection_links(tofu.dims()));
+}
+
+/// The normalized-Laplacian kernel of a Blue Gene/Q partition is annihilated,
+/// and the JUQUEEN full machine's algebraic connectivity reflects its very
+/// long first dimension — the design observation behind the JUQUEEN-48/-54
+/// proposals.
+#[test]
+fn juqueen_connectivity_reflects_machine_design() {
+    let juqueen_midplanes = Torus::new(vec![7, 2, 2, 2]);
+    let juqueen54_midplanes = Torus::new(vec![3, 3, 3, 2]);
+    let lap = Laplacian::combinatorial(&juqueen_midplanes);
+    let kernel = lap.kernel_vector();
+    assert!(lap.apply(&kernel).iter().all(|v| v.abs() < 1e-12));
+    let j = spectral_bisection(&juqueen_midplanes, EigenOptions::default());
+    let j54 = spectral_bisection(&juqueen54_midplanes, EigenOptions::default());
+    assert!(
+        j54.lambda2 > j.lambda2,
+        "the better-balanced machine must have higher algebraic connectivity"
+    );
+}
+
+/// Mira's proposed partition catalogue: every proposed geometry has an
+/// algebraic connectivity at least as large as the current geometry of the
+/// same size (the spectral reflection of Corollary 3.4).
+#[test]
+fn proposed_mira_geometries_never_lose_algebraic_connectivity() {
+    let current = known::mira_scheduler_partitions();
+    let proposed = known::mira_proposed_partitions();
+    for (midplanes, new_geometry) in proposed {
+        let (_, old_geometry) = current
+            .iter()
+            .find(|(m, _)| *m == midplanes)
+            .expect("proposed sizes are a subset of scheduler sizes");
+        let old_torus = Torus::new(old_geometry.node_dims().to_vec());
+        let new_torus = Torus::new(new_geometry.node_dims().to_vec());
+        // Midplane counts above 16 give tori of 8k+ nodes; the Fiedler value
+        // is still cheap because only one eigenpair is needed.
+        if old_torus.num_nodes() > 10_000 {
+            continue;
+        }
+        let old_lambda = spectral_bisection(&old_torus, EigenOptions::default()).lambda2;
+        let new_lambda = spectral_bisection(&new_torus, EigenOptions::default()).lambda2;
+        assert!(
+            new_lambda >= old_lambda - 1e-9,
+            "{midplanes} midplanes: proposed λ₂ {new_lambda} below current {old_lambda}"
+        );
+    }
+}

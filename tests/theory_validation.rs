@@ -1,0 +1,121 @@
+//! Property-based validation of the paper's theory against brute force,
+//! spanning the topology and isoperimetry crates.
+
+use netpart::iso::{bound, cuboid, exact, harper, lindsey};
+use netpart::topology::{indicator, Hypercube, HyperX, Topology, Torus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1: the bound never exceeds the cut of any cuboid subset.
+    #[test]
+    fn theorem_3_1_is_a_valid_cuboid_lower_bound(
+        dims in proptest::collection::vec(2usize..6, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let torus = Torus::new(dims.clone());
+        let n: u64 = dims.iter().map(|&a| a as u64).product();
+        let t = 1 + seed % (n / 2).max(1);
+        let shapes = cuboid::enumerate_cuboid_extents(&dims, t);
+        let lower = if shapes.is_empty() { 0.0 } else { bound::general_torus_bound(&dims, t) };
+        for extent in shapes {
+            let cut = torus.cuboid_cut_size(&extent) as f64;
+            prop_assert!(lower <= cut + 1e-6, "dims {:?}, t {}, extent {:?}: bound {} > cut {}", dims, t, extent, lower, cut);
+        }
+    }
+
+    /// The cuboid cut formula equals brute-force edge counting.
+    #[test]
+    fn cuboid_cut_formula_matches_graph_counting(
+        dims in proptest::collection::vec(1usize..5, 2..4),
+        seed in 0u64..1000,
+    ) {
+        let torus = Torus::new(dims.clone());
+        // Pick a random valid extent.
+        let extent: Vec<usize> = dims.iter().enumerate().map(|(i, &a)| 1 + (seed as usize + i * 7) % a).collect();
+        let cuboid = netpart::topology::torus::Cuboid::at_origin(extent.clone());
+        let nodes = torus.cuboid_nodes(&cuboid);
+        let ind = indicator(torus.num_nodes(), &nodes);
+        prop_assert_eq!(torus.cuboid_cut_size(&extent), torus.cut_size(&ind) as u64);
+    }
+
+    /// Equation (1): k|A| = 2|E(A,A)| + |E(A, A_bar)| on regular tori.
+    #[test]
+    fn handshake_identity_on_regular_tori(
+        dims in proptest::collection::vec(2usize..5, 2..4),
+        mask in 0u64..u64::MAX,
+    ) {
+        let torus = Torus::new(dims);
+        let n = torus.num_nodes();
+        let subset: Vec<usize> = (0..n).filter(|&v| (mask >> (v % 64)) & 1 == 1).collect();
+        let ind = indicator(n, &subset);
+        let k = torus.degree(0);
+        prop_assert!(torus.is_regular());
+        prop_assert_eq!(k * subset.len(), 2 * torus.interior_size(&ind) + torus.cut_size(&ind));
+    }
+
+    /// Harper's closed form equals explicit counting on hypercubes.
+    #[test]
+    fn harper_matches_counting(d in 1u32..6, t_seed in 0u64..1 << 16) {
+        let q = Hypercube::new(d);
+        let n = q.num_nodes() as u64;
+        let t = t_seed % (n + 1);
+        let segment = harper::harper_initial_segment(d, t);
+        let ind = indicator(q.num_nodes(), &segment);
+        prop_assert_eq!(harper::harper_cut(d, t), q.cut_size(&ind) as u64);
+    }
+
+    /// Lindsey's closed form equals explicit counting on clique products.
+    #[test]
+    fn lindsey_matches_counting(
+        dims in proptest::collection::vec(2usize..5, 1..4),
+        t_seed in 0u64..1 << 16,
+    ) {
+        let hx = HyperX::regular(dims.clone());
+        let n = hx.num_nodes() as u64;
+        let t = t_seed % (n + 1);
+        let coords = lindsey::lindsey_initial_segment(&dims, t);
+        let nodes: Vec<usize> = coords.iter().map(|c| hx.index_of(c)).collect();
+        let ind = indicator(hx.num_nodes(), &nodes);
+        prop_assert_eq!(lindsey::lindsey_cut(&dims, t), hx.cut_size(&ind) as u64);
+    }
+}
+
+#[test]
+fn theorem_3_1_conjecture_holds_for_arbitrary_subsets_on_small_tori() {
+    // The paper conjectures the bound extends beyond cuboids; exhaustive
+    // check on tori small enough to enumerate.
+    for dims in [vec![4usize, 2, 2], vec![3, 3, 2], vec![4, 4]] {
+        let torus = Torus::new(dims.clone());
+        let n = torus.num_nodes();
+        for t in 1..=n / 2 {
+            let (_, best) = exact::exact_min_cut(&torus, t);
+            let lower = bound::general_torus_bound(&dims, t as u64);
+            assert!(
+                lower <= best as f64 + 1e-6,
+                "dims {dims:?}, t {t}: bound {lower} exceeds exact optimum {best}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bisection_formula_matches_minimum_cuboid_cut_on_paper_partitions() {
+    use netpart::machines::known;
+    for machine in known::all_machines() {
+        for size in machine.feasible_sizes() {
+            for geometry in machine.geometries(size) {
+                let dims = geometry.node_dims();
+                let n: u64 = dims.iter().map(|&a| a as u64).product();
+                let (_, min_cuboid) = cuboid::min_cut_cuboid(&dims, n / 2).unwrap();
+                assert_eq!(
+                    geometry.bisection_links(),
+                    min_cuboid,
+                    "{} {geometry}",
+                    machine.name()
+                );
+            }
+        }
+    }
+}
