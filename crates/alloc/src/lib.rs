@@ -39,7 +39,11 @@ pub mod report;
 pub mod scheduler;
 pub mod series;
 
-pub use optimize::{best_geometry, extremes, propose_improvement, worst_geometry, GeometryExtremes};
-pub use report::{current_vs_proposed, machine_design_table, render_comparison, worst_vs_best, ComparisonRow};
+pub use optimize::{
+    best_geometry, extremes, propose_improvement, worst_geometry, GeometryExtremes,
+};
+pub use report::{
+    current_vs_proposed, machine_design_table, render_comparison, worst_vs_best, ComparisonRow,
+};
 pub use scheduler::{advise, Advice, ContentionHint, JobRequest};
 pub use series::{best_case_series, render_series, scheduler_series, worst_case_series, Series};

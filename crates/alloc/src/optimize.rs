@@ -40,26 +40,20 @@ impl GeometryExtremes {
 /// Ties are broken towards the lexicographically smallest canonical geometry
 /// so results are deterministic.
 pub fn best_geometry(machine: &BlueGeneQ, midplanes: usize) -> Option<PartitionGeometry> {
-    machine
-        .geometries(midplanes)
-        .into_iter()
-        .max_by(|a, b| {
-            a.bisection_links()
-                .cmp(&b.bisection_links())
-                .then_with(|| b.cmp(a))
-        })
+    machine.geometries(midplanes).into_iter().max_by(|a, b| {
+        a.bisection_links()
+            .cmp(&b.bisection_links())
+            .then_with(|| b.cmp(a))
+    })
 }
 
 /// The geometry of the given size with minimal internal bisection bandwidth.
 pub fn worst_geometry(machine: &BlueGeneQ, midplanes: usize) -> Option<PartitionGeometry> {
-    machine
-        .geometries(midplanes)
-        .into_iter()
-        .min_by(|a, b| {
-            a.bisection_links()
-                .cmp(&b.bisection_links())
-                .then_with(|| a.cmp(b))
-        })
+    machine.geometries(midplanes).into_iter().min_by(|a, b| {
+        a.bisection_links()
+            .cmp(&b.bisection_links())
+            .then_with(|| a.cmp(b))
+    })
 }
 
 /// Best and worst geometries together.
@@ -105,7 +99,11 @@ mod tests {
         for (m, best, worst) in cases {
             let e = extremes(&juqueen, m).unwrap();
             assert_eq!(e.best, PartitionGeometry::new(best), "{m} midplanes best");
-            assert_eq!(e.worst, PartitionGeometry::new(worst), "{m} midplanes worst");
+            assert_eq!(
+                e.worst,
+                PartitionGeometry::new(worst),
+                "{m} midplanes worst"
+            );
         }
     }
 
@@ -137,7 +135,11 @@ mod tests {
                     let want = expected
                         .get(&size)
                         .unwrap_or_else(|| panic!("unexpected improvement for size {size}"));
-                    assert_eq!(best.bisection_links(), want.bisection_links(), "size {size}");
+                    assert_eq!(
+                        best.bisection_links(),
+                        want.bisection_links(),
+                        "size {size}"
+                    );
                     assert!(speedup > 1.0);
                 }
                 None => {

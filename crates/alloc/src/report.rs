@@ -142,7 +142,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect();
         format!("| {} |\n", padded.join(" | "))
     };
-    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push_str(&fmt_row(
         widths.iter().map(|w| "-".repeat(*w)).collect(),
         &widths,
@@ -154,7 +157,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Format a comparison report in the layout of Tables 1/2/6/7.
-pub fn render_comparison(rows: &[ComparisonRow], baseline_label: &str, improved_label: &str) -> String {
+pub fn render_comparison(
+    rows: &[ComparisonRow],
+    baseline_label: &str,
+    improved_label: &str,
+) -> String {
     let headers = [
         "P (nodes)",
         "Midplanes",
@@ -248,7 +255,10 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), rows.len() + 2);
         let width = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == width), "all lines same width");
+        assert!(
+            lines.iter().all(|l| l.len() == width),
+            "all lines same width"
+        );
         assert!(text.contains("2 x 2 x 2 x 2"));
     }
 

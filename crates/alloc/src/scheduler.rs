@@ -127,8 +127,14 @@ mod tests {
     fn contention_bound_jobs_should_wait_for_short_queues() {
         let juqueen = known::juqueen();
         let offered = PartitionGeometry::new([4, 2, 1, 1]); // 512 links, best is 1024
+
         // Running now costs 2000 s; waiting 300 s then running costs 1300 s.
-        let advice = advise(&juqueen, &job(ContentionHint::ContentionBound), &offered, 300.0);
+        let advice = advise(
+            &juqueen,
+            &job(ContentionHint::ContentionBound),
+            &offered,
+            300.0,
+        );
         match advice {
             Advice::WaitForBetter {
                 predicted_runtime,
@@ -153,7 +159,12 @@ mod tests {
     fn long_queues_flip_the_decision() {
         let juqueen = known::juqueen();
         let offered = PartitionGeometry::new([4, 2, 1, 1]);
-        let advice = advise(&juqueen, &job(ContentionHint::ContentionBound), &offered, 5000.0);
+        let advice = advise(
+            &juqueen,
+            &job(ContentionHint::ContentionBound),
+            &offered,
+            5000.0,
+        );
         match advice {
             Advice::AllocateNow { predicted_runtime } => {
                 assert!((predicted_runtime - 2000.0).abs() < 1e-9);
@@ -176,7 +187,12 @@ mod tests {
     fn optimal_offer_is_always_accepted() {
         let juqueen = known::juqueen();
         let offered = PartitionGeometry::new([2, 2, 2, 1]);
-        let advice = advise(&juqueen, &job(ContentionHint::ContentionBound), &offered, 1.0);
+        let advice = advise(
+            &juqueen,
+            &job(ContentionHint::ContentionBound),
+            &offered,
+            1.0,
+        );
         assert!(matches!(advice, Advice::AllocateNow { .. }));
     }
 

@@ -95,9 +95,11 @@ pub fn render_series(series: &[Series]) -> String {
         .iter()
         .map(|&m| {
             let mut row = vec![m.to_string()];
-            row.extend(series.iter().map(|s| {
-                s.at(m).map(|bw| bw.to_string()).unwrap_or_default()
-            }));
+            row.extend(
+                series
+                    .iter()
+                    .map(|s| s.at(m).map(|bw| bw.to_string()).unwrap_or_default()),
+            );
             row
         })
         .collect();
@@ -112,7 +114,8 @@ mod tests {
 
     #[test]
     fn figure1_series_values() {
-        let production = scheduler_series(&AllocationSystem::mira_production(), "Current partitions");
+        let production =
+            scheduler_series(&AllocationSystem::mira_production(), "Current partitions");
         let proposed = best_case_series_at(
             &known::mira(),
             &AllocationSystem::mira_production().supported_sizes(),

@@ -13,11 +13,16 @@ fn bench_models(c: &mut Criterion) {
     let flows = traffic::pairwise_exchange_flows(&traffic::bisection_pairs(&network), 2.0);
     let sim = FlowSim::default();
     group.bench_with_input(BenchmarkId::from_parameter("maxmin_fluid"), &(), |b, ()| {
-        b.iter(|| sim.simulate(black_box(&network), black_box(&flows)).makespan)
+        b.iter(|| {
+            sim.simulate(black_box(&network), black_box(&flows))
+                .makespan
+        })
     });
-    group.bench_with_input(BenchmarkId::from_parameter("static_bottleneck"), &(), |b, ()| {
-        b.iter(|| sim.static_estimate(black_box(&network), black_box(&flows)))
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("static_bottleneck"),
+        &(),
+        |b, ()| b.iter(|| sim.static_estimate(black_box(&network), black_box(&flows))),
+    );
     group.finish();
 }
 

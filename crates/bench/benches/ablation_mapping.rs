@@ -19,7 +19,10 @@ fn bench_mappings(c: &mut Criterion) {
             let phases = collectives::group_counterpart_exchange(&mapping, 7, 0.01);
             let flows = aggregate_flows(&phases[0]);
             let sim = FlowSim::default();
-            b.iter(|| sim.simulate(black_box(&network), black_box(&flows)).makespan)
+            b.iter(|| {
+                sim.simulate(black_box(&network), black_box(&flows))
+                    .makespan
+            })
         });
     }
     group.finish();

@@ -18,8 +18,14 @@ fn bench_tie_breaks(c: &mut Criterion) {
         ("node_parity", TieBreak::NodeParity),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &tie_break, |b, &tb| {
-            let sim = FlowSim::new(DimensionOrdered { tie_break: tb, reverse_dimension_order: false });
-            b.iter(|| sim.simulate(black_box(&network), black_box(&flows)).makespan)
+            let sim = FlowSim::new(DimensionOrdered {
+                tie_break: tb,
+                reverse_dimension_order: false,
+            });
+            b.iter(|| {
+                sim.simulate(black_box(&network), black_box(&flows))
+                    .makespan
+            })
         });
     }
     group.finish();

@@ -30,7 +30,10 @@ fn bench_routing_throughput(c: &mut Criterion) {
         let network = TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]);
         let sim = FlowSim::default();
         let flows = traffic::pairwise_exchange_flows(&traffic::bisection_pairs(&network), 1.0);
-        b.iter(|| sim.route_flows(black_box(&network), black_box(&flows)).len())
+        b.iter(|| {
+            sim.route_flows(black_box(&network), black_box(&flows))
+                .len()
+        })
     });
 }
 

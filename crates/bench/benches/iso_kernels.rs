@@ -31,9 +31,16 @@ fn bench_cuboid_search(c: &mut Criterion) {
 
 fn bench_expansion(c: &mut Criterion) {
     c.bench_function("cuboid_small_set_expansion_midplane", |b| {
-        b.iter(|| expansion::cuboid_small_set_expansion(black_box(&[4, 4, 4, 4, 2]), black_box(256)))
+        b.iter(|| {
+            expansion::cuboid_small_set_expansion(black_box(&[4, 4, 4, 4, 2]), black_box(256))
+        })
     });
 }
 
-criterion_group!(benches, bench_bound_evaluation, bench_cuboid_search, bench_expansion);
+criterion_group!(
+    benches,
+    bench_bound_evaluation,
+    bench_cuboid_search,
+    bench_expansion
+);
 criterion_main!(benches);

@@ -15,7 +15,9 @@ const HIGH: [usize; 4] = [4, 4, 4, 2];
 
 fn bench_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("bisection_sensitivity");
-    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12));
     let workloads = [
         ("pairing", Workload::BisectionPairing { gigabytes: 0.25 }),
         ("fft", Workload::Fft(FftConfig::four_step(1 << 22, 128))),
@@ -37,7 +39,9 @@ fn bench_sensitivity(c: &mut Criterion) {
 
 fn bench_contention_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("contention_bound");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     // The analytic bound on a full-scale Mira partition (no simulation).
     let model = ContentionModel::bgq(Kernel::StrassenMatmul { n: 32_928 });
     let dims = [16usize, 16, 4, 4, 2];

@@ -18,7 +18,9 @@ fn bench_policies(c: &mut Criterion) {
     let trace = generate_trace(&config);
 
     let mut group = c.benchmark_group("scheduler_policy");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for policy in [
         SchedPolicy::WorstAvailableBisection,
         SchedPolicy::BestAvailableBisection,
@@ -36,7 +38,9 @@ fn bench_policies(c: &mut Criterion) {
 fn bench_placement_search(c: &mut Criterion) {
     let mira = known::mira();
     let mut group = c.benchmark_group("placement");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("empty_machine_16_midplanes", |b| {
         let grid = netpart_sched::OccupancyGrid::new(&mira);
         let geometry = netpart_machines::PartitionGeometry::new([2, 2, 2, 2]);

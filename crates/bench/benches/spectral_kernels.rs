@@ -2,15 +2,15 @@
 //! extraction and sweep-based bisection on partition-sized tori.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use netpart_spectral::{
-    fiedler, spectral_bisection, EigenOptions, Laplacian,
-};
+use netpart_spectral::{fiedler, spectral_bisection, EigenOptions, Laplacian};
 use netpart_topology::{SlimFly, Torus};
 use std::time::Duration;
 
 fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("spectral");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group
 }
 
@@ -51,5 +51,10 @@ fn bench_spectral_bisection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_laplacian_matvec, bench_fiedler, bench_spectral_bisection);
+criterion_group!(
+    benches,
+    bench_laplacian_matvec,
+    bench_fiedler,
+    bench_spectral_bisection
+);
 criterion_main!(benches);

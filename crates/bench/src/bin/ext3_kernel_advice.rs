@@ -33,8 +33,8 @@ fn main() {
     for (label, kernel) in kernels {
         let model = ContentionModel::bgq(kernel);
         for midplanes in [4usize, 8, 16, 24] {
-            let advice = advise_kernel(&mira, &model, &node, midplanes)
-                .expect("Mira supports these sizes");
+            let advice =
+                advise_kernel(&mira, &model, &node, midplanes).expect("Mira supports these sizes");
             let worst = &advice.worst_breakdown;
             rows.push(vec![
                 label.to_string(),
@@ -44,7 +44,12 @@ fn main() {
                 secs(worst.compute_seconds),
                 format!("{:?}", advice.regime()),
                 format!("{:.2}", advice.predicted_speedup()),
-                if advice.geometry_matters() { "yes" } else { "no" }.to_string(),
+                if advice.geometry_matters() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
         }
     }

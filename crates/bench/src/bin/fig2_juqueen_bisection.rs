@@ -15,6 +15,8 @@ fn main() {
         "Figure 2",
     );
     out.push_str(&render_series(&series));
-    out.push_str("\nThe drops at 5, 7, 10, 14, 20, 28 and 40 midplanes are ring-shaped partitions.\n");
+    out.push_str(
+        "\nThe drops at 5, 7, 10, 14, 20, 28 and 40 midplanes are ring-shaped partitions.\n",
+    );
     emit("fig2_juqueen_bisection", &out);
 }

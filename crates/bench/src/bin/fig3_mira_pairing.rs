@@ -10,7 +10,13 @@ use netpart_netsim::PingPongPlan;
 fn main() {
     let cases = mira_fig3_cases();
     let measurements = bisection_pairing_experiment(&cases, PingPongPlan::paper_default());
-    let headers = ["Midplanes", "Geometry family", "Geometry", "Bisection links", "Time (s)"];
+    let headers = [
+        "Midplanes",
+        "Geometry family",
+        "Geometry",
+        "Bisection links",
+        "Time (s)",
+    ];
     let body: Vec<Vec<String>> = measurements
         .iter()
         .map(|m| {

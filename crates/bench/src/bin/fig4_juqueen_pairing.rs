@@ -2,13 +2,21 @@
 
 use netpart_alloc::report::render_table;
 use netpart_bench::{emit, header, secs};
-use netpart_core::experiments::{bisection_pairing_experiment, juqueen_fig4_cases, pairing_speedups};
+use netpart_core::experiments::{
+    bisection_pairing_experiment, juqueen_fig4_cases, pairing_speedups,
+};
 use netpart_netsim::PingPongPlan;
 
 fn main() {
     let cases = juqueen_fig4_cases();
     let measurements = bisection_pairing_experiment(&cases, PingPongPlan::paper_default());
-    let headers = ["Midplanes", "Geometry family", "Geometry", "Bisection links", "Time (s)"];
+    let headers = [
+        "Midplanes",
+        "Geometry family",
+        "Geometry",
+        "Bisection links",
+        "Time (s)",
+    ];
     let body: Vec<Vec<String>> = measurements
         .iter()
         .map(|m| {

@@ -22,9 +22,14 @@ fn main() {
     };
     let results = mira_matmul_experiment(&configs);
     let headers = [
-        "Midplanes", "Ranks", "Matrix dim",
-        "Comm current (s)", "Comm proposed (s)", "Comm ratio",
-        "Computation (s)", "Wallclock ratio",
+        "Midplanes",
+        "Ranks",
+        "Matrix dim",
+        "Comm current (s)",
+        "Comm proposed (s)",
+        "Comm ratio",
+        "Computation (s)",
+        "Wallclock ratio",
     ];
     let body: Vec<Vec<String>> = results
         .iter()

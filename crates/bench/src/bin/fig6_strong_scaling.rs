@@ -3,14 +3,18 @@
 use netpart_alloc::report::render_table;
 use netpart_bench::{emit, header, secs};
 use netpart_netsim::FlowSim;
-use netpart_strassen::scaling::{communication_scaling_efficiency, mira_table4_plan, run_strong_scaling};
+use netpart_strassen::scaling::{
+    communication_scaling_efficiency, mira_table4_plan, run_strong_scaling,
+};
 
 fn main() {
     let plan = mira_table4_plan();
     let results = run_strong_scaling(&plan, &FlowSim::default());
     let headers = [
-        "Midplanes", "Computation (s)",
-        "Communication current (s)", "Communication proposed (s)",
+        "Midplanes",
+        "Computation (s)",
+        "Communication current (s)",
+        "Communication proposed (s)",
     ];
     let body: Vec<Vec<String>> = results
         .iter()
@@ -33,7 +37,9 @@ fn main() {
         .into_iter()
         .zip(communication_scaling_efficiency(&results, true))
     {
-        out.push_str(&format!("  {m} midplanes: current {cur:.2}, proposed {prop:.2}\n"));
+        out.push_str(&format!(
+            "  {m} midplanes: current {cur:.2}, proposed {prop:.2}\n"
+        ));
     }
     emit("fig6_strong_scaling", &out);
 }

@@ -13,6 +13,10 @@ fn main() {
         "Mira: current vs proposed partition geometries (improved sizes only)",
         "Table 1",
     );
-    out.push_str(&render_comparison(&rows, "Current Geometry", "Proposed Geometry"));
+    out.push_str(&render_comparison(
+        &rows,
+        "Current Geometry",
+        "Proposed Geometry",
+    ));
     emit("table1_mira_improved", &out);
 }

@@ -7,12 +7,24 @@ use netpart_mpi::{MappingStrategy, RankMapping};
 use netpart_strassen::mira_table3_configs;
 
 fn main() {
-    let headers = ["P (nodes)", "Midplanes", "MPI Ranks", "Max. active cores", "Avg cores per proc", "Matrix dimension"];
+    let headers = [
+        "P (nodes)",
+        "Midplanes",
+        "MPI Ranks",
+        "Max. active cores",
+        "Avg cores per proc",
+        "Matrix dimension",
+    ];
     let body: Vec<Vec<String>> = mira_table3_configs()
         .into_iter()
         .map(|(midplanes, config)| {
             let nodes = midplanes * NODES_PER_MIDPLANE;
-            let mapping = RankMapping::new(config.ranks, nodes, config.max_ranks_per_node, MappingStrategy::Balanced);
+            let mapping = RankMapping::new(
+                config.ranks,
+                nodes,
+                config.max_ranks_per_node,
+                MappingStrategy::Balanced,
+            );
             vec![
                 nodes.to_string(),
                 midplanes.to_string(),
@@ -23,7 +35,10 @@ fn main() {
             ]
         })
         .collect();
-    let mut out = header("Parameters of the matrix multiplication experiment on Mira", "Table 3");
+    let mut out = header(
+        "Parameters of the matrix multiplication experiment on Mira",
+        "Table 3",
+    );
     out.push_str(&render_table(&headers, &body));
     emit("table3_matmul_params", &out);
 }

@@ -7,7 +7,15 @@ use netpart_mpi::{MappingStrategy, RankMapping};
 use netpart_strassen::mira_table4_plan;
 
 fn main() {
-    let headers = ["P (nodes)", "Midplanes", "MPI Ranks", "Max. active cores", "Avg cores per proc", "Current BW", "Proposed BW"];
+    let headers = [
+        "P (nodes)",
+        "Midplanes",
+        "MPI Ranks",
+        "Max. active cores",
+        "Avg cores per proc",
+        "Current BW",
+        "Proposed BW",
+    ];
     let body: Vec<Vec<String>> = mira_table4_plan()
         .into_iter()
         .map(|point| {

@@ -8,10 +8,14 @@ fn main() {
     let machines = [known::juqueen(), known::juqueen_54(), known::juqueen_48()];
     let rows = machine_design_table(&machines);
     let headers = [
-        "P (nodes)", "Midplanes",
-        "JUQUEEN", "J BW",
-        "JUQUEEN-54", "J-54 BW",
-        "JUQUEEN-48", "J-48 BW",
+        "P (nodes)",
+        "Midplanes",
+        "JUQUEEN",
+        "J BW",
+        "JUQUEEN-54",
+        "J-54 BW",
+        "JUQUEEN-48",
+        "J-48 BW",
     ];
     let body: Vec<Vec<String>> = rows
         .iter()

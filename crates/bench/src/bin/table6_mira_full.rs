@@ -10,6 +10,10 @@ fn main() {
         "Mira: normalized bisection bandwidths of all current and proposed partitions",
         "Table 6 (Appendix A)",
     );
-    out.push_str(&render_comparison(&rows, "Current Geometry", "New Geometry"));
+    out.push_str(&render_comparison(
+        &rows,
+        "Current Geometry",
+        "New Geometry",
+    ));
     emit("table6_mira_full", &out);
 }

@@ -10,6 +10,10 @@ fn main() {
         "JUQUEEN: allocation best and worst cases by compute node count",
         "Table 7 (Appendix A)",
     );
-    out.push_str(&render_comparison(&rows, "Worst-case Geometry", "Proposed Geometry"));
+    out.push_str(&render_comparison(
+        &rows,
+        "Worst-case Geometry",
+        "Proposed Geometry",
+    ));
     emit("table7_juqueen_full", &out);
 }

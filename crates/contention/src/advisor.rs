@@ -9,7 +9,9 @@
 //! improved if they are informed whether a given computation is expected to
 //! be network-bound or not".
 
-use crate::bounds::{runtime_breakdown, ContentionModel, NodeModel, RuntimeBreakdown, RuntimeRegime};
+use crate::bounds::{
+    runtime_breakdown, ContentionModel, NodeModel, RuntimeBreakdown, RuntimeRegime,
+};
 use netpart_machines::{BlueGeneQ, PartitionGeometry};
 use serde::{Deserialize, Serialize};
 
@@ -127,7 +129,10 @@ mod tests {
         for midplanes in [4usize, 8, 16] {
             let advice = advise_kernel(&mira, &model, &node, midplanes).unwrap();
             assert_eq!(advice.regime(), RuntimeRegime::ContentionBound);
-            assert!((advice.predicted_speedup() - 2.0).abs() < 1e-9, "{midplanes} midplanes");
+            assert!(
+                (advice.predicted_speedup() - 2.0).abs() < 1e-9,
+                "{midplanes} midplanes"
+            );
             assert!(advice.geometry_matters());
         }
         // 24 midplanes: 1536 -> 2048 links, predicted x1.33.
@@ -167,7 +172,10 @@ mod tests {
         let advices = sizes_where_geometry_matters(&juqueen, &model, &node);
         let sizes: Vec<usize> = advices.iter().map(|a| a.midplanes).collect();
         for expected in [4usize, 6, 8, 12, 16, 24] {
-            assert!(sizes.contains(&expected), "size {expected} missing from {sizes:?}");
+            assert!(
+                sizes.contains(&expected),
+                "size {expected} missing from {sizes:?}"
+            );
         }
         // Sizes whose only geometry is a ring (e.g. 5 or 7 midplanes) cannot
         // be improved and must not be reported.
@@ -186,7 +194,8 @@ mod tests {
             }
             if let Some(advice) = advise_kernel(&mira, &model, &node, midplanes) {
                 assert!(
-                    advice.best_geometry.bisection_links() >= advice.worst_geometry.bisection_links()
+                    advice.best_geometry.bisection_links()
+                        >= advice.worst_geometry.bisection_links()
                 );
                 assert!(advice.predicted_speedup() >= 1.0 - 1e-12);
             }

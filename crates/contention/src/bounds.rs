@@ -1,6 +1,6 @@
 //! Link-contention lower bounds from isoperimetric data.
 //!
-//! Ballard et al. (COMHPC 2016, reference [7] of the paper) derive lower
+//! Ballard et al. (COMHPC 2016, reference \[7\] of the paper) derive lower
 //! bounds on the *contention cost* — the number of words the busiest link
 //! must carry — of a parallel algorithm on a given network: if every set of
 //! `t` processors must exchange `Q(t)` words with its complement, then some
@@ -83,7 +83,10 @@ impl ContentionModel {
     /// Panics if the partition has fewer than 2 nodes.
     pub fn contention_bound(&self, node_dims: &[usize]) -> ContentionBound {
         let p: u64 = node_dims.iter().map(|&a| a as u64).product();
-        assert!(p >= 2, "a partition of {p} node(s) has no internal links to contend for");
+        assert!(
+            p >= 2,
+            "a partition of {p} node(s) has no internal links to contend for"
+        );
         let words = self.kernel.words_per_proc(p);
         let mut best = ContentionBound {
             words_on_busiest_link: 0.0,
@@ -331,7 +334,10 @@ mod tests {
             nbody_growth > strassen_growth,
             "nbody growth {nbody_growth} vs strassen growth {strassen_growth}"
         );
-        assert!(nbody_growth > 1.0, "contention weight must grow when strong scaling");
+        assert!(
+            nbody_growth > 1.0,
+            "contention weight must grow when strong scaling"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! future-work section singles out.
 //!
 //! The inevitable-contention machinery of Ballard et al. (COMHPC 2016,
-//! reference [7] of the paper) needs, for every kernel, a lower bound on the
+//! reference \[7\] of the paper) needs, for every kernel, a lower bound on the
 //! number of words each processor must exchange with the rest of the machine.
 //! The models below use the published communication lower bounds of the
 //! respective communication-optimal algorithms, expressed in words (8-byte

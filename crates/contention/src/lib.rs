@@ -4,7 +4,7 @@
 //! The paper's analysis tells a scheduler *which* partition geometry has the
 //! best internal bisection; this crate answers the complementary question the
 //! future-work section raises: *does it matter for this job?* Following
-//! Ballard et al. (COMHPC 2016, reference [7] of the paper), it combines
+//! Ballard et al. (COMHPC 2016, reference \[7\] of the paper), it combines
 //!
 //! * per-processor communication-cost models of the kernels of interest
 //!   ([`kernels`]: classical and Strassen-Winograd matrix multiplication,
@@ -41,7 +41,7 @@ pub mod kernels;
 
 pub use advisor::{advise_kernel, sizes_where_geometry_matters, KernelAdvice};
 pub use bounds::{
-    runtime_breakdown, ContentionBound, ContentionModel, NodeModel, RuntimeBreakdown, RuntimeRegime,
-    BYTES_PER_WORD,
+    runtime_breakdown, ContentionBound, ContentionModel, NodeModel, RuntimeBreakdown,
+    RuntimeRegime, BYTES_PER_WORD,
 };
 pub use kernels::Kernel;

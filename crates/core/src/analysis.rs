@@ -144,7 +144,10 @@ mod tests {
             ([4, 3, 2, 1], [3, 2, 2, 2], 4.0 / 3.0),
         ];
         for (worse, better, expected) in cases {
-            let s = predicted_speedup(&PartitionGeometry::new(worse), &PartitionGeometry::new(better));
+            let s = predicted_speedup(
+                &PartitionGeometry::new(worse),
+                &PartitionGeometry::new(better),
+            );
             assert!((s - expected).abs() < 1e-12);
         }
     }
@@ -153,7 +156,9 @@ mod tests {
     fn catalogs_cover_all_feasible_sizes() {
         let catalog = best_geometry_catalog(&known::juqueen_54());
         assert_eq!(catalog.len(), known::juqueen_54().feasible_sizes().len());
-        assert!(catalog.iter().any(|&(m, g)| m == 27 && g == PartitionGeometry::new([3, 3, 3, 1])));
+        assert!(catalog
+            .iter()
+            .any(|&(m, g)| m == 27 && g == PartitionGeometry::new([3, 3, 3, 1])));
     }
 
     #[test]

@@ -58,12 +58,7 @@ pub fn mira_fig3_cases() -> Vec<(usize, &'static str, PartitionGeometry)> {
         known::mira_proposed_partitions().into_iter().collect();
     [4usize, 8, 16, 24]
         .into_iter()
-        .flat_map(|m| {
-            [
-                (m, "Current", current[&m]),
-                (m, "Proposed", proposed[&m]),
-            ]
-        })
+        .flat_map(|m| [(m, "Current", current[&m]), (m, "Proposed", proposed[&m])])
         .collect()
 }
 
@@ -82,7 +77,11 @@ pub fn juqueen_fig4_cases() -> Vec<(usize, &'static str, PartitionGeometry)> {
 }
 
 /// Speedup of the second label over the first at every size present in both.
-pub fn pairing_speedups(measurements: &[PairingMeasurement], baseline: &str, improved: &str) -> Vec<(usize, f64)> {
+pub fn pairing_speedups(
+    measurements: &[PairingMeasurement],
+    baseline: &str,
+    improved: &str,
+) -> Vec<(usize, f64)> {
     let mut sizes: Vec<usize> = measurements.iter().map(|m| m.midplanes).collect();
     sizes.sort_unstable();
     sizes.dedup();
@@ -140,8 +139,18 @@ pub fn mira_matmul_experiment(configs: &[(usize, CapsConfig)]) -> Vec<MatmulMeas
         .map(|&(midplanes, config)| MatmulMeasurement {
             midplanes,
             config,
-            current: run_caps(&config, &current[&midplanes], MappingStrategy::Balanced, &sim),
-            proposed: run_caps(&config, &proposed[&midplanes], MappingStrategy::Balanced, &sim),
+            current: run_caps(
+                &config,
+                &current[&midplanes],
+                MappingStrategy::Balanced,
+                &sim,
+            ),
+            proposed: run_caps(
+                &config,
+                &proposed[&midplanes],
+                MappingStrategy::Balanced,
+                &sim,
+            ),
         })
         .collect()
 }

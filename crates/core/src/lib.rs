@@ -38,7 +38,10 @@ pub mod experiments;
 pub mod predict;
 pub mod topologies;
 
-pub use analysis::{analyze_policy, best_geometry_catalog, predicted_speedup, recommend, PolicyAnalysis, Recommendation};
+pub use analysis::{
+    analyze_policy, best_geometry_catalog, predicted_speedup, recommend, PolicyAnalysis,
+    Recommendation,
+};
 pub use experiments::{
     bisection_pairing_experiment, juqueen_fig4_cases, mira_fig3_cases, mira_fig5_configs,
     mira_matmul_experiment, pairing_speedups, MatmulMeasurement, PairingMeasurement,

@@ -27,7 +27,11 @@ pub fn hyperx_partition_bisection(dims: &[usize], capacities: &[f64]) -> f64 {
 /// The group-level bisection capacity of a Dragonfly allocation of
 /// `groups` groups under a given global-link arrangement, using the Cray XC
 /// per-link capacities (K16 links 1, K6 links 3, global links 4).
-pub fn dragonfly_partition_bisection(groups: usize, global_ports_per_router: usize, arrangement: GlobalArrangement) -> f64 {
+pub fn dragonfly_partition_bisection(
+    groups: usize,
+    global_ports_per_router: usize,
+    arrangement: GlobalArrangement,
+) -> f64 {
     let df = Dragonfly::cray_xc(groups, global_ports_per_router, arrangement);
     weighted::dragonfly_group_bisection(&df)
 }
@@ -64,7 +68,9 @@ pub fn topology_applicability_report() -> Vec<TopologyCase> {
     vec![
         TopologyCase {
             family: "Hypercube (Pleiades-like)".into(),
-            comparison: "same node count as one 10-subcube vs two disjoint 9-subcubes used as one job".into(),
+            comparison:
+                "same node count as one 10-subcube vs two disjoint 9-subcubes used as one job"
+                    .into(),
             // Two 9-subcubes glued by the scheduler have the internal bisection
             // of a 9-subcube (the job straddles them with only the links of
             // one dimension...); the single 10-subcube has 512.
@@ -80,10 +86,12 @@ pub fn topology_applicability_report() -> Vec<TopologyCase> {
         TopologyCase {
             family: "Dragonfly (Cray XC)".into(),
             comparison: "4-group allocation, relative vs circulant global arrangement".into(),
-            worse: dragonfly_partition_bisection(4, 1, GlobalArrangement::Relative)
-                .min(dragonfly_partition_bisection(4, 1, GlobalArrangement::Circulant)),
-            better: dragonfly_partition_bisection(4, 1, GlobalArrangement::Relative)
-                .max(dragonfly_partition_bisection(4, 1, GlobalArrangement::Circulant)),
+            worse: dragonfly_partition_bisection(4, 1, GlobalArrangement::Relative).min(
+                dragonfly_partition_bisection(4, 1, GlobalArrangement::Circulant),
+            ),
+            better: dragonfly_partition_bisection(4, 1, GlobalArrangement::Relative).max(
+                dragonfly_partition_bisection(4, 1, GlobalArrangement::Circulant),
+            ),
         },
         TopologyCase {
             family: "Weighted 3-D torus (Cray XK7-like)".into(),

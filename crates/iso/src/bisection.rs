@@ -41,7 +41,10 @@ pub fn torus_bisection_links(dims: &[usize]) -> u64 {
 /// [`torus_bisection_links`]).
 pub fn bgq_bisection_links(node_dims: &[usize]) -> u64 {
     let l = *node_dims.iter().max().expect("empty dimension list") as u64;
-    assert!(l >= 4 && l % 2 == 0, "BG/Q formula requires an even longest dimension >= 4");
+    assert!(
+        l >= 4 && l % 2 == 0,
+        "BG/Q formula requires an even longest dimension >= 4"
+    );
     let n: u64 = node_dims.iter().map(|&a| a as u64).product();
     2 * n / l
 }
@@ -55,7 +58,10 @@ pub fn bgq_bisection_links(node_dims: &[usize]) -> u64 {
 /// Panics if the graph has more than 24 nodes.
 pub fn exact_bisection<T: Topology>(topo: &T) -> (Vec<usize>, usize) {
     let n = topo.num_nodes();
-    assert!(n <= 24, "exact bisection is exponential; {n} nodes is too many");
+    assert!(
+        n <= 24,
+        "exact bisection is exponential; {n} nodes is too many"
+    );
     let t = n / 2;
     crate::exact::exact_min_cut_with_size(topo, t, true)
 }
@@ -92,7 +98,7 @@ pub fn half_slab_indicator(dims: &[usize]) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netpart_topology::{Torus, Topology};
+    use netpart_topology::{Topology, Torus};
 
     #[test]
     fn paper_machine_bisections() {
@@ -111,16 +117,16 @@ mod tests {
     fn paper_partition_bisections_from_tables() {
         // Table 6/7 values (node-level dims of midplane cuboids).
         let cases: &[(&[usize], u64)] = &[
-            (&[16, 4, 4, 4, 2], 256),  // 4 x 1 x 1 x 1 midplanes (current, 4 mp)
-            (&[8, 8, 4, 4, 2], 512),   // 2 x 2 x 1 x 1 (proposed, 4 mp)
-            (&[16, 8, 4, 4, 2], 512),  // 4 x 2 x 1 x 1 (current, 8 mp)
-            (&[8, 8, 8, 4, 2], 1024),  // 2 x 2 x 2 x 1 (proposed, 8 mp)
-            (&[16, 16, 4, 4, 2], 1024), // 4 x 4 x 1 x 1 (current, 16 mp)
-            (&[8, 8, 8, 8, 2], 2048),  // 2 x 2 x 2 x 2 (proposed, 16 mp)
-            (&[16, 12, 8, 4, 2], 1536), // 4 x 3 x 2 x 1 (current, 24 mp)
-            (&[12, 8, 8, 8, 2], 2048), // 3 x 2 x 2 x 2 (proposed, 24 mp)
+            (&[16, 4, 4, 4, 2], 256),    // 4 x 1 x 1 x 1 midplanes (current, 4 mp)
+            (&[8, 8, 4, 4, 2], 512),     // 2 x 2 x 1 x 1 (proposed, 4 mp)
+            (&[16, 8, 4, 4, 2], 512),    // 4 x 2 x 1 x 1 (current, 8 mp)
+            (&[8, 8, 8, 4, 2], 1024),    // 2 x 2 x 2 x 1 (proposed, 8 mp)
+            (&[16, 16, 4, 4, 2], 1024),  // 4 x 4 x 1 x 1 (current, 16 mp)
+            (&[8, 8, 8, 8, 2], 2048),    // 2 x 2 x 2 x 2 (proposed, 16 mp)
+            (&[16, 12, 8, 4, 2], 1536),  // 4 x 3 x 2 x 1 (current, 24 mp)
+            (&[12, 8, 8, 8, 2], 2048),   // 3 x 2 x 2 x 2 (proposed, 24 mp)
             (&[12, 12, 12, 4, 2], 2304), // 3 x 3 x 3 x 1 (JUQUEEN-54, 27 mp)
-            (&[12, 12, 8, 8, 2], 3072), // 3 x 3 x 2 x 2 (36 mp)
+            (&[12, 12, 8, 8, 2], 3072),  // 3 x 3 x 2 x 2 (36 mp)
             (&[12, 12, 12, 8, 2], 4608), // 3 x 3 x 3 x 2 (54 mp)
         ];
         for &(dims, expected) in cases {

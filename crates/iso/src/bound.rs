@@ -59,10 +59,13 @@ pub fn term_for_r(dims: &[usize], t: u64, r: usize) -> f64 {
     }
     let mut sorted = dims.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending: a_1 >= ... >= a_D
+
     // Product of the r smallest extents: a_D * a_{D-1} * ... * a_{D-r+1}.
     let k: f64 = sorted.iter().rev().take(r).map(|&a| a as f64).product();
     let exponent_den = (d - r) as f64;
-    2.0 * (d - r) as f64 * k.powf(1.0 / exponent_den) * (t as f64).powf((exponent_den - 1.0) / exponent_den)
+    2.0 * (d - r) as f64
+        * k.powf(1.0 / exponent_den)
+        * (t as f64).powf((exponent_den - 1.0) / exponent_den)
 }
 
 /// The Theorem 2.1 (Bollobás–Leader) lower bound for the cubic torus `[n]^D`.

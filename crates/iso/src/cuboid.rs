@@ -214,7 +214,10 @@ mod tests {
         for t in [2u64, 16, 64, 256, 512, 1024, total / 2] {
             if let Some((_, cut)) = min_cut_cuboid(&dims, t) {
                 let bound = general_torus_bound(&dims, t);
-                assert!(bound <= cut as f64 + 1e-6, "t={t}: bound {bound} > cut {cut}");
+                assert!(
+                    bound <= cut as f64 + 1e-6,
+                    "t={t}: bound {bound} > cut {cut}"
+                );
             }
         }
     }

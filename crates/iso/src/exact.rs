@@ -26,7 +26,10 @@ pub(crate) fn exact_min_cut_with_size<T: Topology>(
     _from_bisection: bool,
 ) -> (Vec<usize>, usize) {
     let n = topo.num_nodes();
-    assert!(n <= 24, "exhaustive search is exponential; {n} nodes is too many");
+    assert!(
+        n <= 24,
+        "exhaustive search is exponential; {n} nodes is too many"
+    );
     assert!(t <= n, "subset size {t} exceeds node count {n}");
     let mut best_cut = usize::MAX;
     let mut best_subset = Vec::new();
@@ -48,7 +51,10 @@ pub(crate) fn exact_min_cut_with_size<T: Topology>(
 /// Same size limits as [`exact_min_cut`].
 pub fn exact_min_cut_capacity<T: Topology>(topo: &T, t: usize) -> (Vec<usize>, f64) {
     let n = topo.num_nodes();
-    assert!(n <= 24, "exhaustive search is exponential; {n} nodes is too many");
+    assert!(
+        n <= 24,
+        "exhaustive search is exponential; {n} nodes is too many"
+    );
     assert!(t <= n, "subset size {t} exceeds node count {n}");
     let mut best_cut = f64::INFINITY;
     let mut best_subset = Vec::new();

@@ -10,7 +10,7 @@
 //! the cuboid-restricted version used for tori, so that the "attained by the
 //! bisection" claim can be checked rather than assumed.
 
-use netpart_topology::{indicator, Torus, Topology};
+use netpart_topology::{indicator, Topology, Torus};
 
 use crate::cuboid::enumerate_cuboid_extents;
 use crate::exact::combinations;
@@ -23,7 +23,10 @@ use crate::exact::combinations;
 /// `t` is zero.
 pub fn small_set_expansion<T: Topology>(topo: &T, t: usize) -> f64 {
     let n = topo.num_nodes();
-    assert!(n <= 22, "exhaustive expansion is exponential; {n} nodes is too many");
+    assert!(
+        n <= 22,
+        "exhaustive expansion is exponential; {n} nodes is too many"
+    );
     assert!(t >= 1, "expansion is undefined for empty subsets");
     let mut best = f64::INFINITY;
     for size in 1..=t.min(n) {

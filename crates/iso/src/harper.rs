@@ -64,11 +64,7 @@ mod tests {
             for t in 0..=q.num_nodes() as u64 {
                 let segment = harper_initial_segment(d, t);
                 let ind = indicator(q.num_nodes(), &segment);
-                assert_eq!(
-                    harper_cut(d, t),
-                    q.cut_size(&ind) as u64,
-                    "d={d}, t={t}"
-                );
+                assert_eq!(harper_cut(d, t), q.cut_size(&ind) as u64, "d={d}, t={t}");
             }
         }
     }

@@ -96,7 +96,10 @@ pub fn hyperx_bisection(dims: &[usize], capacities: &[f64]) -> f64 {
 }
 
 fn validate(dims: &[usize], t: u64) -> u64 {
-    assert!(!dims.is_empty(), "product of cliques needs at least one factor");
+    assert!(
+        !dims.is_empty(),
+        "product of cliques needs at least one factor"
+    );
     assert!(dims.iter().all(|&a| a >= 1), "clique sizes must be >= 1");
     let n: u64 = dims.iter().map(|&a| a as u64).product();
     assert!(t <= n, "subset size {t} exceeds vertex count {n}");

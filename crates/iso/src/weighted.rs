@@ -8,14 +8,18 @@
 //! minimum number of cut links; this module provides the weighted variants
 //! used by the analysis and reporting layers.
 
-use netpart_topology::{indicator, Dragonfly, Torus, Topology};
+use netpart_topology::{indicator, Dragonfly, Topology, Torus};
 
 use crate::cuboid::enumerate_cuboid_extents;
 
 /// Minimum-capacity cuboid of volume `t` inside a torus with per-dimension
 /// link capacities. Returns `(extent, cut_capacity)`, or `None` when no
 /// cuboid of that volume fits.
-pub fn weighted_min_cut_cuboid(dims: &[usize], capacities: &[f64], t: u64) -> Option<(Vec<usize>, f64)> {
+pub fn weighted_min_cut_cuboid(
+    dims: &[usize],
+    capacities: &[f64],
+    t: u64,
+) -> Option<(Vec<usize>, f64)> {
     assert_eq!(dims.len(), capacities.len());
     let torus = Torus::with_capacities(dims.to_vec(), capacities.to_vec());
     enumerate_cuboid_extents(dims, t)

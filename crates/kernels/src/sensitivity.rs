@@ -145,7 +145,10 @@ pub fn bisection_sensitivity(
 ) -> SensitivityReport {
     let nodes_a: usize = dims_a.iter().product();
     let nodes_b: usize = dims_b.iter().product();
-    assert_eq!(nodes_a, nodes_b, "sensitivity comparison requires equal node counts");
+    assert_eq!(
+        nodes_a, nodes_b,
+        "sensitivity comparison requires equal node counts"
+    );
     let bisection_a = torus_bisection_links(dims_a);
     let bisection_b = torus_bisection_links(dims_b);
     let ((low_dims, low_bisection), (high_dims, high_bisection)) = if bisection_a <= bisection_b {
@@ -205,7 +208,11 @@ mod tests {
         // The FFT all-to-all touches the bisection but spreads load over every
         // link, so its sensitivity lands strictly between the ring (≈0) and
         // the pairing benchmark (≈1).
-        let fft = bisection_sensitivity(&Workload::Fft(FftConfig::four_step(1 << 22, 128)), &LOW, &HIGH);
+        let fft = bisection_sensitivity(
+            &Workload::Fft(FftConfig::four_step(1 << 22, 128)),
+            &LOW,
+            &HIGH,
+        );
         let ring = bisection_sensitivity(
             &Workload::NBody(NBodyConfig {
                 bodies: 1 << 18,

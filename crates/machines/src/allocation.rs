@@ -64,7 +64,9 @@ impl AllocationSystem {
         Self::new(
             crate::known::mira(),
             AllocationPolicy::Predefined {
-                partitions: crate::known::mira_scheduler_partitions().into_iter().collect(),
+                partitions: crate::known::mira_scheduler_partitions()
+                    .into_iter()
+                    .collect(),
             },
         )
     }
@@ -73,11 +75,16 @@ impl AllocationSystem {
     /// where they exist, production geometries elsewhere).
     pub fn mira_proposed() -> Self {
         let mut partitions: BTreeMap<usize, PartitionGeometry> =
-            crate::known::mira_scheduler_partitions().into_iter().collect();
+            crate::known::mira_scheduler_partitions()
+                .into_iter()
+                .collect();
         for (size, geometry) in crate::known::mira_proposed_partitions() {
             partitions.insert(size, geometry);
         }
-        Self::new(crate::known::mira(), AllocationPolicy::Predefined { partitions })
+        Self::new(
+            crate::known::mira(),
+            AllocationPolicy::Predefined { partitions },
+        )
     }
 
     /// JUQUEEN with its flexible policy.
@@ -137,7 +144,10 @@ mod tests {
     #[test]
     fn mira_production_only_offers_listed_sizes() {
         let mira = AllocationSystem::mira_production();
-        assert_eq!(mira.supported_sizes(), vec![1, 2, 4, 8, 16, 24, 32, 48, 64, 96]);
+        assert_eq!(
+            mira.supported_sizes(),
+            vec![1, 2, 4, 8, 16, 24, 32, 48, 64, 96]
+        );
         assert!(mira.allowed_geometries(12).is_empty());
         assert_eq!(
             mira.allowed_geometries(4),
@@ -188,7 +198,9 @@ mod tests {
         let _ = AllocationSystem::new(
             crate::known::juqueen(),
             AllocationPolicy::Predefined {
-                partitions: [(9, PartitionGeometry::new([3, 3, 1, 1]))].into_iter().collect(),
+                partitions: [(9, PartitionGeometry::new([3, 3, 1, 1]))]
+                    .into_iter()
+                    .collect(),
             },
         );
     }

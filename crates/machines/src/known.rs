@@ -109,7 +109,10 @@ mod tests {
         let mira = mira();
         for (midplanes, geometry) in mira_scheduler_partitions() {
             assert_eq!(geometry.num_midplanes(), midplanes);
-            assert!(mira.admits(&geometry), "scheduler geometry {geometry} must fit");
+            assert!(
+                mira.admits(&geometry),
+                "scheduler geometry {geometry} must fit"
+            );
         }
     }
 
@@ -130,14 +133,27 @@ mod tests {
     #[test]
     fn table1_bisection_improvements() {
         // Table 1 rows: (midplanes, current BW, proposed BW).
-        let expected = [(4usize, 256u64, 512u64), (8, 512, 1024), (16, 1024, 2048), (24, 1536, 2048)];
+        let expected = [
+            (4usize, 256u64, 512u64),
+            (8, 512, 1024),
+            (16, 1024, 2048),
+            (24, 1536, 2048),
+        ];
         let current: std::collections::BTreeMap<usize, PartitionGeometry> =
             mira_scheduler_partitions().into_iter().collect();
         let proposed: std::collections::BTreeMap<usize, PartitionGeometry> =
             mira_proposed_partitions().into_iter().collect();
         for (m, cur_bw, new_bw) in expected {
-            assert_eq!(current[&m].bisection_links(), cur_bw, "current, {m} midplanes");
-            assert_eq!(proposed[&m].bisection_links(), new_bw, "proposed, {m} midplanes");
+            assert_eq!(
+                current[&m].bisection_links(),
+                cur_bw,
+                "current, {m} midplanes"
+            );
+            assert_eq!(
+                proposed[&m].bisection_links(),
+                new_bw,
+                "proposed, {m} midplanes"
+            );
         }
     }
 }

@@ -24,7 +24,10 @@ impl PartitionGeometry {
     /// # Panics
     /// Panics if any extent is zero.
     pub fn new(dims: [usize; 4]) -> Self {
-        assert!(dims.iter().all(|&d| d >= 1), "partition extents must be >= 1");
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "partition extents must be >= 1"
+        );
         let mut sorted = dims;
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         Self { dims: sorted }
@@ -216,9 +219,9 @@ mod tests {
         for machine in machines {
             for p in partitions {
                 let geometry = PartitionGeometry::new(p);
-                let brute = permutations(&p).into_iter().any(|perm| {
-                    perm.iter().zip(machine.iter()).all(|(a, m)| a <= m)
-                });
+                let brute = permutations(&p)
+                    .into_iter()
+                    .any(|perm| perm.iter().zip(machine.iter()).all(|(a, m)| a <= m));
                 assert_eq!(
                     geometry.fits_in(machine),
                     brute,

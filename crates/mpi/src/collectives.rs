@@ -16,14 +16,26 @@ pub type Phases = Vec<Vec<Flow>>;
 
 /// Pairwise exchange: every `(a, b)` rank pair exchanges `gigabytes` in both
 /// directions simultaneously (a single phase).
-pub fn rank_pairwise_exchange(mapping: &RankMapping, pairs: &[(usize, usize)], gigabytes: f64) -> Phases {
+pub fn rank_pairwise_exchange(
+    mapping: &RankMapping,
+    pairs: &[(usize, usize)],
+    gigabytes: f64,
+) -> Phases {
     let flows = pairs
         .iter()
         .flat_map(|&(a, b)| {
             let (na, nb) = (mapping.node_of(a), mapping.node_of(b));
             [
-                Flow { src: na, dst: nb, gigabytes },
-                Flow { src: nb, dst: na, gigabytes },
+                Flow {
+                    src: na,
+                    dst: nb,
+                    gigabytes,
+                },
+                Flow {
+                    src: nb,
+                    dst: na,
+                    gigabytes,
+                },
             ]
         })
         .collect();
@@ -141,7 +153,10 @@ pub fn all_to_all(mapping: &RankMapping, block_gigabytes: f64) -> Phases {
 /// dominant communication pattern of a CAPS BFS step.
 pub fn group_counterpart_exchange(mapping: &RankMapping, groups: usize, gigabytes: f64) -> Phases {
     let p = mapping.num_ranks();
-    assert!(groups >= 1 && p % groups == 0, "rank count must divide into equal groups");
+    assert!(
+        groups >= 1 && p % groups == 0,
+        "rank count must divide into equal groups"
+    );
     let group_size = p / groups;
     let mut flows = Vec::new();
     for rank in 0..p {
@@ -176,7 +191,12 @@ mod tests {
     use super::*;
 
     fn mapping(ranks: usize, nodes: usize) -> RankMapping {
-        RankMapping::new(ranks, nodes, ranks.div_ceil(nodes), crate::mapping::MappingStrategy::Linear)
+        RankMapping::new(
+            ranks,
+            nodes,
+            ranks.div_ceil(nodes),
+            crate::mapping::MappingStrategy::Linear,
+        )
     }
 
     #[test]
@@ -185,7 +205,10 @@ mod tests {
         let phases = binomial_broadcast(&m, 0, 1.0);
         assert_eq!(phases.len(), 4);
         let total_messages: usize = phases.iter().map(|p| p.len()).sum();
-        assert_eq!(total_messages, 15, "every non-root rank receives exactly once");
+        assert_eq!(
+            total_messages, 15,
+            "every non-root rank receives exactly once"
+        );
         // Non-power-of-two and non-zero root still reach everyone.
         let m = mapping(10, 10);
         let phases = binomial_broadcast(&m, 3, 1.0);

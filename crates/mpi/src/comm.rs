@@ -64,15 +64,32 @@ impl Communicator {
     ///
     /// # Panics
     /// Panics if the two communicators have different sizes.
-    pub fn exchange_with(&self, other: &Communicator, mapping: &RankMapping, gigabytes: f64) -> Vec<Flow> {
-        assert_eq!(self.size(), other.size(), "exchange requires equal-size communicators");
+    pub fn exchange_with(
+        &self,
+        other: &Communicator,
+        mapping: &RankMapping,
+        gigabytes: f64,
+    ) -> Vec<Flow> {
+        assert_eq!(
+            self.size(),
+            other.size(),
+            "exchange requires equal-size communicators"
+        );
         self.ranks
             .iter()
             .zip(&other.ranks)
             .flat_map(|(&a, &b)| {
                 [
-                    Flow { src: mapping.node_of(a), dst: mapping.node_of(b), gigabytes },
-                    Flow { src: mapping.node_of(b), dst: mapping.node_of(a), gigabytes },
+                    Flow {
+                        src: mapping.node_of(a),
+                        dst: mapping.node_of(b),
+                        gigabytes,
+                    },
+                    Flow {
+                        src: mapping.node_of(b),
+                        dst: mapping.node_of(a),
+                        gigabytes,
+                    },
                 ]
             })
             .collect()

@@ -169,7 +169,10 @@ mod tests {
         for r in 0..2401 {
             counts[m.node_of(r)] += 1;
         }
-        assert!(counts.iter().all(|&c| c == 1 || c == 2), "counts must be 1 or 2");
+        assert!(
+            counts.iter().all(|&c| c == 1 || c == 2),
+            "counts must be 1 or 2"
+        );
         assert_eq!(counts.iter().filter(|&&c| c == 2).count(), 2401 - 2048);
         assert_eq!(m.max_ranks_per_node(), 2);
         assert!((m.avg_ranks_per_occupied_node() - 2401.0 / 2048.0).abs() < 1e-12);

@@ -145,7 +145,11 @@ mod tests {
     fn overlap_hides_the_shorter_component() {
         let net = TorusNetwork::bgq_partition(&[8]);
         let sim = FlowSim::default();
-        let flows = vec![Flow { src: 0, dst: 1, gigabytes: 2.0 }]; // 1 second
+        let flows = vec![Flow {
+            src: 0,
+            dst: 1,
+            gigabytes: 2.0,
+        }]; // 1 second
         let mut program = Program::new();
         program.push(ProgramPhase {
             label: "overlapped".into(),
@@ -192,7 +196,12 @@ mod tests {
         let proposed = TorusNetwork::bgq_partition(&[8, 8, 4, 4, 2]);
         let run = |net: &TorusNetwork| {
             let ranks = 7 * 256; // 1792 ranks on 2048 nodes
-            let mapping = RankMapping::new(ranks, net.num_nodes(), 1, crate::mapping::MappingStrategy::Linear);
+            let mapping = RankMapping::new(
+                ranks,
+                net.num_nodes(),
+                1,
+                crate::mapping::MappingStrategy::Linear,
+            );
             let mut program = Program::new();
             program.push_collective(
                 "bfs-exchange",

@@ -137,7 +137,10 @@ impl FlowSim {
                 .iter()
                 .map(|&i| remaining[i] / rates[i])
                 .fold(f64::INFINITY, f64::min);
-            assert!(dt.is_finite() && dt > 0.0, "simulation failed to make progress");
+            assert!(
+                dt.is_finite() && dt > 0.0,
+                "simulation failed to make progress"
+            );
             // For very large flow sets, heterogeneous volumes would otherwise
             // force one rate recomputation per distinct completion time. A 5%
             // lookahead batches near-simultaneous completions; the makespan
@@ -198,7 +201,8 @@ impl FlowSim {
 /// flow per node pair, which keeps the fluid simulation small without
 /// changing per-channel loads.
 pub fn aggregate_flows(flows: &[Flow]) -> Vec<Flow> {
-    let mut by_pair: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut by_pair: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
     for f in flows {
         if f.src != f.dst && f.gigabytes > 0.0 {
             *by_pair.entry((f.src, f.dst)).or_insert(0.0) += f.gigabytes;
@@ -206,7 +210,11 @@ pub fn aggregate_flows(flows: &[Flow]) -> Vec<Flow> {
     }
     let mut out: Vec<Flow> = by_pair
         .into_iter()
-        .map(|((src, dst), gigabytes)| Flow { src, dst, gigabytes })
+        .map(|((src, dst), gigabytes)| Flow {
+            src,
+            dst,
+            gigabytes,
+        })
         .collect();
     out.sort_by_key(|f| (f.src, f.dst));
     out
@@ -295,7 +303,10 @@ fn max_min_rates(
                 remaining_cap[d] = (remaining_cap[d] - current).max(0.0);
                 unfixed_count[d] -= 1;
                 if d != c && unfixed_count[d] > 0 {
-                    heap.push(Reverse((Share(remaining_cap[d] / unfixed_count[d] as f64), d)));
+                    heap.push(Reverse((
+                        Share(remaining_cap[d] / unfixed_count[d] as f64),
+                        d,
+                    )));
                 }
             }
         }
@@ -315,7 +326,11 @@ mod tests {
     fn single_flow_takes_serial_time() {
         let network = net(&[8]);
         let sim = FlowSim::default();
-        let flows = [Flow { src: 0, dst: 2, gigabytes: 4.0 }];
+        let flows = [Flow {
+            src: 0,
+            dst: 2,
+            gigabytes: 4.0,
+        }];
         let result = sim.simulate(&network, &flows);
         // 4 GB at 2 GB/s, no contention: 2 seconds regardless of hop count.
         assert!((result.makespan - 2.0).abs() < 1e-9);
@@ -328,8 +343,16 @@ mod tests {
         let sim = FlowSim::default();
         // Both flows traverse channel 0 -> 1.
         let flows = [
-            Flow { src: 0, dst: 2, gigabytes: 2.0 },
-            Flow { src: 0, dst: 1, gigabytes: 2.0 },
+            Flow {
+                src: 0,
+                dst: 2,
+                gigabytes: 2.0,
+            },
+            Flow {
+                src: 0,
+                dst: 1,
+                gigabytes: 2.0,
+            },
         ];
         let result = sim.simulate(&network, &flows);
         // Shared channel: each gets 1 GB/s until the shorter one finishes.
@@ -348,8 +371,16 @@ mod tests {
         let network = net(&[8]);
         let sim = FlowSim::default();
         let flows = [
-            Flow { src: 0, dst: 1, gigabytes: 2.0 },
-            Flow { src: 1, dst: 0, gigabytes: 2.0 },
+            Flow {
+                src: 0,
+                dst: 1,
+                gigabytes: 2.0,
+            },
+            Flow {
+                src: 1,
+                dst: 0,
+                gigabytes: 2.0,
+            },
         ];
         let result = sim.simulate(&network, &flows);
         assert!((result.makespan - 1.0).abs() < 1e-9, "full 2 GB/s each way");
@@ -380,7 +411,11 @@ mod tests {
         let network = net(&[4, 4]);
         let sim = FlowSim::default();
         let flows: Vec<Flow> = (0..16)
-            .map(|src| Flow { src, dst: (src * 5 + 3) % 16, gigabytes: 1.0 })
+            .map(|src| Flow {
+                src,
+                dst: (src * 5 + 3) % 16,
+                gigabytes: 1.0,
+            })
             .collect();
         let paths = sim.route_flows(&network, &flows);
         let active: Vec<usize> = (0..flows.len()).filter(|&i| !paths[i].is_empty()).collect();
@@ -403,7 +438,11 @@ mod tests {
     fn zero_length_flows_complete_instantly() {
         let network = net(&[4, 4]);
         let sim = FlowSim::default();
-        let flows = [Flow { src: 3, dst: 3, gigabytes: 10.0 }];
+        let flows = [Flow {
+            src: 3,
+            dst: 3,
+            gigabytes: 10.0,
+        }];
         let result = sim.simulate(&network, &flows);
         assert_eq!(result.makespan, 0.0);
         assert_eq!(result.completion[0], 0.0);
@@ -414,7 +453,11 @@ mod tests {
         let network = net(&[8, 4]);
         let sim = FlowSim::default();
         let flows: Vec<Flow> = (0..32)
-            .map(|src| Flow { src, dst: (src + 16) % 32, gigabytes: 1.0 })
+            .map(|src| Flow {
+                src,
+                dst: (src + 16) % 32,
+                gigabytes: 1.0,
+            })
             .collect();
         let est = sim.static_estimate(&network, &flows);
         let result = sim.simulate(&network, &flows);

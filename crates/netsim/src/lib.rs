@@ -42,4 +42,6 @@ pub use flow::{Flow, FlowSim, FlowSimResult};
 pub use network::{Channel, ChannelId, TorusNetwork};
 pub use routing::{DimensionOrdered, TieBreak};
 pub use stats::{load_stats, LoadStats};
-pub use traffic::{bisection_pairs, pairwise_exchange_flows, run_bisection_pairing, PingPongPlan, PingPongResult};
+pub use traffic::{
+    bisection_pairs, pairwise_exchange_flows, run_bisection_pairing, PingPongPlan, PingPongResult,
+};

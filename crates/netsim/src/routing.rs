@@ -119,7 +119,10 @@ mod tests {
         let torus = net.torus().clone();
         let routing = DimensionOrdered::bgq_default();
         for src in 0..net.num_nodes() {
-            for dst in [0usize, 5, 17, 63].into_iter().filter(|&d| d < net.num_nodes()) {
+            for dst in [0usize, 5, 17, 63]
+                .into_iter()
+                .filter(|&d| d < net.num_nodes())
+            {
                 let path = routing.route(&net, src, dst);
                 assert_eq!(path.len(), torus.distance(src, dst), "{src} -> {dst}");
             }
@@ -177,7 +180,11 @@ mod tests {
                 net.channels()[path[0]].direction
             })
             .collect();
-        assert_eq!(dirs.len(), 2, "antipodal traffic should use both directions");
+        assert_eq!(
+            dirs.len(),
+            2,
+            "antipodal traffic should use both directions"
+        );
     }
 
     #[test]

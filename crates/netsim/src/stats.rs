@@ -49,8 +49,16 @@ pub fn load_stats(network: &TorusNetwork, result: &FlowSimResult) -> LoadStats {
     LoadStats {
         total_channel_gb: total,
         max_channel_gb: max,
-        mean_loaded_channel_gb: if loaded > 0 { loaded_sum / loaded as f64 } else { 0.0 },
-        idle_channel_fraction: if n > 0 { (n - loaded) as f64 / n as f64 } else { 0.0 },
+        mean_loaded_channel_gb: if loaded > 0 {
+            loaded_sum / loaded as f64
+        } else {
+            0.0
+        },
+        idle_channel_fraction: if n > 0 {
+            (n - loaded) as f64 / n as f64
+        } else {
+            0.0
+        },
         per_dimension_gb,
         per_dimension_max_gb,
     }
@@ -105,7 +113,14 @@ mod tests {
         let net = TorusNetwork::bgq_partition(&[8, 8]);
         let sim = FlowSim::default();
         // A single flow leaves almost every channel idle.
-        let result = sim.simulate(&net, &[Flow { src: 0, dst: 1, gigabytes: 1.0 }]);
+        let result = sim.simulate(
+            &net,
+            &[Flow {
+                src: 0,
+                dst: 1,
+                gigabytes: 1.0,
+            }],
+        );
         let stats = load_stats(&net, &result);
         assert!(stats.idle_channel_fraction > 0.9);
         assert_eq!(stats.max_channel_gb, 1.0);

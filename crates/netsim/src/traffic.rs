@@ -34,8 +34,16 @@ pub fn pairwise_exchange_flows(pairs: &[(usize, usize)], gigabytes: f64) -> Vec<
         .iter()
         .flat_map(|&(a, b)| {
             [
-                Flow { src: a, dst: b, gigabytes },
-                Flow { src: b, dst: a, gigabytes },
+                Flow {
+                    src: a,
+                    dst: b,
+                    gigabytes,
+                },
+                Flow {
+                    src: b,
+                    dst: a,
+                    gigabytes,
+                },
             ]
         })
         .collect()
@@ -43,13 +51,21 @@ pub fn pairwise_exchange_flows(pairs: &[(usize, usize)], gigabytes: f64) -> Vec<
 
 /// A random permutation pattern: every node sends to a distinct random
 /// destination (possibly itself).
-pub fn random_permutation_flows<R: Rng>(network: &TorusNetwork, gigabytes: f64, rng: &mut R) -> Vec<Flow> {
+pub fn random_permutation_flows<R: Rng>(
+    network: &TorusNetwork,
+    gigabytes: f64,
+    rng: &mut R,
+) -> Vec<Flow> {
     let mut destinations: Vec<usize> = (0..network.num_nodes()).collect();
     destinations.shuffle(rng);
     destinations
         .into_iter()
         .enumerate()
-        .map(|(src, dst)| Flow { src, dst, gigabytes })
+        .map(|(src, dst)| Flow {
+            src,
+            dst,
+            gigabytes,
+        })
         .collect()
 }
 
@@ -129,7 +145,11 @@ pub struct PingPongResult {
 /// Rounds are unsynchronised in the real benchmark but identical in the fluid
 /// model, so one round is simulated and scaled by the number of measured
 /// rounds.
-pub fn run_bisection_pairing(network: &TorusNetwork, plan: PingPongPlan, sim: &FlowSim) -> PingPongResult {
+pub fn run_bisection_pairing(
+    network: &TorusNetwork,
+    plan: PingPongPlan,
+    sim: &FlowSim,
+) -> PingPongResult {
     let pairs = bisection_pairs(network);
     let flows = pairwise_exchange_flows(&pairs, plan.round_gigabytes);
     let round_detail = sim.simulate(network, &flows);
@@ -175,8 +195,18 @@ mod tests {
     fn ping_pong_scales_with_rounds() {
         let net = TorusNetwork::bgq_partition(&[8, 4, 4, 4, 2]);
         let sim = FlowSim::default();
-        let short = PingPongPlan { rounds: 6, warmup_rounds: 4, round_gigabytes: 2.0, chunks: 16 };
-        let long = PingPongPlan { rounds: 30, warmup_rounds: 4, round_gigabytes: 2.0, chunks: 16 };
+        let short = PingPongPlan {
+            rounds: 6,
+            warmup_rounds: 4,
+            round_gigabytes: 2.0,
+            chunks: 16,
+        };
+        let long = PingPongPlan {
+            rounds: 30,
+            warmup_rounds: 4,
+            round_gigabytes: 2.0,
+            chunks: 16,
+        };
         let a = run_bisection_pairing(&net, short, &sim);
         let b = run_bisection_pairing(&net, long, &sim);
         assert!((b.total_time / a.total_time - 13.0).abs() < 1e-9); // 26 vs 2 rounds
@@ -192,8 +222,10 @@ mod tests {
         // 16x4x4x4x2 vs 8x8x4x4x2.
         let sim = FlowSim::default();
         let plan = PingPongPlan::paper_default();
-        let current = run_bisection_pairing(&TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]), plan, &sim);
-        let proposed = run_bisection_pairing(&TorusNetwork::bgq_partition(&[8, 8, 4, 4, 2]), plan, &sim);
+        let current =
+            run_bisection_pairing(&TorusNetwork::bgq_partition(&[16, 4, 4, 4, 2]), plan, &sim);
+        let proposed =
+            run_bisection_pairing(&TorusNetwork::bgq_partition(&[8, 8, 4, 4, 2]), plan, &sim);
         let ratio = current.total_time / proposed.total_time;
         assert!(
             (ratio - 2.0).abs() < 0.15,

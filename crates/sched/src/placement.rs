@@ -140,7 +140,14 @@ impl OccupancyGrid {
                 }
             }
         }
-        recurse(&dims, &self.machine_dims, &mut perm, &mut used, 0, &mut assignments);
+        recurse(
+            &dims,
+            &self.machine_dims,
+            &mut perm,
+            &mut used,
+            0,
+            &mut assignments,
+        );
         assignments
     }
 

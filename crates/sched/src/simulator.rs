@@ -1,7 +1,7 @@
 //! Discrete-event scheduler simulation and its metrics.
 //!
 //! The simulator replays a job trace against one machine and one
-//! [`SchedPolicy`](crate::policy::SchedPolicy), tracking for every job when
+//! [`SchedPolicy`], tracking for every job when
 //! it started, which geometry it received, and how long it ran given the
 //! contention model of [`Job::runtime_on`](crate::trace::Job::runtime_on).
 //! Queueing is FCFS with backfilling disabled (jobs are only considered in
@@ -159,7 +159,11 @@ pub fn simulate(machine: &BlueGeneQ, policy: SchedPolicy, trace: &[Job]) -> RunM
         }
 
         // Admit arrivals that have happened by now.
-        while arrivals.front().map(|j| j.arrival <= now + 1e-9).unwrap_or(false) {
+        while arrivals
+            .front()
+            .map(|j| j.arrival <= now + 1e-9)
+            .unwrap_or(false)
+        {
             queue.push_back(arrivals.pop_front().expect("front checked"));
         }
 

@@ -85,7 +85,10 @@ impl TraceConfig {
 /// # Panics
 /// Panics if the size list is empty or `num_jobs` is zero.
 pub fn generate_trace(config: &TraceConfig) -> Vec<Job> {
-    assert!(!config.sizes.is_empty(), "trace needs at least one candidate size");
+    assert!(
+        !config.sizes.is_empty(),
+        "trace needs at least one candidate size"
+    );
     assert!(config.num_jobs > 0, "trace needs at least one job");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut arrival = 0.0;
@@ -145,7 +148,10 @@ mod tests {
         let mut other = config.clone();
         other.seed = 43;
         let c = generate_trace(&other);
-        assert!(a.iter().zip(&c).any(|(x, y)| x.midplanes != y.midplanes || x.arrival != y.arrival));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.midplanes != y.midplanes || x.arrival != y.arrival));
     }
 
     #[test]
@@ -158,7 +164,10 @@ mod tests {
             .filter(|j| j.hint == ContentionHint::ContentionBound)
             .count();
         let fraction = bound as f64 / trace.len() as f64;
-        assert!((fraction - 0.75).abs() < 0.1, "observed fraction {fraction}");
+        assert!(
+            (fraction - 0.75).abs() < 0.1,
+            "observed fraction {fraction}"
+        );
     }
 
     #[test]

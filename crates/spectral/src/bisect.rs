@@ -63,7 +63,10 @@ pub fn spectral_bisection<T: Topology>(topo: &T, options: EigenOptions) -> Spect
 /// reference`. Zero means the sweep recovered the reference cut exactly;
 /// positive values measure how much the heuristic over-cuts.
 pub fn bisection_gap(sweep_capacity: f64, reference_capacity: f64) -> f64 {
-    assert!(reference_capacity > 0.0, "reference bisection must be positive");
+    assert!(
+        reference_capacity > 0.0,
+        "reference bisection must be positive"
+    );
     (sweep_capacity - reference_capacity) / reference_capacity
 }
 
@@ -91,7 +94,11 @@ mod tests {
         for dims in [vec![12, 2], vec![20, 2]] {
             let torus = Torus::new(dims.clone());
             let result = spectral_bisection(&torus, EigenOptions::default());
-            assert_eq!(result.cut_capacity as u64, torus_bisection_links(&dims), "dims {dims:?}");
+            assert_eq!(
+                result.cut_capacity as u64,
+                torus_bisection_links(&dims),
+                "dims {dims:?}"
+            );
         }
     }
 

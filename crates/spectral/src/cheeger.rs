@@ -5,12 +5,12 @@
 //! networks, the small-set expansion the contention lower bounds consume)
 //! without any combinatorial search. The classical Cheeger inequality reads
 //! `λ₂ / 2 ≤ φ(G) ≤ √(2 λ₂)` for the normalized Laplacian; the higher-order
-//! version of Lee, Oveis Gharan and Trevisan (reference [23] of the paper)
+//! version of Lee, Oveis Gharan and Trevisan (reference \[23\] of the paper)
 //! extends it to `k`-way partitions and to small sets.
 
 use crate::eigen::{smallest_nontrivial_eigenpairs, EigenOptions};
 use crate::laplacian::Laplacian;
-use crate::sweep::{sweep_cut, SweepObjective, SweepCut};
+use crate::sweep::{sweep_cut, SweepCut, SweepObjective};
 use netpart_topology::Topology;
 
 /// Two-sided Cheeger bracket on the conductance of a graph.
@@ -140,15 +140,21 @@ pub fn approx_small_set_expansion<T: Topology>(
 mod tests {
     use super::*;
     use netpart_iso::expansion::small_set_expansion;
-    use netpart_topology::{Hypercube, Torus, Topology};
+    use netpart_topology::{Hypercube, Topology, Torus};
 
     #[test]
     fn cheeger_bracket_holds_on_small_tori() {
         for dims in [vec![8], vec![4, 4], vec![6, 2], vec![4, 3, 2]] {
             let torus = Torus::new(dims.clone());
             let bounds = cheeger_bounds(&torus, EigenOptions::default());
-            assert!(bounds.lower <= bounds.sweep_conductance + 1e-9, "dims {dims:?}");
-            assert!(bounds.sweep_conductance <= bounds.upper + 1e-9, "dims {dims:?}");
+            assert!(
+                bounds.lower <= bounds.sweep_conductance + 1e-9,
+                "dims {dims:?}"
+            );
+            assert!(
+                bounds.sweep_conductance <= bounds.upper + 1e-9,
+                "dims {dims:?}"
+            );
             assert!(bounds.admits(bounds.sweep_conductance));
         }
     }
@@ -209,7 +215,11 @@ mod tests {
         let torus = Torus::new(vec![6, 4]);
         for t in [1usize, 3, 8, 12] {
             let cert = approx_small_set_expansion(&torus, t, 2, EigenOptions::default());
-            assert!(cert.cut.set.len() <= t, "t={t}: set of {} nodes", cert.cut.set.len());
+            assert!(
+                cert.cut.set.len() <= t,
+                "t={t}: set of {} nodes",
+                cert.cut.set.len()
+            );
             assert!(!cert.cut.set.is_empty());
         }
     }

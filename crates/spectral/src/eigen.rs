@@ -110,7 +110,11 @@ pub fn smallest_nontrivial_eigenpairs(
 ) -> Vec<EigenPair> {
     let n = lap.n();
     assert!(k >= 1, "must request at least one eigenpair");
-    assert!(k < n, "a graph on {n} nodes has at most {} non-trivial eigenpairs", n - 1);
+    assert!(
+        k < n,
+        "a graph on {n} nodes has at most {} non-trivial eigenpairs",
+        n - 1
+    );
     let shift = lap.eigenvalue_upper_bound();
     let mut basis = vec![lap.kernel_vector()];
     let mut out = Vec::with_capacity(k);
@@ -201,7 +205,7 @@ pub fn torus_combinatorial_spectrum(dims: &[usize]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netpart_topology::{Hypercube, Torus, Topology};
+    use netpart_topology::{Hypercube, Topology, Torus};
 
     #[test]
     fn fiedler_value_matches_closed_form_on_cycle() {
@@ -210,7 +214,11 @@ mod tests {
         let lap = Laplacian::combinatorial(&torus);
         let pair = fiedler(&lap, EigenOptions::default());
         let expected = 2.0 * (1.0 - (2.0 * std::f64::consts::PI / 8.0).cos());
-        assert!((pair.value - expected).abs() < 1e-6, "{} vs {expected}", pair.value);
+        assert!(
+            (pair.value - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            pair.value
+        );
     }
 
     #[test]
@@ -220,7 +228,12 @@ mod tests {
         let lap = Laplacian::combinatorial(&torus);
         let pair = fiedler(&lap, EigenOptions::default());
         let spectrum = torus_combinatorial_spectrum(&dims);
-        assert!((pair.value - spectrum[1]).abs() < 1e-6, "{} vs {}", pair.value, spectrum[1]);
+        assert!(
+            (pair.value - spectrum[1]).abs() < 1e-6,
+            "{} vs {}",
+            pair.value,
+            spectrum[1]
+        );
     }
 
     #[test]
@@ -231,7 +244,11 @@ mod tests {
             let lap = Laplacian::normalized(&cube);
             let pair = fiedler(&lap, EigenOptions::default());
             let expected = 2.0 / d as f64;
-            assert!((pair.value - expected).abs() < 1e-6, "d={d}: {} vs {expected}", pair.value);
+            assert!(
+                (pair.value - expected).abs() < 1e-6,
+                "d={d}: {} vs {expected}",
+                pair.value
+            );
         }
     }
 
@@ -269,7 +286,11 @@ mod tests {
                 .map(|(a, b)| (a - p.value * b).powi(2))
                 .sum::<f64>()
                 .sqrt();
-            assert!(residual < 1e-5, "residual {residual} for eigenvalue {}", p.value);
+            assert!(
+                residual < 1e-5,
+                "residual {residual} for eigenvalue {}",
+                p.value
+            );
         }
     }
 

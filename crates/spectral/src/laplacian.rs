@@ -1,7 +1,7 @@
 //! Sparse graph Laplacians in CSR form.
 //!
 //! The spectral route to the small-set expansion (Lee, Oveis Gharan and
-//! Trevisan, JACM 2014 — reference [23] of the paper) works with the
+//! Trevisan, JACM 2014 — reference \[23\] of the paper) works with the
 //! eigenvalues of the normalized Laplacian `L = I - D^{-1/2} A D^{-1/2}`.
 //! This module builds weighted combinatorial and normalized Laplacians from
 //! any [`Topology`] and exposes the matrix–vector products the iterative
@@ -36,7 +36,10 @@ impl CsrMatrix {
     pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
         let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         for &(r, c, v) in triplets {
-            assert!(r < n && c < n, "triplet index ({r}, {c}) out of range 0..{n}");
+            assert!(
+                r < n && c < n,
+                "triplet index ({r}, {c}) out of range 0..{n}"
+            );
             per_row[r].push((c, v));
         }
         let mut row_offsets = Vec::with_capacity(n + 1);
@@ -285,7 +288,10 @@ mod tests {
     #[test]
     fn rayleigh_quotient_of_kernel_is_zero() {
         let torus = Torus::new(vec![5, 2]);
-        for lap in [Laplacian::combinatorial(&torus), Laplacian::normalized(&torus)] {
+        for lap in [
+            Laplacian::combinatorial(&torus),
+            Laplacian::normalized(&torus),
+        ] {
             let k = lap.kernel_vector();
             assert!(lap.rayleigh_quotient(&k).abs() < 1e-12);
         }
@@ -304,6 +310,9 @@ mod tests {
     fn eigenvalue_upper_bounds() {
         let torus = Torus::new(vec![4, 4]);
         assert_eq!(Laplacian::normalized(&torus).eigenvalue_upper_bound(), 2.0);
-        assert_eq!(Laplacian::combinatorial(&torus).eigenvalue_upper_bound(), 8.0);
+        assert_eq!(
+            Laplacian::combinatorial(&torus).eigenvalue_upper_bound(),
+            8.0
+        );
     }
 }

@@ -41,6 +41,8 @@ pub mod sweep;
 
 pub use bisect::{bisection_gap, spectral_bisection, SpectralBisection};
 pub use cheeger::{approx_small_set_expansion, cheeger_bounds, CheegerBounds, SmallSetCertificate};
-pub use eigen::{fiedler, smallest_nontrivial_eigenpairs, torus_combinatorial_spectrum, EigenOptions, EigenPair};
+pub use eigen::{
+    fiedler, smallest_nontrivial_eigenpairs, torus_combinatorial_spectrum, EigenOptions, EigenPair,
+};
 pub use laplacian::{CsrMatrix, Laplacian};
 pub use sweep::{prefix_of_size, sweep_cut, SweepCut, SweepObjective};

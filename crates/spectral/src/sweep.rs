@@ -64,7 +64,10 @@ pub fn sweep_cut<T: Topology>(
     let n = topo.num_nodes();
     assert_eq!(embedding.len(), n, "embedding length mismatch");
     assert!(max_size >= 1, "sweep needs at least one prefix");
-    assert!(max_size <= n - 1, "a proper cut leaves at least one node outside");
+    assert!(
+        max_size <= n - 1,
+        "a proper cut leaves at least one node outside"
+    );
 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| embedding[a].total_cmp(&embedding[b]).then(a.cmp(&b)));
@@ -141,7 +144,11 @@ pub fn prefix_of_size<T: Topology>(topo: &T, embedding: &[f64], size: usize) -> 
     SweepCut {
         set,
         cut_capacity: cut,
-        objective_value: if denom > 0.0 { cut / denom } else { f64::INFINITY },
+        objective_value: if denom > 0.0 {
+            cut / denom
+        } else {
+            f64::INFINITY
+        },
     }
 }
 
@@ -150,7 +157,7 @@ mod tests {
     use super::*;
     use crate::eigen::{fiedler, EigenOptions};
     use crate::laplacian::Laplacian;
-    use netpart_topology::{indicator, Torus, Topology};
+    use netpart_topology::{indicator, Topology, Torus};
 
     fn fiedler_embedding(torus: &Torus) -> Vec<f64> {
         let lap = Laplacian::combinatorial(torus);

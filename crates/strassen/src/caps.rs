@@ -166,7 +166,12 @@ pub fn run_caps(
     strategy: MappingStrategy,
     sim: &FlowSim,
 ) -> CapsRunResult {
-    assert!(config.is_valid(), "rank count {} does not support {} BFS steps", config.ranks, config.bfs_steps);
+    assert!(
+        config.is_valid(),
+        "rank count {} does not support {} BFS steps",
+        config.ranks,
+        config.bfs_steps
+    );
     let network = TorusNetwork::bgq_partition(&geometry.node_dims());
     let mapping = RankMapping::new(
         config.ranks,
@@ -212,7 +217,8 @@ mod tests {
         // be divisible through ceil(k/2) Strassen levels of quadrant splits,
         // as the CAPS implementation requires.
         for (_, config) in mira_table3_configs() {
-            let needed = 7usize.pow(config.bfs_steps.div_ceil(2)) * 2usize.pow(config.bfs_steps / 2);
+            let needed =
+                7usize.pow(config.bfs_steps.div_ceil(2)) * 2usize.pow(config.bfs_steps / 2);
             assert_eq!(
                 config.matrix_dim % needed,
                 0,
@@ -249,7 +255,10 @@ mod tests {
         // all nearby (within the same 7-rank parent group).
         let flows1 = bfs_step_flows(&config, &mapping, 1);
         for f in &flows1 {
-            assert!(f.src.abs_diff(f.dst) < 7, "level-1 exchange stays within the parent group");
+            assert!(
+                f.src.abs_diff(f.dst) < 7,
+                "level-1 exchange stays within the parent group"
+            );
         }
     }
 
@@ -257,8 +266,18 @@ mod tests {
     fn computation_time_is_geometry_independent() {
         let config = CapsConfig::new(2744, 343, 3, 4);
         let sim = FlowSim::default();
-        let a = run_caps(&config, &PartitionGeometry::new([2, 1, 1, 1]), MappingStrategy::Balanced, &sim);
-        let b = run_caps(&config, &PartitionGeometry::new([2, 2, 1, 1]), MappingStrategy::Balanced, &sim);
+        let a = run_caps(
+            &config,
+            &PartitionGeometry::new([2, 1, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
+        let b = run_caps(
+            &config,
+            &PartitionGeometry::new([2, 2, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
         assert_eq!(a.computation_seconds, b.computation_seconds);
         assert!(a.computation_seconds > 0.0);
     }
@@ -274,15 +293,28 @@ mod tests {
         // fig5 binary and the ignored test below.)
         let config = CapsConfig::new(9604, 2401, 1, 2);
         let sim = FlowSim::default();
-        let current = run_caps(&config, &PartitionGeometry::new([4, 1, 1, 1]), MappingStrategy::Balanced, &sim);
-        let proposed = run_caps(&config, &PartitionGeometry::new([2, 2, 1, 1]), MappingStrategy::Balanced, &sim);
+        let current = run_caps(
+            &config,
+            &PartitionGeometry::new([4, 1, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
+        let proposed = run_caps(
+            &config,
+            &PartitionGeometry::new([2, 2, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
         assert_eq!(current.per_step_seconds.len(), 1);
         let ratio = current.communication_seconds / proposed.communication_seconds;
         assert!(
             ratio > 1.1,
             "proposed geometry should cut the global redistribution time; ratio = {ratio}"
         );
-        assert!(ratio < 2.5, "ratio should stay near the bisection factor; got {ratio}");
+        assert!(
+            ratio < 2.5,
+            "ratio should stay near the bisection factor; got {ratio}"
+        );
     }
 
     #[test]
@@ -320,10 +352,23 @@ mod tests {
         let (midplanes, config) = mira_table3_configs()[0];
         assert_eq!(midplanes, 4);
         let sim = FlowSim::default();
-        let current = run_caps(&config, &PartitionGeometry::new([4, 1, 1, 1]), MappingStrategy::Balanced, &sim);
-        let proposed = run_caps(&config, &PartitionGeometry::new([2, 2, 1, 1]), MappingStrategy::Balanced, &sim);
+        let current = run_caps(
+            &config,
+            &PartitionGeometry::new([4, 1, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
+        let proposed = run_caps(
+            &config,
+            &PartitionGeometry::new([2, 2, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
         let ratio = current.communication_seconds / proposed.communication_seconds;
-        assert!(ratio > 1.2 && ratio < 2.0, "paper band is 1.37-1.52; got {ratio}");
+        assert!(
+            ratio > 1.2 && ratio < 2.0,
+            "paper band is 1.37-1.52; got {ratio}"
+        );
     }
 
     #[test]
@@ -331,6 +376,11 @@ mod tests {
     fn invalid_rank_count_panics() {
         let config = CapsConfig::new(1000, 100, 2, 4);
         let sim = FlowSim::default();
-        let _ = run_caps(&config, &PartitionGeometry::new([1, 1, 1, 1]), MappingStrategy::Balanced, &sim);
+        let _ = run_caps(
+            &config,
+            &PartitionGeometry::new([1, 1, 1, 1]),
+            MappingStrategy::Balanced,
+            &sim,
+        );
     }
 }

@@ -93,7 +93,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -104,7 +109,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 
@@ -117,9 +127,8 @@ impl Matrix {
         assert_eq!(self.rows, self.cols, "quadrant split needs a square matrix");
         assert!(self.rows % 2 == 0, "quadrant split needs an even dimension");
         let h = self.rows / 2;
-        let quad = |ri: usize, ci: usize| {
-            Matrix::from_fn(h, h, |i, j| self[(ri * h + i, ci * h + j)])
-        };
+        let quad =
+            |ri: usize, ci: usize| Matrix::from_fn(h, h, |i, j| self[(ri * h + i, ci * h + j)]);
         (quad(0, 0), quad(0, 1), quad(1, 0), quad(1, 1))
     }
 

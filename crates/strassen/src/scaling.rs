@@ -68,8 +68,18 @@ pub fn run_strong_scaling(plan: &[ScalingPoint], sim: &FlowSim) -> Vec<ScalingRe
     plan.iter()
         .map(|point| ScalingResult {
             midplanes: point.midplanes,
-            current: run_caps(&point.config, &point.current, MappingStrategy::Balanced, sim),
-            proposed: run_caps(&point.config, &point.proposed, MappingStrategy::Balanced, sim),
+            current: run_caps(
+                &point.config,
+                &point.current,
+                MappingStrategy::Balanced,
+                sim,
+            ),
+            proposed: run_caps(
+                &point.config,
+                &point.proposed,
+                MappingStrategy::Balanced,
+                sim,
+            ),
         })
         .collect()
 }
@@ -77,7 +87,10 @@ pub fn run_strong_scaling(plan: &[ScalingPoint], sim: &FlowSim) -> Vec<ScalingRe
 /// Parallel-efficiency style summary: communication time at the base point
 /// divided by (scale factor × communication time at the scaled point); 1.0
 /// means perfect linear scaling of communication cost.
-pub fn communication_scaling_efficiency(results: &[ScalingResult], proposed: bool) -> Vec<(usize, f64)> {
+pub fn communication_scaling_efficiency(
+    results: &[ScalingResult],
+    proposed: bool,
+) -> Vec<(usize, f64)> {
     let Some(base) = results.first() else {
         return Vec::new();
     };
@@ -138,7 +151,8 @@ mod tests {
             .collect();
         let sim = FlowSim::default();
         let results = run_strong_scaling(&plan, &sim);
-        let current_drop = results[0].current.communication_seconds / results[2].current.communication_seconds;
+        let current_drop =
+            results[0].current.communication_seconds / results[2].current.communication_seconds;
         let proposed_drop =
             results[0].proposed.communication_seconds / results[2].proposed.communication_seconds;
         assert!(
@@ -151,7 +165,8 @@ mod tests {
         );
         // The 2-midplane point is identical by construction.
         assert!(
-            (results[0].current.communication_seconds - results[0].proposed.communication_seconds).abs()
+            (results[0].current.communication_seconds - results[0].proposed.communication_seconds)
+                .abs()
                 < 1e-12
         );
     }

@@ -16,8 +16,16 @@ use crate::dense::{matmul_classical, Matrix};
 /// # Panics
 /// Panics unless both matrices are square with the same dimension.
 pub fn strassen_winograd(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
-    assert_eq!(a.rows(), a.cols(), "Strassen-Winograd needs square matrices");
-    assert_eq!(b.rows(), b.cols(), "Strassen-Winograd needs square matrices");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "Strassen-Winograd needs square matrices"
+    );
+    assert_eq!(
+        b.rows(),
+        b.cols(),
+        "Strassen-Winograd needs square matrices"
+    );
     assert_eq!(a.rows(), b.rows(), "dimension mismatch");
     let cutoff = cutoff.max(2);
     strassen_recursive(a, b, cutoff)

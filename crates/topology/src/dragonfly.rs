@@ -49,8 +49,21 @@ impl Dragonfly {
     /// Cray XC-style parameters: groups of `K_16 x K_6`, row links capacity 1,
     /// column links capacity 3, global links capacity 4, and a given number
     /// of global ports per router.
-    pub fn cray_xc(groups: usize, global_ports_per_router: usize, arrangement: GlobalArrangement) -> Self {
-        Self::new(groups, 16, 6, 1.0, 3.0, 4.0, global_ports_per_router, arrangement)
+    pub fn cray_xc(
+        groups: usize,
+        global_ports_per_router: usize,
+        arrangement: GlobalArrangement,
+    ) -> Self {
+        Self::new(
+            groups,
+            16,
+            6,
+            1.0,
+            3.0,
+            4.0,
+            global_ports_per_router,
+            arrangement,
+        )
     }
 
     /// Fully parameterised constructor.
@@ -71,7 +84,10 @@ impl Dragonfly {
         global_ports_per_router: usize,
         arrangement: GlobalArrangement,
     ) -> Self {
-        assert!(groups >= 1 && rows >= 1 && cols >= 1, "degenerate dragonfly");
+        assert!(
+            groups >= 1 && rows >= 1 && cols >= 1,
+            "degenerate dragonfly"
+        );
         assert!(
             row_capacity > 0.0 && col_capacity > 0.0 && global_capacity > 0.0,
             "capacities must be positive"
@@ -127,7 +143,9 @@ impl Dragonfly {
                     t
                 }
             }
-            GlobalArrangement::Relative => (group + 1 + port_index % (self.groups - 1)) % self.groups,
+            GlobalArrangement::Relative => {
+                (group + 1 + port_index % (self.groups - 1)) % self.groups
+            }
             GlobalArrangement::Circulant => {
                 let step = port_index / 2 % (self.groups - 1) + 1;
                 if port_index % 2 == 0 {

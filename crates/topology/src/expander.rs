@@ -39,7 +39,11 @@ impl Circulant {
             assert_ne!(w[0], w[1], "repeated generator {}", w[0]);
         }
         for &s in &generators {
-            assert!(s >= 1 && s <= n / 2, "generator {s} out of range 1..={}", n / 2);
+            assert!(
+                s >= 1 && s <= n / 2,
+                "generator {s} out of range 1..={}",
+                n / 2
+            );
         }
         Self { n, generators }
     }

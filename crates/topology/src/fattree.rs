@@ -153,7 +153,10 @@ impl FatTree {
 
 impl Topology for FatTree {
     fn num_nodes(&self) -> usize {
-        self.num_hosts() + self.num_edge_switches() + self.num_agg_switches() + self.num_core_switches()
+        self.num_hosts()
+            + self.num_edge_switches()
+            + self.num_agg_switches()
+            + self.num_core_switches()
     }
 
     fn neighbor_links(&self, v: usize) -> Vec<(usize, f64)> {
@@ -168,9 +171,8 @@ impl Topology for FatTree {
                 out
             }
             FatTreeNode::Aggregation { pod, index } => {
-                let mut out: Vec<(usize, f64)> = (0..half)
-                    .map(|e| (self.edge_switch(pod, e), 1.0))
-                    .collect();
+                let mut out: Vec<(usize, f64)> =
+                    (0..half).map(|e| (self.edge_switch(pod, e), 1.0)).collect();
                 // Aggregation switch `index` connects to core switches
                 // index*half .. index*half+half-1.
                 out.extend((0..half).map(|c| (self.core_switch(index * half + c), 1.0)));
@@ -178,7 +180,9 @@ impl Topology for FatTree {
             }
             FatTreeNode::Core { index } => {
                 let agg_index = index / half;
-                (0..self.k).map(|pod| (self.agg_switch(pod, agg_index), 1.0)).collect()
+                (0..self.k)
+                    .map(|pod| (self.agg_switch(pod, agg_index), 1.0))
+                    .collect()
             }
         }
     }

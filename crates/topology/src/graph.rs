@@ -35,7 +35,10 @@ impl Link {
         } else if from == self.v {
             self.u
         } else {
-            panic!("node {from} is not an endpoint of link ({}, {})", self.u, self.v)
+            panic!(
+                "node {from} is not an endpoint of link ({}, {})",
+                self.u, self.v
+            )
         }
     }
 }
@@ -60,7 +63,10 @@ impl LinkGraph {
     pub fn from_topology_links(num_nodes: usize, links: &[Link]) -> Self {
         let mut degree = vec![0usize; num_nodes];
         for l in links {
-            assert!(l.u < num_nodes && l.v < num_nodes, "link endpoint out of range");
+            assert!(
+                l.u < num_nodes && l.v < num_nodes,
+                "link endpoint out of range"
+            );
             assert_ne!(l.u, l.v, "self-loops are not supported");
             degree[l.u] += 1;
             degree[l.v] += 1;
@@ -205,9 +211,21 @@ mod tests {
         LinkGraph::from_topology_links(
             3,
             &[
-                Link { u: 0, v: 1, capacity: 1.0 },
-                Link { u: 1, v: 2, capacity: 2.0 },
-                Link { u: 0, v: 2, capacity: 3.0 },
+                Link {
+                    u: 0,
+                    v: 1,
+                    capacity: 1.0,
+                },
+                Link {
+                    u: 1,
+                    v: 2,
+                    capacity: 2.0,
+                },
+                Link {
+                    u: 0,
+                    v: 2,
+                    capacity: 3.0,
+                },
             ],
         )
     }
@@ -239,14 +257,29 @@ mod tests {
 
         let disconnected = LinkGraph::from_topology_links(
             4,
-            &[Link { u: 0, v: 1, capacity: 1.0 }, Link { u: 2, v: 3, capacity: 1.0 }],
+            &[
+                Link {
+                    u: 0,
+                    v: 1,
+                    capacity: 1.0,
+                },
+                Link {
+                    u: 2,
+                    v: 3,
+                    capacity: 1.0,
+                },
+            ],
         );
         assert!(!disconnected.is_connected());
     }
 
     #[test]
     fn link_other_endpoint() {
-        let l = Link { u: 3, v: 7, capacity: 1.0 };
+        let l = Link {
+            u: 3,
+            v: 7,
+            capacity: 1.0,
+        };
         assert_eq!(l.other(3), 7);
         assert_eq!(l.other(7), 3);
     }
@@ -254,7 +287,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "not an endpoint")]
     fn link_other_panics_for_non_endpoint() {
-        let l = Link { u: 3, v: 7, capacity: 1.0 };
+        let l = Link {
+            u: 3,
+            v: 7,
+            capacity: 1.0,
+        };
         let _ = l.other(5);
     }
 }

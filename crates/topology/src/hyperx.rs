@@ -34,9 +34,16 @@ impl HyperX {
     /// Panics on length mismatch, empty dimensions or non-positive capacities.
     pub fn with_capacities(dims: Vec<usize>, capacities: Vec<f64>) -> Self {
         assert!(!dims.is_empty(), "HyperX must have at least one dimension");
-        assert_eq!(dims.len(), capacities.len(), "dims/capacities length mismatch");
+        assert_eq!(
+            dims.len(),
+            capacities.len(),
+            "dims/capacities length mismatch"
+        );
         assert!(dims.iter().all(|&a| a >= 1), "clique sizes must be >= 1");
-        assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
+        assert!(
+            capacities.iter().all(|&c| c > 0.0),
+            "capacities must be positive"
+        );
         Self { dims, capacities }
     }
 
@@ -143,11 +150,7 @@ mod tests {
     fn weighted_dimensions_carry_their_capacity() {
         let hx = HyperX::with_capacities(vec![16, 6], vec![1.0, 3.0]);
         assert!(!hx.is_capacity_regular());
-        let caps: Vec<f64> = hx
-            .neighbor_links(0)
-            .into_iter()
-            .map(|(_, c)| c)
-            .collect();
+        let caps: Vec<f64> = hx.neighbor_links(0).into_iter().map(|(_, c)| c).collect();
         let ones = caps.iter().filter(|&&c| (c - 1.0).abs() < 1e-12).count();
         let threes = caps.iter().filter(|&&c| (c - 3.0).abs() < 1e-12).count();
         assert_eq!(ones, 15);

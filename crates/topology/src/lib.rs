@@ -216,10 +216,7 @@ mod tests {
         assert_eq!(links.len(), 18);
         for l in &links {
             assert!(l.u < l.v);
-            assert!(torus
-                .neighbor_links(l.u)
-                .iter()
-                .any(|&(n, _)| n == l.v));
+            assert!(torus.neighbor_links(l.u).iter().any(|&(n, _)| n == l.v));
         }
     }
 }

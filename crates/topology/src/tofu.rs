@@ -29,7 +29,10 @@ impl Tofu {
     /// # Panics
     /// Panics if any system dimension is zero.
     pub fn new(x: usize, y: usize, z: usize) -> Self {
-        assert!(x >= 1 && y >= 1 && z >= 1, "system dimensions must be positive");
+        assert!(
+            x >= 1 && y >= 1 && z >= 1,
+            "system dimensions must be positive"
+        );
         let dims = vec![
             x,
             y,

@@ -72,7 +72,11 @@ impl Torus {
     /// Panics if lengths differ, any extent is zero, or any capacity is not
     /// strictly positive.
     pub fn with_capacities(dims: Vec<usize>, capacities: Vec<f64>) -> Self {
-        assert_eq!(dims.len(), capacities.len(), "dims/capacities length mismatch");
+        assert_eq!(
+            dims.len(),
+            capacities.len(),
+            "dims/capacities length mismatch"
+        );
         assert!(!dims.is_empty(), "torus must have at least one dimension");
         assert!(dims.iter().all(|&a| a >= 1), "torus extents must be >= 1");
         assert!(
@@ -156,7 +160,10 @@ impl Torus {
         assert_eq!(cuboid.origin.len(), self.ndim());
         assert_eq!(cuboid.extent.len(), self.ndim());
         for (i, (&e, &a)) in cuboid.extent.iter().zip(self.dims.iter()).enumerate() {
-            assert!(e >= 1 && e <= a, "cuboid extent {e} in dim {i} exceeds torus extent {a}");
+            assert!(
+                e >= 1 && e <= a,
+                "cuboid extent {e} in dim {i} exceeds torus extent {a}"
+            );
         }
         let mut nodes = Vec::with_capacity(cuboid.volume());
         let mut cursor = vec![0usize; self.ndim()];
@@ -197,7 +204,10 @@ impl Torus {
         assert_eq!(extent.len(), self.ndim());
         let mut total = 0.0;
         for (i, (&c, &a)) in extent.iter().zip(self.dims.iter()).enumerate() {
-            assert!(c >= 1 && c <= a, "cuboid extent {c} in dim {i} exceeds torus extent {a}");
+            assert!(
+                c >= 1 && c <= a,
+                "cuboid extent {c} in dim {i} exceeds torus extent {a}"
+            );
             if c == a || a == 1 {
                 continue;
             }
@@ -216,7 +226,10 @@ impl Torus {
     pub fn cuboid_cut_size(&self, extent: &[usize]) -> u64 {
         let mut total = 0u64;
         for (i, (&c, &a)) in extent.iter().zip(self.dims.iter()).enumerate() {
-            assert!(c >= 1 && c <= a, "cuboid extent {c} in dim {i} exceeds torus extent {a}");
+            assert!(
+                c >= 1 && c <= a,
+                "cuboid extent {c} in dim {i} exceeds torus extent {a}"
+            );
             if c == a || a == 1 {
                 continue;
             }
@@ -239,7 +252,10 @@ impl Torus {
     pub fn partition(&self, extent: &[usize]) -> Torus {
         assert_eq!(extent.len(), self.ndim());
         for (i, (&e, &a)) in extent.iter().zip(self.dims.iter()).enumerate() {
-            assert!(e >= 1 && e <= a, "partition extent {e} in dim {i} exceeds torus extent {a}");
+            assert!(
+                e >= 1 && e <= a,
+                "partition extent {e} in dim {i} exceeds torus extent {a}"
+            );
         }
         Torus::with_capacities(extent.to_vec(), self.capacities.clone())
     }
@@ -342,7 +358,10 @@ mod tests {
             t.cut_size(&indicator(t.num_nodes(), &nodes))
         };
         for origin in [[1, 0, 0], [4, 3, 2], [2, 2, 1]] {
-            let nodes = t.cuboid_nodes(&Cuboid { origin: origin.to_vec(), extent: extent.clone() });
+            let nodes = t.cuboid_nodes(&Cuboid {
+                origin: origin.to_vec(),
+                extent: extent.clone(),
+            });
             let cut = t.cut_size(&indicator(t.num_nodes(), &nodes));
             assert_eq!(cut, base, "cut must not depend on cuboid origin");
         }

@@ -12,9 +12,21 @@ fn main() {
     println!("A 4096-node slot is free with geometry {offered} (512 links).\n");
 
     let jobs = [
-        ("all-to-all spectral solver", ContentionHint::ContentionBound, 3600.0),
-        ("fast matrix multiplication", ContentionHint::PartiallyBound(0.4), 3600.0),
-        ("embarrassingly parallel sweep", ContentionHint::ComputeBound, 3600.0),
+        (
+            "all-to-all spectral solver",
+            ContentionHint::ContentionBound,
+            3600.0,
+        ),
+        (
+            "fast matrix multiplication",
+            ContentionHint::PartiallyBound(0.4),
+            3600.0,
+        ),
+        (
+            "embarrassingly parallel sweep",
+            ContentionHint::ComputeBound,
+            3600.0,
+        ),
     ];
     let expected_wait = 900.0; // seconds until an optimal 2x2x2x1 frees up
 

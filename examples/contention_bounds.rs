@@ -15,9 +15,18 @@ fn main() {
     let mira = known::mira();
     let node = NodeModel::bgq();
     let kernels = [
-        ("classical matmul n=65536", Kernel::ClassicalMatmul { n: 65_536 }),
-        ("Strassen matmul n=32928", Kernel::StrassenMatmul { n: 32_928 }),
-        ("direct N-body n=4M", Kernel::DirectNBody { bodies: 1 << 22 }),
+        (
+            "classical matmul n=65536",
+            Kernel::ClassicalMatmul { n: 65_536 },
+        ),
+        (
+            "Strassen matmul n=32928",
+            Kernel::StrassenMatmul { n: 32_928 },
+        ),
+        (
+            "direct N-body n=4M",
+            Kernel::DirectNBody { bodies: 1 << 22 },
+        ),
         ("FFT n=2^30", Kernel::Fft { n: 1 << 30 }),
     ];
 
@@ -25,8 +34,8 @@ fn main() {
         println!("=== {label} ===");
         let model = ContentionModel::bgq(kernel);
         for midplanes in [4usize, 8, 16, 24] {
-            let advice = advise_kernel(&mira, &model, &node, midplanes)
-                .expect("Mira supports these sizes");
+            let advice =
+                advise_kernel(&mira, &model, &node, midplanes).expect("Mira supports these sizes");
             let worst = &advice.worst_breakdown;
             println!(
                 "  {midplanes:>2} midplanes: worst geometry {:?} -> contention {:.3}s, \

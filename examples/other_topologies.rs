@@ -9,7 +9,13 @@ fn main() {
     for case in topology_applicability_report() {
         println!("{}", case.family);
         println!("  comparison : {}", case.comparison);
-        println!("  bisection  : {:.0} vs {:.0} capacity units", case.worse, case.better);
-        println!("  potential contention-bound speedup: x{:.2}\n", case.potential_speedup());
+        println!(
+            "  bisection  : {:.0} vs {:.0} capacity units",
+            case.worse, case.better
+        );
+        println!(
+            "  potential contention-bound speedup: x{:.2}\n",
+            case.potential_speedup()
+        );
     }
 }

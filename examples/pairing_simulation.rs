@@ -25,7 +25,13 @@ fn main() {
         );
         seconds.push(result.total_time);
     }
-    let check = PredictionCheck::new("bisection pairing, 4 midplanes", current, proposed, seconds[0], seconds[1]);
+    let check = PredictionCheck::new(
+        "bisection pairing, 4 midplanes",
+        current,
+        proposed,
+        seconds[0],
+        seconds[1],
+    );
     println!(
         "\npredicted speedup x{:.2}, simulated x{:.2} (paper: predicted 2.00, measured 1.92)",
         check.predicted_speedup, check.measured_speedup

@@ -9,7 +9,10 @@ fn main() {
     // 1. How good is Mira's production allocation policy?
     let report = analysis::analyze_policy(&AllocationSystem::mira_production());
     println!("Machine: {}", report.machine);
-    println!("Sizes with avoidable contention: {:?}", report.improvable_sizes());
+    println!(
+        "Sizes with avoidable contention: {:?}",
+        report.improvable_sizes()
+    );
     println!(
         "Largest speedup available to a contention-bound job: x{:.2}\n",
         report.max_speedup()

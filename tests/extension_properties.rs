@@ -9,7 +9,7 @@ use netpart::kernels::{FftConfig, NBodyConfig, SummaConfig};
 use netpart::mpi::collectives::total_volume;
 use netpart::mpi::RankMapping;
 use netpart::spectral::{spectral_bisection, torus_combinatorial_spectrum, EigenOptions};
-use netpart::topology::{Topology, Torus};
+use netpart::topology::Torus;
 use proptest::prelude::*;
 
 /// Random torus dimensions of 2 to 4 axes, each 2, 4 or 6 long, at most ~300

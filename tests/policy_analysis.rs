@@ -13,7 +13,14 @@ fn table1_and_table6_from_the_public_api() {
     let improved: Vec<_> = rows.iter().filter(|r| r.improved.is_some()).collect();
     assert_eq!(improved.len(), 4);
     let expectations = [
-        (2048usize, 4usize, "4 x 1 x 1 x 1", 256u64, "2 x 2 x 1 x 1", 512u64),
+        (
+            2048usize,
+            4usize,
+            "4 x 1 x 1 x 1",
+            256u64,
+            "2 x 2 x 1 x 1",
+            512u64,
+        ),
         (4096, 8, "4 x 2 x 1 x 1", 512, "2 x 2 x 2 x 1", 1024),
         (8192, 16, "4 x 4 x 1 x 1", 1024, "2 x 2 x 2 x 2", 2048),
         (12288, 24, "4 x 3 x 2 x 1", 1536, "3 x 2 x 2 x 2", 2048),
@@ -33,10 +40,19 @@ fn table2_and_table7_from_the_public_api() {
     let rows = alloc::worst_vs_best(&known::juqueen());
     assert_eq!(rows.len(), 19, "Table 7 lists 19 sizes");
     // Table 7 worst-case bandwidths for the ring sizes.
-    for (midplanes, bw) in [(5usize, 256u64), (7, 256), (14, 512), (28, 1024), (40, 2048)] {
+    for (midplanes, bw) in [
+        (5usize, 256u64),
+        (7, 256),
+        (14, 512),
+        (28, 1024),
+        (40, 2048),
+    ] {
         let row = rows.iter().find(|r| r.midplanes == midplanes).unwrap();
         assert_eq!(row.baseline_bw, bw, "{midplanes} midplanes");
-        assert!(row.improved.is_none(), "{midplanes} midplanes has no spread");
+        assert!(
+            row.improved.is_none(),
+            "{midplanes} midplanes has no spread"
+        );
     }
     // Table 2 rows (sizes with a spread) all show exactly a factor 2.
     for row in rows.iter().filter(|r| r.improved.is_some()) {
@@ -51,7 +67,10 @@ fn table5_machine_design_from_the_public_api() {
     // Sizes unique to one machine appear with blanks elsewhere (e.g. 27, 54).
     let row5 = rows.iter().find(|r| r.midplanes == 5).unwrap();
     assert_eq!(row5.per_machine[0].unwrap().1, 256);
-    assert!(row5.per_machine[1].is_none(), "JUQUEEN-54 has no 5-midplane cuboid");
+    assert!(
+        row5.per_machine[1].is_none(),
+        "JUQUEEN-54 has no 5-midplane cuboid"
+    );
     // Paper's Table 5 headline rows.
     let row36 = rows.iter().find(|r| r.midplanes == 36).unwrap();
     assert_eq!(row36.per_machine[1].unwrap().1, 3072);

@@ -6,8 +6,8 @@
 //! the structural guarantees of the hint-aware policy.
 
 use netpart::machines::known;
-use netpart::sched::{generate_trace, simulate, OccupancyGrid, SchedPolicy, TraceConfig};
 use netpart::machines::PartitionGeometry;
+use netpart::sched::{generate_trace, simulate, OccupancyGrid, SchedPolicy, TraceConfig};
 use proptest::prelude::*;
 
 fn arbitrary_policy() -> impl Strategy<Value = SchedPolicy> {
@@ -121,7 +121,11 @@ fn overload_does_not_oversubscribe_the_machine() {
     assert_eq!(metrics.outcomes.len(), trace.len());
     assert!(metrics.utilization <= 1.0 + 1e-9);
     // Under heavy load the machine should be busy most of the time.
-    assert!(metrics.utilization > 0.5, "utilization {}", metrics.utilization);
+    assert!(
+        metrics.utilization > 0.5,
+        "utilization {}",
+        metrics.utilization
+    );
 }
 
 /// A geometry whose size exceeds the whole machine is rejected by the
@@ -130,5 +134,7 @@ fn overload_does_not_oversubscribe_the_machine() {
 fn oversized_geometry_is_never_placed() {
     let machine = known::juqueen();
     let grid = OccupancyGrid::new(&machine);
-    assert!(grid.find_placement(&PartitionGeometry::new([7, 2, 2, 4])).is_none());
+    assert!(grid
+        .find_placement(&PartitionGeometry::new([7, 2, 2, 4]))
+        .is_none());
 }

@@ -112,7 +112,11 @@ fn section5_topologies_have_consistent_spectral_certificates() {
     assert!(sf.is_consistent());
     // The Hoffman–Singleton-like MMS(5) graph is an excellent expander: its
     // bisection is a large fraction of its 175 links.
-    assert!(sf.cut_capacity >= 50.0, "Slim Fly bisection {}", sf.cut_capacity);
+    assert!(
+        sf.cut_capacity >= 50.0,
+        "Slim Fly bisection {}",
+        sf.cut_capacity
+    );
 
     let expander = Circulant::spread(64, 3);
     let ring = Circulant::new(64, vec![1]);

@@ -2,7 +2,7 @@
 //! spanning the topology and isoperimetry crates.
 
 use netpart::iso::{bound, cuboid, exact, harper, lindsey};
-use netpart::topology::{indicator, Hypercube, HyperX, Topology, Torus};
+use netpart::topology::{indicator, HyperX, Hypercube, Topology, Torus};
 use proptest::prelude::*;
 
 proptest! {

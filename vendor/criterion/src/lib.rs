@@ -1,0 +1,224 @@
+//! Offline shim for `criterion`.
+//!
+//! Mirrors the criterion 0.5 API used by the `crates/bench` benchmarks —
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`, throughput
+//! annotations, the `criterion_group!` / `criterion_main!` macros — but
+//! performs a fixed small number of timed iterations and reports the best
+//! wall-clock time instead of doing statistical sampling. Good enough to
+//! keep the benches compiling, runnable and comparable; swap for the real
+//! crate via `[workspace.dependencies]` for publication-quality numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Throughput annotation attached to a group (recorded, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of bytes, scaled per-element.
+    BytesDecimal(u64),
+}
+
+/// Drives a single benchmark's iterations.
+pub struct Bencher {
+    best: Option<Duration>,
+    iterations: u32,
+}
+
+impl Bencher {
+    fn new(iterations: u32) -> Self {
+        Self {
+            best: None,
+            iterations,
+        }
+    }
+
+    /// Time `routine`, keeping the best of a fixed number of runs. The
+    /// routine's output is passed through `black_box` so it is not optimised
+    /// away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup to populate caches / lazy statics.
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if self.best.map_or(true, |b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iterations: 3 }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(None, &id.into(), self.iterations, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: self.iterations,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Measurement backends, mirroring `criterion::measurement`. Only the
+/// wall-clock backend exists, and it is a phantom type in this shim.
+pub mod measurement {
+    /// Wall-clock time measurement marker.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// A named collection of benchmarks sharing configuration. The lifetime and
+/// measurement parameters exist for signature compatibility with real
+/// criterion; this shim does not use them.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    iterations: u32,
+    _marker: std::marker::PhantomData<(&'a (), M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Criterion's statistical sample count; ignored by this shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion's target measurement time; ignored by this shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the group's throughput annotation (ignored by this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), self.iterations, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(Some(&self.name), &id, self.iterations, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group. A no-op in this shim.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    iterations: u32,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut bencher = Bencher::new(iterations);
+    f(&mut bencher);
+    match bencher.best {
+        Some(best) => println!("bench {full:<60} best of {iterations}: {best:?}"),
+        None => println!("bench {full:<60} no iterations recorded"),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, like criterion's macro.
+/// Only the simple `criterion_group!(name, target, ...)` form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,276 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the subset of the proptest 1.x API the workspace's property
+//! tests use: the `proptest!` macro, range and collection strategies,
+//! `prop_map` / `prop_filter` / `Just` / `prop_oneof!`, and the
+//! `prop_assert*` / `prop_assume!` macros. Instead of proptest's guided
+//! generation and shrinking, each test runs its configured number of cases
+//! with values drawn from a deterministic per-test RNG, and failures panic
+//! with the offending inputs via the assertion message. Swap for the real
+//! crate via `[workspace.dependencies]` when a registry is available.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible length specification for [`vec()`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports (`proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case when the precondition does not hold.
+///
+/// Expands to an early `return` from the closure `proptest!` wraps each
+/// case's body in, so it is safe anywhere in the body — including inside
+/// nested loops — matching real proptest's early-return semantics.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Discard;
+        }
+    };
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0usize..4, 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr); ) => {};
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __discarded: u32 = 0;
+            // Discarded cases don't consume the case budget: keep drawing
+            // until the configured number of cases actually ran, and fail
+            // loudly if `prop_assume!` rejects nearly everything (mirroring
+            // real proptest's max-global-rejects error).
+            while __passed < __config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                )*
+                // The per-case body runs in a closure so `prop_assume!` can
+                // discard the case with `return` from any nesting depth.
+                let __outcome = (|| -> $crate::test_runner::CaseOutcome {
+                    $body
+                    $crate::test_runner::CaseOutcome::Pass
+                })();
+                match __outcome {
+                    $crate::test_runner::CaseOutcome::Pass => __passed += 1,
+                    $crate::test_runner::CaseOutcome::Discard => {
+                        __discarded += 1;
+                        assert!(
+                            __discarded <= 10 * __config.cases + 256,
+                            "prop_assume! discarded {} inputs before {} of {} \
+                             cases passed; the assumption rejects nearly all \
+                             generated values",
+                            __discarded,
+                            __passed,
+                            __config.cases,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 1u64..=9, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=9).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(0usize..5, 2..=4),
+        ) {
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_inside_nested_loop_discards_whole_case(x in 0u32..10) {
+            let mut checked = 0;
+            for _round in 0..2 {
+                // Discarding from inside the loop must abandon the whole
+                // case (early return), not just skip a loop iteration: were
+                // it a `continue`, odd `x` would reach the assertion below
+                // with `checked == 0` and fail.
+                prop_assume!(x % 2 == 0);
+                checked += 1;
+            }
+            prop_assert_eq!(checked, 2);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "prop_assume! discarded")]
+        fn always_false_assumption_fails_loudly(x in 0u32..10) {
+            prop_assume!(x > 100);
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_filter_compose() {
+        let strategy = prop_oneof![
+            Just(1usize),
+            (10usize..20).prop_map(|v| v * 2),
+            (0usize..100).prop_filter("even only", |v| v % 2 == 0),
+        ];
+        let mut rng = TestRng::deterministic("oneof");
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v) || v % 2 == 0);
+        }
+    }
+}

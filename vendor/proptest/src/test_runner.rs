@@ -1,0 +1,73 @@
+//! Per-test configuration and the deterministic RNG behind sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of proptest's runner configuration: just the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Result of one generated case's body, as seen by the `proptest!` macro.
+///
+/// The macro wraps each case's body in a closure returning this type, so
+/// `prop_assume!` can discard a case with `return` from anywhere in the
+/// body — including inside nested loops — without affecting surrounding
+/// control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion (assertions passing).
+    Pass,
+    /// `prop_assume!` rejected the generated inputs; the case is skipped.
+    Discard,
+}
+
+/// Deterministic generator seeded from the test's name, so every run of a
+/// property exercises the same inputs (reproducible CI). Delegates to the
+/// workspace's `rand` shim, exactly as real proptest builds on `rand`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (the `proptest!` macro passes the test
+    /// function's name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label gives a stable, well-mixed seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

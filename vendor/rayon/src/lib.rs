@@ -1,0 +1,93 @@
+//! Offline shim for `rayon`.
+//!
+//! Presents the slice of rayon's API the workspace uses — `join`,
+//! `par_iter`, `into_par_iter` and the iterator adapters chained on them —
+//! but executes everything sequentially on the calling thread. Correctness
+//! is identical; only parallel speedup is lost. Swap for the real crate via
+//! `[workspace.dependencies]` when a registry is available.
+
+/// Run both closures and return their results. Sequential in this shim.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A "parallel" iterator: a thin wrapper over a standard iterator that also
+/// carries rayon-specific adapter names (`flat_map_iter`, `with_min_len`).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// rayon's `with_min_len`: a scheduling hint, meaningless when serial.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// rayon's `with_max_len`: a scheduling hint, meaningless when serial.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Convert `self` into a (here: serial) parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Borrowing conversion (`rayon::iter::IntoParallelRefIterator`), providing
+/// `par_iter` on slices and collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the borrowed iterator.
+    type Item: 'a;
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate over `&self` "in parallel" (here: serially).
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: 'a,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// One-stop imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Exposes `Serialize` / `Deserialize` as marker traits together with the
+//! no-op derive macros from the sibling `serde_derive` shim. This is enough
+//! for the workspace, which only tags types with the derives; replace with
+//! the real crates.io `serde` by editing `[workspace.dependencies]`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

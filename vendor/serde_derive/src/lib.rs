@@ -1,0 +1,20 @@
+//! Offline shim for serde's derive macros.
+//!
+//! The build environment cannot reach crates.io, and the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as an opt-in marker (nothing in the
+//! tree serializes at runtime yet). The derives therefore expand to nothing;
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
