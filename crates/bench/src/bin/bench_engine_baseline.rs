@@ -1,0 +1,63 @@
+//! Machine-readable engine-performance baseline.
+//!
+//! Measures the discrete-event core (queue throughput, dispatch rate) and
+//! the fabric flow simulation on several topology families, then writes
+//! `results/bench_engine.json` — the first entry of the repository's bench
+//! trajectory, against which later engine optimisations are compared. The
+//! workloads themselves live in `netpart_bench::engine_workloads`, shared
+//! with `benches/engine_events.rs`.
+
+use netpart_bench::emit_json;
+use netpart_bench::engine_workloads::{
+    dispatch_chain, fabric_cases, queue_push_drain, shuffle_flows,
+};
+use netpart_engine::simulate_flows;
+use std::time::Instant;
+
+/// Best-of-three wall-clock seconds for `routine`.
+fn time_best<O>(mut routine: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut entries: Vec<(String, &str, f64)> = vec![
+        (
+            "event_queue_100k".into(),
+            "events_per_sec",
+            100_000.0 / time_best(|| queue_push_drain(100_000)),
+        ),
+        (
+            "dispatch_chain_100k".into(),
+            "events_per_sec",
+            100_000.0 / time_best(|| dispatch_chain(100_000)),
+        ),
+    ];
+
+    for (label, fabric, router) in &fabric_cases() {
+        let flows = shuffle_flows(fabric);
+        let secs = time_best(|| {
+            simulate_flows(fabric, router.as_ref(), &flows)
+                .expect("connected")
+                .makespan
+        });
+        entries.push((format!("fabric_flow_shuffle/{label}"), "seconds", secs));
+    }
+
+    // Hand-rolled JSON (the vendored serde shim has no serializer).
+    let mut json =
+        String::from("{\n  \"schema\": \"netpart-bench-engine/v1\",\n  \"entries\": [\n");
+    for (i, (name, metric, value)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"metric\": \"{metric}\", \"value\": {value:.6}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    emit_json("bench_engine", &json);
+}

@@ -21,26 +21,129 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
-/// Print a report to stdout and persist it under `results/<name>.txt`.
+/// Echo `body` to stdout and persist it under `results/<name>.<ext>`.
 /// Failures to write the file are reported but not fatal (the console output
 /// is the primary artefact).
-pub fn emit(name: &str, body: &str) {
+fn emit_with_ext(name: &str, ext: &str, body: &str) {
     println!("{body}");
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("note: could not create {}: {e}", dir.display());
         return;
     }
-    let path = dir.join(format!("{name}.txt"));
+    let path = dir.join(format!("{name}.{ext}"));
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
     }
 }
 
+/// Print a report to stdout and persist it under `results/<name>.txt`.
+pub fn emit(name: &str, body: &str) {
+    emit_with_ext(name, "txt", body);
+}
+
+/// Persist a JSON document under `results/<name>.json` (and echo it), for
+/// machine-readable baselines such as `bench_engine.json`.
+pub fn emit_json(name: &str, body: &str) {
+    emit_with_ext(name, "json", body);
+}
+
 /// Render a header line for an experiment report.
 pub fn header(title: &str, source: &str) -> String {
     format!("{title}\n(reproduces {source} of 'Network Partitioning and Avoidable Contention', SPAA 2020)\n")
+}
+
+/// Shared workload definitions for the engine benchmarks.
+///
+/// `benches/engine_events.rs` (criterion timings) and the
+/// `bench_engine_baseline` bin (the committed `results/bench_engine.json`)
+/// both measure exactly these workloads; keeping one definition here
+/// guarantees the baseline and `cargo bench` never drift apart.
+pub mod engine_workloads {
+    use netpart_engine::{
+        Component, Context, DimensionOrdered, Event, EventQueue, Fabric, Flow, Router,
+        ShortestPath, Simulation,
+    };
+    use netpart_topology::{Dragonfly, FatTree, GlobalArrangement, Hypercube, Torus};
+
+    /// Push `n` events with deterministically scattered timestamps, then
+    /// drain the queue; returns the number drained.
+    pub fn queue_push_drain(n: usize) -> usize {
+        let mut queue = EventQueue::new();
+        for i in 0..n {
+            queue.push(((i * 2_654_435_761) % n) as f64, 0, 0, i);
+        }
+        let mut drained = 0usize;
+        while queue.pop().is_some() {
+            drained += 1;
+        }
+        drained
+    }
+
+    /// One component re-emitting to itself `n` times: measures per-event
+    /// dispatch overhead (queue + clock + handler swap). Returns the events
+    /// processed.
+    pub fn dispatch_chain(n: u64) -> u64 {
+        struct Chain {
+            remaining: u64,
+        }
+        impl Component<u64> for Chain {
+            fn on_event(&mut self, _event: Event<u64>, ctx: &mut Context<'_, u64>) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.emit_self(self.remaining, 1.0);
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let id = sim.add_component("chain", Box::new(Chain { remaining: n }));
+        sim.schedule(0.0, id, 0);
+        sim.run();
+        sim.events_processed()
+    }
+
+    /// The four-fabric case table the flow-simulation benchmarks sweep: one
+    /// torus (dimension-ordered) and three non-torus families.
+    pub fn fabric_cases() -> Vec<(&'static str, Fabric, Box<dyn Router>)> {
+        vec![
+            (
+                "torus_8x4x4_dor",
+                Fabric::from_torus(Torus::new(vec![8, 4, 4]), 2.0),
+                Box::new(DimensionOrdered::default()),
+            ),
+            (
+                "hypercube_7",
+                Fabric::from_topology(&Hypercube::new(7), 2.0),
+                Box::new(ShortestPath),
+            ),
+            (
+                "dragonfly_8x4x4",
+                Fabric::from_topology(
+                    &Dragonfly::new(8, 4, 4, 1.0, 1.0, 1.0, 1, GlobalArrangement::Relative),
+                    2.0,
+                ),
+                Box::new(ShortestPath),
+            ),
+            (
+                "fattree_8",
+                Fabric::from_topology(&FatTree::new(8), 2.0),
+                Box::new(ShortestPath),
+            ),
+        ]
+    }
+
+    /// The shuffle pattern the flow benchmarks simulate on each fabric.
+    pub fn shuffle_flows(fabric: &Fabric) -> Vec<Flow> {
+        let n = fabric.num_nodes();
+        (0..n)
+            .map(|src| Flow {
+                src,
+                dst: (src + n / 2 + 1) % n,
+                gigabytes: 0.5,
+            })
+            .collect()
+    }
 }
 
 /// Format seconds with three significant decimals.

@@ -47,3 +47,4 @@ pub use experiments::{
     mira_matmul_experiment, pairing_speedups, MatmulMeasurement, PairingMeasurement,
 };
 pub use predict::{implied_contention_fraction, PredictionCheck};
+pub use topologies::{cross_topology_contention, fabric_catalog, ContentionRow};

@@ -6,8 +6,9 @@
 //! policy would need — the bisection (or small-set expansion proxy) of a
 //! sub-allocation — using the exact solvers from `netpart-iso`.
 
+use netpart_engine::{simulate_flows, DimensionOrdered, Fabric, Flow, Router, ShortestPath};
 use netpart_iso::{harper, lindsey, weighted};
-use netpart_topology::{Dragonfly, GlobalArrangement};
+use netpart_topology::{Dragonfly, FatTree, GlobalArrangement, HyperX, Hypercube, Torus};
 use serde::{Deserialize, Serialize};
 
 /// The bisection bandwidth (in unit links) available to a `2^d`-node
@@ -102,6 +103,90 @@ pub fn topology_applicability_report() -> Vec<TopologyCase> {
     ]
 }
 
+/// A small representative fabric of each Section 5 topology family, paired
+/// with its natural router — the catalog the engine-based experiments sweep.
+pub fn fabric_catalog() -> Vec<(Fabric, Box<dyn Router>)> {
+    vec![
+        (
+            Fabric::from_torus(Torus::new(vec![4, 4, 4]), 2.0),
+            Box::new(DimensionOrdered::default()),
+        ),
+        (
+            Fabric::from_topology(&Hypercube::new(6), 2.0),
+            Box::new(ShortestPath),
+        ),
+        (
+            Fabric::from_topology(&HyperX::regular(vec![8, 8]), 2.0),
+            Box::new(ShortestPath),
+        ),
+        (
+            Fabric::from_topology(
+                &Dragonfly::new(4, 4, 4, 1.0, 1.0, 1.0, 1, GlobalArrangement::Relative),
+                2.0,
+            ),
+            Box::new(ShortestPath),
+        ),
+        (
+            Fabric::from_topology(&FatTree::new(4), 2.0),
+            Box::new(ShortestPath),
+        ),
+    ]
+}
+
+/// One row of [`cross_topology_contention`]: the same shuffle workload on one
+/// topology family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionRow {
+    /// Fabric name.
+    pub fabric: String,
+    /// Router label.
+    pub router: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Simulated makespan of the shuffle (seconds).
+    pub makespan: f64,
+    /// The bottleneck-channel lower bound (seconds).
+    pub lower_bound: f64,
+    /// `makespan / lower_bound` — how far routing + sharing are from the
+    /// best any schedule could do on these routes.
+    pub contention_factor: f64,
+}
+
+/// Run the same per-node shuffle (every node sends `gigabytes` to the node
+/// `num_nodes / 2 + 1` positions ahead) across the whole
+/// [`fabric_catalog`], asking the paper's avoidable-contention question —
+/// how much does the interconnect's structure inflate a fixed workload? —
+/// on every family at once.
+pub fn cross_topology_contention(gigabytes: f64) -> Vec<ContentionRow> {
+    fabric_catalog()
+        .into_iter()
+        .map(|(fabric, router)| {
+            let n = fabric.num_nodes();
+            let flows: Vec<Flow> = (0..n)
+                .map(|src| Flow {
+                    src,
+                    dst: (src + n / 2 + 1) % n,
+                    gigabytes,
+                })
+                .collect();
+            let outcome = simulate_flows(&fabric, router.as_ref(), &flows)
+                .expect("catalog fabrics are connected");
+            ContentionRow {
+                fabric: fabric.name().to_string(),
+                router: router.label(),
+                nodes: n,
+                makespan: outcome.makespan,
+                lower_bound: outcome.bottleneck_lower_bound,
+                contention_factor: if outcome.bottleneck_lower_bound > 0.0 {
+                    outcome.makespan / outcome.bottleneck_lower_bound
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +232,24 @@ mod tests {
             assert!(case.worse > 0.0);
             assert!(case.potential_speedup() >= 1.0, "{}", case.family);
         }
+    }
+
+    #[test]
+    fn cross_topology_contention_covers_the_catalog() {
+        let rows = cross_topology_contention(0.25);
+        assert_eq!(rows.len(), fabric_catalog().len());
+        for row in &rows {
+            assert!(row.makespan > 0.0, "{}", row.fabric);
+            assert!(
+                row.contention_factor >= 1.0 - 1e-9,
+                "{}: factor {}",
+                row.fabric,
+                row.contention_factor
+            );
+        }
+        // The catalog spans genuinely different families.
+        let mut names: Vec<&str> = rows.iter().map(|r| r.fabric.as_str()).collect();
+        names.dedup();
+        assert_eq!(names.len(), rows.len());
     }
 }

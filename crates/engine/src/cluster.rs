@@ -1,0 +1,590 @@
+//! Topology-generic cluster scheduling scenario.
+//!
+//! The paper's scheduler experiments replay a Blue Gene/Q midplane trace; the
+//! machinery here asks the same avoidable-contention question on *any*
+//! fabric with a *dynamic* job stream. A stream of [`ClusterJob`]s arrives
+//! over time; an [`Allocator`] hands each job a set of nodes; the job's
+//! communication phase (an all-to-all exchange within its allocation) is
+//! flow-simulated on the fabric *together with the exchanges of every job
+//! currently running*, and the ratio of the job's own completion time to its
+//! contention-free serial time is the job's *contention penalty* (≥ 1, and 1
+//! exactly when none of its flows ever shares a channel — with its own or
+//! with a neighbour's traffic). The penalty is evaluated once, at start
+//! time, against the then-running mix: a deliberate one-shot approximation
+//! that keeps runtimes fixed while still charging fragmented allocations for
+//! the links they share. Comparing the penalty across allocators on the same
+//! stream quantifies how much of the contention a better allocation avoids.
+//!
+//! Arrivals, allocation decisions and completions all flow through the
+//! discrete-event [`Simulation`], so the scenario composes with any other
+//! engine component.
+
+use crate::error::EngineError;
+use crate::fabric::Fabric;
+use crate::flowsim::{route_flows, Flow};
+use crate::fluid::FluidSim;
+use crate::router::Router;
+use crate::sim::{Component, Context, Simulation};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// One job of the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterJob {
+    /// Dense job identifier.
+    pub id: usize,
+    /// Arrival (submission) time in seconds.
+    pub arrival: f64,
+    /// Number of nodes requested.
+    pub nodes: usize,
+    /// Run time in seconds on a contention-free allocation (penalty 1).
+    pub runtime_uncontended: f64,
+    /// Volume (GB) each ordered node pair exchanges in the job's all-to-all
+    /// communication phase.
+    pub gigabytes: f64,
+}
+
+/// Chooses which free nodes a job receives.
+pub trait Allocator {
+    /// Pick `count` currently-free nodes (`free[v]` true), or `None` to keep
+    /// the job queued. Implementations must be deterministic.
+    fn allocate(&self, fabric: &Fabric, free: &[bool], count: usize) -> Option<Vec<usize>>;
+
+    /// Short label for reports.
+    fn label(&self) -> String;
+}
+
+/// Breadth-first-compact allocation: grow a cluster from the lowest-numbered
+/// free node, spilling to the next free component if one runs out. The
+/// locality-preserving baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactAllocator;
+
+impl Allocator for CompactAllocator {
+    fn allocate(&self, fabric: &Fabric, free: &[bool], count: usize) -> Option<Vec<usize>> {
+        if count == 0 || free.iter().filter(|&&f| f).count() < count {
+            return None;
+        }
+        let mut picked = Vec::with_capacity(count);
+        let mut taken = vec![false; fabric.num_nodes()];
+        while picked.len() < count {
+            // Seed a BFS at the lowest free node not yet taken.
+            let seed = (0..fabric.num_nodes()).find(|&v| free[v] && !taken[v])?;
+            let mut queue = VecDeque::from([seed]);
+            taken[seed] = true;
+            while let Some(v) = queue.pop_front() {
+                picked.push(v);
+                if picked.len() == count {
+                    break;
+                }
+                for &c in fabric.out_channels(v) {
+                    let n = fabric.channels()[c].to;
+                    if free[n] && !taken[n] {
+                        taken[n] = true;
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        picked.sort_unstable();
+        Some(picked)
+    }
+
+    fn label(&self) -> String {
+        "compact".to_string()
+    }
+}
+
+/// Strided scatter allocation: take every `stride`-th free node. The
+/// adversarial end of what a locality-blind scheduler can produce.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterAllocator {
+    /// Stride through the free list (≥ 1; 1 degenerates to first-fit).
+    pub stride: usize,
+}
+
+impl Allocator for ScatterAllocator {
+    fn allocate(&self, fabric: &Fabric, free: &[bool], count: usize) -> Option<Vec<usize>> {
+        let _ = fabric;
+        let free_nodes: Vec<usize> = (0..free.len()).filter(|&v| free[v]).collect();
+        if count == 0 || free_nodes.len() < count {
+            return None;
+        }
+        let stride = self.stride.max(1);
+        let mut picked = Vec::with_capacity(count);
+        let mut used = vec![false; free_nodes.len()];
+        let mut cursor = 0usize;
+        while picked.len() < count {
+            while used[cursor % free_nodes.len()] {
+                cursor += 1;
+            }
+            let idx = cursor % free_nodes.len();
+            used[idx] = true;
+            picked.push(free_nodes[idx]);
+            cursor += stride;
+        }
+        picked.sort_unstable();
+        Some(picked)
+    }
+
+    fn label(&self) -> String {
+        format!("scatter(stride={})", self.stride)
+    }
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// The job id.
+    pub job_id: usize,
+    /// Arrival time (seconds).
+    pub arrival: f64,
+    /// Start time (seconds).
+    pub start: f64,
+    /// Completion time (seconds).
+    pub completion: f64,
+    /// Run time actually experienced (seconds).
+    pub runtime: f64,
+    /// Run time on a contention-free allocation (seconds).
+    pub runtime_uncontended: f64,
+    /// `runtime / runtime_uncontended` (1 exactly when no two of the job's
+    /// flows shared a channel).
+    pub penalty: f64,
+    /// The nodes the job received (sorted).
+    pub nodes: Vec<usize>,
+}
+
+impl ClusterOutcome {
+    /// Waiting time in the queue (seconds).
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+}
+
+/// Aggregate metrics of one cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Fabric name.
+    pub fabric: String,
+    /// Router label.
+    pub router: String,
+    /// Allocator label.
+    pub allocator: String,
+    /// Per-job outcomes in completion order.
+    pub outcomes: Vec<ClusterOutcome>,
+    /// Time the last job completed (seconds).
+    pub makespan: f64,
+}
+
+impl ClusterMetrics {
+    /// Mean contention penalty over all jobs (1.0 = nothing avoidable).
+    pub fn mean_penalty(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.outcomes.iter().map(|o| o.penalty).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Fraction of jobs whose penalty exceeds `threshold` — jobs that paid
+    /// contention a better allocation would have avoided.
+    pub fn avoidable_fraction(&self, threshold: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.penalty > threshold)
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Mean queue wait (seconds).
+    pub fn mean_wait(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(ClusterOutcome::wait).sum::<f64>() / self.outcomes.len() as f64
+    }
+}
+
+/// Events of the cluster scenario.
+#[derive(Debug, Clone)]
+enum ClusterEvent {
+    Arrival(ClusterJob),
+    Completion { job_id: usize },
+}
+
+struct RunningJob {
+    outcome: ClusterOutcome,
+    /// The job's exchange, kept as background traffic for later starters.
+    flows: Vec<Flow>,
+}
+
+/// The scheduler component: owns the free map, the FCFS queue and the
+/// running set.
+struct ClusterScheduler {
+    fabric: Fabric,
+    router: Box<dyn Router>,
+    allocator: Box<dyn Allocator>,
+    free: Vec<bool>,
+    queue: VecDeque<ClusterJob>,
+    running: BTreeMap<usize, RunningJob>,
+    outcomes: Rc<RefCell<Vec<ClusterOutcome>>>,
+    error: Rc<RefCell<Option<EngineError>>>,
+}
+
+impl ClusterScheduler {
+    /// The all-to-all exchange inside a node set: every ordered pair of
+    /// distinct nodes exchanges `gigabytes`.
+    fn all_to_all_flows(nodes: &[usize], gigabytes: f64) -> Vec<Flow> {
+        let mut flows = Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1));
+        for &a in nodes {
+            for &b in nodes {
+                if a != b {
+                    flows.push(Flow {
+                        src: a,
+                        dst: b,
+                        gigabytes,
+                    });
+                }
+            }
+        }
+        flows
+    }
+
+    /// Contention penalty of `own` flows run alongside the currently-running
+    /// jobs' exchanges: the slowest own-flow completion over the
+    /// contention-free serial time (the slowest own flow's volume over its
+    /// path's narrowest channel). ≥ 1 by construction; 1 exactly when none
+    /// of the job's flows shares a channel with anything.
+    fn exchange_penalty(&self, own: &[Flow]) -> Result<f64, EngineError> {
+        if own.is_empty() {
+            return Ok(1.0);
+        }
+        let mut flows: Vec<Flow> = own.to_vec();
+        for running in self.running.values() {
+            flows.extend_from_slice(&running.flows);
+        }
+        let paths = route_flows(&self.fabric, self.router.as_ref(), &flows)?;
+        let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
+        let mut fluid = FluidSim::new(&paths, &self.fabric.capacities(), &sizes);
+        fluid.run_to_completion();
+        let own_done = fluid.into_outcome().completion[..own.len()]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        let serial = own
+            .iter()
+            .zip(&paths)
+            .filter(|(_, path)| !path.is_empty())
+            .map(|(flow, path)| {
+                let narrowest = path
+                    .iter()
+                    .map(|&c| self.fabric.channels()[c].bandwidth_gbs)
+                    .fold(f64::INFINITY, f64::min);
+                flow.gigabytes / narrowest
+            })
+            .fold(0.0, f64::max);
+        if serial > 0.0 {
+            Ok(own_done / serial)
+        } else {
+            Ok(1.0)
+        }
+    }
+
+    /// Start queued jobs FCFS while the allocator will place them.
+    fn try_start(&mut self, ctx: &mut Context<'_, ClusterEvent>) {
+        while let Some(job) = self.queue.front() {
+            let Some(nodes) = self.allocator.allocate(&self.fabric, &self.free, job.nodes) else {
+                break;
+            };
+            let job = self.queue.pop_front().expect("front checked");
+            let flows = Self::all_to_all_flows(&nodes, job.gigabytes);
+            let penalty = match self.exchange_penalty(&flows) {
+                Ok(p) => p,
+                Err(e) => {
+                    *self.error.borrow_mut() = Some(e);
+                    return;
+                }
+            };
+            let runtime = job.runtime_uncontended * penalty;
+            for &v in &nodes {
+                debug_assert!(self.free[v], "allocator returned a busy node");
+                self.free[v] = false;
+            }
+            let now = ctx.time();
+            self.running.insert(
+                job.id,
+                RunningJob {
+                    outcome: ClusterOutcome {
+                        job_id: job.id,
+                        arrival: job.arrival,
+                        start: now,
+                        completion: now + runtime,
+                        runtime,
+                        runtime_uncontended: job.runtime_uncontended,
+                        penalty,
+                        nodes,
+                    },
+                    flows,
+                },
+            );
+            ctx.emit_self(ClusterEvent::Completion { job_id: job.id }, runtime);
+        }
+    }
+}
+
+impl Component<ClusterEvent> for ClusterScheduler {
+    fn on_event(&mut self, event: crate::Event<ClusterEvent>, ctx: &mut Context<'_, ClusterEvent>) {
+        if self.error.borrow().is_some() {
+            return; // poisoned: drain remaining events without acting
+        }
+        match event.payload {
+            ClusterEvent::Arrival(job) => {
+                self.queue.push_back(job);
+            }
+            ClusterEvent::Completion { job_id } => {
+                let done = self.running.remove(&job_id).expect("job was running");
+                for &v in &done.outcome.nodes {
+                    self.free[v] = true;
+                }
+                self.outcomes.borrow_mut().push(done.outcome);
+            }
+        }
+        self.try_start(ctx);
+    }
+}
+
+/// Simulate a job stream on a fabric. Infeasible jobs — empty requests and
+/// jobs larger than the machine, which no allocator could ever place — are
+/// skipped upfront (they would otherwise block the FCFS queue forever);
+/// everything else runs to completion.
+pub fn simulate_cluster(
+    fabric: &Fabric,
+    router: Box<dyn Router>,
+    allocator: Box<dyn Allocator>,
+    jobs: &[ClusterJob],
+) -> Result<ClusterMetrics, EngineError> {
+    let outcomes = Rc::new(RefCell::new(Vec::new()));
+    let error = Rc::new(RefCell::new(None));
+    let labels = (fabric.name().to_string(), router.label(), allocator.label());
+    let scheduler = ClusterScheduler {
+        free: vec![true; fabric.num_nodes()],
+        fabric: fabric.clone(),
+        router,
+        allocator,
+        queue: VecDeque::new(),
+        running: BTreeMap::new(),
+        outcomes: Rc::clone(&outcomes),
+        error: Rc::clone(&error),
+    };
+    let mut sim = Simulation::new();
+    let sched_id = sim.add_component("cluster-scheduler", Box::new(scheduler));
+    for job in jobs {
+        if job.nodes == 0 || job.nodes > fabric.num_nodes() {
+            continue;
+        }
+        sim.schedule(job.arrival, sched_id, ClusterEvent::Arrival(job.clone()));
+    }
+    sim.run();
+    drop(sim); // release the scheduler component's handles
+    if let Some(e) = error.borrow_mut().take() {
+        return Err(e);
+    }
+    let mut outcomes = Rc::try_unwrap(outcomes)
+        .expect("scheduler dropped with the simulation")
+        .into_inner();
+    outcomes.sort_by(|a, b| a.completion.total_cmp(&b.completion));
+    let makespan = outcomes.last().map(|o| o.completion).unwrap_or(0.0);
+    Ok(ClusterMetrics {
+        fabric: labels.0,
+        router: labels.1,
+        allocator: labels.2,
+        outcomes,
+        makespan,
+    })
+}
+
+/// A deterministic synthetic job stream (no RNG dependency: a Weyl sequence
+/// drives sizes and gaps), convenient for examples and benches.
+pub fn synthetic_job_stream(
+    num_jobs: usize,
+    max_nodes: usize,
+    mean_gap: f64,
+    gigabytes: f64,
+) -> Vec<ClusterJob> {
+    assert!(max_nodes >= 2, "jobs need at least 2 nodes to communicate");
+    let mut jobs = Vec::with_capacity(num_jobs);
+    let mut arrival = 0.0f64;
+    for id in 0..num_jobs {
+        // Low-discrepancy pseudo-random phases in (0, 1).
+        let u =
+            (((id as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) >> 11) as f64) / (1u64 << 53) as f64;
+        let v =
+            (((id as u64 + 1).wrapping_mul(0xd1b54a32d192ed03) >> 11) as f64) / (1u64 << 53) as f64;
+        arrival += -mean_gap * (1.0 - u).max(1e-12).ln();
+        // Sizes 2..=max_nodes, biased towards small jobs.
+        let nodes = 2 + ((v * v) * (max_nodes - 1) as f64) as usize;
+        jobs.push(ClusterJob {
+            id,
+            arrival,
+            nodes: nodes.min(max_nodes),
+            runtime_uncontended: 60.0 + 540.0 * v,
+            gigabytes,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShortestPath;
+    use netpart_topology::{Hypercube, Torus};
+
+    fn stream() -> Vec<ClusterJob> {
+        synthetic_job_stream(12, 8, 100.0, 1.0)
+    }
+
+    #[test]
+    fn all_feasible_jobs_complete_exactly_once() {
+        let fabric = Fabric::from_topology(&Hypercube::new(4), 2.0);
+        let metrics = simulate_cluster(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(CompactAllocator),
+            &stream(),
+        )
+        .unwrap();
+        assert_eq!(metrics.outcomes.len(), 12);
+        let mut ids: Vec<usize> = metrics.outcomes.iter().map(|o| o.job_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+        for o in &metrics.outcomes {
+            assert!(o.start >= o.arrival - 1e-9);
+            assert!(o.completion > o.start);
+            assert!(o.penalty > 0.0);
+        }
+    }
+
+    #[test]
+    fn allocations_never_overlap_in_time() {
+        let fabric = Fabric::from_torus(Torus::new(vec![4, 4]), 2.0);
+        let metrics = simulate_cluster(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(ScatterAllocator { stride: 3 }),
+            &stream(),
+        )
+        .unwrap();
+        // Any two jobs overlapping in time must use disjoint node sets.
+        for (i, a) in metrics.outcomes.iter().enumerate() {
+            for b in metrics.outcomes.iter().skip(i + 1) {
+                let overlap = a.start < b.completion - 1e-9 && b.start < a.completion - 1e-9;
+                if overlap {
+                    assert!(
+                        a.nodes.iter().all(|v| !b.nodes.contains(v)),
+                        "jobs {} and {} share nodes while overlapping",
+                        a.job_id,
+                        b.job_id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allocation_pays_a_higher_penalty_than_compact() {
+        // On a Dragonfly, a compact job lives inside one densely-connected
+        // group while a scattered job's all-to-all funnels through the
+        // scarce global links.
+        let dragonfly = netpart_topology::Dragonfly::new(
+            4,
+            4,
+            4,
+            1.0,
+            1.0,
+            1.0,
+            1,
+            netpart_topology::GlobalArrangement::Relative,
+        );
+        let fabric = Fabric::from_topology(&dragonfly, 2.0);
+        let jobs = synthetic_job_stream(8, 8, 1e4, 1.0); // serial: no queueing
+        let compact = simulate_cluster(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(CompactAllocator),
+            &jobs,
+        )
+        .unwrap();
+        let scatter = simulate_cluster(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(ScatterAllocator { stride: 17 }),
+            &jobs,
+        )
+        .unwrap();
+        assert!(
+            scatter.mean_penalty() >= compact.mean_penalty(),
+            "scatter {} vs compact {}",
+            scatter.mean_penalty(),
+            compact.mean_penalty()
+        );
+        // Penalties are ratios against the contention-free serial time, so
+        // they can never dip below 1.
+        for m in [&compact, &scatter] {
+            for o in &m.outcomes {
+                assert!(o.penalty >= 1.0 - 1e-9, "penalty {}", o.penalty);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_jobs_are_skipped() {
+        let fabric = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        let mut jobs = stream();
+        jobs.push(ClusterJob {
+            id: 99,
+            arrival: 0.0,
+            nodes: 1000,
+            runtime_uncontended: 10.0,
+            gigabytes: 1.0,
+        });
+        // An empty request can never be allocated either; it must not block
+        // the FCFS queue behind it.
+        jobs.push(ClusterJob {
+            id: 100,
+            arrival: 0.0,
+            nodes: 0,
+            runtime_uncontended: 10.0,
+            gigabytes: 1.0,
+        });
+        let feasible = jobs.iter().filter(|j| (1..=8).contains(&j.nodes)).count();
+        let metrics = simulate_cluster(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(CompactAllocator),
+            &jobs,
+        )
+        .unwrap();
+        assert!(metrics.outcomes.iter().all(|o| o.job_id < 99));
+        assert_eq!(metrics.outcomes.len(), feasible);
+    }
+
+    #[test]
+    fn empty_stream_gives_empty_metrics() {
+        let fabric = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        let metrics = simulate_cluster(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(CompactAllocator),
+            &[],
+        )
+        .unwrap();
+        assert!(metrics.outcomes.is_empty());
+        assert_eq!(metrics.makespan, 0.0);
+        assert_eq!(metrics.mean_penalty(), 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Events and the deterministic event queue.
+//!
+//! An [`Event`] carries a typed payload — each simulation defines one payload
+//! type (usually an enum) covering everything its components exchange, so
+//! dispatch is a `match`, not a downcast. The [`EventQueue`] is a binary
+//! min-heap ordered by `(time, id)`: two events at the same instant pop in
+//! the order they were scheduled, which makes every run bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a registered component (dense, assigned at registration).
+pub type ComponentId = usize;
+
+/// Unique event identifier (sequential from 0, also the tie-breaker).
+pub type EventId = u64;
+
+/// A scheduled occurrence with a typed payload.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// Unique identifier; earlier-scheduled events have smaller ids.
+    pub id: EventId,
+    /// Simulation time at which the event fires.
+    pub time: f64,
+    /// Component that scheduled the event.
+    pub src: ComponentId,
+    /// Component the event is delivered to.
+    pub dest: ComponentId,
+    /// The payload.
+    pub payload: P,
+}
+
+/// Wrapper giving [`Event`] the min-heap ordering `(time, id)`.
+struct Queued<P>(Event<P>);
+
+impl<P> PartialEq for Queued<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+
+impl<P> Eq for Queued<P> {}
+
+impl<P> Ord for Queued<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .0
+            .time
+            .total_cmp(&self.0.time)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl<P> PartialOrd for Queued<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic pending-event queue.
+///
+/// Events pop in `(time, id)` order; cancellation is lazy (cancelled ids are
+/// skipped at pop time), so both `push` and `cancel` stay `O(log n)`.
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Queued<P>>,
+    /// Ids currently in the heap and not cancelled — the source of truth for
+    /// `len` / `is_empty`, and the guard that keeps `cancel` of a delivered
+    /// or unknown id a true no-op.
+    pending: std::collections::HashSet<EventId>,
+    cancelled: std::collections::HashSet<EventId>,
+    next_id: EventId,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedule an event at absolute `time`, returning its id.
+    pub fn push(&mut self, time: f64, src: ComponentId, dest: ComponentId, payload: P) -> EventId {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.insert(id);
+        self.heap.push(Queued(Event {
+            id,
+            time,
+            src,
+            dest,
+            payload,
+        }));
+        id
+    }
+
+    /// Cancel a pending event. Cancelling an unknown or already-delivered id
+    /// is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
+        }
+    }
+
+    /// Remove and return the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        while let Some(Queued(ev)) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.pending.remove(&ev.id);
+            return Some(ev);
+        }
+        None
+    }
+
+    /// The time of the earliest non-cancelled pending event.
+    pub fn next_time(&mut self) -> Option<f64> {
+        while let Some(Queued(ev)) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let id = ev.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled, undelivered) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 0, 0, "c");
+        q.push(1.0, 0, 0, "a");
+        q.push(2.0, 0, 0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let first = q.push(1.0, 0, 0, "first");
+        let second = q.push(1.0, 0, 0, "second");
+        assert!(first < second);
+        assert_eq!(q.pop().unwrap().payload, "first");
+        assert_eq!(q.pop().unwrap().payload, "second");
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let id = q.push(1.0, 0, 0, "gone");
+        q.push(2.0, 0, 0, "kept");
+        q.cancel(id);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(2.0));
+        assert_eq!(q.pop().unwrap().payload, "kept");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancelling_a_delivered_id_does_not_hide_later_events() {
+        let mut q = EventQueue::new();
+        let id = q.push(1.0, 0, 0, "first");
+        assert_eq!(q.pop().unwrap().payload, "first");
+        q.cancel(id); // documented no-op: the event was already delivered
+        q.push(2.0, 0, 0, "second");
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "second");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_times_are_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, 0, 0, ());
+    }
+}

@@ -1,0 +1,317 @@
+//! Topology-generic directed-channel networks.
+//!
+//! [`Fabric`] turns any [`Topology`] into the representation the flow
+//! machinery needs: a flat list of *directed channels* with bandwidths plus
+//! O(1) per-node outgoing-channel access. Every undirected link contributes
+//! two channels, one per direction, each with the full per-direction
+//! bandwidth — traffic flowing in opposite directions over one cable does
+//! not contend, exactly as in `netpart-netsim`'s torus model.
+//!
+//! [`Fabric::from_torus`] additionally enumerates channels in the *same
+//! order* as `netpart_netsim::TorusNetwork` (node-major, then dimension,
+//! then `+`/`-`) and keeps the hop-lookup table dimension-ordered routing
+//! needs, so torus results carry over channel-for-channel.
+
+use crate::error::EngineError;
+use crate::maxmin::ChannelId;
+use netpart_topology::{coord, Topology, Torus};
+use serde::{Deserialize, Serialize};
+
+/// A physical unidirectional channel of a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Source node of the channel.
+    pub from: usize,
+    /// Destination node of the channel.
+    pub to: usize,
+    /// Bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// A directed-channel network over an arbitrary topology.
+///
+/// The channel set is assumed symmetric (for every channel `u -> v` there is
+/// a channel `v -> u`), which holds for every constructor in this crate.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    name: String,
+    num_nodes: usize,
+    channels: Vec<Channel>,
+    /// CSR offsets: outgoing channels of node `v` live at
+    /// `out_adjacency[out_offsets[v]..out_offsets[v + 1]]`.
+    out_offsets: Vec<usize>,
+    out_adjacency: Vec<ChannelId>,
+    /// Present when built via [`Fabric::from_torus`].
+    torus: Option<Torus>,
+    /// Torus hop lookup (`node * ndim * 2 + dim * 2 + dir_bit`), empty for
+    /// non-torus fabrics; `usize::MAX` marks length-1 dimensions.
+    hop_channel: Vec<usize>,
+}
+
+impl Fabric {
+    /// Build a fabric from any topology, giving every channel `bandwidth_gbs`
+    /// scaled by its link's capacity. Channels are numbered link-major:
+    /// link `l = {u, v}` (with `u < v`) yields channel `2l` for `u -> v` and
+    /// `2l + 1` for `v -> u`.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_gbs` is not positive.
+    pub fn from_topology<T: Topology + ?Sized>(topology: &T, bandwidth_gbs: f64) -> Self {
+        assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
+        let num_nodes = topology.num_nodes();
+        let mut channels = Vec::new();
+        for link in topology.links() {
+            let bw = bandwidth_gbs * link.capacity;
+            channels.push(Channel {
+                from: link.u,
+                to: link.v,
+                bandwidth_gbs: bw,
+            });
+            channels.push(Channel {
+                from: link.v,
+                to: link.u,
+                bandwidth_gbs: bw,
+            });
+        }
+        Self::assemble(topology.name(), num_nodes, channels, None, Vec::new())
+    }
+
+    /// Build the fabric of a torus with the exact channel numbering of
+    /// `netpart_netsim::TorusNetwork`: node-major, then dimension, then the
+    /// `+1` / `-1` direction, skipping length-1 dimensions. Channel
+    /// bandwidths are `bandwidth_gbs` scaled by the torus' per-dimension
+    /// capacities.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_gbs` is not positive.
+    pub fn from_torus(torus: Torus, bandwidth_gbs: f64) -> Self {
+        assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
+        let ndim = torus.ndim();
+        let n = coord::volume(torus.dims());
+        let mut channels = Vec::new();
+        let mut hop_channel = vec![usize::MAX; n * ndim * 2];
+        for node in 0..n {
+            let node_coord = torus.coord_of(node);
+            for (d, &a) in torus.dims().iter().enumerate() {
+                if a < 2 {
+                    continue;
+                }
+                for (dir_bit, step) in [(0usize, 1usize), (1, a - 1)] {
+                    let mut next = node_coord.clone();
+                    next[d] = (node_coord[d] + step) % a;
+                    let to = torus.index_of(&next);
+                    let id = channels.len();
+                    channels.push(Channel {
+                        from: node,
+                        to,
+                        bandwidth_gbs: bandwidth_gbs * torus.capacities()[d],
+                    });
+                    hop_channel[node * ndim * 2 + d * 2 + dir_bit] = id;
+                }
+            }
+        }
+        let name = format!("torus{:?}", torus.dims());
+        Self::assemble(name, n, channels, Some(torus), hop_channel)
+    }
+
+    fn assemble(
+        name: String,
+        num_nodes: usize,
+        channels: Vec<Channel>,
+        torus: Option<Torus>,
+        hop_channel: Vec<usize>,
+    ) -> Self {
+        let mut degree = vec![0usize; num_nodes];
+        for ch in &channels {
+            assert!(ch.from < num_nodes && ch.to < num_nodes, "endpoint range");
+            degree[ch.from] += 1;
+        }
+        let mut out_offsets = vec![0usize; num_nodes + 1];
+        for v in 0..num_nodes {
+            out_offsets[v + 1] = out_offsets[v] + degree[v];
+        }
+        let mut cursor = out_offsets.clone();
+        let mut out_adjacency = vec![0usize; channels.len()];
+        for (id, ch) in channels.iter().enumerate() {
+            out_adjacency[cursor[ch.from]] = id;
+            cursor[ch.from] += 1;
+        }
+        Self {
+            name,
+            num_nodes,
+            channels,
+            out_offsets,
+            out_adjacency,
+            torus,
+            hop_channel,
+        }
+    }
+
+    /// Human-readable fabric name (from the topology).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// All channels, indexed by [`ChannelId`].
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Per-channel bandwidths (GB/s), in channel order — the capacity vector
+    /// the fluid simulation consumes.
+    pub fn capacities(&self) -> Vec<f64> {
+        self.channels.iter().map(|c| c.bandwidth_gbs).collect()
+    }
+
+    /// Outgoing channels of node `v`, in ascending channel order.
+    pub fn out_channels(&self, v: usize) -> &[ChannelId] {
+        &self.out_adjacency[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// The underlying torus, when built via [`Fabric::from_torus`].
+    pub fn torus(&self) -> Option<&Torus> {
+        self.torus.as_ref()
+    }
+
+    /// The channel taken when leaving `node` along torus dimension `dim` in
+    /// `direction` (`+1` or `-1`). Errors on non-torus fabrics, degenerate
+    /// dimensions and invalid directions instead of panicking.
+    pub fn hop_channel(
+        &self,
+        node: usize,
+        dim: usize,
+        direction: i8,
+    ) -> Result<ChannelId, EngineError> {
+        let torus = self.torus.as_ref().ok_or(EngineError::NotATorus)?;
+        let dir_bit = match direction {
+            1 => 0,
+            -1 => 1,
+            other => return Err(EngineError::InvalidDirection { direction: other }),
+        };
+        if node >= self.num_nodes {
+            return Err(EngineError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            });
+        }
+        let ndim = torus.ndim();
+        let id = self.hop_channel[node * ndim * 2 + dim * 2 + dir_bit];
+        if id == usize::MAX {
+            return Err(EngineError::DegenerateDimension { dim });
+        }
+        Ok(id)
+    }
+
+    /// Hop distances from every node *to* `dst` along directed channels
+    /// (equal to distances from `dst` because channel sets are symmetric).
+    /// Unreachable nodes get `usize::MAX`.
+    pub fn distances_to(&self, dst: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes];
+        let mut queue = std::collections::VecDeque::new();
+        dist[dst] = 0;
+        queue.push_back(dst);
+        while let Some(v) = queue.pop_front() {
+            for &c in self.out_channels(v) {
+                let n = self.channels[c].to;
+                if dist[n] == usize::MAX {
+                    dist[n] = dist[v] + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Validate that `node` is a legal index.
+    pub fn check_node(&self, node: usize) -> Result<(), EngineError> {
+        if node < self.num_nodes {
+            Ok(())
+        } else {
+            Err(EngineError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_topology::{Hypercube, Topology};
+
+    #[test]
+    fn topology_fabric_has_two_channels_per_link() {
+        let cube = Hypercube::new(4);
+        let fabric = Fabric::from_topology(&cube, 2.0);
+        assert_eq!(fabric.num_nodes(), 16);
+        assert_eq!(fabric.num_channels(), 2 * cube.num_links());
+        // Link-major numbering: channel 2l+1 reverses channel 2l.
+        for l in 0..cube.num_links() {
+            let fwd = fabric.channels()[2 * l];
+            let rev = fabric.channels()[2 * l + 1];
+            assert_eq!((fwd.from, fwd.to), (rev.to, rev.from));
+            assert_eq!(fwd.bandwidth_gbs, 2.0);
+        }
+    }
+
+    #[test]
+    fn out_channels_leave_from_their_node() {
+        let fabric = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        for v in 0..fabric.num_nodes() {
+            let out = fabric.out_channels(v);
+            assert_eq!(out.len(), 3, "hypercube degree");
+            for &c in out {
+                assert_eq!(fabric.channels()[c].from, v);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_fabric_matches_hand_counted_channels() {
+        let fabric = Fabric::from_torus(Torus::new(vec![4, 2]), 2.0);
+        // 4x2 torus: dimension 0 contributes 8 links, the length-2 dimension
+        // contributes two parallel cables per node pair: 8 links; 16 links,
+        // 32 directed channels.
+        assert_eq!(fabric.num_channels(), 32);
+        assert!(fabric.torus().is_some());
+        let plus = fabric.hop_channel(0, 1, 1).unwrap();
+        let minus = fabric.hop_channel(0, 1, -1).unwrap();
+        assert_ne!(plus, minus, "parallel cables are distinct");
+        assert_eq!(fabric.channels()[plus].to, fabric.channels()[minus].to);
+    }
+
+    #[test]
+    fn hop_channel_errors_are_typed() {
+        let torus_fabric = Fabric::from_torus(Torus::new(vec![4, 1]), 2.0);
+        assert_eq!(
+            torus_fabric.hop_channel(0, 1, 1),
+            Err(EngineError::DegenerateDimension { dim: 1 })
+        );
+        assert_eq!(
+            torus_fabric.hop_channel(0, 0, 2),
+            Err(EngineError::InvalidDirection { direction: 2 })
+        );
+        let generic = Fabric::from_topology(&Hypercube::new(2), 1.0);
+        assert_eq!(generic.hop_channel(0, 0, 1), Err(EngineError::NotATorus));
+    }
+
+    #[test]
+    fn distances_match_bfs_expectations() {
+        let fabric = Fabric::from_topology(&Hypercube::new(4), 1.0);
+        let dist = fabric.distances_to(0);
+        for (v, &d) in dist.iter().enumerate() {
+            assert_eq!(d, v.count_ones() as usize, "node {v}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The flow-simulation scenario: fluid flows on any fabric, driven by the
+//! event queue.
+//!
+//! This is the engine-native counterpart of `netpart_netsim::FlowSim`: route
+//! a flow set with any [`Router`], then let a single driver component walk
+//! the shared [`FluidSim`] state machine, one completion round per event.
+//! On a torus fabric with [`DimensionOrdered`](crate::DimensionOrdered)
+//! routing the result is bit-identical to the legacy simulator, because both
+//! front ends execute the same fluid core over the same channel numbering.
+
+use crate::error::EngineError;
+use crate::fabric::Fabric;
+use crate::fluid::{FluidOutcome, FluidSim};
+use crate::maxmin::ChannelId;
+use crate::router::Router;
+use crate::sim::{Component, Context, Simulation};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A point-to-point message to be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Message size in gigabytes.
+    pub gigabytes: f64,
+}
+
+/// Events of the flow scenario: one rate-recomputation round per event.
+#[derive(Debug, Clone, Copy)]
+enum FlowEvent {
+    Round,
+}
+
+/// The single component of the scenario; owns the fluid state machine and
+/// publishes the outcome through a shared cell when the last flow completes.
+struct FlowDriver {
+    fluid: Option<FluidSim>,
+    outcome: Rc<RefCell<Option<FluidOutcome>>>,
+}
+
+impl Component<FlowEvent> for FlowDriver {
+    fn on_event(&mut self, event: crate::Event<FlowEvent>, ctx: &mut Context<'_, FlowEvent>) {
+        let FlowEvent::Round = event.payload;
+        let fluid = self.fluid.as_mut().expect("driver still running");
+        match fluid.advance_round() {
+            Some(next_time) => {
+                if fluid.is_done() {
+                    let fluid = self.fluid.take().expect("present above");
+                    *self.outcome.borrow_mut() = Some(fluid.into_outcome());
+                } else {
+                    ctx.emit_at(FlowEvent::Round, ctx.self_id(), next_time);
+                }
+            }
+            None => {
+                // Nothing was active (e.g. every flow was intra-node).
+                let fluid = self.fluid.take().expect("present above");
+                *self.outcome.borrow_mut() = Some(fluid.into_outcome());
+            }
+        }
+    }
+}
+
+/// Route every flow with `router` (pure; errors abort the whole set so a
+/// sweep can skip the case rather than crash).
+pub fn route_flows(
+    fabric: &Fabric,
+    router: &dyn Router,
+    flows: &[Flow],
+) -> Result<Vec<Vec<ChannelId>>, EngineError> {
+    flows
+        .iter()
+        .map(|f| router.route(fabric, f.src, f.dst))
+        .collect()
+}
+
+/// Simulate `flows` on `fabric` under `router` to completion with max–min
+/// fair sharing, driving the fluid core through the discrete-event engine.
+pub fn simulate_flows(
+    fabric: &Fabric,
+    router: &dyn Router,
+    flows: &[Flow],
+) -> Result<FluidOutcome, EngineError> {
+    let paths = route_flows(fabric, router, flows)?;
+    let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
+    let fluid = FluidSim::new(&paths, &fabric.capacities(), &sizes);
+    let outcome = Rc::new(RefCell::new(None));
+    let mut sim = Simulation::new();
+    let driver = sim.add_component(
+        "flow-driver",
+        Box::new(FlowDriver {
+            fluid: Some(fluid),
+            outcome: Rc::clone(&outcome),
+        }),
+    );
+    sim.schedule(0.0, driver, FlowEvent::Round);
+    sim.run();
+    let result = outcome
+        .borrow_mut()
+        .take()
+        .expect("driver publishes an outcome before the queue drains");
+    Ok(result)
+}
+
+/// The static contention estimate (ablation baseline): the makespan is the
+/// bottleneck channel's serial time given the routes.
+pub fn static_estimate(
+    fabric: &Fabric,
+    router: &dyn Router,
+    flows: &[Flow],
+) -> Result<f64, EngineError> {
+    let paths = route_flows(fabric, router, flows)?;
+    let mut load = vec![0.0f64; fabric.num_channels()];
+    for (flow, path) in flows.iter().zip(&paths) {
+        for &c in path {
+            load[c] += flow.gigabytes;
+        }
+    }
+    Ok(load
+        .iter()
+        .zip(fabric.channels())
+        .map(|(gb, ch)| gb / ch.bandwidth_gbs)
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{DimensionOrdered, Ecmp, ShortestPath, Valiant};
+    use netpart_topology::{Dragonfly, FatTree, GlobalArrangement, Hypercube, Torus};
+
+    #[test]
+    fn single_flow_takes_serial_time_on_any_fabric() {
+        let fabric = Fabric::from_topology(&Hypercube::new(4), 2.0);
+        let flows = [Flow {
+            src: 0,
+            dst: 3,
+            gigabytes: 4.0,
+        }];
+        let out = simulate_flows(&fabric, &ShortestPath, &flows).unwrap();
+        // 4 GB at 2 GB/s, no contention: 2 seconds regardless of hop count.
+        assert!((out.makespan - 2.0).abs() < 1e-9);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn torus_event_driven_sim_matches_direct_fluid_loop() {
+        let fabric = Fabric::from_torus(Torus::new(vec![4, 4, 2]), 2.0);
+        let flows: Vec<Flow> = (0..fabric.num_nodes())
+            .map(|src| Flow {
+                src,
+                dst: (src + 7) % fabric.num_nodes(),
+                gigabytes: 0.5,
+            })
+            .collect();
+        let router = DimensionOrdered::default();
+        let event_driven = simulate_flows(&fabric, &router, &flows).unwrap();
+        let paths = route_flows(&fabric, &router, &flows).unwrap();
+        let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
+        let mut direct = FluidSim::new(&paths, &fabric.capacities(), &sizes);
+        direct.run_to_completion();
+        assert_eq!(event_driven, direct.into_outcome());
+    }
+
+    #[test]
+    fn flow_sim_runs_on_non_torus_topologies() {
+        let fabrics = [
+            Fabric::from_topology(&Dragonfly::cray_xc(4, 1, GlobalArrangement::Relative), 2.0),
+            Fabric::from_topology(&FatTree::new(4), 2.0),
+            Fabric::from_topology(&Hypercube::new(5), 2.0),
+        ];
+        for fabric in &fabrics {
+            let n = fabric.num_nodes();
+            let flows: Vec<Flow> = (0..n)
+                .map(|src| Flow {
+                    src,
+                    dst: (src + n / 2) % n,
+                    gigabytes: 0.25,
+                })
+                .collect();
+            for router in [
+                &ShortestPath as &dyn Router,
+                &Ecmp { salt: 11 },
+                &Valiant { seed: 11 },
+            ] {
+                let out = simulate_flows(fabric, router, &flows).unwrap();
+                assert!(
+                    out.makespan >= out.bottleneck_lower_bound - 1e-9,
+                    "{} / {}",
+                    fabric.name(),
+                    router.label()
+                );
+                assert!(out.makespan > 0.0);
+                let est = static_estimate(fabric, router, &flows).unwrap();
+                assert!(est <= out.makespan + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_node_flows_complete_instantly() {
+        let fabric = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        let flows = [Flow {
+            src: 2,
+            dst: 2,
+            gigabytes: 7.0,
+        }];
+        let out = simulate_flows(&fabric, &ShortestPath, &flows).unwrap();
+        assert_eq!(out.makespan, 0.0);
+        assert_eq!(out.completion[0], 0.0);
+    }
+
+    #[test]
+    fn ecmp_spreads_no_worse_than_single_path_on_fat_trees() {
+        // A fat-tree has massive path diversity; hash-spreading across it
+        // should not lengthen the makespan of a shuffle.
+        let fabric = Fabric::from_topology(&FatTree::new(4), 1.0);
+        let n = fabric.num_nodes();
+        let flows: Vec<Flow> = (0..n)
+            .map(|src| Flow {
+                src,
+                dst: (src * 5 + 3) % n,
+                gigabytes: 1.0,
+            })
+            .collect();
+        let single = simulate_flows(&fabric, &ShortestPath, &flows).unwrap();
+        let spread = simulate_flows(&fabric, &Ecmp { salt: 1 }, &flows).unwrap();
+        assert!(spread.makespan <= single.makespan * 1.5 + 1e-9);
+    }
+}

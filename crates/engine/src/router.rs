@@ -1,0 +1,377 @@
+//! Routing algorithms over [`Fabric`]s.
+//!
+//! Every router produces, deterministically, the channel sequence a message
+//! from `src` to `dst` traverses. Three families cover the topology zoo:
+//!
+//! * [`DimensionOrdered`] — the Blue Gene/Q hardware routing, valid only on
+//!   fabrics built with [`Fabric::from_torus`]; mirrors
+//!   `netpart_netsim::DimensionOrdered` channel for channel.
+//! * [`ShortestPath`] / [`Ecmp`] — minimal routing on arbitrary fabrics;
+//!   `ShortestPath` always takes the lowest-numbered minimal channel, `Ecmp`
+//!   hash-spreads over all minimal next hops.
+//! * [`Valiant`] — two-phase randomized routing (src → pseudo-random
+//!   intermediate → dst) for adversarial patterns on low-diameter networks.
+//!
+//! All routers are pure: equal inputs give equal paths, so simulations are
+//! reproducible.
+
+use crate::error::EngineError;
+use crate::fabric::Fabric;
+use crate::maxmin::ChannelId;
+use netpart_topology::coord::wrap_displacement;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic routing algorithm over a [`Fabric`].
+pub trait Router {
+    /// The sequence of channels a packet from `src` to `dst` traverses
+    /// (empty when `src == dst`).
+    fn route(&self, fabric: &Fabric, src: usize, dst: usize)
+        -> Result<Vec<ChannelId>, EngineError>;
+
+    /// Short label for reports.
+    fn label(&self) -> String;
+}
+
+/// How [`DimensionOrdered`] resolves the direction when both wrap-around
+/// directions are equally short (displacement exactly half the dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TieBreak {
+    /// Always travel in the `+1` direction (the hardware default).
+    #[default]
+    Positive,
+    /// Choose by the parity of the source coordinate in that dimension.
+    SourceParity,
+    /// Choose by the parity of the source node index.
+    NodeParity,
+}
+
+/// Dimension-ordered routing on torus fabrics, mirroring
+/// `netpart_netsim::DimensionOrdered`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DimensionOrdered {
+    /// Tie-breaking rule for half-way displacements.
+    pub tie_break: TieBreak,
+    /// Route dimensions from the last to the first instead of first to last.
+    pub reverse_dimension_order: bool,
+}
+
+impl Router for DimensionOrdered {
+    fn route(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+    ) -> Result<Vec<ChannelId>, EngineError> {
+        fabric.check_node(src)?;
+        fabric.check_node(dst)?;
+        let torus = fabric.torus().ok_or(EngineError::NotATorus)?.clone();
+        let src_coord = torus.coord_of(src);
+        let dst_coord = torus.coord_of(dst);
+        let ndim = torus.ndim();
+        let dims: Vec<usize> = if self.reverse_dimension_order {
+            (0..ndim).rev().collect()
+        } else {
+            (0..ndim).collect()
+        };
+        let mut path = Vec::new();
+        let mut current = src_coord.clone();
+        let mut node = src;
+        for &d in &dims {
+            let a = torus.dims()[d];
+            if a < 2 {
+                continue;
+            }
+            let disp = wrap_displacement(current[d], dst_coord[d], a);
+            if disp == 0 {
+                continue;
+            }
+            let is_tie = a % 2 == 0 && disp.unsigned_abs() == a / 2;
+            let direction: i8 = if is_tie {
+                match self.tie_break {
+                    TieBreak::Positive => 1,
+                    TieBreak::SourceParity => {
+                        if src_coord[d] % 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                    TieBreak::NodeParity => {
+                        if src.is_multiple_of(2) {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                }
+            } else if disp > 0 {
+                1
+            } else {
+                -1
+            };
+            for _ in 0..disp.unsigned_abs() {
+                let channel = fabric.hop_channel(node, d, direction)?;
+                path.push(channel);
+                node = fabric.channels()[channel].to;
+                current = torus.coord_of(node);
+            }
+        }
+        debug_assert_eq!(node, dst, "route must terminate at the destination");
+        Ok(path)
+    }
+
+    fn label(&self) -> String {
+        "dimension-ordered".to_string()
+    }
+}
+
+/// Deterministic minimal routing: at every node take the lowest-numbered
+/// channel that reduces the hop distance to the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ShortestPath;
+
+impl Router for ShortestPath {
+    fn route(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+    ) -> Result<Vec<ChannelId>, EngineError> {
+        minimal_route(fabric, src, dst, |_, _| 0)
+    }
+
+    fn label(&self) -> String {
+        "shortest-path".to_string()
+    }
+}
+
+/// Equal-cost multi-path minimal routing: at every node choose among all
+/// distance-reducing channels by a deterministic hash of (flow endpoints,
+/// current node, salt), spreading load over the minimal DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Ecmp {
+    /// Hash salt; different salts give different (still deterministic)
+    /// spreadings.
+    pub salt: u64,
+}
+
+impl Router for Ecmp {
+    fn route(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+    ) -> Result<Vec<ChannelId>, EngineError> {
+        let key = splitmix64(self.salt ^ ((src as u64) << 32) ^ dst as u64);
+        minimal_route(fabric, src, dst, |node, n_candidates| {
+            (splitmix64(key ^ node as u64) % n_candidates as u64) as usize
+        })
+    }
+
+    fn label(&self) -> String {
+        format!("ecmp(salt={})", self.salt)
+    }
+}
+
+/// Valiant load-balanced routing: minimal to a pseudo-random intermediate
+/// node, then minimal to the destination. Trades path length for load
+/// spreading on adversarial patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Valiant {
+    /// Seed for the deterministic intermediate-node choice.
+    pub seed: u64,
+}
+
+impl Router for Valiant {
+    fn route(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+    ) -> Result<Vec<ChannelId>, EngineError> {
+        fabric.check_node(src)?;
+        fabric.check_node(dst)?;
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        let n = fabric.num_nodes() as u64;
+        let w = (splitmix64(self.seed ^ ((src as u64) << 32) ^ dst as u64) % n) as usize;
+        let mut path = minimal_route(fabric, src, w, |_, _| 0)?;
+        path.extend(minimal_route(fabric, w, dst, |_, _| 0)?);
+        Ok(path)
+    }
+
+    fn label(&self) -> String {
+        format!("valiant(seed={})", self.seed)
+    }
+}
+
+/// Walk a minimal path from `src` to `dst`, calling `pick(node, k)` to select
+/// among the `k` distance-reducing channels at each node (must return `< k`).
+fn minimal_route(
+    fabric: &Fabric,
+    src: usize,
+    dst: usize,
+    pick: impl Fn(usize, usize) -> usize,
+) -> Result<Vec<ChannelId>, EngineError> {
+    fabric.check_node(src)?;
+    fabric.check_node(dst)?;
+    if src == dst {
+        return Ok(Vec::new());
+    }
+    let dist = fabric.distances_to(dst);
+    if dist[src] == usize::MAX {
+        return Err(EngineError::Unreachable { src, dst });
+    }
+    let mut path = Vec::with_capacity(dist[src]);
+    let mut node = src;
+    while node != dst {
+        let candidates: Vec<ChannelId> = fabric
+            .out_channels(node)
+            .iter()
+            .copied()
+            .filter(|&c| dist[fabric.channels()[c].to] + 1 == dist[node])
+            .collect();
+        debug_assert!(!candidates.is_empty(), "BFS distance admits a next hop");
+        let chosen = candidates[pick(node, candidates.len())];
+        path.push(chosen);
+        node = fabric.channels()[chosen].to;
+    }
+    Ok(path)
+}
+
+/// The splitmix64 mixing function: cheap, deterministic, well-spread.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpart_topology::{Hypercube, SlimFly, Torus};
+
+    fn walk_is_valid(fabric: &Fabric, src: usize, dst: usize, path: &[ChannelId]) {
+        let mut node = src;
+        for &c in path {
+            assert_eq!(fabric.channels()[c].from, node, "disconnected walk");
+            node = fabric.channels()[c].to;
+        }
+        assert_eq!(node, dst, "walk must end at the destination");
+    }
+
+    #[test]
+    fn shortest_path_routes_are_minimal_walks() {
+        let cube = Hypercube::new(4);
+        let fabric = Fabric::from_topology(&cube, 1.0);
+        let router = ShortestPath;
+        for src in 0..16 {
+            for dst in 0..16usize {
+                let path = router.route(&fabric, src, dst).unwrap();
+                walk_is_valid(&fabric, src, dst, &path);
+                assert_eq!(path.len(), (src ^ dst).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_routes_are_minimal_and_salt_sensitive() {
+        // A hypercube has distance! many shortest paths per pair — real ECMP
+        // diversity.
+        let fabric = Fabric::from_topology(&Hypercube::new(4), 1.0);
+        let a = Ecmp { salt: 1 };
+        let b = Ecmp { salt: 2 };
+        let shortest = ShortestPath;
+        let mut differed = false;
+        for src in 0..fabric.num_nodes() {
+            for dst in 0..fabric.num_nodes() {
+                let pa = a.route(&fabric, src, dst).unwrap();
+                let pb = b.route(&fabric, src, dst).unwrap();
+                let ps = shortest.route(&fabric, src, dst).unwrap();
+                walk_is_valid(&fabric, src, dst, &pa);
+                walk_is_valid(&fabric, src, dst, &pb);
+                assert_eq!(pa.len(), ps.len(), "ECMP paths stay minimal");
+                assert_eq!(pb.len(), ps.len());
+                differed |= pa != pb;
+            }
+        }
+        assert!(differed, "different salts should spread differently");
+    }
+
+    #[test]
+    fn ecmp_is_minimal_on_slim_flies_too() {
+        let fabric = Fabric::from_topology(&SlimFly::new(5), 1.0);
+        let router = Ecmp { salt: 4 };
+        let shortest = ShortestPath;
+        for src in 0..fabric.num_nodes() {
+            let dst = (src + 7) % fabric.num_nodes();
+            let path = router.route(&fabric, src, dst).unwrap();
+            walk_is_valid(&fabric, src, dst, &path);
+            assert_eq!(path.len(), shortest.route(&fabric, src, dst).unwrap().len());
+        }
+    }
+
+    #[test]
+    fn valiant_routes_are_valid_but_may_detour() {
+        // Note: for antipodal hypercube pairs every node lies on a minimal
+        // path, so use nearby pairs where a random intermediate is a detour.
+        let fabric = Fabric::from_topology(&Hypercube::new(5), 1.0);
+        let router = Valiant { seed: 9 };
+        let mut total_detour = 0usize;
+        for src in 0..32usize {
+            let dst = (src + 1) % 32;
+            let path = router.route(&fabric, src, dst).unwrap();
+            walk_is_valid(&fabric, src, dst, &path);
+            let minimal = ((src ^ dst) as u32).count_ones() as usize;
+            assert!(path.len() >= minimal);
+            total_detour += path.len() - minimal;
+        }
+        assert!(total_detour > 0, "Valiant should detour at least sometimes");
+    }
+
+    #[test]
+    fn dimension_ordered_requires_a_torus_fabric() {
+        let generic = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        assert_eq!(
+            DimensionOrdered::default().route(&generic, 0, 5),
+            Err(EngineError::NotATorus)
+        );
+    }
+
+    #[test]
+    fn dimension_ordered_matches_torus_distance() {
+        let torus = Torus::new(vec![8, 4, 2]);
+        let fabric = Fabric::from_torus(torus.clone(), 2.0);
+        let router = DimensionOrdered::default();
+        for src in 0..fabric.num_nodes() {
+            for dst in [0usize, 5, 17, 63] {
+                let path = router.route(&fabric, src, dst).unwrap();
+                walk_is_valid(&fabric, src, dst, &path);
+                assert_eq!(path.len(), torus.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn self_routes_are_empty_everywhere() {
+        let fabric = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        for router in [
+            &ShortestPath as &dyn Router,
+            &Ecmp { salt: 3 },
+            &Valiant { seed: 3 },
+        ] {
+            assert!(router.route(&fabric, 4, 4).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn out_of_range_nodes_error() {
+        let fabric = Fabric::from_topology(&Hypercube::new(2), 1.0);
+        assert!(matches!(
+            ShortestPath.route(&fabric, 0, 99),
+            Err(EngineError::NodeOutOfRange { .. })
+        ));
+    }
+}

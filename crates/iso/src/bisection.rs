@@ -42,7 +42,7 @@ pub fn torus_bisection_links(dims: &[usize]) -> u64 {
 pub fn bgq_bisection_links(node_dims: &[usize]) -> u64 {
     let l = *node_dims.iter().max().expect("empty dimension list") as u64;
     assert!(
-        l >= 4 && l % 2 == 0,
+        l >= 4 && l.is_multiple_of(2),
         "BG/Q formula requires an even longest dimension >= 4"
     );
     let n: u64 = node_dims.iter().map(|&a| a as u64).product();

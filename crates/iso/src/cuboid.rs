@@ -113,12 +113,7 @@ fn integer_root(x: u64, n: u32) -> Option<u64> {
         return Some(0);
     }
     let approx = (x as f64).powf(1.0 / n as f64).round() as u64;
-    for candidate in approx.saturating_sub(1)..=approx + 1 {
-        if candidate.checked_pow(n) == Some(x) {
-            return Some(candidate);
-        }
-    }
-    None
+    (approx.saturating_sub(1)..=approx + 1).find(|&candidate| candidate.checked_pow(n) == Some(x))
 }
 
 #[cfg(test)]

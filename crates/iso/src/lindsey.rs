@@ -168,7 +168,7 @@ mod tests {
     fn bisection_matches_lindsey_cut_at_half_for_regular_hyperx() {
         for dims in [vec![4, 4], vec![4, 3, 2], vec![6, 2]] {
             let n: u64 = dims.iter().map(|&a| a as u64).product();
-            if n % 2 == 0 {
+            if n.is_multiple_of(2) {
                 let caps = vec![1.0; dims.len()];
                 assert_eq!(
                     hyperx_bisection(&dims, &caps),

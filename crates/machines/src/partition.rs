@@ -245,7 +245,7 @@ mod tests {
         }
         for i in 0..n {
             heap_permute(v, n - 1, out);
-            if n % 2 == 0 {
+            if n.is_multiple_of(2) {
                 v.swap(i, n - 1);
             } else {
                 v.swap(0, n - 1);

@@ -154,7 +154,7 @@ pub fn all_to_all(mapping: &RankMapping, block_gigabytes: f64) -> Phases {
 pub fn group_counterpart_exchange(mapping: &RankMapping, groups: usize, gigabytes: f64) -> Phases {
     let p = mapping.num_ranks();
     assert!(
-        groups >= 1 && p % groups == 0,
+        groups >= 1 && p.is_multiple_of(groups),
         "rank count must divide into equal groups"
     );
     let group_size = p / groups;

@@ -34,7 +34,7 @@ impl Communicator {
     /// Panics if the size is not divisible by `groups`.
     pub fn split_contiguous(&self, groups: usize) -> Vec<Communicator> {
         assert!(
-            groups >= 1 && self.size() % groups == 0,
+            groups >= 1 && self.size().is_multiple_of(groups),
             "communicator of size {} cannot be split into {groups} equal groups",
             self.size()
         );

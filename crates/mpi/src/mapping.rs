@@ -68,7 +68,7 @@ impl RankMapping {
                 let mut node_of_rank = Vec::with_capacity(num_ranks);
                 for node in 0..num_nodes {
                     let count = base + usize::from(node < extra);
-                    node_of_rank.extend(std::iter::repeat(node).take(count));
+                    node_of_rank.extend(std::iter::repeat_n(node, count));
                 }
                 node_of_rank
             }

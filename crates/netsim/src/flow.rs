@@ -7,9 +7,16 @@
 //! exactly the quantity the paper studies — link contention — without
 //! packet-level detail, and it reduces to `bytes / bandwidth` when there is
 //! no contention at all.
+//!
+//! The fluid core itself (rate computation and completion rounds) lives in
+//! [`netpart_engine::fluid`]; this module keeps the torus-specific front end
+//! — dimension-ordered routing, parallel path assignment and the historical
+//! [`FlowSimResult`] API — and produces bit-identical results to the
+//! topology-generic engine scenarios on torus fabrics.
 
 use crate::network::{ChannelId, TorusNetwork};
 use crate::routing::DimensionOrdered;
+use netpart_engine::fluid::FluidSim;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -104,76 +111,17 @@ impl FlowSim {
         paths: &[Vec<ChannelId>],
     ) -> FlowSimResult {
         assert_eq!(flows.len(), paths.len());
-        let n_channels = network.num_channels();
         let capacities: Vec<f64> = network.channels().iter().map(|c| c.bandwidth_gbs).collect();
-
-        let mut channel_load_gb = vec![0.0f64; n_channels];
-        for (flow, path) in flows.iter().zip(paths) {
-            assert!(flow.gigabytes >= 0.0, "negative message size");
-            for &c in path {
-                channel_load_gb[c] += flow.gigabytes;
-            }
-        }
-        let bottleneck_lower_bound = channel_load_gb
-            .iter()
-            .zip(&capacities)
-            .map(|(gb, cap)| gb / cap)
-            .fold(0.0, f64::max);
-
-        let mut remaining: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-        let mut completion = vec![0.0f64; flows.len()];
-        let mut active: Vec<usize> = (0..flows.len())
-            .filter(|&i| remaining[i] > 0.0 && !paths[i].is_empty())
-            .collect();
-        let mut time = 0.0f64;
-        let mut rounds = 0usize;
-
-        let mut rates = vec![0.0f64; flows.len()];
-        while !active.is_empty() {
-            rounds += 1;
-            max_min_rates(&active, paths, &capacities, n_channels, &mut rates);
-            // Advance to the earliest completion among active flows.
-            let dt = active
-                .iter()
-                .map(|&i| remaining[i] / rates[i])
-                .fold(f64::INFINITY, f64::min);
-            assert!(
-                dt.is_finite() && dt > 0.0,
-                "simulation failed to make progress"
-            );
-            // For very large flow sets, heterogeneous volumes would otherwise
-            // force one rate recomputation per distinct completion time. A 5%
-            // lookahead batches near-simultaneous completions; the makespan
-            // error is bounded by that lookahead and only applies to runs far
-            // beyond the exactness-sensitive unit-test scale.
-            let dt = if active.len() > 2000 { dt * 1.05 } else { dt };
-            time += dt;
-            let mut still_active = Vec::with_capacity(active.len());
-            for &i in &active {
-                remaining[i] -= rates[i] * dt;
-                // Tolerate floating-point residue when deciding completion;
-                // this also batches completions that tie up to rounding, so
-                // they do not each force a rate recomputation.
-                if remaining[i] <= 1e-9 * flows[i].gigabytes.max(1e-9) {
-                    remaining[i] = 0.0;
-                    completion[i] = time;
-                } else {
-                    still_active.push(i);
-                }
-            }
-            assert!(
-                still_active.len() < active.len(),
-                "simulation failed to make progress"
-            );
-            active = still_active;
-        }
-
+        let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
+        let mut fluid = FluidSim::new(paths, &capacities, &sizes);
+        fluid.run_to_completion();
+        let outcome = fluid.into_outcome();
         FlowSimResult {
-            makespan: time,
-            completion,
-            channel_load_gb,
-            bottleneck_lower_bound,
-            rounds,
+            makespan: outcome.makespan,
+            completion: outcome.completion,
+            channel_load_gb: outcome.channel_load_gb,
+            bottleneck_lower_bound: outcome.bottleneck_lower_bound,
+            rounds: outcome.rounds,
         }
     }
 
@@ -220,103 +168,11 @@ pub fn aggregate_flows(flows: &[Flow]) -> Vec<Flow> {
     out
 }
 
-/// Max–min fair rates (GB/s) for the active flows, indexed by flow id
-/// (entries for inactive flows are 0). Progressive filling: repeatedly find
-/// the channel with the smallest fair share, fix its unfixed flows at that
-/// share, and subtract their demand everywhere else.
-///
-/// A lazy-deletion min-heap keyed by the fair share keeps each step
-/// logarithmic: shares can only grow as flows are fixed, so a popped entry is
-/// either still accurate (then its channel really is the bottleneck) or stale
-/// (then the fresh value is pushed back).
-fn max_min_rates(
-    active: &[usize],
-    paths: &[Vec<ChannelId>],
-    capacities: &[f64],
-    n_channels: usize,
-    rate: &mut [f64],
-) {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    /// f64 ordered by `total_cmp` so it can live in a heap.
-    #[derive(PartialEq)]
-    struct Share(f64);
-    impl Eq for Share {}
-    impl PartialOrd for Share {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Share {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0)
-        }
-    }
-
-    let mut remaining_cap = capacities.to_vec();
-    let mut unfixed_count = vec![0usize; n_channels];
-    let mut channel_flows: Vec<Vec<usize>> = vec![Vec::new(); n_channels];
-    for &i in active {
-        rate[i] = 0.0;
-        for &c in &paths[i] {
-            unfixed_count[c] += 1;
-            channel_flows[c].push(i);
-        }
-    }
-    let mut heap: BinaryHeap<Reverse<(Share, usize)>> = (0..n_channels)
-        .filter(|&c| unfixed_count[c] > 0)
-        .map(|c| Reverse((Share(remaining_cap[c] / unfixed_count[c] as f64), c)))
-        .collect();
-    let mut fixed = vec![false; paths.len()];
-    let mut fixed_count = 0usize;
-
-    while fixed_count < active.len() {
-        let Some(Reverse((Share(share), c))) = heap.pop() else {
-            // No constrained channel left; remaining flows are unbounded in
-            // this model (cannot happen for non-empty paths).
-            for &i in active {
-                if !fixed[i] {
-                    rate[i] = f64::MAX;
-                }
-            }
-            break;
-        };
-        if unfixed_count[c] == 0 {
-            continue; // stale entry for a fully-fixed channel
-        }
-        let current = remaining_cap[c] / unfixed_count[c] as f64;
-        if current > share * (1.0 + 1e-12) + f64::MIN_POSITIVE {
-            heap.push(Reverse((Share(current), c)));
-            continue; // stale entry; the fresh share goes back in the heap
-        }
-        // `c` is the bottleneck: fix every unfixed flow crossing it.
-        let members = std::mem::take(&mut channel_flows[c]);
-        for i in members {
-            if fixed[i] {
-                continue;
-            }
-            fixed[i] = true;
-            fixed_count += 1;
-            rate[i] = current;
-            for &d in &paths[i] {
-                remaining_cap[d] = (remaining_cap[d] - current).max(0.0);
-                unfixed_count[d] -= 1;
-                if d != c && unfixed_count[d] > 0 {
-                    heap.push(Reverse((
-                        Share(remaining_cap[d] / unfixed_count[d] as f64),
-                        d,
-                    )));
-                }
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::network::TorusNetwork;
+    use netpart_engine::max_min_rates;
 
     fn net(dims: &[usize]) -> TorusNetwork {
         TorusNetwork::bgq_partition(dims)

@@ -39,7 +39,7 @@ pub mod stats;
 pub mod traffic;
 
 pub use flow::{Flow, FlowSim, FlowSimResult};
-pub use network::{Channel, ChannelId, TorusNetwork};
+pub use network::{Channel, ChannelId, NetworkError, TorusNetwork};
 pub use routing::{DimensionOrdered, TieBreak};
 pub use stats::{load_stats, LoadStats};
 pub use traffic::{

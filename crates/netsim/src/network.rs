@@ -17,6 +17,37 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a directed channel (see [`TorusNetwork::num_channels`]).
 pub type ChannelId = usize;
 
+/// Typed errors for channel lookups, so sweeps over many networks can skip a
+/// bad query instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkError {
+    /// A hop direction other than `+1` or `-1` was requested.
+    InvalidDirection {
+        /// The offending direction.
+        direction: i8,
+    },
+    /// A hop was requested along a dimension of length 1.
+    DegenerateDimension {
+        /// The dimension index.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::InvalidDirection { direction } => {
+                write!(f, "direction must be +1 or -1, got {direction}")
+            }
+            NetworkError::DegenerateDimension { dim } => {
+                write!(f, "dimension {dim} has no channels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
 /// A physical unidirectional channel of the network.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Channel {
@@ -108,21 +139,36 @@ impl TorusNetwork {
     }
 
     /// The channel taken when leaving `node` along `dim` in `direction`
-    /// (`+1` or `-1`).
-    ///
-    /// # Panics
-    /// Panics if the dimension has length 1 (no channel exists) or the
-    /// direction is not `±1`.
-    pub fn hop_channel(&self, node: usize, dim: usize, direction: i8) -> ChannelId {
+    /// (`+1` or `-1`), as a typed result: `Err` when the dimension has
+    /// length 1 (no channel exists) or the direction is not `±1`.
+    pub fn try_hop_channel(
+        &self,
+        node: usize,
+        dim: usize,
+        direction: i8,
+    ) -> Result<ChannelId, NetworkError> {
         let dir_bit = match direction {
             1 => 0,
             -1 => 1,
-            other => panic!("direction must be +1 or -1, got {other}"),
+            other => return Err(NetworkError::InvalidDirection { direction: other }),
         };
         let ndim = self.torus.ndim();
         let id = self.hop_channel[node * ndim * 2 + dim * 2 + dir_bit];
-        assert!(id != usize::MAX, "dimension {dim} has no channels");
-        id
+        if id == usize::MAX {
+            return Err(NetworkError::DegenerateDimension { dim });
+        }
+        Ok(id)
+    }
+
+    /// Panicking convenience wrapper around [`TorusNetwork::try_hop_channel`]
+    /// for callers that have already validated the hop (e.g. routing, which
+    /// only ever asks for `±1` along dimensions of length ≥ 2).
+    ///
+    /// # Panics
+    /// Panics with the [`NetworkError`] message on an invalid hop.
+    pub fn hop_channel(&self, node: usize, dim: usize, direction: i8) -> ChannelId {
+        self.try_hop_channel(node, dim, direction)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Aggregate one-directional capacity (GB/s) crossing the bisection of
@@ -184,6 +230,20 @@ mod tests {
     fn degenerate_dimension_has_no_channel() {
         let net = TorusNetwork::bgq_partition(&[4, 1]);
         let _ = net.hop_channel(0, 1, 1);
+    }
+
+    #[test]
+    fn invalid_hops_are_typed_errors() {
+        let net = TorusNetwork::bgq_partition(&[4, 1]);
+        assert_eq!(
+            net.try_hop_channel(0, 1, 1),
+            Err(NetworkError::DegenerateDimension { dim: 1 })
+        );
+        assert_eq!(
+            net.try_hop_channel(0, 0, 3),
+            Err(NetworkError::InvalidDirection { direction: 3 })
+        );
+        assert!(net.try_hop_channel(0, 0, -1).is_ok());
     }
 
     #[test]

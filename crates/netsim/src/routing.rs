@@ -7,6 +7,14 @@
 //! is configurable because it is exactly the effect the paper observes on the
 //! 24-midplane Mira partition ("some of the network links of the size 3
 //! dimension are only utilized in one direction").
+//!
+//! `netpart_engine::router::DimensionOrdered` implements the same algorithm
+//! against the topology-generic `Fabric` (which replicates this network's
+//! channel numbering for tori). The two are deliberately kept as separate
+//! front ends — this one works on [`TorusNetwork`] directly and stays
+//! dependency-light — and are pinned together by the bit-identical parity
+//! tests in `tests/engine_parity.rs` and `tests/engine_properties.rs`: a
+//! semantic change to either copy fails those tests loudly.
 
 use crate::network::{ChannelId, TorusNetwork};
 use netpart_topology::coord::wrap_displacement;
@@ -68,19 +76,19 @@ impl DimensionOrdered {
             if disp == 0 {
                 continue;
             }
-            let is_tie = a % 2 == 0 && disp.unsigned_abs() == a / 2;
+            let is_tie = a.is_multiple_of(2) && disp.unsigned_abs() == a / 2;
             let direction: i8 = if is_tie {
                 match self.tie_break {
                     TieBreak::Positive => 1,
                     TieBreak::SourceParity => {
-                        if src_coord[d] % 2 == 0 {
+                        if src_coord[d].is_multiple_of(2) {
                             1
                         } else {
                             -1
                         }
                     }
                     TieBreak::NodeParity => {
-                        if src % 2 == 0 {
+                        if src.is_multiple_of(2) {
                             1
                         } else {
                             -1

@@ -14,6 +14,8 @@
 //!   allocation policies.
 //! * [`simulator`] — FCFS discrete-event simulation and per-policy metrics
 //!   (wait, slowdown, contention penalty, utilization).
+//! * [`engine_sim`] — the same simulation expressed as a `netpart-engine`
+//!   component (identical outcomes, composable with other engine scenarios).
 //!
 //! # Example
 //!
@@ -31,11 +33,13 @@
 
 #![warn(missing_docs)]
 
+pub mod engine_sim;
 pub mod placement;
 pub mod policy;
 pub mod simulator;
 pub mod trace;
 
+pub use engine_sim::simulate_events;
 pub use placement::{OccupancyGrid, Placement};
 pub use policy::SchedPolicy;
 pub use simulator::{compare_policies, simulate, JobOutcome, RunMetrics};

@@ -124,9 +124,9 @@ impl Laplacian {
         let n = topo.num_nodes();
         let mut triplets = Vec::new();
         let mut degrees = vec![0.0; n];
-        for u in 0..n {
+        for (u, degree) in degrees.iter_mut().enumerate() {
             for (v, cap) in topo.neighbor_links(u) {
-                degrees[u] += cap;
+                *degree += cap;
                 triplets.push((u, v, -cap));
             }
         }
@@ -147,9 +147,9 @@ impl Laplacian {
     pub fn normalized<T: Topology>(topo: &T) -> Self {
         let n = topo.num_nodes();
         let mut degrees = vec![0.0; n];
-        for u in 0..n {
+        for (u, degree) in degrees.iter_mut().enumerate() {
             for (_, cap) in topo.neighbor_links(u) {
-                degrees[u] += cap;
+                *degree += cap;
             }
         }
         assert!(

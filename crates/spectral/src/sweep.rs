@@ -35,8 +35,8 @@ pub struct SweepCut {
 
 fn volume<T: Topology>(topo: &T, set: &[bool]) -> f64 {
     let mut vol = 0.0;
-    for v in 0..topo.num_nodes() {
-        if set[v] {
+    for (v, &in_set) in set.iter().enumerate() {
+        if in_set {
             for (_, cap) in topo.neighbor_links(v) {
                 vol += cap;
             }
@@ -65,7 +65,7 @@ pub fn sweep_cut<T: Topology>(
     assert_eq!(embedding.len(), n, "embedding length mismatch");
     assert!(max_size >= 1, "sweep needs at least one prefix");
     assert!(
-        max_size <= n - 1,
+        max_size < n,
         "a proper cut leaves at least one node outside"
     );
 

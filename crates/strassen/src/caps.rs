@@ -61,7 +61,7 @@ impl CapsConfig {
     pub fn rank_decomposition(&self) -> (usize, u32) {
         let mut f = self.ranks;
         let mut k = 0u32;
-        while f % 7 == 0 {
+        while f.is_multiple_of(7) {
             f /= 7;
             k += 1;
         }

@@ -125,7 +125,10 @@ impl Matrix {
     /// Panics unless the matrix is square with even dimension.
     pub fn split_quadrants(&self) -> (Matrix, Matrix, Matrix, Matrix) {
         assert_eq!(self.rows, self.cols, "quadrant split needs a square matrix");
-        assert!(self.rows % 2 == 0, "quadrant split needs an even dimension");
+        assert!(
+            self.rows.is_multiple_of(2),
+            "quadrant split needs an even dimension"
+        );
         let h = self.rows / 2;
         let quad =
             |ri: usize, ci: usize| Matrix::from_fn(h, h, |i, j| self[(ri * h + i, ci * h + j)]);

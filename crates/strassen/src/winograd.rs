@@ -33,7 +33,7 @@ pub fn strassen_winograd(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
 
 fn strassen_recursive(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
     let n = a.rows();
-    if n <= cutoff || n % 2 != 0 {
+    if n <= cutoff || !n.is_multiple_of(2) {
         return matmul_classical(a, b);
     }
     let (a11, a12, a21, a22) = a.split_quadrants();
@@ -99,7 +99,7 @@ fn strassen_recursive(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
 /// Each level replaces one multiplication of size `m` by 7 of size `m/2`
 /// plus 15 additions of `(m/2)^2` elements.
 pub fn strassen_flops(n: u64, levels: u32) -> u64 {
-    if levels == 0 || n % 2 != 0 {
+    if levels == 0 || !n.is_multiple_of(2) {
         return crate::dense::classical_flops(n);
     }
     let half = n / 2;

@@ -148,7 +148,7 @@ impl Dragonfly {
             }
             GlobalArrangement::Circulant => {
                 let step = port_index / 2 % (self.groups - 1) + 1;
-                if port_index % 2 == 0 {
+                if port_index.is_multiple_of(2) {
                     (group + step) % self.groups
                 } else {
                     (group + self.groups - step % self.groups) % self.groups

@@ -59,7 +59,10 @@ impl FatTree {
     /// # Panics
     /// Panics unless `k` is even and at least 2.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
         Self { k }
     }
 

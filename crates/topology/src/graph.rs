@@ -13,6 +13,33 @@ pub type NodeId = usize;
 /// Dense link identifier (index into [`LinkGraph::links`]).
 pub type LinkId = usize;
 
+/// Typed errors for link-graph lookups, so analysis sweeps can skip a bad
+/// query instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphError {
+    /// The queried node is not an endpoint of the link.
+    NotAnEndpoint {
+        /// The queried node.
+        node: NodeId,
+        /// The link's first endpoint.
+        u: NodeId,
+        /// The link's second endpoint.
+        v: NodeId,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NotAnEndpoint { node, u, v } => {
+                write!(f, "node {node} is not an endpoint of link ({u}, {v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// An undirected link with a normalized capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Link {
@@ -25,21 +52,29 @@ pub struct Link {
 }
 
 impl Link {
-    /// The endpoint of the link that is not `from`.
+    /// The endpoint of the link that is not `from`, as a typed result:
+    /// `Err` when `from` is not an endpoint of this link.
+    pub fn try_other(&self, from: NodeId) -> Result<NodeId, GraphError> {
+        if from == self.u {
+            Ok(self.v)
+        } else if from == self.v {
+            Ok(self.u)
+        } else {
+            Err(GraphError::NotAnEndpoint {
+                node: from,
+                u: self.u,
+                v: self.v,
+            })
+        }
+    }
+
+    /// Panicking convenience wrapper around [`Link::try_other`] for callers
+    /// that know `from` is an endpoint (e.g. walking an adjacency list).
     ///
     /// # Panics
-    /// Panics if `from` is not an endpoint of this link.
+    /// Panics with the [`GraphError`] message if `from` is not an endpoint.
     pub fn other(&self, from: NodeId) -> NodeId {
-        if from == self.u {
-            self.v
-        } else if from == self.v {
-            self.u
-        } else {
-            panic!(
-                "node {from} is not an endpoint of link ({}, {})",
-                self.u, self.v
-            )
-        }
+        self.try_other(from).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -293,5 +328,23 @@ mod tests {
             capacity: 1.0,
         };
         let _ = l.other(5);
+    }
+
+    #[test]
+    fn link_try_other_reports_a_typed_error() {
+        let l = Link {
+            u: 3,
+            v: 7,
+            capacity: 1.0,
+        };
+        assert_eq!(l.try_other(3), Ok(7));
+        assert_eq!(
+            l.try_other(5),
+            Err(GraphError::NotAnEndpoint {
+                node: 5,
+                u: 3,
+                v: 7
+            })
+        );
     }
 }

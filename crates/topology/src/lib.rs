@@ -43,7 +43,7 @@ pub use coord::{coord_of, index_of, strides};
 pub use dragonfly::{Dragonfly, GlobalArrangement};
 pub use expander::Circulant;
 pub use fattree::FatTree;
-pub use graph::{Link, LinkGraph, LinkId, NodeId};
+pub use graph::{GraphError, Link, LinkGraph, LinkId, NodeId};
 pub use hypercube::Hypercube;
 pub use hyperx::HyperX;
 pub use mesh::Mesh;

@@ -1,0 +1,82 @@
+//! A dynamic job stream on a Dragonfly and on a torus, side by side.
+//!
+//! The paper asks how much contention a Blue Gene/Q job pays for a bad
+//! partition geometry. With the discrete-event engine, the same question
+//! runs on any topology: a stream of jobs arrives, an allocator hands each
+//! one a node set, and the job's all-to-all exchange is flow-simulated on
+//! the fabric. The *contention penalty* (simulated exchange time over its
+//! contention-free serial time) is what a better allocation could avoid.
+//!
+//! Run with `cargo run --example engine_cluster`.
+
+use netpart::engine::{
+    simulate_cluster, synthetic_job_stream, ClusterMetrics, CompactAllocator, Fabric,
+    ScatterAllocator, ShortestPath,
+};
+use netpart::topology::{Dragonfly, GlobalArrangement, Torus};
+
+fn run(fabric: &Fabric, scatter_stride: usize) -> (ClusterMetrics, ClusterMetrics) {
+    // The same 40-job stream on both allocators: sizes 2–16 nodes, arrivals
+    // dense enough to queue, 1 GB per ordered pair in the exchange phase.
+    let jobs = synthetic_job_stream(40, 16, 250.0, 1.0);
+    let compact = simulate_cluster(
+        fabric,
+        Box::new(ShortestPath),
+        Box::new(CompactAllocator),
+        &jobs,
+    )
+    .expect("catalog fabrics are connected");
+    let scatter = simulate_cluster(
+        fabric,
+        Box::new(ShortestPath),
+        Box::new(ScatterAllocator {
+            stride: scatter_stride,
+        }),
+        &jobs,
+    )
+    .expect("catalog fabrics are connected");
+    (compact, scatter)
+}
+
+fn report(metrics: &ClusterMetrics) {
+    println!(
+        "  {:24} mean penalty x{:.3}   jobs with avoidable contention {:4.0}%   mean wait {:7.1} s   makespan {:8.1} s",
+        metrics.allocator,
+        metrics.mean_penalty(),
+        100.0 * metrics.avoidable_fraction(1.05),
+        metrics.mean_wait(),
+        metrics.makespan,
+    );
+}
+
+fn main() {
+    println!("The avoidable-contention question, asked beyond the torus:\n");
+
+    let dragonfly = Dragonfly::new(4, 4, 4, 1.0, 1.0, 1.0, 1, GlobalArrangement::Relative);
+    let dragonfly_fabric = Fabric::from_topology(&dragonfly, 2.0);
+    println!(
+        "Dragonfly: 4 groups of 4x4 routers, 1 global port per router ({} nodes)",
+        dragonfly_fabric.num_nodes()
+    );
+    let (compact, scatter) = run(&dragonfly_fabric, 17);
+    report(&compact);
+    report(&scatter);
+    let dragonfly_cost = scatter.mean_penalty() / compact.mean_penalty();
+    println!(
+        "  -> scattering across groups inflates the exchange x{dragonfly_cost:.2} over compact\n",
+    );
+
+    let torus_fabric = Fabric::from_torus(Torus::new(vec![8, 4, 2]), 2.0);
+    println!("Torus: 8x4x2 (64 nodes), dimension-routed like a Blue Gene/Q slice");
+    let (compact, scatter) = run(&torus_fabric, 9);
+    report(&compact);
+    report(&scatter);
+    let torus_cost = scatter.mean_penalty() / compact.mean_penalty();
+    println!(
+        "  -> scattering across the torus inflates the exchange x{torus_cost:.2} over compact"
+    );
+    println!(
+        "\nOn both fabrics the scattered jobs pay contention that a compact allocation avoids\n\
+         (dragonfly x{dragonfly_cost:.2}, torus x{torus_cost:.2}) — the paper's observation, now topology-generic."
+    );
+}

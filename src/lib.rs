@@ -10,6 +10,7 @@
 //! | [`iso`] | edge-isoperimetric bounds, cuboid constructions, bisection, small-set expansion |
 //! | [`machines`] | Blue Gene/Q machines (Mira, JUQUEEN, Sequoia, hypothetical) and allocation policies |
 //! | [`alloc`] | partition-geometry optimization, the paper's tables and figures, scheduling advice |
+//! | [`engine`] | discrete-event simulation core, topology-generic fabrics, routers and scenarios |
 //! | [`netsim`] | flow-level torus network simulator (the stand-in for the real hardware) |
 //! | [`mpi`] | simulated ranks, task mappings, collectives and phase programs |
 //! | [`strassen`] | dense kernels, Strassen-Winograd, and the CAPS distributed execution model |
@@ -36,6 +37,7 @@
 pub use netpart_alloc as alloc;
 pub use netpart_contention as contention;
 pub use netpart_core as core;
+pub use netpart_engine as engine;
 pub use netpart_iso as iso;
 pub use netpart_kernels as kernels;
 pub use netpart_machines as machines;

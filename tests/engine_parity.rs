@@ -1,0 +1,147 @@
+//! Parity tests: the engine-based simulators must reproduce the legacy
+//! torus-only simulators exactly.
+//!
+//! Both flow front ends share the fluid core in `netpart_engine::fluid` and
+//! `Fabric::from_torus` replicates `TorusNetwork`'s channel numbering, so
+//! the comparison is for *bit-identical* results, not tolerances. Likewise
+//! the event-driven scheduler executes the legacy loop body at every event
+//! time, so its `JobOutcome`s must match field for field.
+
+use netpart::engine;
+use netpart::machines::known;
+use netpart::netsim::{self, FlowSim, TorusNetwork};
+use netpart::sched::{generate_trace, simulate, simulate_events, SchedPolicy, TraceConfig};
+use netpart::topology::Torus;
+
+/// A deterministic pseudo-random flow set over `n` nodes.
+fn flow_set(n: usize, count: usize, seed: u64) -> (Vec<netsim::Flow>, Vec<engine::Flow>) {
+    let mut legacy = Vec::with_capacity(count);
+    let mut fabric = Vec::with_capacity(count);
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..count {
+        let src = (next() % n as u64) as usize;
+        let dst = (next() % n as u64) as usize;
+        let gigabytes = 0.1 + (next() % 64) as f64 / 16.0;
+        legacy.push(netsim::Flow {
+            src,
+            dst,
+            gigabytes,
+        });
+        fabric.push(engine::Flow {
+            src,
+            dst,
+            gigabytes,
+        });
+    }
+    (legacy, fabric)
+}
+
+fn assert_flow_parity(dims: &[usize], count: usize, seed: u64, tie_break: bool) {
+    let network = TorusNetwork::bgq_partition(dims);
+    let fabric = engine::Fabric::from_torus(Torus::new(dims.to_vec()), 2.0);
+    let (legacy_flows, fabric_flows) = flow_set(network.num_nodes(), count, seed);
+
+    let (legacy_routing, engine_routing) = if tie_break {
+        (
+            netsim::DimensionOrdered {
+                tie_break: netsim::TieBreak::SourceParity,
+                reverse_dimension_order: false,
+            },
+            engine::DimensionOrdered {
+                tie_break: engine::TieBreak::SourceParity,
+                reverse_dimension_order: false,
+            },
+        )
+    } else {
+        (
+            netsim::DimensionOrdered::bgq_default(),
+            engine::DimensionOrdered::default(),
+        )
+    };
+
+    let legacy = FlowSim::new(legacy_routing).simulate(&network, &legacy_flows);
+    let ported = engine::simulate_flows(&fabric, &engine_routing, &fabric_flows)
+        .expect("torus fabrics route everything");
+
+    assert_eq!(legacy.makespan, ported.makespan, "dims {dims:?}");
+    assert_eq!(legacy.completion, ported.completion, "dims {dims:?}");
+    assert_eq!(
+        legacy.channel_load_gb, ported.channel_load_gb,
+        "dims {dims:?}"
+    );
+    assert_eq!(
+        legacy.bottleneck_lower_bound, ported.bottleneck_lower_bound,
+        "dims {dims:?}"
+    );
+    assert_eq!(legacy.rounds, ported.rounds, "dims {dims:?}");
+}
+
+#[test]
+fn engine_torus_flow_sim_is_bit_identical_to_legacy() {
+    assert_flow_parity(&[8], 12, 1, false);
+    assert_flow_parity(&[4, 4, 2], 40, 2, false);
+    assert_flow_parity(&[4, 4, 4, 4, 2], 100, 3, false);
+    assert_flow_parity(&[16, 4, 4, 4, 2], 60, 4, false);
+}
+
+#[test]
+fn engine_torus_flow_sim_parity_holds_under_parity_tie_breaking() {
+    assert_flow_parity(&[8, 4], 30, 5, true);
+    assert_flow_parity(&[6, 6, 2], 50, 6, true);
+}
+
+#[test]
+fn engine_scheduler_reproduces_legacy_job_outcomes() {
+    for machine in [known::mira(), known::juqueen()] {
+        let trace = generate_trace(&TraceConfig::default_for(&machine, 90, 13));
+        for policy in [
+            SchedPolicy::WorstAvailableBisection,
+            SchedPolicy::BestAvailableBisection,
+            SchedPolicy::HintAware { tolerance: 0.99 },
+        ] {
+            let legacy = simulate(&machine, policy, &trace);
+            let ported = simulate_events(&machine, policy, &trace);
+            assert_eq!(legacy.makespan, ported.makespan);
+            assert_eq!(legacy.utilization, ported.utilization);
+            assert_eq!(legacy.outcomes.len(), ported.outcomes.len());
+            for (a, b) in legacy.outcomes.iter().zip(&ported.outcomes) {
+                assert_eq!(a.job_id, b.job_id);
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.completion, b.completion);
+                assert_eq!(a.runtime, b.runtime);
+                assert_eq!(a.geometry.dims(), b.geometry.dims());
+                assert_eq!(a.bisection_links, b.bisection_links);
+                assert_eq!(a.optimal_bisection_links, b.optimal_bisection_links);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_flow_sim_covers_non_torus_topologies_end_to_end() {
+    use netpart::topology::{Circulant, Dragonfly, FatTree, GlobalArrangement, Hypercube, SlimFly};
+    let fabrics = [
+        engine::Fabric::from_topology(&Hypercube::new(6), 2.0),
+        engine::Fabric::from_topology(
+            &Dragonfly::new(4, 4, 4, 1.0, 1.0, 1.0, 1, GlobalArrangement::Relative),
+            2.0,
+        ),
+        engine::Fabric::from_topology(&FatTree::new(4), 2.0),
+        engine::Fabric::from_topology(&SlimFly::new(5), 2.0),
+        engine::Fabric::from_topology(&Circulant::new(64, vec![1, 9, 23]), 2.0),
+    ];
+    for fabric in &fabrics {
+        let n = fabric.num_nodes();
+        let (_, flows) = flow_set(n, n, 17);
+        let outcome = engine::simulate_flows(fabric, &engine::ShortestPath, &flows)
+            .expect("connected fabric");
+        assert!(outcome.makespan >= outcome.bottleneck_lower_bound - 1e-9);
+        assert!(outcome.completion.len() == n);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the engine's routers and flow scenarios:
+//! randomized topologies, endpoints and flow sets must respect the walk and
+//! parity invariants the subsystem is built on.
+
+use netpart::engine::{
+    simulate_flows, DimensionOrdered, Ecmp, Fabric, Flow, Router, ShortestPath, Valiant,
+};
+use netpart::netsim::{self, FlowSim, TorusNetwork};
+use netpart::topology::{
+    Circulant, Dragonfly, FatTree, GlobalArrangement, HyperX, Hypercube, SlimFly, Topology, Torus,
+};
+use proptest::prelude::*;
+
+/// Random torus dimensions of 2 to 4 axes, each 2 to 5 long, at most ~200
+/// nodes.
+fn small_torus_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(2usize..=5, 2..=4).prop_filter("keep the node count small", |dims| {
+        dims.iter().product::<usize>() <= 200
+    })
+}
+
+/// Build the `i`-th catalog fabric (a fixed zoo of non-torus topologies).
+fn catalog_fabric(i: usize) -> Fabric {
+    match i % 6 {
+        0 => Fabric::from_topology(&Hypercube::new(5), 2.0),
+        1 => Fabric::from_topology(&HyperX::regular(vec![4, 6]), 2.0),
+        2 => Fabric::from_topology(
+            &Dragonfly::new(4, 3, 3, 1.0, 1.0, 1.0, 1, GlobalArrangement::Circulant),
+            2.0,
+        ),
+        3 => Fabric::from_topology(&FatTree::new(4), 2.0),
+        4 => Fabric::from_topology(&SlimFly::new(5), 2.0),
+        _ => Fabric::from_topology(&Circulant::new(40, vec![1, 7, 16]), 2.0),
+    }
+}
+
+/// Assert that `path` is a connected walk from `src` to `dst` in `fabric`.
+fn assert_valid_walk(fabric: &Fabric, src: usize, dst: usize, path: &[usize]) {
+    let mut node = src;
+    for &c in path {
+        assert_eq!(fabric.channels()[c].from, node, "walk disconnects");
+        node = fabric.channels()[c].to;
+    }
+    assert_eq!(node, dst, "walk must end at the destination");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every router produces valid walks that reach their destination on
+    /// every topology family in the catalog.
+    #[test]
+    fn router_paths_are_valid_walks_on_every_topology(
+        fabric_idx in 0usize..6,
+        src_raw in 0usize..10_000,
+        dst_raw in 0usize..10_000,
+        salt in 0u64..1000,
+    ) {
+        let fabric = catalog_fabric(fabric_idx);
+        let n = fabric.num_nodes();
+        let (src, dst) = (src_raw % n, dst_raw % n);
+        for router in [
+            &ShortestPath as &dyn Router,
+            &Ecmp { salt },
+            &Valiant { seed: salt },
+        ] {
+            let path = router.route(&fabric, src, dst).expect("catalog fabrics are connected");
+            assert_valid_walk(&fabric, src, dst, &path);
+            if src == dst {
+                prop_assert!(path.is_empty(), "{}", router.label());
+            }
+        }
+    }
+
+    /// Dimension-ordered routing on random torus fabrics produces valid
+    /// walks of exactly the wrap-around distance.
+    #[test]
+    fn dimension_ordered_walks_are_distance_optimal(
+        dims in small_torus_dims(),
+        src_raw in 0usize..10_000,
+        dst_raw in 0usize..10_000,
+    ) {
+        let torus = Torus::new(dims);
+        let n = torus.num_nodes();
+        let fabric = Fabric::from_torus(torus.clone(), 2.0);
+        let (src, dst) = (src_raw % n, dst_raw % n);
+        let path = DimensionOrdered::default().route(&fabric, src, dst).expect("valid hop");
+        assert_valid_walk(&fabric, src, dst, &path);
+        prop_assert_eq!(path.len(), torus.distance(src, dst));
+    }
+
+    /// The engine's torus flow simulation equals the legacy `netsim::flow`
+    /// simulation bit for bit on random flow sets.
+    #[test]
+    fn engine_torus_flow_results_equal_legacy_results(
+        dims in small_torus_dims(),
+        endpoints in proptest::collection::vec((0usize..10_000, 0usize..10_000, 1u32..80), 1..40),
+    ) {
+        let n: usize = dims.iter().product();
+        let legacy_flows: Vec<netsim::Flow> = endpoints
+            .iter()
+            .map(|&(s, d, gb)| netsim::Flow {
+                src: s % n,
+                dst: d % n,
+                gigabytes: gb as f64 / 16.0,
+            })
+            .collect();
+        let engine_flows: Vec<Flow> = legacy_flows
+            .iter()
+            .map(|f| Flow { src: f.src, dst: f.dst, gigabytes: f.gigabytes })
+            .collect();
+
+        let network = TorusNetwork::bgq_partition(&dims);
+        let legacy = FlowSim::default().simulate(&network, &legacy_flows);
+
+        let fabric = Fabric::from_torus(Torus::new(dims.clone()), 2.0);
+        let ported = simulate_flows(&fabric, &DimensionOrdered::default(), &engine_flows)
+            .expect("torus fabrics route everything");
+
+        prop_assert_eq!(legacy.makespan, ported.makespan, "dims {:?}", dims);
+        prop_assert_eq!(legacy.completion, ported.completion);
+        prop_assert_eq!(legacy.channel_load_gb, ported.channel_load_gb);
+        prop_assert_eq!(legacy.bottleneck_lower_bound, ported.bottleneck_lower_bound);
+        prop_assert_eq!(legacy.rounds, ported.rounds);
+    }
+
+    /// On every catalog fabric, simulated makespans respect the bottleneck
+    /// lower bound and each flow takes at least its serial time.
+    #[test]
+    fn makespan_respects_lower_bounds_on_every_topology(
+        fabric_idx in 0usize..6,
+        endpoints in proptest::collection::vec((0usize..10_000, 0usize..10_000, 1u32..40), 1..30),
+    ) {
+        let fabric = catalog_fabric(fabric_idx);
+        let n = fabric.num_nodes();
+        let flows: Vec<Flow> = endpoints
+            .iter()
+            .map(|&(s, d, gb)| Flow { src: s % n, dst: d % n, gigabytes: gb as f64 / 8.0 })
+            .collect();
+        let outcome = simulate_flows(&fabric, &ShortestPath, &flows).expect("connected");
+        prop_assert!(outcome.makespan >= outcome.bottleneck_lower_bound - 1e-9);
+        for (flow, done) in flows.iter().zip(&outcome.completion) {
+            if flow.src != flow.dst {
+                let fastest = fabric
+                    .channels()
+                    .iter()
+                    .map(|c| c.bandwidth_gbs)
+                    .fold(0.0, f64::max);
+                prop_assert!(*done >= flow.gigabytes / fastest - 1e-9);
+            }
+        }
+    }
+}

@@ -82,7 +82,7 @@ impl Bencher {
             let start = Instant::now();
             black_box(routine());
             let elapsed = start.elapsed();
-            if self.best.map_or(true, |b| elapsed < b) {
+            if self.best.is_none_or(|b| elapsed < b) {
                 self.best = Some(elapsed);
             }
         }

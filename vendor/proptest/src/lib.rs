@@ -183,6 +183,7 @@ macro_rules! __proptest_tests {
                 )*
                 // The per-case body runs in a closure so `prop_assume!` can
                 // discard the case with `return` from any nesting depth.
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome = (|| -> $crate::test_runner::CaseOutcome {
                     $body
                     $crate::test_runner::CaseOutcome::Pass
