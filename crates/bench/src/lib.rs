@@ -8,16 +8,26 @@
 #![warn(missing_docs)]
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Directory where experiment outputs are stored (`results/` at the
-/// workspace root, overridable with `NETPART_RESULTS_DIR`).
+/// Directory where experiment outputs are stored: `NETPART_RESULTS_DIR` if
+/// set, else `results/` at the workspace root, so every experiment bin and
+/// the service write to the same place regardless of the current directory.
+///
+/// The workspace root is found from this crate's compile-time manifest dir
+/// (`crates/bench` → two levels up). When that path does not exist at run
+/// time (the binary moved to another machine), fall back to `results/`
+/// under the current directory.
 pub fn results_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("NETPART_RESULTS_DIR") {
         return PathBuf::from(dir);
     }
-    // The binaries run from the workspace root via `cargo run`; fall back to
-    // the current directory otherwise.
+    let manifest: &str = env!("CARGO_MANIFEST_DIR");
+    if let Some(workspace_root) = Path::new(manifest).ancestors().nth(2) {
+        if workspace_root.is_dir() {
+            return workspace_root.join("results");
+        }
+    }
     PathBuf::from("results")
 }
 
@@ -169,7 +179,22 @@ mod tests {
     }
 
     #[test]
-    fn results_dir_honours_env_override() {
+    fn results_dir_resolution() {
+        // One test (not two) so the env mutation cannot race a parallel
+        // assertion on the un-overridden path.
+        let dir = results_dir();
+        // On the build machine the workspace root exists, so the path must
+        // be absolute (…/results), not the cwd-relative "results".
+        assert!(dir.is_absolute(), "expected absolute path, got {dir:?}");
+        assert!(dir.ends_with("results"));
+        assert!(
+            dir.parent()
+                .unwrap()
+                .join("crates/bench/Cargo.toml")
+                .exists(),
+            "results/ must sit next to crates/ at the workspace root"
+        );
+
         std::env::set_var("NETPART_RESULTS_DIR", "/tmp/netpart-test-results");
         assert_eq!(results_dir(), PathBuf::from("/tmp/netpart-test-results"));
         std::env::remove_var("NETPART_RESULTS_DIR");

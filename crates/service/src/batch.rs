@@ -1,0 +1,231 @@
+//! Request coalescing (single-flight) for expensive simulations.
+//!
+//! When several clients ask the identical (canonicalized) question at the
+//! same time, only the first connection actually computes; the rest block
+//! on a condvar and receive the leader's rendered response. Combined with
+//! the LRU cache this turns a thundering herd of identical `simulate_flows`
+//! or `cluster_sim` requests into one simulation run.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a flight's followers observe.
+enum FlightState {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published its rendered response.
+    Done(Arc<String>),
+    /// The leader unwound without publishing (panicked); followers must
+    /// compute for themselves.
+    Poisoned,
+}
+
+/// The slot followers wait on.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+/// Outcome of [`Batcher::run`]: the rendered response plus whether this
+/// caller rode along on another caller's computation.
+pub struct BatchOutcome {
+    /// The rendered response line.
+    pub response: Arc<String>,
+    /// True when this call waited for an identical in-flight computation
+    /// instead of computing.
+    pub coalesced: bool,
+}
+
+/// Coalesces concurrent identical computations by canonical key.
+#[derive(Default)]
+pub struct Batcher {
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl Batcher {
+    /// A batcher with no in-flight work.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `compute` for `key`, unless an identical computation is already
+    /// in flight — then wait for it (however long it takes; completion is
+    /// signalled, not polled) and return its result instead.
+    ///
+    /// `compute` runs outside all batcher locks, so unrelated keys proceed
+    /// in parallel. If the leader panics, its drop guard poisons the flight
+    /// and each follower computes for itself rather than hanging.
+    pub fn run(&self, key: &str, compute: impl FnOnce() -> String) -> BatchOutcome {
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("batcher lock");
+            match inflight.get(key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        done: Condvar::new(),
+                    });
+                    inflight.insert(key.to_string(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            let mut state = flight.state.lock().expect("flight lock");
+            loop {
+                match &*state {
+                    FlightState::Done(result) => {
+                        return BatchOutcome {
+                            response: Arc::clone(result),
+                            coalesced: true,
+                        };
+                    }
+                    FlightState::Poisoned => {
+                        drop(state);
+                        return BatchOutcome {
+                            response: Arc::new(compute()),
+                            coalesced: false,
+                        };
+                    }
+                    FlightState::Pending => {
+                        state = flight.done.wait(state).expect("flight lock");
+                    }
+                }
+            }
+        }
+        // Leader: compute outside the registry lock, publish, then retire
+        // the flight so later requests go back through the cache. The guard
+        // also runs if `compute` unwinds — it then poisons the flight so
+        // followers never wait on a corpse.
+        let guard = FlightGuard {
+            batcher: self,
+            flight: &flight,
+            key,
+        };
+        let response = Arc::new(compute());
+        *flight.state.lock().expect("flight lock") = FlightState::Done(Arc::clone(&response));
+        flight.done.notify_all();
+        drop(guard);
+        BatchOutcome {
+            response,
+            coalesced: false,
+        }
+    }
+}
+
+/// Retires the in-flight entry when the leader finishes — and if the leader
+/// panicked before publishing, poisons the flight so followers recompute
+/// instead of queueing behind a corpse.
+struct FlightGuard<'a> {
+    batcher: &'a Batcher,
+    flight: &'a Arc<Flight>,
+    key: &'a str,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut state = self.flight.state.lock().expect("flight lock");
+            if matches!(*state, FlightState::Pending) {
+                *state = FlightState::Poisoned;
+                self.flight.done.notify_all();
+            }
+        }
+        self.batcher
+            .inflight
+            .lock()
+            .expect("batcher lock")
+            .remove(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_runs_do_not_coalesce() {
+        let b = Batcher::new();
+        let first = b.run("k", || "one".to_string());
+        let second = b.run("k", || "two".to_string());
+        assert!(!first.coalesced);
+        assert!(!second.coalesced, "flight must retire after completion");
+        assert_eq!(second.response.as_str(), "two");
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_once() {
+        let b = Batcher::new();
+        let computations = AtomicU64::new(0);
+        let coalesced = AtomicU64::new(0);
+        let gate = Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    gate.wait();
+                    let outcome = b.run("key", || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the herd.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        "result".to_string()
+                    });
+                    assert_eq!(outcome.response.as_str(), "result");
+                    if outcome.coalesced {
+                        coalesced.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::SeqCst), 1, "one leader");
+        assert_eq!(coalesced.load(Ordering::SeqCst), 7, "seven followers");
+    }
+
+    #[test]
+    fn distinct_keys_run_independently() {
+        let b = Batcher::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let b = &b;
+                s.spawn(move || {
+                    let out = b.run(&format!("k{i}"), || format!("v{i}"));
+                    assert!(!out.coalesced);
+                    assert_eq!(out.response.as_str(), &format!("v{i}"));
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_leader_poisons_followers_into_recomputing() {
+        let b = Batcher::new();
+        let gate = Barrier::new(2);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    b.run("key", || {
+                        gate.wait(); // follower is about to enqueue
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("leader died mid-compute");
+                    })
+                }));
+                assert!(result.is_err());
+            });
+            let follower = s.spawn(|| {
+                gate.wait();
+                // Give the leader a beat to be registered as in-flight.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let out = b.run("key", || "recomputed".to_string());
+                assert_eq!(out.response.as_str(), "recomputed");
+                assert!(!out.coalesced, "poisoned flights do not count as hits");
+            });
+            leader.join().unwrap();
+            follower.join().unwrap();
+        });
+        // The poisoned flight is retired: the next run computes normally.
+        let out = b.run("key", || "fresh".to_string());
+        assert!(!out.coalesced);
+        assert_eq!(out.response.as_str(), "fresh");
+    }
+}

@@ -1,0 +1,45 @@
+//! Run the allocation-advisor daemon.
+//!
+//! ```text
+//! netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//! ```
+//!
+//! Prints one `listening on <addr>` line once the socket is bound, then
+//! serves until a client sends `{"type":"shutdown"}`.
+
+use netpart_service::server::{serve, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => {
+                config.workers = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    match serve(config) {
+        Ok(handle) => {
+            println!("netpart-service listening on {}", handle.local_addr());
+            handle.join();
+            println!("netpart-service stopped");
+        }
+        Err(e) => {
+            eprintln!("netpart_serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

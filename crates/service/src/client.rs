@@ -1,0 +1,98 @@
+//! Blocking JSON-lines client for the service.
+
+use crate::protocol::{ProtocolError, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-response).
+    Io(std::io::Error),
+    /// The server's line did not decode as a [`Response`].
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One persistent connection to a `netpart-service` server.
+pub struct ServiceClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connect to a server address (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServiceClient {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send_line(&request.encode())
+    }
+
+    /// Send a raw line (not necessarily valid JSON — used by tests to probe
+    /// the server's error handling) and block for the response line.
+    pub fn send_line(&mut self, line: &str) -> Result<Response, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(Response::decode(reply.trim_end())?)
+    }
+
+    /// Liveness probe.
+    pub fn health(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Health)
+    }
+
+    /// Metrics snapshot.
+    pub fn stats(&mut self) -> Result<crate::protocol::StatsSnapshot, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(ProtocolError(format!(
+                "expected stats, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Shutdown)
+    }
+}

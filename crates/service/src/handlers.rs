@@ -1,0 +1,600 @@
+//! Request handlers: the bridge from the wire protocol into the analysis
+//! crates (`netpart-contention`, `netpart-machines`, `netpart-core`,
+//! `netpart-iso`, `netpart-alloc`, `netpart-engine`, `netpart-sched`).
+//!
+//! Every handler is a total function from request to [`Response`] — domain
+//! errors (unknown machine, unsupported shape, simulation failure) come
+//! back as typed [`Response::Error`]s, never as panics.
+
+use crate::protocol::{
+    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, TopologySpec,
+};
+use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
+use netpart_engine::{
+    simulate_cluster, simulate_flows, Allocator, CompactAllocator, DimensionOrdered, Fabric, Flow,
+    Router, ScatterAllocator, ShortestPath,
+};
+use netpart_machines::{known, BlueGeneQ};
+use netpart_sched::{generate_trace, SchedPolicy, TraceConfig};
+use netpart_topology::{Dragonfly, FatTree, GlobalArrangement, HyperX, Hypercube, Torus};
+
+/// Upper bound on the nodes of a fabric built from a request, so a single
+/// query cannot ask the server to materialize a million-node graph.
+const MAX_FABRIC_NODES: usize = 1 << 14;
+
+/// Upper bound on the directed channels of a fabric built from a request
+/// (dense families like HyperX hit this well before the node budget).
+const MAX_FABRIC_CHANNELS: usize = 1 << 20;
+
+/// Upper bound on flows per `simulate_flows` request.
+const MAX_FLOWS: usize = 1 << 16;
+
+/// Upper bound on jobs per simulation request.
+const MAX_JOBS: usize = 4096;
+
+fn unsupported(message: impl Into<String>) -> Response {
+    Response::error(ErrorCode::Unsupported, message)
+}
+
+fn machine_by_name(name: &str) -> Option<BlueGeneQ> {
+    match name {
+        "mira" => Some(known::mira()),
+        "juqueen" => Some(known::juqueen()),
+        "juqueen_48" => Some(known::juqueen_48()),
+        "juqueen_54" => Some(known::juqueen_54()),
+        "sequoia" => Some(known::sequoia()),
+        _ => None,
+    }
+}
+
+fn kernel_from_spec(spec: &Option<KernelSpec>) -> Kernel {
+    match spec {
+        // The paper's pure-communication pairing benchmark: 2 GB per rank.
+        None => Kernel::Custom {
+            words_per_proc: 2e9 / 8.0,
+            flops_per_proc: 1.0,
+        },
+        Some(KernelSpec::ClassicalMatmul(n)) => Kernel::ClassicalMatmul { n: *n },
+        Some(KernelSpec::StrassenMatmul(n)) => Kernel::StrassenMatmul { n: *n },
+        Some(KernelSpec::DirectNBody(b)) => Kernel::DirectNBody { bodies: *b },
+        Some(KernelSpec::Fft(n)) => Kernel::Fft { n: *n },
+        Some(KernelSpec::Custom(words, flops)) => Kernel::Custom {
+            words_per_proc: *words,
+            flops_per_proc: *flops,
+        },
+    }
+}
+
+/// Overflow-safe product; `None` means "absurdly large", which every caller
+/// maps to a budget rejection.
+fn checked_product(factors: impl IntoIterator<Item = usize>) -> Option<usize> {
+    factors
+        .into_iter()
+        .try_fold(1usize, |acc, f| acc.checked_mul(f))
+}
+
+/// Estimated `(nodes, directed channels)` of a fabric spec, computed with
+/// checked arithmetic *before* anything is materialized, so a crafted
+/// request can neither overflow the budget check nor ask the server to
+/// build a dense multi-gigabyte graph (a 1-D HyperX is a complete graph:
+/// few nodes, quadratically many channels).
+fn estimated_size(spec: &TopologySpec) -> Option<(usize, usize)> {
+    match spec {
+        TopologySpec::Torus(dims) => {
+            let nodes = checked_product(dims.iter().copied())?;
+            // At most two directed channels per dimension per node.
+            Some((nodes, nodes.checked_mul(dims.len().checked_mul(2)?)?))
+        }
+        TopologySpec::Hypercube(d) => {
+            if *d > 14 {
+                return None;
+            }
+            let nodes = 1usize << d;
+            Some((nodes, nodes.checked_mul(*d as usize)?))
+        }
+        TopologySpec::Dragonfly(g, a, p) => {
+            let nodes = checked_product([*g, *a, *p])?;
+            // Per node: intra-group clique (a-1) + local endpoints (p) plus
+            // one global port — a generous upper estimate.
+            let degree = a.checked_add(*p)?.checked_add(1)?;
+            Some((nodes, nodes.checked_mul(degree)?))
+        }
+        TopologySpec::FatTree(k) => {
+            if *k == 0 || *k % 2 != 0 {
+                return None;
+            }
+            let nodes = checked_product([*k, *k, *k])? / 4;
+            // k^2/4 cores + k^2 aggs/edges, k ports each, both directions.
+            let switch_ports = checked_product([*k, *k, *k])?.checked_mul(3)?;
+            Some((nodes, switch_ports))
+        }
+        TopologySpec::HyperX(dims) => {
+            let nodes = checked_product(dims.iter().copied())?;
+            // Clique per dimension: degree = sum(d_i - 1).
+            let degree = dims
+                .iter()
+                .map(|d| d - 1)
+                .try_fold(0usize, |acc, d| acc.checked_add(d))?;
+            Some((nodes, nodes.checked_mul(degree)?))
+        }
+    }
+}
+
+/// Build the fabric and its natural router from a spec, enforcing the node
+/// and channel budgets. The error is boxed: the happy path should not pay
+/// for the error response's size.
+pub fn build_fabric(spec: &TopologySpec) -> Result<(Fabric, Box<dyn Router>), Box<Response>> {
+    let budget_err = || {
+        Box::new(unsupported(format!(
+            "fabric outside the service budget (<= {MAX_FABRIC_NODES} nodes, \
+             <= {MAX_FABRIC_CHANNELS} channels)"
+        )))
+    };
+    let (nodes, channels) = estimated_size(spec).ok_or_else(budget_err)?;
+    if nodes == 0 || nodes > MAX_FABRIC_NODES || channels > MAX_FABRIC_CHANNELS {
+        return Err(budget_err());
+    }
+    Ok(match spec {
+        TopologySpec::Torus(dims) => (
+            Fabric::from_torus(Torus::new(dims.clone()), 2.0),
+            Box::new(DimensionOrdered::default()) as Box<dyn Router>,
+        ),
+        TopologySpec::Hypercube(d) => (
+            Fabric::from_topology(&Hypercube::new(*d), 2.0),
+            Box::new(ShortestPath),
+        ),
+        TopologySpec::Dragonfly(g, a, p) => (
+            Fabric::from_topology(
+                &Dragonfly::new(*g, *a, *p, 1.0, 1.0, 1.0, 1, GlobalArrangement::Relative),
+                2.0,
+            ),
+            Box::new(ShortestPath),
+        ),
+        TopologySpec::FatTree(k) => (
+            Fabric::from_topology(&FatTree::new(*k), 2.0),
+            Box::new(ShortestPath),
+        ),
+        TopologySpec::HyperX(dims) => (
+            Fabric::from_topology(&HyperX::regular(dims.clone()), 2.0),
+            Box::new(ShortestPath),
+        ),
+    })
+}
+
+fn handle_advise(machine: &str, size: usize, kernel: &Option<KernelSpec>) -> Response {
+    let Some(bgq) = machine_by_name(machine) else {
+        return unsupported(format!(
+            "unknown machine '{machine}' (expected mira, juqueen, juqueen_48, juqueen_54 or sequoia)"
+        ));
+    };
+    let model = ContentionModel::bgq(kernel_from_spec(kernel));
+    let node = NodeModel::bgq();
+    let Some(advice) = advise_kernel(&bgq, &model, &node, size) else {
+        return unsupported(format!("{machine} cannot host {size} midplanes"));
+    };
+    let regime = match advice.regime() {
+        netpart_contention::RuntimeRegime::ContentionBound => "contention_bound",
+        netpart_contention::RuntimeRegime::BandwidthBound => "bandwidth_bound",
+        netpart_contention::RuntimeRegime::ComputeBound => "compute_bound",
+    };
+    Response::Advice {
+        machine: machine.to_string(),
+        size,
+        worst_dims: advice.worst_geometry.node_dims().to_vec(),
+        best_dims: advice.best_geometry.node_dims().to_vec(),
+        worst_links: advice.worst_geometry.bisection_links(),
+        best_links: advice.best_geometry.bisection_links(),
+        predicted_speedup: advice.predicted_speedup(),
+        regime: regime.to_string(),
+        geometry_matters: advice.geometry_matters(),
+    }
+}
+
+fn handle_bisection(topology: &str, dims: &[usize]) -> Response {
+    let links = match topology {
+        "torus" => {
+            if dims.is_empty() || dims.contains(&0) {
+                return unsupported("torus dims must be non-empty and positive");
+            }
+            if !dims.iter().any(|&d| d >= 2 && d % 2 == 0) {
+                return unsupported(
+                    "torus has no even dimension; no axis-aligned bisection exists",
+                );
+            }
+            netpart_iso::torus_bisection_links(dims) as f64
+        }
+        "hypercube" => match dims {
+            [d] if *d <= 62 => {
+                netpart_core::topologies::hypercube_partition_bisection(*d as u32) as f64
+            }
+            _ => return unsupported("hypercube expects dims = [subcube_dimension <= 62]"),
+        },
+        "dragonfly" => match dims {
+            [groups, ports] if *groups >= 2 && *ports >= 1 => {
+                netpart_core::topologies::dragonfly_partition_bisection(
+                    *groups,
+                    *ports,
+                    GlobalArrangement::Relative,
+                )
+            }
+            _ => {
+                return unsupported(
+                    "dragonfly expects dims = [groups >= 2, global_ports_per_router >= 1]",
+                )
+            }
+        },
+        "hyperx" => {
+            if dims.is_empty() || dims.contains(&0) {
+                return unsupported("hyperx dims must be non-empty and positive");
+            }
+            let capacities = vec![1.0; dims.len()];
+            netpart_core::topologies::hyperx_partition_bisection(dims, &capacities)
+        }
+        "bgq" => {
+            let longest = dims.iter().copied().max().unwrap_or(0);
+            if dims.is_empty() || longest < 4 || longest % 2 != 0 {
+                return unsupported(
+                    "bgq formula requires node dims with an even longest dimension >= 4",
+                );
+            }
+            netpart_iso::bgq_bisection_links(dims) as f64
+        }
+        other => {
+            return unsupported(format!(
+                "unknown bisection topology '{other}' (expected torus, hypercube, dragonfly, hyperx or bgq)"
+            ))
+        }
+    };
+    Response::Bisection { links }
+}
+
+fn handle_simulate_flows(topology: &TopologySpec, flows: &[FlowSpec]) -> Response {
+    if flows.len() > MAX_FLOWS {
+        return unsupported(format!("more than {MAX_FLOWS} flows in one request"));
+    }
+    let (fabric, router) = match build_fabric(topology) {
+        Ok(pair) => pair,
+        Err(resp) => return *resp,
+    };
+    let n = fabric.num_nodes();
+    if let Some(bad) = flows.iter().find(|f| f.src >= n || f.dst >= n) {
+        return unsupported(format!(
+            "flow endpoint out of range: {} -> {} on a {n}-node fabric",
+            bad.src, bad.dst
+        ));
+    }
+    if flows
+        .iter()
+        .any(|f| f.gigabytes.is_nan() || f.gigabytes < 0.0)
+    {
+        return unsupported("flow volumes must be non-negative");
+    }
+    let engine_flows: Vec<Flow> = flows
+        .iter()
+        .map(|f| Flow {
+            src: f.src,
+            dst: f.dst,
+            gigabytes: f.gigabytes,
+        })
+        .collect();
+    match simulate_flows(&fabric, router.as_ref(), &engine_flows) {
+        Ok(outcome) => Response::FlowSummary {
+            flows: flows.len(),
+            makespan: outcome.makespan,
+            mean_completion: outcome.mean_completion(),
+        },
+        Err(e) => Response::error(ErrorCode::Internal, format!("simulation failed: {e}")),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_cluster_sim(
+    topology: &TopologySpec,
+    jobs: usize,
+    max_nodes: usize,
+    mean_gap: f64,
+    gigabytes: f64,
+    allocator: AllocatorSpec,
+) -> Response {
+    if jobs == 0 || jobs > MAX_JOBS {
+        return unsupported(format!("jobs must be in 1..={MAX_JOBS}"));
+    }
+    if !mean_gap.is_finite() || mean_gap <= 0.0 || !gigabytes.is_finite() || gigabytes <= 0.0 {
+        return unsupported("mean_gap and gigabytes must be positive");
+    }
+    let (fabric, router) = match build_fabric(topology) {
+        Ok(pair) => pair,
+        Err(resp) => return *resp,
+    };
+    if max_nodes < 2 || max_nodes > fabric.num_nodes() {
+        return unsupported(format!(
+            "max_nodes must be in 2..={} for this fabric",
+            fabric.num_nodes()
+        ));
+    }
+    let alloc: Box<dyn Allocator> = match allocator {
+        AllocatorSpec::Compact => Box::new(CompactAllocator),
+        AllocatorSpec::Scatter(stride) => Box::new(ScatterAllocator {
+            stride: stride.max(1),
+        }),
+    };
+    let stream = netpart_engine::synthetic_job_stream(jobs, max_nodes, mean_gap, gigabytes);
+    match simulate_cluster(&fabric, router, alloc, &stream) {
+        Ok(metrics) => Response::ClusterSummary {
+            fabric: metrics.fabric.clone(),
+            allocator: metrics.allocator.clone(),
+            jobs: metrics.outcomes.len(),
+            makespan: metrics.makespan,
+            mean_penalty: metrics.mean_penalty(),
+            avoidable_fraction: metrics.avoidable_fraction(1.05),
+            mean_wait: metrics.mean_wait(),
+        },
+        Err(e) => Response::error(
+            ErrorCode::Internal,
+            format!("cluster simulation failed: {e}"),
+        ),
+    }
+}
+
+fn handle_policy_sim(machine: &str, jobs: usize, seed: u64, policy: PolicySpec) -> Response {
+    let Some(bgq) = machine_by_name(machine) else {
+        return unsupported(format!("unknown machine '{machine}'"));
+    };
+    if jobs == 0 || jobs > MAX_JOBS {
+        return unsupported(format!("jobs must be in 1..={MAX_JOBS}"));
+    }
+    let sched_policy = match policy {
+        PolicySpec::Worst => SchedPolicy::WorstAvailableBisection,
+        PolicySpec::Best => SchedPolicy::BestAvailableBisection,
+        PolicySpec::HintAware(tolerance) => {
+            if !(0.0..=1.0).contains(&tolerance) {
+                return unsupported("hint_aware tolerance must be in [0, 1]");
+            }
+            SchedPolicy::HintAware { tolerance }
+        }
+    };
+    let trace = generate_trace(&TraceConfig::default_for(&bgq, jobs, seed));
+    let metrics = netpart_sched::engine_sim::simulate_events(&bgq, sched_policy, &trace);
+    Response::PolicySummary {
+        policy: sched_policy.label(),
+        jobs: metrics.outcomes.len(),
+        mean_wait: metrics.mean_wait(),
+        mean_slowdown: metrics.mean_slowdown(),
+        mean_contention_penalty: metrics.mean_contention_penalty(),
+        optimal_geometry_fraction: metrics.optimal_geometry_fraction(),
+    }
+}
+
+/// Dispatch one cacheable request to its handler. Control-plane requests
+/// (`Health`, `Stats`, `Shutdown`) are answered by the server itself, not
+/// here; routing them to this function is a server bug surfaced as an
+/// internal error rather than a panic.
+pub fn handle(request: &Request) -> Response {
+    match request {
+        Request::Advise {
+            machine,
+            size,
+            kernel,
+        } => handle_advise(machine, *size, kernel),
+        Request::Bisection { topology, dims } => handle_bisection(topology, dims),
+        Request::SimulateFlows { topology, flows } => handle_simulate_flows(topology, flows),
+        Request::ClusterSim {
+            topology,
+            jobs,
+            max_nodes,
+            mean_gap,
+            gigabytes,
+            allocator,
+        } => handle_cluster_sim(
+            topology, *jobs, *max_nodes, *mean_gap, *gigabytes, *allocator,
+        ),
+        Request::PolicySim {
+            machine,
+            jobs,
+            seed,
+            policy,
+        } => handle_policy_sim(machine, *jobs, *seed, *policy),
+        Request::Health | Request::Stats | Request::Shutdown => Response::error(
+            ErrorCode::Internal,
+            "control-plane request routed to the compute dispatcher",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advise_matches_direct_library_call() {
+        let resp = handle(&Request::Advise {
+            machine: "mira".into(),
+            size: 16,
+            kernel: None,
+        });
+        match resp {
+            Response::Advice {
+                predicted_speedup,
+                geometry_matters,
+                regime,
+                worst_links,
+                best_links,
+                ..
+            } => {
+                assert!((predicted_speedup - 2.0).abs() < 1e-9);
+                assert!(geometry_matters);
+                assert_eq!(regime, "contention_bound");
+                assert_eq!(best_links, 2 * worst_links);
+            }
+            other => panic!("expected advice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_machine_is_unsupported_not_panic() {
+        let resp = handle(&Request::Advise {
+            machine: "summit".into(),
+            size: 4,
+            kernel: None,
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bisection_families_agree_with_the_library() {
+        let resp = handle(&Request::Bisection {
+            topology: "torus".into(),
+            dims: vec![8, 4, 4],
+        });
+        assert_eq!(
+            resp,
+            Response::Bisection {
+                links: netpart_iso::torus_bisection_links(&[8, 4, 4]) as f64
+            }
+        );
+        let resp = handle(&Request::Bisection {
+            topology: "hypercube".into(),
+            dims: vec![10],
+        });
+        assert_eq!(resp, Response::Bisection { links: 512.0 });
+    }
+
+    #[test]
+    fn odd_torus_bisection_is_a_typed_error() {
+        let resp = handle(&Request::Bisection {
+            topology: "torus".into(),
+            dims: vec![3, 5, 7],
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn simulate_flows_runs_a_small_shuffle() {
+        let flows: Vec<FlowSpec> = (0..16)
+            .map(|src| FlowSpec {
+                src,
+                dst: (src + 9) % 16,
+                gigabytes: 0.5,
+            })
+            .collect();
+        let resp = handle(&Request::SimulateFlows {
+            topology: TopologySpec::Torus(vec![4, 4]),
+            flows,
+        });
+        match resp {
+            Response::FlowSummary {
+                flows, makespan, ..
+            } => {
+                assert_eq!(flows, 16);
+                assert!(makespan > 0.0);
+            }
+            other => panic!("expected flow summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_flow_is_rejected() {
+        let resp = handle(&Request::SimulateFlows {
+            topology: TopologySpec::Torus(vec![2, 2]),
+            flows: vec![FlowSpec {
+                src: 0,
+                dst: 99,
+                gigabytes: 1.0,
+            }],
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cluster_sim_scatter_pays_at_least_compact_penalty() {
+        let run = |allocator| match handle(&Request::ClusterSim {
+            topology: TopologySpec::Torus(vec![4, 4, 4]),
+            jobs: 12,
+            max_nodes: 8,
+            mean_gap: 40.0,
+            gigabytes: 0.25,
+            allocator,
+        }) {
+            Response::ClusterSummary { mean_penalty, .. } => mean_penalty,
+            other => panic!("expected cluster summary, got {other:?}"),
+        };
+        let compact = run(AllocatorSpec::Compact);
+        let scatter = run(AllocatorSpec::Scatter(7));
+        assert!(compact >= 1.0 && scatter >= 1.0);
+        assert!(
+            scatter >= compact - 1e-9,
+            "scatter ({scatter}) should not beat compact ({compact})"
+        );
+    }
+
+    #[test]
+    fn policy_sim_best_beats_worst_on_contention_penalty() {
+        let run = |policy| match handle(&Request::PolicySim {
+            machine: "mira".into(),
+            jobs: 40,
+            seed: 7,
+            policy,
+        }) {
+            Response::PolicySummary {
+                mean_contention_penalty,
+                ..
+            } => mean_contention_penalty,
+            other => panic!("expected policy summary, got {other:?}"),
+        };
+        let worst = run(PolicySpec::Worst);
+        let best = run(PolicySpec::Best);
+        assert!(
+            best <= worst + 1e-9,
+            "best policy penalty {best} should not exceed worst {worst}"
+        );
+    }
+
+    #[test]
+    fn oversized_fabric_is_refused() {
+        let refused = |topology: TopologySpec| {
+            let resp = handle(&Request::SimulateFlows {
+                topology,
+                flows: vec![],
+            });
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::Unsupported,
+                    ..
+                }
+            )
+        };
+        assert!(refused(TopologySpec::Torus(vec![1024, 1024])));
+        // Overflow-crafted: 274177 * 67280421310721 * 1 == 2^64 + 1, which
+        // wraps to 1 node under unchecked multiplication.
+        assert!(refused(TopologySpec::Dragonfly(
+            274_177,
+            67_280_421_310_721,
+            1
+        )));
+        // Within the node budget but quadratically many channels (complete
+        // graph): must trip the channel budget.
+        assert!(refused(TopologySpec::HyperX(vec![16_000])));
+        // Nearby legitimate shapes still build.
+        assert!(!refused(TopologySpec::HyperX(vec![8, 8])));
+        assert!(!refused(TopologySpec::Dragonfly(4, 4, 4)));
+    }
+}

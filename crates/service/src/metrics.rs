@@ -1,0 +1,183 @@
+//! In-process metrics: request counters and latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot path costs a few
+//! fetch-adds. Latencies go into a log₂-bucketed histogram (one bucket per
+//! power of two nanoseconds), from which quantiles are answered with at
+//! most 2× relative error — ample for the p50/p99 the `Stats` endpoint
+//! reports.
+
+use crate::protocol::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Request kinds tracked separately (wire names from
+/// [`Request::kind`](crate::protocol::Request::kind), plus the synthetic
+/// `invalid` kind for lines that never decoded to a request).
+pub const KINDS: [&str; 9] = [
+    "advise",
+    "bisection",
+    "simulate_flows",
+    "cluster_sim",
+    "policy_sim",
+    "health",
+    "stats",
+    "shutdown",
+    "invalid",
+];
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds; 48 buckets cover ~3 days.
+const BUCKETS: usize = 48;
+
+/// A log₂ latency histogram.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record_nanos(&self, nanos: u64) {
+        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in microseconds, taken as the upper
+    /// edge of the bucket containing the quantile rank. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 2f64.powi(i as i32 + 1) / 1_000.0;
+            }
+        }
+        2f64.powi(BUCKETS as i32) / 1_000.0
+    }
+}
+
+/// The service's metrics registry.
+pub struct Metrics {
+    started: Instant,
+    requests: [AtomicU64; KINDS.len()],
+    /// Requests coalesced onto an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh registry; the uptime clock starts now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            coalesced: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Count one request of `kind` (an unknown kind counts as `invalid`).
+    pub fn count_request(&self, kind: &str) {
+        let idx = KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .unwrap_or(KINDS.len() - 1);
+        self.requests[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request latency.
+    pub fn record_latency_nanos(&self, nanos: u64) {
+        self.latency.record_nanos(nanos);
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Assemble the `Stats` payload, folding in the cache counters.
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_entries: usize,
+    ) -> StatsSnapshot {
+        let mut by_kind: Vec<(String, u64)> = KINDS
+            .iter()
+            .zip(&self.requests)
+            .map(|(k, n)| (k.to_string(), n.load(Ordering::Relaxed)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        // Sorted by kind name, matching the canonical (sorted-key) wire
+        // form so a snapshot equals its own encode/decode round trip.
+        by_kind.sort();
+        StatsSnapshot {
+            uptime_seconds: self.uptime_seconds(),
+            requests_total: by_kind.iter().map(|(_, n)| n).sum(),
+            requests_by_kind: by_kind,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            latency_p50_us: self.latency.quantile_us(0.5),
+            latency_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            h.record_nanos(us * 1_000);
+        }
+        let p50 = h.quantile_us(0.5);
+        // True median 50us; log2 bucket upper edge gives at most 2x error.
+        assert!((32.0..=128.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 10_000.0, "p99 = {p99} must reach the outlier bucket");
+        assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counts() {
+        let m = Metrics::new();
+        m.count_request("advise");
+        m.count_request("advise");
+        m.count_request("stats");
+        m.count_request("no-such-kind");
+        m.record_latency_nanos(5_000);
+        let s = m.snapshot(3, 1, 2);
+        assert_eq!(s.requests_total, 4);
+        assert!(s.requests_by_kind.contains(&("advise".to_string(), 2)));
+        assert!(s.requests_by_kind.contains(&("invalid".to_string(), 1)));
+        assert_eq!(s.cache_hits, 3);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(s.latency_p50_us > 0.0);
+    }
+}

@@ -1,0 +1,1002 @@
+//! The JSON-lines wire protocol: typed requests and responses.
+//!
+//! One request per line, one response line per request. Documents are
+//! parsed with [`serde::json`] and rendered canonically (sorted object
+//! keys, compact), so the rendered form of a [`Request`] doubles as its
+//! cache key. Every decode error is total — malformed input becomes a
+//! typed [`Response::Error`], never a panic.
+
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A decode failure, reported back to the client as a `bad_request` error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn missing(field: &str) -> ProtocolError {
+    ProtocolError(format!("missing or invalid field '{field}'"))
+}
+
+fn get_str(v: &Value, field: &str) -> Result<String, ProtocolError> {
+    v.get(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(field))
+}
+
+fn get_usize(v: &Value, field: &str) -> Result<usize, ProtocolError> {
+    v.get(field)
+        .and_then(Value::as_usize)
+        .ok_or_else(|| missing(field))
+}
+
+fn get_f64(v: &Value, field: &str) -> Result<f64, ProtocolError> {
+    v.get(field)
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| missing(field))
+}
+
+fn get_dims(v: &Value, field: &str) -> Result<Vec<usize>, ProtocolError> {
+    let arr = v
+        .get(field)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| missing(field))?;
+    arr.iter()
+        .map(|d| d.as_usize().ok_or_else(|| missing(field)))
+        .collect()
+}
+
+/// A network fabric, by family and shape. The `dims` interpretation is
+/// family-specific: torus/HyperX extents, `[dimension]` for hypercubes,
+/// `[k]` for fat-trees, `[groups, routers_per_group, nodes_per_router]` for
+/// dragonflies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// A torus with the given extents.
+    Torus(Vec<usize>),
+    /// A `d`-dimensional hypercube.
+    Hypercube(u32),
+    /// A dragonfly: groups × routers-per-group × nodes-per-router.
+    Dragonfly(usize, usize, usize),
+    /// A `k`-ary fat-tree.
+    FatTree(usize),
+    /// A regular HyperX with the given per-dimension clique sizes.
+    HyperX(Vec<usize>),
+}
+
+impl TopologySpec {
+    /// Wire name of the family.
+    pub fn family(&self) -> &'static str {
+        match self {
+            TopologySpec::Torus(_) => "torus",
+            TopologySpec::Hypercube(_) => "hypercube",
+            TopologySpec::Dragonfly(..) => "dragonfly",
+            TopologySpec::FatTree(_) => "fattree",
+            TopologySpec::HyperX(_) => "hyperx",
+        }
+    }
+
+    /// Family-specific `dims` encoding (see the type docs).
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            TopologySpec::Torus(d) | TopologySpec::HyperX(d) => d.clone(),
+            TopologySpec::Hypercube(d) => vec![*d as usize],
+            TopologySpec::Dragonfly(g, a, p) => vec![*g, *a, *p],
+            TopologySpec::FatTree(k) => vec![*k],
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("family", Value::from(self.family())),
+            ("dims", Value::from(self.dims())),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        let family = get_str(v, "family")?;
+        let dims = get_dims(v, "dims")?;
+        let arity = |n: usize| {
+            if dims.len() == n {
+                Ok(())
+            } else {
+                Err(ProtocolError(format!(
+                    "family '{family}' expects {n} dims, got {}",
+                    dims.len()
+                )))
+            }
+        };
+        match family.as_str() {
+            "torus" => {
+                if dims.is_empty() || dims.contains(&0) {
+                    return Err(ProtocolError(
+                        "torus dims must be non-empty and positive".into(),
+                    ));
+                }
+                Ok(TopologySpec::Torus(dims))
+            }
+            "hypercube" => {
+                arity(1)?;
+                let d = u32::try_from(dims[0])
+                    .map_err(|_| ProtocolError("hypercube dimension out of range".into()))?;
+                Ok(TopologySpec::Hypercube(d))
+            }
+            "dragonfly" => {
+                arity(3)?;
+                Ok(TopologySpec::Dragonfly(dims[0], dims[1], dims[2]))
+            }
+            "fattree" => {
+                arity(1)?;
+                Ok(TopologySpec::FatTree(dims[0]))
+            }
+            "hyperx" => {
+                if dims.is_empty() || dims.contains(&0) {
+                    return Err(ProtocolError(
+                        "hyperx dims must be non-empty and positive".into(),
+                    ));
+                }
+                Ok(TopologySpec::HyperX(dims))
+            }
+            other => Err(ProtocolError(format!("unknown topology family '{other}'"))),
+        }
+    }
+}
+
+/// A kernel for [`Request::Advise`], mirroring `netpart_contention::Kernel`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KernelSpec {
+    /// Classical dense matmul of `n × n` matrices.
+    ClassicalMatmul(u64),
+    /// Strassen-Winograd matmul of `n × n` matrices.
+    StrassenMatmul(u64),
+    /// All-pairs N-body with `bodies` particles.
+    DirectNBody(u64),
+    /// Radix-2 FFT of `n` points.
+    Fft(u64),
+    /// Custom per-processor costs (words exchanged, flops).
+    Custom(f64, f64),
+}
+
+impl KernelSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            KernelSpec::ClassicalMatmul(n) => Value::obj([
+                ("name", Value::from("classical_matmul")),
+                ("n", Value::from(*n)),
+            ]),
+            KernelSpec::StrassenMatmul(n) => Value::obj([
+                ("name", Value::from("strassen_matmul")),
+                ("n", Value::from(*n)),
+            ]),
+            KernelSpec::DirectNBody(b) => Value::obj([
+                ("name", Value::from("direct_nbody")),
+                ("n", Value::from(*b)),
+            ]),
+            KernelSpec::Fft(n) => {
+                Value::obj([("name", Value::from("fft")), ("n", Value::from(*n))])
+            }
+            KernelSpec::Custom(words, flops) => Value::obj([
+                ("name", Value::from("custom")),
+                ("words_per_proc", Value::from(*words)),
+                ("flops_per_proc", Value::from(*flops)),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        let name = get_str(v, "name")?;
+        let n = || get_usize(v, "n").map(|n| n as u64);
+        match name.as_str() {
+            "classical_matmul" => Ok(KernelSpec::ClassicalMatmul(n()?)),
+            "strassen_matmul" => Ok(KernelSpec::StrassenMatmul(n()?)),
+            "direct_nbody" => Ok(KernelSpec::DirectNBody(n()?)),
+            "fft" => Ok(KernelSpec::Fft(n()?)),
+            "custom" => Ok(KernelSpec::Custom(
+                get_f64(v, "words_per_proc")?,
+                get_f64(v, "flops_per_proc")?,
+            )),
+            other => Err(ProtocolError(format!("unknown kernel '{other}'"))),
+        }
+    }
+}
+
+/// One point-to-point flow of [`Request::SimulateFlows`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Volume in gigabytes.
+    pub gigabytes: f64,
+}
+
+impl FlowSpec {
+    fn to_value(self) -> Value {
+        Value::obj([
+            ("src", Value::from(self.src)),
+            ("dst", Value::from(self.dst)),
+            ("gigabytes", Value::from(self.gigabytes)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        Ok(FlowSpec {
+            src: get_usize(v, "src")?,
+            dst: get_usize(v, "dst")?,
+            gigabytes: get_f64(v, "gigabytes")?,
+        })
+    }
+}
+
+/// Allocator choice for [`Request::ClusterSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorSpec {
+    /// Breadth-first compact allocation (the locality-preserving baseline).
+    Compact,
+    /// Strided scatter with the given stride (the adversarial baseline).
+    Scatter(usize),
+}
+
+/// Scheduling policy for [`Request::PolicySim`], mirroring
+/// `netpart_sched::SchedPolicy`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Worst available bisection (adversarial size-only allocation).
+    Worst,
+    /// Best available bisection.
+    Best,
+    /// Hint-aware with a minimum acceptable fraction of the optimal
+    /// bisection for contention-bound jobs.
+    HintAware(f64),
+}
+
+/// A request line. Advice and analysis queries are deterministic and cached
+/// by the service; `Health`/`Stats`/`Shutdown` are control-plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Partition-geometry advice for a kernel of `size` midplanes on a named
+    /// Blue Gene/Q machine (`mira`, `juqueen`, `sequoia`, …). Without an
+    /// explicit kernel, a pure-communication pairing kernel (2 GB per rank)
+    /// is assumed.
+    Advise {
+        /// Machine name.
+        machine: String,
+        /// Partition size in midplanes.
+        size: usize,
+        /// Kernel whose contention bound drives the advice.
+        kernel: Option<KernelSpec>,
+    },
+    /// Partition bisection capacity of an allocation on a topology family.
+    /// `dims` is family-specific: torus extents, `[subcube_dim]` for
+    /// hypercubes, `[groups, global_ports_per_router]` for dragonfly group
+    /// allocations, HyperX clique sizes, BG/Q node dims for `bgq`.
+    Bisection {
+        /// Family: `torus`, `hypercube`, `dragonfly`, `hyperx` or `bgq`.
+        topology: String,
+        /// Family-specific shape of the allocation.
+        dims: Vec<usize>,
+    },
+    /// Max–min fair flow simulation of an explicit flow set on a fabric.
+    SimulateFlows {
+        /// The fabric to simulate on.
+        topology: TopologySpec,
+        /// The flows to run to completion.
+        flows: Vec<FlowSpec>,
+    },
+    /// Dynamic cluster scheduling on a fabric: a synthetic job stream is
+    /// allocated by the chosen allocator and each job's all-to-all exchange
+    /// is flow-simulated against the running mix.
+    ClusterSim {
+        /// The fabric to schedule on.
+        topology: TopologySpec,
+        /// Number of jobs in the synthetic stream.
+        jobs: usize,
+        /// Largest job size in nodes.
+        max_nodes: usize,
+        /// Mean inter-arrival gap in seconds.
+        mean_gap: f64,
+        /// Per-pair exchange volume in gigabytes.
+        gigabytes: f64,
+        /// Allocation strategy.
+        allocator: AllocatorSpec,
+    },
+    /// Event-driven Blue Gene/Q scheduler-policy simulation on a synthetic
+    /// trace (dispatches into `netpart-sched`).
+    PolicySim {
+        /// Machine name.
+        machine: String,
+        /// Number of jobs in the synthetic trace.
+        jobs: usize,
+        /// Trace seed.
+        seed: u64,
+        /// Scheduling policy to evaluate.
+        policy: PolicySpec,
+    },
+    /// Liveness probe.
+    Health,
+    /// Metrics snapshot (request counts, latency percentiles, cache stats).
+    Stats,
+    /// Ask the server to shut down gracefully after in-flight work drains.
+    Shutdown,
+}
+
+impl Request {
+    /// Wire name of the request kind (also the metrics label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Advise { .. } => "advise",
+            Request::Bisection { .. } => "bisection",
+            Request::SimulateFlows { .. } => "simulate_flows",
+            Request::ClusterSim { .. } => "cluster_sim",
+            Request::PolicySim { .. } => "policy_sim",
+            Request::Health => "health",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether the response is a pure function of the request (and may
+    /// therefore be cached and coalesced).
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, Request::Health | Request::Stats | Request::Shutdown)
+    }
+
+    /// Canonical cache key: the canonical rendering of the request document.
+    pub fn cache_key(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// Encode to a JSON document.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Advise {
+                machine,
+                size,
+                kernel,
+            } => {
+                let mut pairs = vec![
+                    ("type", Value::from("advise")),
+                    ("machine", Value::from(machine.as_str())),
+                    ("size", Value::from(*size)),
+                ];
+                if let Some(k) = kernel {
+                    pairs.push(("kernel", k.to_value()));
+                }
+                Value::obj(pairs)
+            }
+            Request::Bisection { topology, dims } => Value::obj([
+                ("type", Value::from("bisection")),
+                ("topology", Value::from(topology.as_str())),
+                ("dims", Value::from(dims.clone())),
+            ]),
+            Request::SimulateFlows { topology, flows } => Value::obj([
+                ("type", Value::from("simulate_flows")),
+                ("topology", topology.to_value()),
+                (
+                    "flows",
+                    Value::Arr(flows.iter().copied().map(FlowSpec::to_value).collect()),
+                ),
+            ]),
+            Request::ClusterSim {
+                topology,
+                jobs,
+                max_nodes,
+                mean_gap,
+                gigabytes,
+                allocator,
+            } => {
+                let mut pairs = vec![
+                    ("type", Value::from("cluster_sim")),
+                    ("topology", topology.to_value()),
+                    ("jobs", Value::from(*jobs)),
+                    ("max_nodes", Value::from(*max_nodes)),
+                    ("mean_gap", Value::from(*mean_gap)),
+                    ("gigabytes", Value::from(*gigabytes)),
+                ];
+                match allocator {
+                    AllocatorSpec::Compact => {
+                        pairs.push(("allocator", Value::from("compact")));
+                    }
+                    AllocatorSpec::Scatter(stride) => {
+                        pairs.push(("allocator", Value::from("scatter")));
+                        pairs.push(("stride", Value::from(*stride)));
+                    }
+                }
+                Value::obj(pairs)
+            }
+            Request::PolicySim {
+                machine,
+                jobs,
+                seed,
+                policy,
+            } => {
+                let mut pairs = vec![
+                    ("type", Value::from("policy_sim")),
+                    ("machine", Value::from(machine.as_str())),
+                    ("jobs", Value::from(*jobs)),
+                    // As a string: JSON numbers are f64, which would silently
+                    // round seeds above 2^53.
+                    ("seed", Value::from(seed.to_string())),
+                ];
+                match policy {
+                    PolicySpec::Worst => pairs.push(("policy", Value::from("worst"))),
+                    PolicySpec::Best => pairs.push(("policy", Value::from("best"))),
+                    PolicySpec::HintAware(tol) => {
+                        pairs.push(("policy", Value::from("hint_aware")));
+                        pairs.push(("tolerance", Value::from(*tol)));
+                    }
+                }
+                Value::obj(pairs)
+            }
+            Request::Health => Value::obj([("type", Value::from("health"))]),
+            Request::Stats => Value::obj([("type", Value::from("stats"))]),
+            Request::Shutdown => Value::obj([("type", Value::from("shutdown"))]),
+        }
+    }
+
+    /// Decode from a JSON document.
+    pub fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        if v.as_obj().is_none() {
+            return Err(ProtocolError("request must be a JSON object".into()));
+        }
+        let kind = get_str(v, "type")?;
+        match kind.as_str() {
+            "advise" => Ok(Request::Advise {
+                machine: get_str(v, "machine")?,
+                size: get_usize(v, "size")?,
+                kernel: match v.get("kernel") {
+                    None | Some(Value::Null) => None,
+                    Some(k) => Some(KernelSpec::from_value(k)?),
+                },
+            }),
+            "bisection" => Ok(Request::Bisection {
+                topology: get_str(v, "topology")?,
+                dims: get_dims(v, "dims")?,
+            }),
+            "simulate_flows" => {
+                let flows = v
+                    .get("flows")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| missing("flows"))?
+                    .iter()
+                    .map(FlowSpec::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::SimulateFlows {
+                    topology: TopologySpec::from_value(
+                        v.get("topology").ok_or_else(|| missing("topology"))?,
+                    )?,
+                    flows,
+                })
+            }
+            "cluster_sim" => Ok(Request::ClusterSim {
+                topology: TopologySpec::from_value(
+                    v.get("topology").ok_or_else(|| missing("topology"))?,
+                )?,
+                jobs: get_usize(v, "jobs")?,
+                max_nodes: get_usize(v, "max_nodes")?,
+                mean_gap: get_f64(v, "mean_gap")?,
+                gigabytes: get_f64(v, "gigabytes")?,
+                allocator: match get_str(v, "allocator")?.as_str() {
+                    "compact" => AllocatorSpec::Compact,
+                    "scatter" => AllocatorSpec::Scatter(match v.get("stride") {
+                        None => 7,
+                        Some(s) => s.as_usize().ok_or_else(|| missing("stride"))?,
+                    }),
+                    other => return Err(ProtocolError(format!("unknown allocator '{other}'"))),
+                },
+            }),
+            "policy_sim" => Ok(Request::PolicySim {
+                machine: get_str(v, "machine")?,
+                jobs: get_usize(v, "jobs")?,
+                // Canonically a decimal string (exact for all u64); a plain
+                // JSON number is accepted from hand-written clients as long
+                // as it is integer-exact.
+                seed: match v.get("seed") {
+                    Some(Value::Str(s)) => s.parse::<u64>().map_err(|_| missing("seed"))?,
+                    Some(n) => n.as_usize().ok_or_else(|| missing("seed"))? as u64,
+                    None => return Err(missing("seed")),
+                },
+                policy: match get_str(v, "policy")?.as_str() {
+                    "worst" => PolicySpec::Worst,
+                    "best" => PolicySpec::Best,
+                    "hint_aware" => PolicySpec::HintAware(get_f64(v, "tolerance")?),
+                    other => return Err(ProtocolError(format!("unknown policy '{other}'"))),
+                },
+            }),
+            "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError(format!("unknown request type '{other}'"))),
+        }
+    }
+
+    /// Decode a request line. Parse failures and shape failures both come
+    /// back as `Err` with a human-readable reason.
+    pub fn decode(line: &str) -> Result<Self, ProtocolError> {
+        let value = Value::parse(line).map_err(|e| ProtocolError(format!("invalid JSON: {e}")))?;
+        Request::from_value(&value)
+    }
+
+    /// Encode as one canonical wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_value().to_string()
+    }
+}
+
+/// Error categories of [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The line was not valid JSON or not a known request shape.
+    BadRequest,
+    /// The request was well-formed but names something the service does not
+    /// model (unknown machine, odd-dimension torus bisection, …).
+    Unsupported,
+    /// The computation itself failed.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "bad_request" => Ok(ErrorCode::BadRequest),
+            "unsupported" => Ok(ErrorCode::Unsupported),
+            "internal" => Ok(ErrorCode::Internal),
+            other => Err(ProtocolError(format!("unknown error code '{other}'"))),
+        }
+    }
+}
+
+/// Cache / latency / throughput counters of [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Total requests handled (including control-plane).
+    pub requests_total: u64,
+    /// Requests per kind, as `(kind, count)` sorted by kind.
+    pub requests_by_kind: Vec<(String, u64)>,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Live entries across all cache shards.
+    pub cache_entries: usize,
+    /// Requests that were coalesced onto an identical in-flight computation.
+    pub coalesced: u64,
+    /// Median request latency in microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub latency_p99_us: f64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate in `[0, 1]` (0 when nothing was cacheable yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A response line, mirroring the request kinds plus `ok` / `error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Advise`].
+    Advice {
+        /// Machine name.
+        machine: String,
+        /// Partition size in midplanes.
+        size: usize,
+        /// Node dims of the worst admissible geometry.
+        worst_dims: Vec<usize>,
+        /// Node dims of the best admissible geometry.
+        best_dims: Vec<usize>,
+        /// Internal bisection links of the worst geometry.
+        worst_links: u64,
+        /// Internal bisection links of the best geometry.
+        best_links: u64,
+        /// Predicted wall-clock speedup of best over worst geometry.
+        predicted_speedup: f64,
+        /// Runtime regime on the worst geometry
+        /// (`contention_bound` / `bandwidth_bound` / `compute_bound`).
+        regime: String,
+        /// Whether the scheduler should hold out for the better geometry.
+        geometry_matters: bool,
+    },
+    /// Answer to [`Request::Bisection`].
+    Bisection {
+        /// Bisection capacity in unit links.
+        links: f64,
+    },
+    /// Answer to [`Request::SimulateFlows`].
+    FlowSummary {
+        /// Number of flows simulated.
+        flows: usize,
+        /// Completion time of the last flow (seconds).
+        makespan: f64,
+        /// Mean flow completion time (seconds).
+        mean_completion: f64,
+    },
+    /// Answer to [`Request::ClusterSim`].
+    ClusterSummary {
+        /// Fabric name.
+        fabric: String,
+        /// Allocator label.
+        allocator: String,
+        /// Jobs that ran.
+        jobs: usize,
+        /// Completion time of the last job (seconds).
+        makespan: f64,
+        /// Mean contention penalty (1.0 = nothing avoidable).
+        mean_penalty: f64,
+        /// Fraction of jobs with penalty above 1.05.
+        avoidable_fraction: f64,
+        /// Mean queue wait (seconds).
+        mean_wait: f64,
+    },
+    /// Answer to [`Request::PolicySim`].
+    PolicySummary {
+        /// Policy label.
+        policy: String,
+        /// Jobs simulated.
+        jobs: usize,
+        /// Mean queue wait (seconds).
+        mean_wait: f64,
+        /// Mean bounded slowdown.
+        mean_slowdown: f64,
+        /// Mean contention penalty.
+        mean_contention_penalty: f64,
+        /// Fraction of jobs that received an optimal geometry.
+        optimal_geometry_fraction: f64,
+    },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Seconds since the server started.
+        uptime_seconds: f64,
+        /// Worker threads serving connections.
+        workers: usize,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Acknowledgement (shutdown accepted).
+    Ok,
+    /// Typed failure.
+    Error {
+        /// Category.
+        code: ErrorCode,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Encode to a JSON document.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Advice {
+                machine,
+                size,
+                worst_dims,
+                best_dims,
+                worst_links,
+                best_links,
+                predicted_speedup,
+                regime,
+                geometry_matters,
+            } => Value::obj([
+                ("type", Value::from("advice")),
+                ("machine", Value::from(machine.as_str())),
+                ("size", Value::from(*size)),
+                ("worst_dims", Value::from(worst_dims.clone())),
+                ("best_dims", Value::from(best_dims.clone())),
+                ("worst_links", Value::from(*worst_links)),
+                ("best_links", Value::from(*best_links)),
+                ("predicted_speedup", Value::from(*predicted_speedup)),
+                ("regime", Value::from(regime.as_str())),
+                ("geometry_matters", Value::from(*geometry_matters)),
+            ]),
+            Response::Bisection { links } => Value::obj([
+                ("type", Value::from("bisection")),
+                ("links", Value::from(*links)),
+            ]),
+            Response::FlowSummary {
+                flows,
+                makespan,
+                mean_completion,
+            } => Value::obj([
+                ("type", Value::from("flow_summary")),
+                ("flows", Value::from(*flows)),
+                ("makespan", Value::from(*makespan)),
+                ("mean_completion", Value::from(*mean_completion)),
+            ]),
+            Response::ClusterSummary {
+                fabric,
+                allocator,
+                jobs,
+                makespan,
+                mean_penalty,
+                avoidable_fraction,
+                mean_wait,
+            } => Value::obj([
+                ("type", Value::from("cluster_summary")),
+                ("fabric", Value::from(fabric.as_str())),
+                ("allocator", Value::from(allocator.as_str())),
+                ("jobs", Value::from(*jobs)),
+                ("makespan", Value::from(*makespan)),
+                ("mean_penalty", Value::from(*mean_penalty)),
+                ("avoidable_fraction", Value::from(*avoidable_fraction)),
+                ("mean_wait", Value::from(*mean_wait)),
+            ]),
+            Response::PolicySummary {
+                policy,
+                jobs,
+                mean_wait,
+                mean_slowdown,
+                mean_contention_penalty,
+                optimal_geometry_fraction,
+            } => Value::obj([
+                ("type", Value::from("policy_summary")),
+                ("policy", Value::from(policy.as_str())),
+                ("jobs", Value::from(*jobs)),
+                ("mean_wait", Value::from(*mean_wait)),
+                ("mean_slowdown", Value::from(*mean_slowdown)),
+                (
+                    "mean_contention_penalty",
+                    Value::from(*mean_contention_penalty),
+                ),
+                (
+                    "optimal_geometry_fraction",
+                    Value::from(*optimal_geometry_fraction),
+                ),
+            ]),
+            Response::Health {
+                uptime_seconds,
+                workers,
+            } => Value::obj([
+                ("type", Value::from("health")),
+                ("status", Value::from("ok")),
+                ("uptime_seconds", Value::from(*uptime_seconds)),
+                ("workers", Value::from(*workers)),
+            ]),
+            Response::Stats(s) => Value::obj([
+                ("type", Value::from("stats")),
+                ("uptime_seconds", Value::from(s.uptime_seconds)),
+                ("requests_total", Value::from(s.requests_total)),
+                (
+                    "requests_by_kind",
+                    Value::Obj(
+                        s.requests_by_kind
+                            .iter()
+                            .map(|(k, n)| (k.clone(), Value::from(*n)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "cache",
+                    Value::obj([
+                        ("hits", Value::from(s.cache_hits)),
+                        ("misses", Value::from(s.cache_misses)),
+                        ("entries", Value::from(s.cache_entries)),
+                        ("hit_rate", Value::from(s.hit_rate())),
+                    ]),
+                ),
+                ("coalesced", Value::from(s.coalesced)),
+                (
+                    "latency_us",
+                    Value::obj([
+                        ("p50", Value::from(s.latency_p50_us)),
+                        ("p99", Value::from(s.latency_p99_us)),
+                    ]),
+                ),
+            ]),
+            Response::Ok => Value::obj([("type", Value::from("ok"))]),
+            Response::Error { code, message } => Value::obj([
+                ("type", Value::from("error")),
+                ("code", Value::from(code.as_str())),
+                ("message", Value::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Decode from a JSON document.
+    pub fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        let kind = get_str(v, "type")?;
+        match kind.as_str() {
+            "advice" => Ok(Response::Advice {
+                machine: get_str(v, "machine")?,
+                size: get_usize(v, "size")?,
+                worst_dims: get_dims(v, "worst_dims")?,
+                best_dims: get_dims(v, "best_dims")?,
+                worst_links: get_usize(v, "worst_links")? as u64,
+                best_links: get_usize(v, "best_links")? as u64,
+                predicted_speedup: get_f64(v, "predicted_speedup")?,
+                regime: get_str(v, "regime")?,
+                geometry_matters: v
+                    .get("geometry_matters")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| missing("geometry_matters"))?,
+            }),
+            "bisection" => Ok(Response::Bisection {
+                links: get_f64(v, "links")?,
+            }),
+            "flow_summary" => Ok(Response::FlowSummary {
+                flows: get_usize(v, "flows")?,
+                makespan: get_f64(v, "makespan")?,
+                mean_completion: get_f64(v, "mean_completion")?,
+            }),
+            "cluster_summary" => Ok(Response::ClusterSummary {
+                fabric: get_str(v, "fabric")?,
+                allocator: get_str(v, "allocator")?,
+                jobs: get_usize(v, "jobs")?,
+                makespan: get_f64(v, "makespan")?,
+                mean_penalty: get_f64(v, "mean_penalty")?,
+                avoidable_fraction: get_f64(v, "avoidable_fraction")?,
+                mean_wait: get_f64(v, "mean_wait")?,
+            }),
+            "policy_summary" => Ok(Response::PolicySummary {
+                policy: get_str(v, "policy")?,
+                jobs: get_usize(v, "jobs")?,
+                mean_wait: get_f64(v, "mean_wait")?,
+                mean_slowdown: get_f64(v, "mean_slowdown")?,
+                mean_contention_penalty: get_f64(v, "mean_contention_penalty")?,
+                optimal_geometry_fraction: get_f64(v, "optimal_geometry_fraction")?,
+            }),
+            "health" => Ok(Response::Health {
+                uptime_seconds: get_f64(v, "uptime_seconds")?,
+                workers: get_usize(v, "workers")?,
+            }),
+            "stats" => {
+                let cache = v.get("cache").ok_or_else(|| missing("cache"))?;
+                let latency = v.get("latency_us").ok_or_else(|| missing("latency_us"))?;
+                let by_kind = v
+                    .get("requests_by_kind")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| missing("requests_by_kind"))?
+                    .iter()
+                    .map(|(k, n)| {
+                        n.as_usize()
+                            .map(|n| (k.clone(), n as u64))
+                            .ok_or_else(|| missing("requests_by_kind"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Stats(StatsSnapshot {
+                    uptime_seconds: get_f64(v, "uptime_seconds")?,
+                    requests_total: get_usize(v, "requests_total")? as u64,
+                    requests_by_kind: by_kind,
+                    cache_hits: get_usize(cache, "hits")? as u64,
+                    cache_misses: get_usize(cache, "misses")? as u64,
+                    cache_entries: get_usize(cache, "entries")?,
+                    coalesced: get_usize(v, "coalesced")? as u64,
+                    latency_p50_us: get_f64(latency, "p50")?,
+                    latency_p99_us: get_f64(latency, "p99")?,
+                }))
+            }
+            "ok" => Ok(Response::Ok),
+            "error" => Ok(Response::Error {
+                code: ErrorCode::from_str(&get_str(v, "code")?)?,
+                message: get_str(v, "message")?,
+            }),
+            other => Err(ProtocolError(format!("unknown response type '{other}'"))),
+        }
+    }
+
+    /// Decode a response line.
+    pub fn decode(line: &str) -> Result<Self, ProtocolError> {
+        let value = Value::parse(line).map_err(|e| ProtocolError(format!("invalid JSON: {e}")))?;
+        Response::from_value(&value)
+    }
+
+    /// Encode as one canonical wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_value().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let requests = vec![
+            Request::Advise {
+                machine: "mira".into(),
+                size: 16,
+                kernel: Some(KernelSpec::Fft(1 << 20)),
+            },
+            Request::Bisection {
+                topology: "torus".into(),
+                dims: vec![8, 4, 4],
+            },
+            Request::SimulateFlows {
+                topology: TopologySpec::Hypercube(5),
+                flows: vec![FlowSpec {
+                    src: 0,
+                    dst: 17,
+                    gigabytes: 0.5,
+                }],
+            },
+            Request::ClusterSim {
+                topology: TopologySpec::Torus(vec![4, 4, 4]),
+                jobs: 20,
+                max_nodes: 16,
+                mean_gap: 30.0,
+                gigabytes: 0.25,
+                allocator: AllocatorSpec::Scatter(5),
+            },
+            Request::PolicySim {
+                machine: "juqueen".into(),
+                jobs: 50,
+                seed: 42,
+                policy: PolicySpec::HintAware(0.99),
+            },
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in requests {
+            let line = r.encode();
+            assert_eq!(Request::decode(&line).unwrap(), r, "line {line}");
+        }
+    }
+
+    #[test]
+    fn cache_key_is_canonical_across_key_order() {
+        let a = Request::decode(r#"{"type":"advise","machine":"mira","size":8}"#).unwrap();
+        let b = Request::decode(r#"{"size":8,"machine":"mira","type":"advise"}"#).unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(Request::decode("not json").is_err());
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode(r#"{"type":"frobnicate"}"#).is_err());
+        assert!(Request::decode(r#"{"type":"advise","machine":"mira"}"#).is_err());
+        assert!(Request::decode(r#"{"type":"advise","machine":"mira","size":-3}"#).is_err());
+        assert!(Request::decode("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn control_plane_requests_are_not_cacheable() {
+        assert!(!Request::Health.cacheable());
+        assert!(!Request::Stats.cacheable());
+        assert!(!Request::Shutdown.cacheable());
+        assert!(Request::Bisection {
+            topology: "torus".into(),
+            dims: vec![4, 4],
+        }
+        .cacheable());
+    }
+}

@@ -1,0 +1,386 @@
+//! The thread-pool TCP server.
+//!
+//! One acceptor thread hands connections to a fixed pool of workers over a
+//! bounded channel (backpressure: when every worker is busy and the queue
+//! is full, `accept` itself blocks and the kernel's listen backlog absorbs
+//! the burst). Each worker owns one connection at a time and speaks the
+//! JSON-lines protocol: read a line, answer a line, until EOF.
+//!
+//! Cacheable requests flow through the [`ResponseCache`] and the
+//! single-flight [`Batcher`]; malformed lines and handler panics become
+//! typed error responses, never a dead worker. A `shutdown` request (or
+//! [`ServerHandle::shutdown`]) stops the acceptor, drains queued
+//! connections and joins every worker.
+
+use crate::batch::Batcher;
+use crate::cache::ResponseCache;
+use crate::handlers;
+use crate::metrics::Metrics;
+use crate::protocol::{ErrorCode, Request, Response};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Worker threads — one connection each (defaults to the machine's
+    /// available parallelism, floored at 4 so a couple of slow or idle
+    /// connections cannot monopolize a small box).
+    pub workers: usize,
+    /// Total response-cache entries.
+    pub cache_capacity: usize,
+    /// Cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+            cache_capacity: 4096,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Shared state of one running server.
+pub struct ServiceState {
+    /// Response cache (canonical request -> rendered response).
+    pub cache: ResponseCache,
+    /// Single-flight coalescing for identical in-flight computations.
+    pub batcher: Batcher,
+    /// Counters and latency histogram.
+    pub metrics: Metrics,
+    /// Worker count, reported by `health`.
+    pub workers: usize,
+    stop: AtomicBool,
+}
+
+impl ServiceState {
+    /// Whether shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Handle to a running server: its bound address plus shutdown/join.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServiceState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (for tests and the in-process load generator).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Request shutdown: stop accepting, drain queued connections, and wake
+    /// the acceptor with a loopback connection.
+    pub fn shutdown(&self) {
+        signal_shutdown(&self.state, self.local_addr);
+    }
+
+    /// Block until every server thread has exited (after
+    /// [`shutdown`](Self::shutdown), or a
+    /// client's `shutdown` request).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn signal_shutdown(state: &ServiceState, addr: SocketAddr) {
+    if !state.stop.swap(true, Ordering::SeqCst) {
+        // Unblock the acceptor's `accept` call; it checks `stop` first.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Serve one request, routing through cache and batcher. Returns the
+/// rendered response line.
+fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<String> {
+    let started = Instant::now();
+    let rendered = match Request::decode(line.trim()) {
+        Err(e) => {
+            state.metrics.count_request("invalid");
+            Arc::new(Response::error(ErrorCode::BadRequest, e.to_string()).encode())
+        }
+        Ok(request) => {
+            state.metrics.count_request(request.kind());
+            match &request {
+                Request::Health => Arc::new(
+                    Response::Health {
+                        uptime_seconds: state.metrics.uptime_seconds(),
+                        workers: state.workers,
+                    }
+                    .encode(),
+                ),
+                Request::Stats => Arc::new(
+                    Response::Stats(state.metrics.snapshot(
+                        state.cache.hits(),
+                        state.cache.misses(),
+                        state.cache.len(),
+                    ))
+                    .encode(),
+                ),
+                Request::Shutdown => {
+                    signal_shutdown(state, local_addr);
+                    Arc::new(Response::Ok.encode())
+                }
+                // `cacheable()` is the single source of truth for what may
+                // enter the cache: a future variant that is not explicitly
+                // handled above and not cacheable is answered uncached.
+                req if req.cacheable() => {
+                    let key = request.cache_key();
+                    match state.cache.get(&key) {
+                        Some(cached) => cached,
+                        None => {
+                            let outcome = state.batcher.run(&key, || compute(&request));
+                            if outcome.coalesced {
+                                // The leader already cached this response.
+                                state.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                state.cache.put(key, Arc::clone(&outcome.response));
+                            }
+                            outcome.response
+                        }
+                    }
+                }
+                _ => Arc::new(compute(&request)),
+            }
+        }
+    };
+    state
+        .metrics
+        .record_latency_nanos(started.elapsed().as_nanos() as u64);
+    rendered
+}
+
+/// Run a handler, converting any panic into a typed internal error so a
+/// worker thread can never die on a request.
+fn compute(request: &Request) -> String {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handlers::handle(request).encode()
+    }));
+    result.unwrap_or_else(|panic| {
+        let reason = panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "handler panicked".to_string());
+        Response::error(ErrorCode::Internal, reason).encode()
+    })
+}
+
+/// Longest accepted request line (a 64Ki-flow `simulate_flows` document is
+/// ~4 MB; beyond this the client is told off and disconnected).
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Idle cutoff: a connection that produces no complete request for this
+/// long is closed, so a parked keep-alive client cannot hold a pool worker
+/// hostage (with `workers` near the core count, a handful of idle sockets
+/// would otherwise starve the whole service).
+const IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(120);
+
+/// Speak the line protocol on one connection until EOF, IO error, an
+/// oversized line, idleness, or shutdown.
+fn serve_connection(
+    state: &ServiceState,
+    local_addr: SocketAddr,
+    mut stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut pending: Vec<u8> = Vec::new();
+    // Bytes of `pending` already scanned for '\n', so each poll wakeup only
+    // examines newly arrived bytes (a near-full buffer would otherwise be
+    // rescanned quadratically).
+    let mut scanned: usize = 0;
+    let mut chunk = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = pending[scanned..].iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=scanned + pos).collect();
+            scanned = 0;
+            last_activity = Instant::now();
+            let line = String::from_utf8_lossy(&line_bytes);
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = respond(state, local_addr, line.trim());
+            stream.write_all(response.as_bytes())?;
+            stream.write_all(b"\n")?;
+            stream.flush()?;
+        }
+        scanned = pending.len();
+        if state.stopping() {
+            return Ok(());
+        }
+        if pending.len() > MAX_LINE_BYTES {
+            let response = Response::error(ErrorCode::BadRequest, "request line too long").encode();
+            stream.write_all(response.as_bytes())?;
+            stream.write_all(b"\n")?;
+            return Ok(());
+        }
+        if last_activity.elapsed() > IDLE_TIMEOUT {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn worker_loop(
+    state: Arc<ServiceState>,
+    local_addr: SocketAddr,
+    connections: Arc<Mutex<Receiver<TcpStream>>>,
+) {
+    loop {
+        // Take one connection; exit when the acceptor hung up and the queue
+        // is drained.
+        let stream = {
+            let rx = connections.lock().expect("connection queue lock");
+            match rx.recv() {
+                Ok(s) => s,
+                Err(_) => return,
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        // Poll-style reads so a worker parked on an idle connection still
+        // notices shutdown instead of pinning `join()` forever.
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+        if serve_connection(&state, local_addr, stream).is_err() {
+            // Connection-level IO failure; the worker itself lives on.
+        }
+    }
+}
+
+/// Bind and start the server; returns once the listener is live.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(
+        config
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?,
+    )?;
+    let local_addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let state = Arc::new(ServiceState {
+        cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
+        batcher: Batcher::new(),
+        metrics: Metrics::new(),
+        workers,
+        stop: AtomicBool::new(false),
+    });
+
+    // Bounded hand-off queue: twice the worker count absorbs small bursts,
+    // then accept blocks (kernel backlog takes over).
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        std::sync::mpsc::sync_channel(workers * 2);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let state = Arc::clone(&state);
+        let rx = Arc::clone(&rx);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("netpart-worker-{i}"))
+                .spawn(move || worker_loop(state, local_addr, rx))
+                .expect("spawn worker"),
+        );
+    }
+
+    let acceptor_state = Arc::clone(&state);
+    threads.push(
+        std::thread::Builder::new()
+            .name("netpart-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if acceptor_state.stopping() {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Blocking send = backpressure. The only error is a
+                    // closed channel, which cannot happen before this thread
+                    // drops `tx`; treat it as shutdown anyway.
+                    let mut pending = stream;
+                    loop {
+                        match tx.try_send(pending) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(back)) => {
+                                if acceptor_state.stopping() {
+                                    break;
+                                }
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                                pending = back;
+                            }
+                            Err(TrySendError::Disconnected(_)) => return,
+                        }
+                    }
+                    if acceptor_state.stopping() {
+                        break;
+                    }
+                }
+                // Dropping `tx` lets workers drain the queue and exit.
+            })
+            .expect("spawn acceptor"),
+    );
+
+    Ok(ServerHandle {
+        local_addr,
+        state,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_turns_panics_into_internal_errors() {
+        // An adversarial dragonfly shape that violates a constructor
+        // assertion deep inside the topology crate.
+        let request = Request::SimulateFlows {
+            topology: crate::protocol::TopologySpec::Dragonfly(0, 0, 1),
+            flows: vec![],
+        };
+        let rendered = compute(&request);
+        let response = Response::decode(&rendered).expect("always a valid response line");
+        match response {
+            Response::Error { code, .. } => {
+                assert!(matches!(code, ErrorCode::Internal | ErrorCode::Unsupported))
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
+}

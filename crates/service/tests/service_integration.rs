@@ -1,0 +1,221 @@
+//! End-to-end tests: boot the server on an ephemeral port and talk to it
+//! over real sockets, covering every request variant, malformed input, the
+//! cache, coalescing and graceful shutdown.
+
+use netpart_service::client::ServiceClient;
+use netpart_service::protocol::{
+    AllocatorSpec, ErrorCode, FlowSpec, PolicySpec, Request, Response, TopologySpec,
+};
+use netpart_service::server::{serve, ServerConfig};
+
+fn boot(workers: usize) -> netpart_service::server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn every_request_variant_gets_its_response_type() {
+    let handle = boot(2);
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+
+    let advice = client
+        .request(&Request::Advise {
+            machine: "mira".into(),
+            size: 16,
+            kernel: None,
+        })
+        .unwrap();
+    assert!(matches!(advice, Response::Advice { .. }), "{advice:?}");
+
+    let bisection = client
+        .request(&Request::Bisection {
+            topology: "torus".into(),
+            dims: vec![8, 4, 4],
+        })
+        .unwrap();
+    // 2·N/L with N = 128, L = 8 (Chen et al. formula via the slab bound).
+    assert_eq!(bisection, Response::Bisection { links: 32.0 });
+
+    let flows = client
+        .request(&Request::SimulateFlows {
+            topology: TopologySpec::Hypercube(4),
+            flows: (0..16)
+                .map(|src| FlowSpec {
+                    src,
+                    dst: 15 - src,
+                    gigabytes: 0.25,
+                })
+                .collect(),
+        })
+        .unwrap();
+    assert!(
+        matches!(flows, Response::FlowSummary { flows: 16, .. }),
+        "{flows:?}"
+    );
+
+    let cluster = client
+        .request(&Request::ClusterSim {
+            topology: TopologySpec::Torus(vec![4, 4]),
+            jobs: 6,
+            max_nodes: 4,
+            mean_gap: 50.0,
+            gigabytes: 0.25,
+            allocator: AllocatorSpec::Compact,
+        })
+        .unwrap();
+    assert!(
+        matches!(cluster, Response::ClusterSummary { .. }),
+        "{cluster:?}"
+    );
+
+    let policy = client
+        .request(&Request::PolicySim {
+            machine: "mira".into(),
+            jobs: 10,
+            seed: 3,
+            policy: PolicySpec::Best,
+        })
+        .unwrap();
+    assert!(
+        matches!(policy, Response::PolicySummary { .. }),
+        "{policy:?}"
+    );
+
+    let health = client.health().unwrap();
+    assert!(
+        matches!(health, Response::Health { workers: 2, .. }),
+        "{health:?}"
+    );
+
+    let stats = client.stats().unwrap();
+    assert!(stats.requests_total >= 6);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let handle = boot(2);
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+
+    for bad in [
+        "this is not json",
+        "{\"type\":\"advise\"}",        // missing fields
+        "{\"type\":\"no_such_thing\"}", // unknown type
+        "[1,2,3]",                      // not an object
+        "{\"type\":\"advise\",\"machine\":\"mira\",\"size\":\"huge\"}", // wrong type
+        "\u{7b}\"unterminated\": ",     // truncated JSON
+    ] {
+        let response = client.send_line(bad).expect("server must answer, not drop");
+        assert!(
+            matches!(
+                response,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "line {bad:?} produced {response:?}"
+        );
+    }
+
+    // Domain errors are 'unsupported', not connection drops either.
+    let response = client
+        .request(&Request::Advise {
+            machine: "not-a-machine".into(),
+            size: 4,
+            kernel: None,
+        })
+        .unwrap();
+    assert!(matches!(
+        response,
+        Response::Error {
+            code: ErrorCode::Unsupported,
+            ..
+        }
+    ));
+
+    // The same connection still serves good requests afterwards.
+    let health = client.health().unwrap();
+    assert!(matches!(health, Response::Health { .. }));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn repeated_queries_hit_the_cache() {
+    let handle = boot(2);
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+    let request = Request::Advise {
+        machine: "juqueen".into(),
+        size: 8,
+        kernel: None,
+    };
+    let first = client.request(&request).unwrap();
+    for _ in 0..9 {
+        assert_eq!(client.request(&request).unwrap(), first);
+    }
+    // Key order must not matter for caching: send a reordered raw form.
+    let reordered = "{\"size\":8,\"machine\":\"juqueen\",\"type\":\"advise\"}";
+    assert_eq!(client.send_line(reordered).unwrap(), first);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1, "one computation");
+    assert_eq!(stats.cache_hits, 10, "everything else from cache");
+    assert!(stats.hit_rate() > 0.9);
+    assert_eq!(stats.cache_entries, 1);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_are_served_in_parallel() {
+    let handle = boot(4);
+    let addr = handle.local_addr();
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            s.spawn(move || {
+                let mut client = ServiceClient::connect(addr).unwrap();
+                for i in 0..20 {
+                    let response = client
+                        .request(&Request::Bisection {
+                            topology: "hypercube".into(),
+                            dims: vec![1 + (t + i) % 10],
+                        })
+                        .unwrap();
+                    assert!(matches!(response, Response::Bisection { .. }));
+                }
+            });
+        }
+    });
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.requests_total, 161,
+        "8*20 bisections + this stats call"
+    );
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_via_handle_unblocks_everything() {
+    let handle = boot(2);
+    let addr = handle.local_addr();
+    let mut client = ServiceClient::connect(addr).unwrap();
+    assert!(matches!(client.health().unwrap(), Response::Health { .. }));
+    handle.shutdown();
+    handle.join();
+    // New connections are refused (or at least never answered).
+    let survives = ServiceClient::connect(addr)
+        .and_then(|mut c| c.health())
+        .is_ok();
+    assert!(!survives, "server must be gone after join()");
+}

@@ -1,0 +1,115 @@
+//! A guided session against the allocation-advisor daemon.
+//!
+//! Boots `netpart-service` on an ephemeral port, walks through one request
+//! of every kind, shows the cache paying off for a repeated query, and
+//! shuts the server down gracefully.
+//!
+//! ```text
+//! cargo run --release --example service_session
+//! ```
+
+use netpart::service::client::ServiceClient;
+use netpart::service::protocol::{
+    AllocatorSpec, FlowSpec, PolicySpec, Request, Response, TopologySpec,
+};
+use netpart::service::server::{serve, ServerConfig};
+
+fn show(label: &str, response: &Response) {
+    println!("{label:>14}: {}", response.encode());
+}
+
+fn main() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    println!("server up on {}\n", handle.local_addr());
+
+    let mut client = ServiceClient::connect(handle.local_addr()).expect("connect");
+
+    // 1. The paper's headline query: how much does partition geometry
+    //    matter for a communication-heavy job of 16 midplanes on Mira?
+    let advise = Request::Advise {
+        machine: "mira".into(),
+        size: 16,
+        kernel: None,
+    };
+    show("advise", &client.request(&advise).unwrap());
+
+    // 2. Raw bisection capacities on several topology families.
+    for (topology, dims) in [
+        ("torus", vec![8, 4, 4]),
+        ("hypercube", vec![10]),
+        ("dragonfly", vec![8, 4]),
+    ] {
+        let response = client
+            .request(&Request::Bisection {
+                topology: topology.into(),
+                dims,
+            })
+            .unwrap();
+        show(topology, &response);
+    }
+
+    // 3. A shuffle exchange, flow-simulated on a 64-node hypercube.
+    let response = client
+        .request(&Request::SimulateFlows {
+            topology: TopologySpec::Hypercube(6),
+            flows: (0..64)
+                .map(|src| FlowSpec {
+                    src,
+                    dst: (src + 33) % 64,
+                    gigabytes: 0.5,
+                })
+                .collect(),
+        })
+        .unwrap();
+    show("flows", &response);
+
+    // 4. Dynamic cluster scheduling: compact vs scatter allocation on the
+    //    same synthetic job stream.
+    for allocator in [AllocatorSpec::Compact, AllocatorSpec::Scatter(7)] {
+        let response = client
+            .request(&Request::ClusterSim {
+                topology: TopologySpec::Torus(vec![4, 4, 4]),
+                jobs: 16,
+                max_nodes: 12,
+                mean_gap: 30.0,
+                gigabytes: 0.25,
+                allocator,
+            })
+            .unwrap();
+        show("cluster", &response);
+    }
+
+    // 5. Blue Gene/Q scheduler policies on a synthetic trace.
+    for policy in [PolicySpec::Worst, PolicySpec::Best] {
+        let response = client
+            .request(&Request::PolicySim {
+                machine: "mira".into(),
+                jobs: 30,
+                seed: 42,
+                policy,
+            })
+            .unwrap();
+        show("policy", &response);
+    }
+
+    // 6. Ask the advice question again — this time it is a cache hit — and
+    //    read the server's own accounting.
+    client.request(&advise).unwrap();
+    let stats = client.stats().unwrap();
+    println!(
+        "\nafter {} requests: cache hits {}, misses {}, hit rate {:.0}%, p50 {:.0}us",
+        stats.requests_total,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.latency_p50_us,
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+    println!("server stopped cleanly");
+}

@@ -19,6 +19,7 @@
 //! | [`contention`] | kernel communication models and inevitable-contention lower bounds |
 //! | [`kernels`] | N-body / FFT / SUMMA traffic generators and the bisection-sensitivity harness |
 //! | [`sched`] | contention-aware job scheduler simulator (placement, policies, metrics) |
+//! | [`service`] | JSON-lines TCP daemon serving advice/simulation queries with caching and batching |
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@ pub use netpart_machines as machines;
 pub use netpart_mpi as mpi;
 pub use netpart_netsim as netsim;
 pub use netpart_sched as sched;
+pub use netpart_service as service;
 pub use netpart_spectral as spectral;
 pub use netpart_strassen as strassen;
 pub use netpart_topology as topology;

@@ -77,6 +77,36 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies (`proptest::option`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option<S::Value>`, `None` about a quarter of the
+    /// time (mirroring real proptest's default weighting).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.element.sample(rng))
+            }
+        }
+    }
+}
+
 /// One-stop imports (`proptest::prelude`).
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};

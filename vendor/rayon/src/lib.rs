@@ -1,62 +1,351 @@
-//! Offline shim for `rayon`.
+//! Offline shim for `rayon`, with real parallelism.
 //!
 //! Presents the slice of rayon's API the workspace uses — `join`,
-//! `par_iter`, `into_par_iter` and the iterator adapters chained on them —
-//! but executes everything sequentially on the calling thread. Correctness
-//! is identical; only parallel speedup is lost. Swap for the real crate via
-//! `[workspace.dependencies]` when a registry is available.
+//! `par_iter`, `into_par_iter` and the adapters chained on them — and, since
+//! PR 3, actually fans work out across `std::thread::scope` threads instead
+//! of running sequentially. Two properties are guaranteed:
+//!
+//! * **Determinism.** Parallelism is applied only to the *element-wise*
+//!   closure; results are materialized in input order and every reduction
+//!   (`sum`, `collect`, flattening) runs over that ordered buffer on the
+//!   calling thread. Outputs are therefore bit-identical to the old
+//!   sequential shim — including floating-point reductions, whose
+//!   association order is unchanged.
+//! * **Bounded threads.** A global count of live fan-outs caps thread
+//!   creation near the core count, so nested `join`s (Strassen recursion)
+//!   and `par_iter` calls from many server workers degrade to sequential
+//!   execution instead of spawning exponentially.
+//!
+//! The adapter types still implement [`Iterator`], so any combinator the
+//! shim does not accelerate keeps working serially. Swap for the real crate
+//! via `[workspace.dependencies]` when a registry is available.
 
-/// Run both closures and return their results. Sequential in this shim.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live fan-out permits. `0` until first use, then the available
+/// parallelism; `acquire_threads` hands out at most this many extra threads
+/// at any instant.
+static ACTIVE_EXTRA_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
-/// A "parallel" iterator: a thin wrapper over a standard iterator that also
-/// carries rayon-specific adapter names (`flat_map_iter`, `with_min_len`).
-pub struct ParIter<I>(I);
+/// Try to reserve up to `want` extra worker threads; returns how many were
+/// granted (possibly 0). Must be paired with [`release_threads`].
+fn acquire_threads(want: usize) -> usize {
+    let limit = max_threads().saturating_sub(1);
+    let mut granted = 0;
+    while granted < want {
+        let current = ACTIVE_EXTRA_THREADS.load(Ordering::Relaxed);
+        if current >= limit {
+            break;
+        }
+        if ACTIVE_EXTRA_THREADS
+            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            granted += 1;
+        }
+    }
+    granted
+}
+
+fn release_threads(count: usize) {
+    ACTIVE_EXTRA_THREADS.fetch_sub(count, Ordering::Relaxed);
+}
+
+/// Returns granted permits on drop, so a panicking user closure unwinding
+/// through a fan-out cannot leak them (which would permanently degrade the
+/// process to sequential execution).
+struct PermitGuard(usize);
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        release_threads(self.0);
+    }
+}
+
+/// Run both closures — in parallel when a thread permit is available — and
+/// return their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if acquire_threads(1) == 0 {
+        return (a(), b());
+    }
+    let _permit = PermitGuard(1);
+    std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        let rb = handle
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// Apply `f` to every item, preserving order, fanning chunks out across
+/// scoped threads when permits are available.
+fn par_apply<T, R, F>(items: Vec<T>, min_len: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let min_len = min_len.max(1);
+    // How many chunks the input can usefully be split into.
+    let max_chunks = n / min_len;
+    if max_chunks < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = acquire_threads(max_chunks.min(max_threads()).saturating_sub(1));
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let _permit = PermitGuard(extra);
+    let chunks = (extra + 1).min(max_chunks);
+    let chunk_len = n.div_ceil(chunks);
+    // Split the Vec into ordered chunks without cloning items.
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        parts.push(std::mem::replace(&mut rest, tail));
+    }
+    parts.push(rest);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(parts.len());
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("at least one chunk");
+        for part in iter {
+            handles.push(s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()));
+        }
+        // The calling thread works on the first chunk while the others run.
+        out.extend(first.into_iter().map(f));
+        for handle in handles {
+            let mapped = handle
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e));
+            out.extend(mapped);
+        }
+    });
+    out
+}
+
+/// A parallel iterator over the items of `I`. Adapter methods (`map`,
+/// `zip`, `flat_map_iter`) return parallel-aware types whose terminal
+/// operations fan out; the [`Iterator`] impl is the serial fallback for any
+/// other combinator.
+pub struct ParIter<I> {
+    iter: I,
+    min_len: usize,
+}
 
 impl<I: Iterator> Iterator for ParIter<I> {
     type Item = I::Item;
 
     fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+        self.iter.next()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
+        self.iter.size_hint()
     }
 }
 
 impl<I: Iterator> ParIter<I> {
-    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator.
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    /// rayon's `map`: records the element closure for parallel application
+    /// at the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
     where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        F: Fn(I::Item) -> R,
     {
-        ParIter(self.0.flat_map(f))
+        ParMap {
+            base: self.iter,
+            min_len: self.min_len,
+            f,
+        }
     }
 
-    /// rayon's `with_min_len`: a scheduling hint, meaningless when serial.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// rayon's `flat_map_iter`: flat-map with a serial inner iterator; the
+    /// outer closure is applied in parallel.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParFlatMapIter<I, U, F>
+    where
+        U: IntoIterator,
+        F: Fn(I::Item) -> U,
+    {
+        ParFlatMapIter {
+            base: self.iter,
+            min_len: self.min_len,
+            current: None,
+            f,
+        }
+    }
+
+    /// rayon's `zip`: pair this iterator with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter {
+            iter: self.iter.zip(other.iter),
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+
+    /// rayon's `with_min_len`: lower bound on items per work chunk.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
-    /// rayon's `with_max_len`: a scheduling hint, meaningless when serial.
+    /// rayon's `with_max_len`: a splitting hint this shim does not need.
     pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+/// Parallel `map` adapter; terminal operations apply the closure across
+/// threads in input order.
+pub struct ParMap<I, F> {
+    base: I,
+    min_len: usize,
+    f: F,
+}
+
+impl<I, R, F> Iterator for ParMap<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(&self.f)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        let items: Vec<I::Item> = self.base.collect();
+        par_apply(items, self.min_len, &self.f)
+    }
+
+    /// Apply the closure in parallel and collect the ordered results.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Apply the closure in parallel, then sum the ordered results on the
+    /// calling thread (sequential association order — bit-identical to a
+    /// serial `sum` for floats).
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Apply the closure in parallel, discarding results.
+    pub fn for_each(self, _sink: impl Fn(R)) {
+        // `for_each` consumers in rayon use the closure for side effects;
+        // those already happened inside `f` when `run` applied it. Feed the
+        // results through anyway for API fidelity.
+        self.run().into_iter().for_each(_sink);
+    }
+
+    /// rayon's `with_min_len` on a mapped iterator.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+}
+
+/// Parallel `flat_map_iter` adapter.
+pub struct ParFlatMapIter<I, U: IntoIterator, F> {
+    base: I,
+    min_len: usize,
+    /// Inner iterator in progress, for the serial [`Iterator`] fallback.
+    current: Option<U::IntoIter>,
+    f: F,
+}
+
+impl<I, U, F> Iterator for ParFlatMapIter<I, U, F>
+where
+    I: Iterator,
+    U: IntoIterator,
+    F: Fn(I::Item) -> U,
+{
+    type Item = U::Item;
+
+    fn next(&mut self) -> Option<U::Item> {
+        loop {
+            if let Some(inner) = self.current.as_mut() {
+                if let Some(item) = inner.next() {
+                    return Some(item);
+                }
+                self.current = None;
+            }
+            let outer = self.base.next()?;
+            self.current = Some((self.f)(outer).into_iter());
+        }
+    }
+}
+
+impl<I, U, F> ParFlatMapIter<I, U, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    /// Apply the outer closure in parallel, expand each inner iterator
+    /// serially within its chunk, and collect in input order.
+    pub fn collect<C: FromIterator<U::Item>>(mut self) -> C {
+        // Items already pulled through the serial fallback come first.
+        let mut head: Vec<U::Item> = Vec::new();
+        if let Some(inner) = self.current.take() {
+            head.extend(inner);
+        }
+        let items: Vec<I::Item> = self.base.collect();
+        let f = &self.f;
+        let nested = par_apply(items, self.min_len, &|item| {
+            f(item).into_iter().collect::<Vec<U::Item>>()
+        });
+        head.into_iter()
+            .chain(nested.into_iter().flatten())
+            .collect()
+    }
+
+    /// rayon's `with_min_len` on a flat-mapped iterator.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 }
 
 /// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Convert `self` into a (here: serial) parallel iterator.
+    /// Convert `self` into a parallel iterator.
     fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
+        ParIter {
+            iter: self.into_iter(),
+            min_len: 1,
+        }
     }
 }
 
@@ -70,7 +359,7 @@ pub trait IntoParallelRefIterator<'a> {
     /// Underlying serial iterator type.
     type Iter: Iterator<Item = Self::Item>;
 
-    /// Iterate over `&self` "in parallel" (here: serially).
+    /// Iterate over `&self` in parallel.
     fn par_iter(&'a self) -> ParIter<Self::Iter>;
 }
 
@@ -83,11 +372,148 @@ where
     type Iter = <&'a C as IntoIterator>::IntoIter;
 
     fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+        ParIter {
+            iter: self.into_iter(),
+            min_len: 1,
+        }
     }
 }
 
 /// One-stop imports, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn deeply_nested_joins_stay_bounded() {
+        // Strassen-style recursion: would spawn 2^12 threads unguarded.
+        fn recurse(depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = super::join(|| recurse(depth - 1), || recurse(depth - 1));
+            a + b
+        }
+        assert_eq!(recurse(12), 4096);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn map_actually_runs_on_multiple_threads() {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // single-core runner: nothing to assert
+        }
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let barrier_hits = AtomicUsize::new(0);
+        (0..1000usize)
+            .into_par_iter()
+            .map(|i| {
+                barrier_hits.fetch_add(1, Ordering::Relaxed);
+                ids.lock().unwrap().insert(std::thread::current().id());
+                i
+            })
+            .for_each(|_| {});
+        assert_eq!(barrier_hits.load(Ordering::Relaxed), 1000);
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "expected work on >= 2 threads"
+        );
+    }
+
+    #[test]
+    fn float_sum_matches_sequential_association() {
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+        let sequential: f64 = data.iter().map(|x| x * 1.000001).sum();
+        let parallel: f64 = data.par_iter().map(|x| x * 1.000001).sum();
+        assert_eq!(sequential.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn zip_map_sum_matches_serial_dot() {
+        let a: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..5000).map(|i| (i * 3) as f64).collect();
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let par: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(serial.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i * 10, i * 10 + 1])
+            .collect();
+        assert_eq!(v.len(), 200);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn min_len_hint_is_respected_api_wise() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .with_min_len(64)
+            .with_max_len(1024)
+            .map(|i| i)
+            .collect();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_closures_do_not_leak_permits() {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // permits are never granted on one core
+        }
+        for _ in 0..64 {
+            let result = std::panic::catch_unwind(|| {
+                super::join(|| 1, || panic!("boom"));
+            });
+            assert!(result.is_err());
+        }
+        // If permits leaked above, every fan-out from now on would be
+        // sequential; assert at least one still goes parallel.
+        let ids = Mutex::new(std::collections::HashSet::new());
+        (0..1000usize)
+            .into_par_iter()
+            .map(|i| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                i
+            })
+            .for_each(|_| {});
+        assert!(ids.lock().unwrap().len() >= 2, "permits were leaked");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = vec![7usize].into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
 }

@@ -1,9 +1,14 @@
 //! Offline shim for the `serde` facade.
 //!
 //! Exposes `Serialize` / `Deserialize` as marker traits together with the
-//! no-op derive macros from the sibling `serde_derive` shim. This is enough
-//! for the workspace, which only tags types with the derives; replace with
-//! the real crates.io `serde` by editing `[workspace.dependencies]`.
+//! no-op derive macros from the sibling `serde_derive` shim — enough for the
+//! analysis crates, which only tag types with the derives. The [`json`]
+//! module additionally provides a real document model (parser + canonical
+//! writer) for code that serializes at runtime, such as `netpart-service`'s
+//! wire protocol. Replace with the real crates.io `serde` by editing
+//! `[workspace.dependencies]`.
+
+pub mod json;
 
 /// Marker trait standing in for `serde::Serialize`.
 pub trait Serialize {}
