@@ -1,0 +1,52 @@
+//! Benchmarks of the declarative scenario layer: single pairing scenarios on
+//! the geometries the committed `results/bench_scenarios.json` baseline
+//! tracks, plus the whole standard sweep through the rayon runner.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netpart_scenario::{
+    run_scenario, run_sweep, standard_sweep, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec,
+};
+
+fn pairing_spec(dims: &[usize]) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Torus(dims.to_vec()),
+        routing: RoutingSpec::DimensionOrdered,
+        traffic: TrafficSpec::paper_pairing(),
+        seed: 0,
+    }
+}
+
+fn bench_pairing_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_pairing");
+    group.sample_size(10);
+    for dims in [
+        vec![16usize, 4, 4, 4, 2],
+        vec![8, 8, 4, 4, 2],
+        vec![16, 8, 8, 4, 2],
+    ] {
+        let spec = pairing_spec(&dims);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.label()),
+            &spec,
+            |b, spec| b.iter(|| run_scenario(black_box(spec)).expect("pairing runs")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_standard_sweep(c: &mut Criterion) {
+    let sweep = standard_sweep();
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+    group.bench_function("standard_24_combinations", |b| {
+        b.iter(|| {
+            let results = run_sweep(black_box(&sweep));
+            assert!(results.iter().all(Result::is_ok));
+            results
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairing_scenarios, bench_standard_sweep);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Machine-readable scenario-sweep performance baseline.
+//!
+//! Times the bisection-pairing sweep through the engine-backed scenario
+//! layer (PR 4) and writes `results/bench_scenarios.json`: per-scenario wall
+//! time, flow-completion events per second and max–min solve count, next to
+//! the committed pre-refactor measurements of the same sweep through the
+//! legacy `netsim::run_bisection_pairing` path, so the CSR / scratch-buffer
+//! speedup stays recorded.
+//!
+//! Methodology (both then and now): release build, one warm-up pass over
+//! the whole sweep, then the mean of three timed repetitions per geometry.
+
+use netpart_bench::emit_json;
+use netpart_scenario::{run_scenario, run_sweep, RoutingSpec, ScenarioSpec, TopologySpec};
+use std::time::Instant;
+
+/// The pre-refactor wall times (seconds) of exactly this sweep, measured at
+/// commit `15baad8` ("PR 3", the last commit before the engine
+/// consolidation) through `TorusNetwork::bgq_partition` +
+/// `netsim::run_bisection_pairing` on the same container, with network
+/// construction inside the timed region (the scenario layer's contract
+/// includes building the fabric from the spec). `(dims, nodes, wall_s)`.
+const LEGACY_BASELINE: &[(&[usize], usize, f64)] = &[
+    (&[16, 4, 4, 4, 2], 2048, 0.012213),
+    (&[8, 8, 4, 4, 2], 2048, 0.010532),
+    (&[16, 8, 4, 4, 2], 4096, 0.023013),
+    (&[8, 8, 8, 4, 2], 4096, 0.022410),
+    (&[16, 8, 8, 4, 2], 8192, 0.076904),
+    (&[12, 8, 8, 4, 2], 6144, 0.038204),
+];
+
+fn pairing_spec(dims: &[usize]) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Torus(dims.to_vec()),
+        routing: RoutingSpec::DimensionOrdered,
+        traffic: netpart_scenario::TrafficSpec::paper_pairing(),
+        seed: 0,
+    }
+}
+
+/// Mean-of-three wall-clock seconds for `routine`.
+fn time_mean<O>(mut routine: impl FnMut() -> O) -> f64 {
+    const REPS: u32 = 3;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(routine());
+    }
+    start.elapsed().as_secs_f64() / REPS as f64
+}
+
+fn main() {
+    // Warm-up pass so allocator state does not skew the first case.
+    for (dims, _, _) in LEGACY_BASELINE {
+        run_scenario(&pairing_spec(dims)).expect("pairing scenario runs");
+    }
+
+    let mut rows = String::new();
+    let mut total = 0.0f64;
+    let mut baseline_total = 0.0f64;
+    for (i, (dims, nodes, baseline_wall)) in LEGACY_BASELINE.iter().enumerate() {
+        let spec = pairing_spec(dims);
+        let result = run_scenario(&spec).expect("pairing scenario runs");
+        assert_eq!(result.nodes, *nodes, "geometry drifted from the baseline");
+        let wall = time_mean(|| run_scenario(&spec).expect("pairing scenario runs"));
+        total += wall;
+        baseline_total += baseline_wall;
+        let events_per_sec = result.units as f64 / wall;
+        rows.push_str(&format!(
+            "    {{\"label\": \"{}\", \"nodes\": {nodes}, \"flows\": {}, \"solves\": {}, \
+             \"wall_s\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}, \
+             \"baseline_wall_s\": {baseline_wall:.6}, \"speedup\": {:.3}}}{}\n",
+            result.label,
+            result.units,
+            result.solves,
+            baseline_wall / wall,
+            if i + 1 < LEGACY_BASELINE.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+
+    // The whole sweep through the rayon runner, as the service's `sweep`
+    // endpoint executes it.
+    let specs: Vec<ScenarioSpec> = LEGACY_BASELINE
+        .iter()
+        .map(|(dims, _, _)| pairing_spec(dims))
+        .collect();
+    let sweep_wall = time_mean(|| {
+        let results = run_sweep(&specs);
+        assert!(results.iter().all(Result::is_ok));
+        results
+    });
+
+    let json = format!(
+        "{{\n  \"schema\": \"netpart-bench-scenarios/v1\",\n  \"description\": \
+         \"bisection-pairing sweep (26 measured rounds, 2 GB per pair) through the \
+         engine-backed scenario layer vs the pre-refactor legacy netsim path\",\n  \
+         \"baseline\": \"commit 15baad8, legacy TorusNetwork + netsim::run_bisection_pairing \
+         with network construction inside the timed region, same container\",\n  \
+         \"methodology\": \"release build, one warm-up sweep, mean of 3 reps\",\n  \"scenarios\": [\n{rows}  ],\n  \
+         \"total_wall_s\": {total:.6},\n  \"baseline_total_wall_s\": {baseline_total:.6},\n  \
+         \"total_speedup\": {:.3},\n  \"parallel_sweep_wall_s\": {sweep_wall:.6}\n}}\n",
+        baseline_total / total,
+    );
+    emit_json("bench_scenarios", &json);
+    eprintln!(
+        "sweep total {total:.4}s vs legacy baseline {baseline_total:.4}s \
+         (x{:.2})",
+        baseline_total / total
+    );
+}

@@ -8,7 +8,8 @@
 
 use netpart_machines::{known, PartitionGeometry};
 use netpart_mpi::MappingStrategy;
-use netpart_netsim::{run_bisection_pairing, FlowSim, PingPongPlan, TorusNetwork};
+use netpart_netsim::{FlowSim, PingPongPlan};
+use netpart_scenario::{run_sweep, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec};
 use netpart_strassen::caps::{mira_table3_configs, run_caps, CapsConfig, CapsRunResult};
 use serde::{Deserialize, Serialize};
 
@@ -27,22 +28,50 @@ pub struct PairingMeasurement {
     pub bisection_links: u64,
 }
 
+/// The scenario spec of one labelled pairing case: a thin builder — the
+/// geometry becomes a torus topology, the plan becomes pairing traffic.
+pub fn pairing_spec(geometry: &PartitionGeometry, plan: PingPongPlan) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Torus(geometry.node_dims().to_vec()),
+        routing: RoutingSpec::DimensionOrdered,
+        traffic: TrafficSpec::BisectionPairing {
+            rounds: plan.rounds,
+            warmup_rounds: plan.warmup_rounds,
+            round_gigabytes: plan.round_gigabytes,
+        },
+        seed: 0,
+    }
+}
+
 /// Run the bisection-pairing benchmark on a list of labelled geometries.
+///
+/// The driver is a spec builder: each case becomes a [`ScenarioSpec`] and
+/// the whole list fans out through the scenario sweep runner.
+///
+/// # Panics
+/// Panics when a geometry cannot run as a scenario — in particular when it
+/// exceeds the scenario layer's fabric budget
+/// (`netpart_scenario::MAX_FABRIC_NODES`, 16384 nodes — 32 midplanes; the
+/// paper's figures top out at 24).
 pub fn bisection_pairing_experiment(
     cases: &[(usize, &str, PartitionGeometry)],
     plan: PingPongPlan,
 ) -> Vec<PairingMeasurement> {
-    let sim = FlowSim::default();
-    cases
+    let specs: Vec<ScenarioSpec> = cases
         .iter()
-        .map(|&(midplanes, label, geometry)| {
-            let network = TorusNetwork::bgq_partition(&geometry.node_dims());
-            let result = run_bisection_pairing(&network, plan, &sim);
+        .map(|(_, _, geometry)| pairing_spec(geometry, plan))
+        .collect();
+    run_sweep(&specs)
+        .into_iter()
+        .zip(cases)
+        .map(|(result, &(midplanes, label, geometry))| {
+            let result = result
+                .unwrap_or_else(|e| panic!("pairing scenario for geometry {geometry} failed: {e}"));
             PairingMeasurement {
                 midplanes,
                 label: label.to_string(),
                 geometry,
-                seconds: result.total_time,
+                seconds: result.makespan,
                 bisection_links: geometry.bisection_links(),
             }
         })
@@ -200,6 +229,25 @@ mod tests {
         assert!(measurements[0].seconds > measurements[1].seconds);
         assert_eq!(measurements[0].bisection_links, 256);
         assert_eq!(measurements[1].bisection_links, 512);
+    }
+
+    #[test]
+    fn pairing_experiment_is_bit_identical_to_the_legacy_driver() {
+        // The scenario-backed driver must reproduce the historical
+        // `netsim::run_bisection_pairing` numbers exactly (the sweep is a
+        // refactor, not a remodel).
+        let plan = PingPongPlan::paper_default();
+        let cases = [
+            (4usize, "Current", PartitionGeometry::new([4, 1, 1, 1])),
+            (4, "Proposed", PartitionGeometry::new([2, 2, 1, 1])),
+        ];
+        let measurements = bisection_pairing_experiment(&cases, plan);
+        let sim = FlowSim::default();
+        for (m, &(_, _, geometry)) in measurements.iter().zip(&cases) {
+            let network = netpart_netsim::TorusNetwork::bgq_partition(&geometry.node_dims());
+            let legacy = netpart_netsim::run_bisection_pairing(&network, plan, &sim);
+            assert_eq!(m.seconds, legacy.total_time, "{}", m.label);
+        }
     }
 
     #[test]

@@ -269,7 +269,7 @@ impl ClusterScheduler {
         }
         let paths = route_flows(&self.fabric, self.router.as_ref(), &flows)?;
         let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-        let mut fluid = FluidSim::new(&paths, &self.fabric.capacities(), &sizes);
+        let mut fluid = FluidSim::new(&paths, self.fabric.capacities(), &sizes);
         fluid.run_to_completion();
         let own_done = fluid.into_outcome().completion[..own.len()]
             .iter()

@@ -37,6 +37,9 @@ pub struct Fabric {
     name: String,
     num_nodes: usize,
     channels: Vec<Channel>,
+    /// Per-channel bandwidths in channel order, precomputed once so the
+    /// fluid hot path never rebuilds the capacity vector.
+    capacities: Vec<f64>,
     /// CSR offsets: outgoing channels of node `v` live at
     /// `out_adjacency[out_offsets[v]..out_offsets[v + 1]]`.
     out_offsets: Vec<usize>,
@@ -87,30 +90,48 @@ impl Fabric {
     pub fn from_torus(torus: Torus, bandwidth_gbs: f64) -> Self {
         assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
         let ndim = torus.ndim();
-        let n = coord::volume(torus.dims());
-        let mut channels = Vec::new();
+        let dims = torus.dims().to_vec();
+        let strides = coord::strides(&dims);
+        let n = coord::volume(&dims);
+        // Directed channels per node: two per non-degenerate dimension.
+        let per_node = 2 * dims.iter().filter(|&&a| a >= 2).count();
+        let mut channels = Vec::with_capacity(n * per_node);
         let mut hop_channel = vec![usize::MAX; n * ndim * 2];
+        // The node coordinate is tracked as an incremental mixed-radix
+        // counter and neighbours are reached by stride arithmetic — this
+        // constructor is on the scenario hot path (one fabric per spec), so
+        // it must not allocate per node or per channel.
+        let mut node_coord = vec![0usize; ndim];
         for node in 0..n {
-            let node_coord = torus.coord_of(node);
-            for (d, &a) in torus.dims().iter().enumerate() {
+            for (d, &a) in dims.iter().enumerate() {
                 if a < 2 {
                     continue;
                 }
+                let c = node_coord[d];
+                let bandwidth = bandwidth_gbs * torus.capacities()[d];
                 for (dir_bit, step) in [(0usize, 1usize), (1, a - 1)] {
-                    let mut next = node_coord.clone();
-                    next[d] = (node_coord[d] + step) % a;
-                    let to = torus.index_of(&next);
+                    let next_c = (c + step) % a;
+                    let to = node + next_c * strides[d] - c * strides[d];
                     let id = channels.len();
                     channels.push(Channel {
                         from: node,
                         to,
-                        bandwidth_gbs: bandwidth_gbs * torus.capacities()[d],
+                        bandwidth_gbs: bandwidth,
                     });
                     hop_channel[node * ndim * 2 + d * 2 + dir_bit] = id;
                 }
             }
+            // Advance the row-major counter (last dimension varies fastest).
+            for i in (0..ndim).rev() {
+                node_coord[i] += 1;
+                if node_coord[i] == dims[i] {
+                    node_coord[i] = 0;
+                } else {
+                    break;
+                }
+            }
         }
-        let name = format!("torus{:?}", torus.dims());
+        let name = format!("torus{dims:?}");
         Self::assemble(name, n, channels, Some(torus), hop_channel)
     }
 
@@ -136,10 +157,12 @@ impl Fabric {
             out_adjacency[cursor[ch.from]] = id;
             cursor[ch.from] += 1;
         }
+        let capacities = channels.iter().map(|c| c.bandwidth_gbs).collect();
         Self {
             name,
             num_nodes,
             channels,
+            capacities,
             out_offsets,
             out_adjacency,
             torus,
@@ -168,9 +191,9 @@ impl Fabric {
     }
 
     /// Per-channel bandwidths (GB/s), in channel order — the capacity vector
-    /// the fluid simulation consumes.
-    pub fn capacities(&self) -> Vec<f64> {
-        self.channels.iter().map(|c| c.bandwidth_gbs).collect()
+    /// the fluid simulation consumes (precomputed, no allocation).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
     }
 
     /// Outgoing channels of node `v`, in ascending channel order.

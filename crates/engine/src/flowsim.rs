@@ -86,7 +86,7 @@ pub fn simulate_flows(
 ) -> Result<FluidOutcome, EngineError> {
     let paths = route_flows(fabric, router, flows)?;
     let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-    let fluid = FluidSim::new(&paths, &fabric.capacities(), &sizes);
+    let fluid = FluidSim::new(&paths, fabric.capacities(), &sizes);
     let outcome = Rc::new(RefCell::new(None));
     let mut sim = Simulation::new();
     let driver = sim.add_component(
@@ -160,7 +160,7 @@ mod tests {
         let event_driven = simulate_flows(&fabric, &router, &flows).unwrap();
         let paths = route_flows(&fabric, &router, &flows).unwrap();
         let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-        let mut direct = FluidSim::new(&paths, &fabric.capacities(), &sizes);
+        let mut direct = FluidSim::new(&paths, fabric.capacities(), &sizes);
         direct.run_to_completion();
         assert_eq!(event_driven, direct.into_outcome());
     }

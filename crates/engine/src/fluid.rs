@@ -8,7 +8,7 @@
 //! through the event queue — so the two produce bit-identical results on
 //! identical inputs.
 
-use crate::maxmin::{max_min_rates, ChannelId};
+use crate::maxmin::{max_min_rates_csr, ChannelId, MaxMinScratch};
 use serde::{Deserialize, Serialize};
 
 /// Result of running a [`FluidSim`] to completion.
@@ -59,7 +59,10 @@ impl FluidOutcome {
 /// round at a time with [`advance_round`](FluidSim::advance_round).
 #[derive(Debug, Clone)]
 pub struct FluidSim {
-    paths: Vec<Vec<ChannelId>>,
+    /// Per-flow channel paths, CSR-packed: flow `i` traverses
+    /// `path_data[path_offsets[i]..path_offsets[i + 1]]`.
+    path_offsets: Vec<usize>,
+    path_data: Vec<ChannelId>,
     capacities: Vec<f64>,
     sizes: Vec<f64>,
     remaining: Vec<f64>,
@@ -70,6 +73,8 @@ pub struct FluidSim {
     rounds: usize,
     channel_load_gb: Vec<f64>,
     bottleneck_lower_bound: f64,
+    /// Solver buffers, reused across completion rounds.
+    scratch: MaxMinScratch,
 }
 
 impl FluidSim {
@@ -84,12 +89,17 @@ impl FluidSim {
         assert_eq!(paths.len(), gigabytes.len(), "one path per flow");
         let n_channels = capacities.len();
         let mut channel_load_gb = vec![0.0f64; n_channels];
+        let mut path_offsets = Vec::with_capacity(paths.len() + 1);
+        path_offsets.push(0usize);
+        let mut path_data = Vec::with_capacity(paths.iter().map(Vec::len).sum());
         for (gb, path) in gigabytes.iter().zip(paths) {
             assert!(*gb >= 0.0, "negative message size");
             for &c in path {
                 assert!(c < n_channels, "channel {c} out of range 0..{n_channels}");
                 channel_load_gb[c] += gb;
             }
+            path_data.extend_from_slice(path);
+            path_offsets.push(path_data.len());
         }
         let bottleneck_lower_bound = channel_load_gb
             .iter()
@@ -102,7 +112,8 @@ impl FluidSim {
             .filter(|&i| remaining[i] > 0.0 && !paths[i].is_empty())
             .collect();
         Self {
-            paths: paths.to_vec(),
+            path_offsets,
+            path_data,
             capacities: capacities.to_vec(),
             sizes: gigabytes.to_vec(),
             completion: vec![0.0f64; paths.len()],
@@ -113,6 +124,7 @@ impl FluidSim {
             rounds: 0,
             channel_load_gb,
             bottleneck_lower_bound,
+            scratch: MaxMinScratch::new(),
         }
     }
 
@@ -148,11 +160,12 @@ impl FluidSim {
             return None;
         }
         self.rounds += 1;
-        max_min_rates(
+        max_min_rates_csr(
             &self.active,
-            &self.paths,
+            &self.path_offsets,
+            &self.path_data,
             &self.capacities,
-            self.capacities.len(),
+            &mut self.scratch,
             &mut self.rates,
         );
         // Advance to the earliest completion among active flows.
@@ -176,8 +189,11 @@ impl FluidSim {
             dt
         };
         self.time += dt;
-        let mut still_active = Vec::with_capacity(self.active.len());
-        for &i in &self.active {
+        // Retire completed flows by compacting `active` in place (order
+        // preserved, no per-round allocation).
+        let mut kept = 0usize;
+        for idx in 0..self.active.len() {
+            let i = self.active[idx];
             self.remaining[i] -= self.rates[i] * dt;
             // Tolerate floating-point residue when deciding completion;
             // this also batches completions that tie up to rounding, so
@@ -186,14 +202,15 @@ impl FluidSim {
                 self.remaining[i] = 0.0;
                 self.completion[i] = self.time;
             } else {
-                still_active.push(i);
+                self.active[kept] = i;
+                kept += 1;
             }
         }
         assert!(
-            still_active.len() < self.active.len(),
+            kept < self.active.len(),
             "simulation failed to make progress"
         );
-        self.active = still_active;
+        self.active.truncate(kept);
         Some(self.time)
     }
 

@@ -107,6 +107,6 @@ pub use event::{ComponentId, Event, EventId, EventQueue};
 pub use fabric::{Channel, Fabric};
 pub use flowsim::{route_flows, simulate_flows, static_estimate, Flow};
 pub use fluid::{FluidOutcome, FluidSim};
-pub use maxmin::{max_min_rates, ChannelId};
+pub use maxmin::{max_min_rates, max_min_rates_csr, ChannelId, MaxMinScratch};
 pub use router::{DimensionOrdered, Ecmp, Router, ShortestPath, TieBreak, Valiant};
 pub use sim::{Component, Context, Simulation};

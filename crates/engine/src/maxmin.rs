@@ -1,64 +1,133 @@
 //! Max–min fair rate allocation over arbitrary channel sets.
 //!
-//! This is the progressive-filling (water-filling) core shared by the legacy
-//! torus simulator in `netpart-netsim` and the topology-generic fabric
-//! scenarios in this crate: both hand it channel paths and capacities, so a
-//! torus run produces bit-identical rates through either front end.
+//! This is the progressive-filling (water-filling) core shared by the torus
+//! front end in `netpart-netsim` and the topology-generic fabric scenarios
+//! in this crate: both hand it channel paths and capacities, so a torus run
+//! produces bit-identical rates through either front end.
+//!
+//! The solver is allocation-free on the hot path: callers that solve
+//! repeatedly (every [`FluidSim`](crate::FluidSim) completion round) keep a
+//! [`MaxMinScratch`] alive and hand paths over in CSR form, so each solve
+//! reuses the channel-membership arrays and the bottleneck heap instead of
+//! rebuilding a `Vec<Vec<usize>>` per round.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Identifier of a directed channel (an index into a capacity slice).
 pub type ChannelId = usize;
+
+/// `f64` ordered by `total_cmp` so it can live in a heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Share(f64);
+impl Eq for Share {}
+impl PartialOrd for Share {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Share {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Reusable buffers for [`max_min_rates_csr`]. One instance amortizes every
+/// per-solve allocation (membership CSR, remaining capacities, the
+/// bottleneck heap) across an entire simulation.
+#[derive(Debug, Clone, Default)]
+pub struct MaxMinScratch {
+    remaining_cap: Vec<f64>,
+    unfixed_count: Vec<usize>,
+    member_offsets: Vec<usize>,
+    members: Vec<usize>,
+    cursor: Vec<usize>,
+    heap: BinaryHeap<Reverse<(Share, usize)>>,
+    fixed: Vec<bool>,
+}
+
+impl MaxMinScratch {
+    /// Fresh, empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Max–min fair rates (GB/s) for the active flows, indexed by flow id
 /// (entries for inactive flows are 0). Progressive filling: repeatedly find
 /// the channel with the smallest fair share, fix its unfixed flows at that
 /// share, and subtract their demand everywhere else.
 ///
+/// Paths are given in CSR form: flow `i` traverses
+/// `path_data[path_offsets[i]..path_offsets[i + 1]]`.
+///
 /// A lazy-deletion min-heap keyed by the fair share keeps each step
-/// logarithmic: shares can only grow as flows are fixed, so a popped entry is
-/// either still accurate (then its channel really is the bottleneck) or stale
-/// (then the fresh value is pushed back).
-pub fn max_min_rates(
+/// logarithmic: shares can only grow as flows are fixed, so a popped entry
+/// is either still accurate (then its channel really is the bottleneck) or
+/// stale (then the fresh value is pushed back).
+pub fn max_min_rates_csr(
     active: &[usize],
-    paths: &[Vec<ChannelId>],
+    path_offsets: &[usize],
+    path_data: &[ChannelId],
     capacities: &[f64],
-    n_channels: usize,
+    scratch: &mut MaxMinScratch,
     rate: &mut [f64],
 ) {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
+    let n_channels = capacities.len();
+    let n_flows = path_offsets.len().saturating_sub(1);
+    let path = |i: usize| &path_data[path_offsets[i]..path_offsets[i + 1]];
+    let MaxMinScratch {
+        remaining_cap,
+        unfixed_count,
+        member_offsets,
+        members,
+        cursor,
+        heap,
+        fixed,
+    } = scratch;
 
-    /// f64 ordered by `total_cmp` so it can live in a heap.
-    #[derive(PartialEq)]
-    struct Share(f64);
-    impl Eq for Share {}
-    impl PartialOrd for Share {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Share {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&other.0)
-        }
-    }
+    remaining_cap.clear();
+    remaining_cap.extend_from_slice(capacities);
+    unfixed_count.clear();
+    unfixed_count.resize(n_channels, 0);
+    fixed.clear();
+    fixed.resize(n_flows, false);
 
-    let mut remaining_cap = capacities.to_vec();
-    let mut unfixed_count = vec![0usize; n_channels];
-    let mut channel_flows: Vec<Vec<usize>> = vec![Vec::new(); n_channels];
     for &i in active {
         rate[i] = 0.0;
-        for &c in &paths[i] {
+        for &c in path(i) {
             unfixed_count[c] += 1;
-            channel_flows[c].push(i);
         }
     }
-    let mut heap: BinaryHeap<Reverse<(Share, usize)>> = (0..n_channels)
-        .filter(|&c| unfixed_count[c] > 0)
-        .map(|c| Reverse((Share(remaining_cap[c] / unfixed_count[c] as f64), c)))
-        .collect();
-    let mut fixed = vec![false; paths.len()];
-    let mut fixed_count = 0usize;
 
+    // Channel -> member flows, CSR-packed in one pass (members appear in
+    // active order per channel, matching the historical push order).
+    member_offsets.clear();
+    member_offsets.reserve(n_channels + 1);
+    let mut total = 0usize;
+    member_offsets.push(0);
+    for &count in unfixed_count.iter() {
+        total += count;
+        member_offsets.push(total);
+    }
+    cursor.clear();
+    cursor.extend_from_slice(&member_offsets[..n_channels]);
+    members.clear();
+    members.resize(total, 0);
+    for &i in active {
+        for &c in path(i) {
+            members[cursor[c]] = i;
+            cursor[c] += 1;
+        }
+    }
+
+    heap.clear();
+    heap.extend((0..n_channels).filter_map(|c| {
+        let unfixed = unfixed_count[c];
+        (unfixed > 0).then(|| Reverse((Share(remaining_cap[c] / unfixed as f64), c)))
+    }));
+
+    let mut fixed_count = 0usize;
     while fixed_count < active.len() {
         let Some(Reverse((Share(share), c))) = heap.pop() else {
             // No constrained channel left; remaining flows are unbounded in
@@ -79,15 +148,14 @@ pub fn max_min_rates(
             continue; // stale entry; the fresh share goes back in the heap
         }
         // `c` is the bottleneck: fix every unfixed flow crossing it.
-        let members = std::mem::take(&mut channel_flows[c]);
-        for i in members {
+        for &i in &members[member_offsets[c]..member_offsets[c + 1]] {
             if fixed[i] {
                 continue;
             }
             fixed[i] = true;
             fixed_count += 1;
             rate[i] = current;
-            for &d in &paths[i] {
+            for &d in path(i) {
                 remaining_cap[d] = (remaining_cap[d] - current).max(0.0);
                 unfixed_count[d] -= 1;
                 if d != c && unfixed_count[d] > 0 {
@@ -99,6 +167,27 @@ pub fn max_min_rates(
             }
         }
     }
+}
+
+/// Convenience wrapper over [`max_min_rates_csr`] for callers with
+/// per-flow path vectors and no scratch to reuse (one-shot solves, tests).
+pub fn max_min_rates(
+    active: &[usize],
+    paths: &[Vec<ChannelId>],
+    capacities: &[f64],
+    n_channels: usize,
+    rate: &mut [f64],
+) {
+    debug_assert_eq!(n_channels, capacities.len(), "capacity per channel");
+    let mut offsets = Vec::with_capacity(paths.len() + 1);
+    offsets.push(0usize);
+    let mut data = Vec::with_capacity(paths.iter().map(Vec::len).sum());
+    for p in paths {
+        data.extend_from_slice(p);
+        offsets.push(data.len());
+    }
+    let mut scratch = MaxMinScratch::new();
+    max_min_rates_csr(active, &offsets, &data, capacities, &mut scratch, rate);
 }
 
 #[cfg(test)]
@@ -143,6 +232,28 @@ mod tests {
         }
         for (u, cap) in usage.iter().zip(&caps) {
             assert!(u <= &(cap + 1e-9), "usage {u} exceeds capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_solves() {
+        // Drive the same solver twice through one scratch and compare with
+        // fresh-scratch runs: buffer reuse must not leak state.
+        let paths = vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![1], vec![]];
+        let caps = vec![1.0, 2.0, 1.5];
+        let mut offsets = vec![0usize];
+        let mut data = Vec::new();
+        for p in &paths {
+            data.extend_from_slice(p);
+            offsets.push(data.len());
+        }
+        let mut shared = MaxMinScratch::new();
+        for active in [vec![0usize, 1, 2, 3], vec![1, 3], vec![0, 2]] {
+            let mut reused = vec![0.0; paths.len()];
+            max_min_rates_csr(&active, &offsets, &data, &caps, &mut shared, &mut reused);
+            let mut fresh = vec![0.0; paths.len()];
+            max_min_rates(&active, &paths, &caps, caps.len(), &mut fresh);
+            assert_eq!(reused, fresh, "active set {active:?}");
         }
     }
 }

@@ -64,24 +64,36 @@ impl Router for DimensionOrdered {
     ) -> Result<Vec<ChannelId>, EngineError> {
         fabric.check_node(src)?;
         fabric.check_node(dst)?;
-        let torus = fabric.torus().ok_or(EngineError::NotATorus)?.clone();
+        let torus = fabric.torus().ok_or(EngineError::NotATorus)?;
         let src_coord = torus.coord_of(src);
         let dst_coord = torus.coord_of(dst);
         let ndim = torus.ndim();
-        let dims: Vec<usize> = if self.reverse_dimension_order {
-            (0..ndim).rev().collect()
-        } else {
-            (0..ndim).collect()
-        };
-        let mut path = Vec::new();
-        let mut current = src_coord.clone();
+        // Per-dimension displacements up front, so the path vector can be
+        // sized exactly (this route runs once per flow on the hot path — no
+        // per-hop allocations).
+        let mut hops = 0usize;
+        for d in 0..ndim {
+            let a = torus.dims()[d];
+            if a >= 2 {
+                hops += wrap_displacement(src_coord[d], dst_coord[d], a).unsigned_abs() as usize;
+            }
+        }
+        let mut path = Vec::with_capacity(hops);
         let mut node = src;
-        for &d in &dims {
+        for i in 0..ndim {
+            let d = if self.reverse_dimension_order {
+                ndim - 1 - i
+            } else {
+                i
+            };
             let a = torus.dims()[d];
             if a < 2 {
                 continue;
             }
-            let disp = wrap_displacement(current[d], dst_coord[d], a);
+            // Dimensions are corrected one at a time, so when dimension `d`
+            // is reached the current coordinate there still equals the
+            // source's.
+            let disp = wrap_displacement(src_coord[d], dst_coord[d], a);
             if disp == 0 {
                 continue;
             }
@@ -113,7 +125,6 @@ impl Router for DimensionOrdered {
                 let channel = fabric.hop_channel(node, d, direction)?;
                 path.push(channel);
                 node = fabric.channels()[channel].to;
-                current = torus.coord_of(node);
             }
         }
         debug_assert_eq!(node, dst, "route must terminate at the destination");

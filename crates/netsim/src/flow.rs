@@ -111,9 +111,8 @@ impl FlowSim {
         paths: &[Vec<ChannelId>],
     ) -> FlowSimResult {
         assert_eq!(flows.len(), paths.len());
-        let capacities: Vec<f64> = network.channels().iter().map(|c| c.bandwidth_gbs).collect();
         let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-        let mut fluid = FluidSim::new(paths, &capacities, &sizes);
+        let mut fluid = FluidSim::new(paths, network.capacities(), &sizes);
         fluid.run_to_completion();
         let outcome = fluid.into_outcome();
         FlowSimResult {

@@ -1,4 +1,5 @@
-//! Torus network model with directed channels.
+//! Torus network model with directed channels — a thin front end over the
+//! topology-generic [`netpart_engine::Fabric`].
 //!
 //! The simulator works at the granularity of *directed channels*: every
 //! physical bidirectional link of the torus contributes two channels, one per
@@ -10,7 +11,13 @@
 //! (the `+` and `-` wrap-around links); they are modelled as distinct links,
 //! and dimension-ordered routing naturally uses the `+` cable for `+1` hops
 //! and the `-` cable for `-1` hops.
+//!
+//! Since PR 4 the channel table, hop lookup and capacities all live in one
+//! place: [`Fabric::from_torus`], whose channel numbering this type's
+//! historical API defined. `TorusNetwork` keeps only the torus-specific
+//! channel metadata (`dim`, `direction`) on top.
 
+use netpart_engine::Fabric;
 use netpart_topology::Torus;
 use serde::{Deserialize, Serialize};
 
@@ -63,53 +70,47 @@ pub struct Channel {
     pub bandwidth_gbs: f64,
 }
 
-/// A torus network with directed channels and O(1) hop-to-channel lookup.
+/// A torus network with directed channels and O(1) hop-to-channel lookup,
+/// backed by an engine [`Fabric`].
 #[derive(Debug, Clone)]
 pub struct TorusNetwork {
-    torus: Torus,
+    fabric: Fabric,
+    /// The fabric's channels annotated with torus dimension and direction,
+    /// in fabric channel order.
     channels: Vec<Channel>,
-    /// `hop_channel[node * ndim * 2 + dim * 2 + dir_bit]` is the channel for
-    /// the hop leaving `node` along `dim` in direction `+1` (`dir_bit = 0`)
-    /// or `-1` (`dir_bit = 1`); `usize::MAX` when the dimension has length 1.
-    hop_channel: Vec<usize>,
 }
 
 impl TorusNetwork {
     /// Build the network for a torus, giving every channel the same
     /// bandwidth (GB/s per direction).
     pub fn new(torus: Torus, bandwidth_gbs: f64) -> Self {
-        assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
-        let ndim = torus.ndim();
-        let n = netpart_topology::coord::volume(torus.dims());
-        let mut channels = Vec::new();
-        let mut hop_channel = vec![usize::MAX; n * ndim * 2];
-        for node in 0..n {
-            let coord = torus.coord_of(node);
+        let fabric = Fabric::from_torus(torus, bandwidth_gbs);
+        // Re-walk the fabric's channel enumeration (node-major, then
+        // dimension, then +/- direction) to attach the torus metadata.
+        let torus = fabric.torus().expect("built from a torus").clone();
+        let mut channels = Vec::with_capacity(fabric.num_channels());
+        for node in 0..fabric.num_nodes() {
             for (d, &a) in torus.dims().iter().enumerate() {
                 if a < 2 {
                     continue;
                 }
-                for (dir_bit, step) in [(0usize, 1usize), (1, a - 1)] {
-                    let mut next = coord.clone();
-                    next[d] = (coord[d] + step) % a;
-                    let to = torus.index_of(&next);
-                    let id = channels.len();
+                for direction in [1i8, -1] {
+                    let id = fabric
+                        .hop_channel(node, d, direction)
+                        .expect("non-degenerate dimension has a channel");
+                    debug_assert_eq!(id, channels.len(), "fabric enumeration order");
+                    let ch = fabric.channels()[id];
                     channels.push(Channel {
-                        from: node,
-                        to,
+                        from: ch.from,
+                        to: ch.to,
                         dim: d,
-                        direction: if dir_bit == 0 { 1 } else { -1 },
-                        bandwidth_gbs: bandwidth_gbs * torus.capacities()[d],
+                        direction,
+                        bandwidth_gbs: ch.bandwidth_gbs,
                     });
-                    hop_channel[node * ndim * 2 + d * 2 + dir_bit] = id;
                 }
             }
         }
-        Self {
-            torus,
-            channels,
-            hop_channel,
-        }
+        Self { fabric, channels }
     }
 
     /// Build the network of a Blue Gene/Q partition with the standard 2 GB/s
@@ -120,17 +121,22 @@ impl TorusNetwork {
 
     /// The underlying torus.
     pub fn torus(&self) -> &Torus {
-        &self.torus
+        self.fabric.torus().expect("built from a torus")
+    }
+
+    /// The engine fabric backing this network (same channel numbering).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        netpart_topology::coord::volume(self.torus.dims())
+        self.fabric.num_nodes()
     }
 
     /// Number of directed channels.
     pub fn num_channels(&self) -> usize {
-        self.channels.len()
+        self.fabric.num_channels()
     }
 
     /// All channels, indexed by [`ChannelId`].
@@ -138,26 +144,36 @@ impl TorusNetwork {
         &self.channels
     }
 
+    /// Per-channel bandwidths (GB/s) in channel order, precomputed by the
+    /// fabric — the capacity vector the fluid simulation consumes.
+    pub fn capacities(&self) -> &[f64] {
+        self.fabric.capacities()
+    }
+
     /// The channel taken when leaving `node` along `dim` in `direction`
     /// (`+1` or `-1`), as a typed result: `Err` when the dimension has
     /// length 1 (no channel exists) or the direction is not `±1`.
+    ///
+    /// # Panics
+    /// Panics when `node` is out of range (as the historical direct table
+    /// lookup did).
     pub fn try_hop_channel(
         &self,
         node: usize,
         dim: usize,
         direction: i8,
     ) -> Result<ChannelId, NetworkError> {
-        let dir_bit = match direction {
-            1 => 0,
-            -1 => 1,
-            other => return Err(NetworkError::InvalidDirection { direction: other }),
-        };
-        let ndim = self.torus.ndim();
-        let id = self.hop_channel[node * ndim * 2 + dim * 2 + dir_bit];
-        if id == usize::MAX {
-            return Err(NetworkError::DegenerateDimension { dim });
-        }
-        Ok(id)
+        self.fabric
+            .hop_channel(node, dim, direction)
+            .map_err(|e| match e {
+                netpart_engine::EngineError::InvalidDirection { direction } => {
+                    NetworkError::InvalidDirection { direction }
+                }
+                netpart_engine::EngineError::DegenerateDimension { dim } => {
+                    NetworkError::DegenerateDimension { dim }
+                }
+                other => panic!("{other}"),
+            })
     }
 
     /// Panicking convenience wrapper around [`TorusNetwork::try_hop_channel`]
@@ -174,7 +190,7 @@ impl TorusNetwork {
     /// Aggregate one-directional capacity (GB/s) crossing the bisection of
     /// the partition, for reference against the link-count formula.
     pub fn bisection_capacity_gbs(&self) -> f64 {
-        let links = netpart_iso::torus_bisection_links(self.torus.dims());
+        let links = netpart_iso::torus_bisection_links(self.torus().dims());
         links as f64 * self.channels.first().map_or(0.0, |c| c.bandwidth_gbs)
     }
 }
@@ -213,6 +229,17 @@ mod tests {
                     assert_eq!(ch.to, torus.index_of(&coord));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn channel_table_mirrors_the_backing_fabric() {
+        let net = TorusNetwork::bgq_partition(&[4, 4, 2]);
+        assert_eq!(net.channels().len(), net.fabric().num_channels());
+        for (ours, fabric) in net.channels().iter().zip(net.fabric().channels()) {
+            assert_eq!(ours.from, fabric.from);
+            assert_eq!(ours.to, fabric.to);
+            assert_eq!(ours.bandwidth_gbs, fabric.bandwidth_gbs);
         }
     }
 

@@ -8,16 +8,14 @@
 //! 24-midplane Mira partition ("some of the network links of the size 3
 //! dimension are only utilized in one direction").
 //!
-//! `netpart_engine::router::DimensionOrdered` implements the same algorithm
-//! against the topology-generic `Fabric` (which replicates this network's
-//! channel numbering for tori). The two are deliberately kept as separate
-//! front ends — this one works on [`TorusNetwork`] directly and stays
-//! dependency-light — and are pinned together by the bit-identical parity
-//! tests in `tests/engine_parity.rs` and `tests/engine_properties.rs`: a
-//! semantic change to either copy fails those tests loudly.
+//! Since PR 4 the algorithm itself lives in one place:
+//! `netpart_engine::router::DimensionOrdered`, running over the engine
+//! [`Fabric`](netpart_engine::Fabric) that backs every [`TorusNetwork`].
+//! This module keeps the historical torus-facing API (infallible `route`
+//! over a `TorusNetwork`) as a thin adapter; `tests/engine_parity.rs` and
+//! `tests/stack_parity.rs` pin the adapter to the legacy semantics.
 
 use crate::network::{ChannelId, TorusNetwork};
-use netpart_topology::coord::wrap_displacement;
 use serde::{Deserialize, Serialize};
 
 /// How to resolve the direction when both wrap-around directions are equally
@@ -53,62 +51,28 @@ impl DimensionOrdered {
         Self::default()
     }
 
-    /// The sequence of channels a packet from `src` to `dst` traverses.
-    pub fn route(&self, network: &TorusNetwork, src: usize, dst: usize) -> Vec<ChannelId> {
-        let torus = network.torus();
-        let src_coord = torus.coord_of(src);
-        let dst_coord = torus.coord_of(dst);
-        let ndim = torus.ndim();
-        let dims: Vec<usize> = if self.reverse_dimension_order {
-            (0..ndim).rev().collect()
-        } else {
-            (0..ndim).collect()
-        };
-        let mut path = Vec::new();
-        let mut current = src_coord.clone();
-        let mut node = src;
-        for &d in &dims {
-            let a = torus.dims()[d];
-            if a < 2 {
-                continue;
-            }
-            let disp = wrap_displacement(current[d], dst_coord[d], a);
-            if disp == 0 {
-                continue;
-            }
-            let is_tie = a.is_multiple_of(2) && disp.unsigned_abs() == a / 2;
-            let direction: i8 = if is_tie {
-                match self.tie_break {
-                    TieBreak::Positive => 1,
-                    TieBreak::SourceParity => {
-                        if src_coord[d].is_multiple_of(2) {
-                            1
-                        } else {
-                            -1
-                        }
-                    }
-                    TieBreak::NodeParity => {
-                        if src.is_multiple_of(2) {
-                            1
-                        } else {
-                            -1
-                        }
-                    }
-                }
-            } else if disp > 0 {
-                1
-            } else {
-                -1
-            };
-            for _ in 0..disp.unsigned_abs() {
-                let channel = network.hop_channel(node, d, direction);
-                path.push(channel);
-                node = network.channels()[channel].to;
-                current = torus.coord_of(node);
-            }
+    /// The engine router implementing this configuration.
+    fn engine_router(&self) -> netpart_engine::DimensionOrdered {
+        netpart_engine::DimensionOrdered {
+            tie_break: match self.tie_break {
+                TieBreak::Positive => netpart_engine::TieBreak::Positive,
+                TieBreak::SourceParity => netpart_engine::TieBreak::SourceParity,
+                TieBreak::NodeParity => netpart_engine::TieBreak::NodeParity,
+            },
+            reverse_dimension_order: self.reverse_dimension_order,
         }
-        debug_assert_eq!(node, dst, "route must terminate at the destination");
-        path
+    }
+
+    /// The sequence of channels a packet from `src` to `dst` traverses.
+    ///
+    /// # Panics
+    /// Panics when `src` or `dst` is out of range (as the historical
+    /// coordinate lookup did).
+    pub fn route(&self, network: &TorusNetwork, src: usize, dst: usize) -> Vec<ChannelId> {
+        use netpart_engine::Router as _;
+        self.engine_router()
+            .route(network.fabric(), src, dst)
+            .unwrap_or_else(|e| panic!("torus routing failed: {e}"))
     }
 }
 

@@ -1,0 +1,50 @@
+//! Declarative scenarios over the `netpart-engine` substrate.
+//!
+//! This crate is the third layer of the workspace's simulation stack
+//! (topology → engine → **scenario** → service): a typed, serializable
+//! vocabulary that names every simulation the engine can run — topology ×
+//! routing × traffic × allocator/policy × seed — plus a registry of named
+//! scenarios and a rayon-parallel sweep runner.
+//!
+//! Before this layer existed, every workload was a bespoke binary wired to
+//! one simulator; now a workload is a [`ScenarioSpec`] value:
+//!
+//! ```
+//! use netpart_scenario::{
+//!     run_scenario, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec,
+//! };
+//!
+//! let spec = ScenarioSpec {
+//!     topology: TopologySpec::Torus(vec![8, 8, 4, 4, 2]),
+//!     routing: RoutingSpec::DimensionOrdered,
+//!     traffic: TrafficSpec::paper_pairing(),
+//!     seed: 0,
+//! };
+//! let result = run_scenario(&spec).unwrap();
+//! assert!(result.makespan > 0.0);
+//! assert_eq!(result.units, result.nodes); // one pairing flow per node
+//! ```
+//!
+//! Sweeps fan specs out across the rayon pool and return one canonical
+//! [`ScenarioResult`] (or [`ScenarioError`]) per spec, in input order:
+//!
+//! ```
+//! use netpart_scenario::{run_sweep, standard_sweep};
+//!
+//! let results = run_sweep(&standard_sweep()[..4]);
+//! assert!(results.iter().all(Result::is_ok));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod run;
+pub mod spec;
+
+pub use registry::{named, registry, standard_sweep};
+pub use run::{run_scenario, run_sweep, ScenarioDetail, ScenarioError, ScenarioResult};
+pub use spec::{
+    build_fabric, estimated_size, AllocatorSpec, FabricError, PolicySpec, RoutingSpec,
+    ScenarioSpec, TopologySpec, TrafficSpec, MAX_FABRIC_CHANNELS, MAX_FABRIC_NODES, MAX_FLOWS,
+    MAX_JOBS,
+};

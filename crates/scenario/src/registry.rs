@@ -1,0 +1,222 @@
+//! Named scenarios and standard sweeps.
+//!
+//! The registry is the data counterpart of the old one-binary-per-workload
+//! layout: every combination worth naming is an entry here, and sweeps are
+//! plain lists of specs. Adding a workload means adding a value, not a
+//! binary.
+
+use crate::spec::{
+    AllocatorSpec, PolicySpec, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec,
+};
+
+/// The named scenario catalog: `(name, spec)` pairs, name-sorted.
+pub fn registry() -> Vec<(&'static str, ScenarioSpec)> {
+    let pairing = TrafficSpec::paper_pairing;
+    let mut entries = vec![
+        // The paper's Figure 3/4 pairing benchmark at node granularity
+        // (scaled-down single-midplane-per-dimension shapes).
+        ("fig3-mira-4mp-current", torus_pairing(vec![16, 4, 4, 4, 2])),
+        ("fig3-mira-4mp-proposed", torus_pairing(vec![8, 8, 4, 4, 2])),
+        // The topology zoo under the same benchmark.
+        (
+            "pairing-hypercube10",
+            ScenarioSpec {
+                topology: TopologySpec::Hypercube(10),
+                routing: RoutingSpec::ShortestPath,
+                traffic: pairing(),
+                seed: 0,
+            },
+        ),
+        (
+            "pairing-dragonfly",
+            ScenarioSpec {
+                topology: TopologySpec::Dragonfly(8, 8, 8),
+                routing: RoutingSpec::Valiant { seed: 1 },
+                traffic: pairing(),
+                seed: 0,
+            },
+        ),
+        (
+            "pairing-fattree8",
+            ScenarioSpec {
+                topology: TopologySpec::FatTree(8),
+                routing: RoutingSpec::Ecmp { salt: 1 },
+                traffic: pairing(),
+                seed: 0,
+            },
+        ),
+        (
+            "pairing-slimfly19",
+            ScenarioSpec {
+                topology: TopologySpec::SlimFly(19),
+                routing: RoutingSpec::Ecmp { salt: 1 },
+                traffic: pairing(),
+                seed: 0,
+            },
+        ),
+        // Dynamic job streams: compact vs scatter on a mid-size torus.
+        (
+            "jobs-torus-compact",
+            ScenarioSpec {
+                topology: TopologySpec::Torus(vec![8, 8, 8]),
+                routing: RoutingSpec::DimensionOrdered,
+                traffic: TrafficSpec::JobTrace {
+                    jobs: 64,
+                    max_nodes: 64,
+                    mean_gap: 30.0,
+                    gigabytes: 0.25,
+                    allocator: AllocatorSpec::Compact,
+                },
+                seed: 0,
+            },
+        ),
+        (
+            "jobs-torus-scatter",
+            ScenarioSpec {
+                topology: TopologySpec::Torus(vec![8, 8, 8]),
+                routing: RoutingSpec::DimensionOrdered,
+                traffic: TrafficSpec::JobTrace {
+                    jobs: 64,
+                    max_nodes: 64,
+                    mean_gap: 30.0,
+                    gigabytes: 0.25,
+                    allocator: AllocatorSpec::Scatter(7),
+                },
+                seed: 0,
+            },
+        ),
+        // Scheduler-policy replays on the paper's machines.
+        (
+            "sched-mira-best",
+            sched_trace("mira", vec![16, 16, 12, 8, 2], PolicySpec::Best),
+        ),
+        (
+            "sched-mira-worst",
+            sched_trace("mira", vec![16, 16, 12, 8, 2], PolicySpec::Worst),
+        ),
+        (
+            "sched-juqueen-hint",
+            sched_trace("juqueen", vec![28, 8, 8, 8, 2], PolicySpec::HintAware(0.99)),
+        ),
+    ];
+    entries.sort_by_key(|(name, _)| *name);
+    entries
+}
+
+fn torus_pairing(dims: Vec<usize>) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Torus(dims),
+        routing: RoutingSpec::DimensionOrdered,
+        traffic: TrafficSpec::paper_pairing(),
+        seed: 0,
+    }
+}
+
+fn sched_trace(machine: &str, torus_dims: Vec<usize>, policy: PolicySpec) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Torus(torus_dims),
+        routing: RoutingSpec::DimensionOrdered,
+        traffic: TrafficSpec::SchedulerTrace {
+            machine: machine.to_string(),
+            jobs: 80,
+            policy,
+        },
+        seed: 7,
+    }
+}
+
+/// Look up a named scenario.
+pub fn named(name: &str) -> Option<ScenarioSpec> {
+    registry()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, spec)| spec)
+}
+
+/// The standard cross-product smoke sweep: 4 topology families × 3 routers
+/// × 2 traffic patterns = 24 scenarios, all small enough to run in seconds.
+/// CI runs exactly this batch through the service's `sweep` endpoint and
+/// fails on any non-Ok scenario.
+pub fn standard_sweep() -> Vec<ScenarioSpec> {
+    let topologies = [
+        TopologySpec::Torus(vec![4, 4, 2]),
+        TopologySpec::Hypercube(5),
+        TopologySpec::Dragonfly(4, 4, 2),
+        TopologySpec::SlimFly(5),
+    ];
+    let traffics = [
+        TrafficSpec::BisectionPairing {
+            rounds: 8,
+            warmup_rounds: 2,
+            round_gigabytes: 0.5,
+        },
+        TrafficSpec::JobTrace {
+            jobs: 12,
+            max_nodes: 8,
+            mean_gap: 60.0,
+            gigabytes: 0.25,
+            allocator: AllocatorSpec::Compact,
+        },
+    ];
+    let mut sweep = Vec::new();
+    for topology in &topologies {
+        // Dimension-ordered routing only exists on tori; substitute the
+        // shortest-path router elsewhere so every combination is valid.
+        let routers = if matches!(topology, TopologySpec::Torus(_)) {
+            [
+                RoutingSpec::DimensionOrdered,
+                RoutingSpec::Ecmp { salt: 11 },
+                RoutingSpec::Valiant { seed: 11 },
+            ]
+        } else {
+            [
+                RoutingSpec::ShortestPath,
+                RoutingSpec::Ecmp { salt: 11 },
+                RoutingSpec::Valiant { seed: 11 },
+            ]
+        };
+        for routing in routers {
+            for traffic in &traffics {
+                sweep.push(ScenarioSpec {
+                    topology: topology.clone(),
+                    routing,
+                    traffic: traffic.clone(),
+                    seed: 42,
+                });
+            }
+        }
+    }
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_sweep;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let entries = registry();
+        let mut names: Vec<&str> = entries.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len(), "duplicate registry names");
+        for (name, spec) in &entries {
+            assert_eq!(named(name).as_ref(), Some(spec));
+        }
+        assert!(named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn standard_sweep_covers_at_least_24_combinations_and_all_run() {
+        let sweep = standard_sweep();
+        assert!(sweep.len() >= 24, "got {}", sweep.len());
+        let results = run_sweep(&sweep);
+        for (spec, result) in sweep.iter().zip(&results) {
+            let result = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.label()));
+            assert!(result.makespan > 0.0, "{}", result.label);
+        }
+    }
+}

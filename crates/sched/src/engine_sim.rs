@@ -189,49 +189,17 @@ pub fn simulate_events(machine: &BlueGeneQ, policy: SchedPolicy, trace: &[Job]) 
     }
 }
 
+// Parity with the deleted bespoke replay loop is guarded by
+// `tests/stack_parity.rs`, which keeps that loop as an executable reference
+// model and replays random traces against `simulate_events`.
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulator::simulate;
     use crate::trace::{generate_trace, TraceConfig};
     use netpart_machines::known;
 
-    fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics) {
-        assert_eq!(a.policy, b.policy);
-        assert_eq!(a.makespan, b.makespan, "makespan");
-        assert_eq!(a.utilization, b.utilization, "utilization");
-        assert_eq!(a.outcomes.len(), b.outcomes.len());
-        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
-            assert_eq!(x.job_id, y.job_id);
-            assert_eq!(x.arrival, y.arrival);
-            assert_eq!(x.start, y.start, "job {}", x.job_id);
-            assert_eq!(x.completion, y.completion, "job {}", x.job_id);
-            assert_eq!(x.runtime, y.runtime);
-            assert_eq!(x.runtime_on_optimal, y.runtime_on_optimal);
-            assert_eq!(x.geometry.dims(), y.geometry.dims());
-            assert_eq!(x.bisection_links, y.bisection_links);
-            assert_eq!(x.optimal_bisection_links, y.optimal_bisection_links);
-        }
-    }
-
     #[test]
-    fn event_driven_run_matches_legacy_replay_across_policies_and_machines() {
-        for machine in [known::mira(), known::juqueen()] {
-            let trace = generate_trace(&TraceConfig::default_for(&machine, 120, 5));
-            for policy in [
-                SchedPolicy::WorstAvailableBisection,
-                SchedPolicy::BestAvailableBisection,
-                SchedPolicy::HintAware { tolerance: 0.99 },
-            ] {
-                let legacy = simulate(&machine, policy, &trace);
-                let event_driven = simulate_events(&machine, policy, &trace);
-                assert_metrics_identical(&legacy, &event_driven);
-            }
-        }
-    }
-
-    #[test]
-    fn saturated_machine_parity() {
+    fn saturated_machine_runs_every_feasible_job_once() {
         // Heavy load exercises queueing, batched completions and the FCFS
         // head-of-line blocking path.
         let juqueen = known::juqueen();
@@ -240,10 +208,17 @@ mod tests {
         config.contention_bound_fraction = 1.0;
         let trace = generate_trace(&config);
         let policy = SchedPolicy::HintAware { tolerance: 0.99 };
-        assert_metrics_identical(
-            &simulate(&juqueen, policy, &trace),
-            &simulate_events(&juqueen, policy, &trace),
-        );
+        let metrics = simulate_events(&juqueen, policy, &trace);
+        assert_eq!(metrics.outcomes.len(), trace.len());
+        let mut ids: Vec<usize> = metrics.outcomes.iter().map(|o| o.job_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len());
+        assert!(metrics.utilization > 0.0 && metrics.utilization <= 1.0);
+        for o in &metrics.outcomes {
+            assert!(o.start >= o.arrival - 1e-9);
+            assert!(o.completion > o.start);
+        }
     }
 
     #[test]

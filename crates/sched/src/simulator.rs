@@ -1,4 +1,4 @@
-//! Discrete-event scheduler simulation and its metrics.
+//! Scheduler-simulation metrics and the historical `simulate` entry point.
 //!
 //! The simulator replays a job trace against one machine and one
 //! [`SchedPolicy`], tracking for every job when
@@ -7,13 +7,18 @@
 //! Queueing is FCFS with backfilling disabled (jobs are only considered in
 //! arrival order), which keeps policy comparisons about *geometry*, not about
 //! backfilling cleverness.
+//!
+//! Since PR 4 there is exactly one event loop in the workspace: the
+//! `netpart-engine`-based [`crate::engine_sim::simulate_events`]. The
+//! bespoke replay loop this module used to carry was proven bit-identical
+//! (see `tests/stack_parity.rs`, which keeps the old loop as an executable
+//! reference model) and then deleted; [`simulate`] is now a thin alias kept
+//! for the historical API.
 
-use crate::placement::{OccupancyGrid, Placement};
 use crate::policy::SchedPolicy;
 use crate::trace::Job;
 use netpart_machines::{BlueGeneQ, PartitionGeometry};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Outcome of one job in a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -114,121 +119,15 @@ fn average(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Running {
-    completion: f64,
-    placement: Placement,
-    outcome: JobOutcome,
-}
-
 /// Simulate a trace on a machine under a policy.
 ///
 /// Jobs whose size is infeasible on the machine are skipped (they do not
 /// appear in the outcomes); everything else runs to completion.
+///
+/// This is the engine-backed event simulation
+/// ([`crate::engine_sim::simulate_events`]) under its historical name.
 pub fn simulate(machine: &BlueGeneQ, policy: SchedPolicy, trace: &[Job]) -> RunMetrics {
-    let mut grid = OccupancyGrid::new(machine);
-    let mut queue: VecDeque<Job> = VecDeque::new();
-    let mut running: Vec<Running> = Vec::new();
-    let mut outcomes: Vec<JobOutcome> = Vec::new();
-    let mut arrivals: VecDeque<Job> = trace
-        .iter()
-        .filter(|j| !machine.geometries(j.midplanes).is_empty())
-        .cloned()
-        .collect();
-    let mut now = 0.0f64;
-    let mut busy_midplane_seconds = 0.0;
-    let mut last_event = 0.0f64;
-
-    loop {
-        // Account utilization since the previous event.
-        busy_midplane_seconds += grid.busy_midplanes() as f64 * (now - last_event);
-        last_event = now;
-
-        // Complete every job finishing at the current time.
-        let mut finished: Vec<usize> = running
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.completion <= now + 1e-9)
-            .map(|(i, _)| i)
-            .collect();
-        finished.sort_unstable_by(|a, b| b.cmp(a));
-        for idx in finished {
-            let done = running.swap_remove(idx);
-            grid.release(&done.placement);
-            outcomes.push(done.outcome);
-        }
-
-        // Admit arrivals that have happened by now.
-        while arrivals
-            .front()
-            .map(|j| j.arrival <= now + 1e-9)
-            .unwrap_or(false)
-        {
-            queue.push_back(arrivals.pop_front().expect("front checked"));
-        }
-
-        // Try to start queued jobs in FCFS order; stop at the first job the
-        // policy does not want to (or cannot) start to preserve ordering.
-        while let Some(job) = queue.front() {
-            match policy.choose_placement(machine, &grid, job) {
-                Some(placement) => {
-                    let job = queue.pop_front().expect("front checked");
-                    let geometry = placement.geometry();
-                    let best_links = machine
-                        .geometries(job.midplanes)
-                        .iter()
-                        .map(PartitionGeometry::bisection_links)
-                        .max()
-                        .expect("size was checked feasible");
-                    let runtime = job.runtime_on(geometry.bisection_links(), best_links);
-                    grid.allocate(&placement);
-                    running.push(Running {
-                        completion: now + runtime,
-                        outcome: JobOutcome {
-                            job_id: job.id,
-                            arrival: job.arrival,
-                            start: now,
-                            completion: now + runtime,
-                            runtime,
-                            runtime_on_optimal: job.runtime_on_optimal,
-                            geometry,
-                            bisection_links: placement.geometry().bisection_links(),
-                            optimal_bisection_links: best_links,
-                        },
-                        placement,
-                    });
-                }
-                None => break,
-            }
-        }
-
-        // Advance to the next event: the earliest running completion or the
-        // next arrival (whichever is sooner). If neither exists, we are done.
-        let next_completion = running
-            .iter()
-            .map(|r| r.completion)
-            .fold(f64::INFINITY, f64::min);
-        let next_arrival = arrivals.front().map(|j| j.arrival).unwrap_or(f64::INFINITY);
-        let next = next_completion.min(next_arrival);
-        if !next.is_finite() {
-            break;
-        }
-        now = next.max(now);
-    }
-
-    outcomes.sort_by(|a, b| a.completion.total_cmp(&b.completion));
-    let makespan = outcomes.last().map(|o| o.completion).unwrap_or(0.0);
-    let capacity = machine.num_midplanes() as f64 * makespan;
-    RunMetrics {
-        policy: policy.label(),
-        outcomes,
-        makespan,
-        utilization: if capacity > 0.0 {
-            busy_midplane_seconds / capacity
-        } else {
-            0.0
-        },
-    }
+    crate::engine_sim::simulate_events(machine, policy, trace)
 }
 
 /// Run the same trace under several policies for side-by-side comparison.

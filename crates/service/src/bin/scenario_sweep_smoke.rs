@@ -1,0 +1,77 @@
+//! CI smoke check for the `sweep` endpoint: send the standard ≥24-combination
+//! scenario sweep (4 topology families × 3 routers × 2 traffic patterns) to a
+//! running `netpart_serve` and fail on any non-Ok scenario.
+//!
+//! Usage: `scenario_sweep_smoke [--addr HOST:PORT]` (default 127.0.0.1:7878).
+
+use netpart_scenario::standard_sweep;
+use netpart_service::client::ServiceClient;
+use netpart_service::protocol::{Request, Response};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("--addr needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}' (expected --addr HOST:PORT)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let scenarios = standard_sweep();
+    let total = scenarios.len();
+    println!("sweeping {total} scenarios against {addr}");
+    let mut client = match ServiceClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match client.request(&Request::Sweep { scenarios }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = match response {
+        Response::SweepSummary { results } => results,
+        other => {
+            eprintln!("expected a sweep summary, got: {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0usize;
+    for line in &results {
+        match &line.error {
+            None => println!(
+                "ok    {:<55} makespan={:>10.4}s units={:>5} solves={:>4}",
+                line.label, line.makespan, line.units, line.solves
+            ),
+            Some(reason) => {
+                failures += 1;
+                println!("FAIL  {:<55} {reason}", line.label);
+            }
+        }
+    }
+    println!(
+        "{} of {} scenarios ok",
+        results.len() - failures,
+        results.len()
+    );
+    if failures > 0 || results.len() != total {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,8 @@
 //! back as typed [`Response::Error`]s, never as panics.
 
 use crate::protocol::{
-    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, TopologySpec,
+    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, ScenarioSpec,
+    SweepLine, TopologySpec,
 };
 use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
 use netpart_engine::{
@@ -15,22 +16,13 @@ use netpart_engine::{
     Router, ScatterAllocator, ShortestPath,
 };
 use netpart_machines::{known, BlueGeneQ};
+use netpart_scenario::{run_sweep, MAX_FLOWS, MAX_JOBS};
 use netpart_sched::{generate_trace, SchedPolicy, TraceConfig};
-use netpart_topology::{Dragonfly, FatTree, GlobalArrangement, HyperX, Hypercube, Torus};
+use netpart_topology::GlobalArrangement;
 
-/// Upper bound on the nodes of a fabric built from a request, so a single
-/// query cannot ask the server to materialize a million-node graph.
-const MAX_FABRIC_NODES: usize = 1 << 14;
-
-/// Upper bound on the directed channels of a fabric built from a request
-/// (dense families like HyperX hit this well before the node budget).
-const MAX_FABRIC_CHANNELS: usize = 1 << 20;
-
-/// Upper bound on flows per `simulate_flows` request.
-const MAX_FLOWS: usize = 1 << 16;
-
-/// Upper bound on jobs per simulation request.
-const MAX_JOBS: usize = 4096;
+/// Upper bound on scenarios per `sweep` request (each scenario already has
+/// its own fabric/flow/job budgets from `netpart-scenario`).
+const MAX_SWEEP: usize = 256;
 
 fn unsupported(message: impl Into<String>) -> Response {
     Response::error(ErrorCode::Unsupported, message)
@@ -65,100 +57,19 @@ fn kernel_from_spec(spec: &Option<KernelSpec>) -> Kernel {
     }
 }
 
-/// Overflow-safe product; `None` means "absurdly large", which every caller
-/// maps to a budget rejection.
-fn checked_product(factors: impl IntoIterator<Item = usize>) -> Option<usize> {
-    factors
-        .into_iter()
-        .try_fold(1usize, |acc, f| acc.checked_mul(f))
-}
-
-/// Estimated `(nodes, directed channels)` of a fabric spec, computed with
-/// checked arithmetic *before* anything is materialized, so a crafted
-/// request can neither overflow the budget check nor ask the server to
-/// build a dense multi-gigabyte graph (a 1-D HyperX is a complete graph:
-/// few nodes, quadratically many channels).
-fn estimated_size(spec: &TopologySpec) -> Option<(usize, usize)> {
-    match spec {
-        TopologySpec::Torus(dims) => {
-            let nodes = checked_product(dims.iter().copied())?;
-            // At most two directed channels per dimension per node.
-            Some((nodes, nodes.checked_mul(dims.len().checked_mul(2)?)?))
-        }
-        TopologySpec::Hypercube(d) => {
-            if *d > 14 {
-                return None;
-            }
-            let nodes = 1usize << d;
-            Some((nodes, nodes.checked_mul(*d as usize)?))
-        }
-        TopologySpec::Dragonfly(g, a, p) => {
-            let nodes = checked_product([*g, *a, *p])?;
-            // Per node: intra-group clique (a-1) + local endpoints (p) plus
-            // one global port — a generous upper estimate.
-            let degree = a.checked_add(*p)?.checked_add(1)?;
-            Some((nodes, nodes.checked_mul(degree)?))
-        }
-        TopologySpec::FatTree(k) => {
-            if *k == 0 || *k % 2 != 0 {
-                return None;
-            }
-            let nodes = checked_product([*k, *k, *k])? / 4;
-            // k^2/4 cores + k^2 aggs/edges, k ports each, both directions.
-            let switch_ports = checked_product([*k, *k, *k])?.checked_mul(3)?;
-            Some((nodes, switch_ports))
-        }
-        TopologySpec::HyperX(dims) => {
-            let nodes = checked_product(dims.iter().copied())?;
-            // Clique per dimension: degree = sum(d_i - 1).
-            let degree = dims
-                .iter()
-                .map(|d| d - 1)
-                .try_fold(0usize, |acc, d| acc.checked_add(d))?;
-            Some((nodes, nodes.checked_mul(degree)?))
-        }
-    }
-}
-
-/// Build the fabric and its natural router from a spec, enforcing the node
-/// and channel budgets. The error is boxed: the happy path should not pay
-/// for the error response's size.
+/// Build the fabric and its natural router from a spec. Construction and
+/// the node/channel budgets live in `netpart-scenario` (the single place a
+/// spec becomes a fabric); the error is boxed so the happy path does not
+/// pay for the error response's size.
 pub fn build_fabric(spec: &TopologySpec) -> Result<(Fabric, Box<dyn Router>), Box<Response>> {
-    let budget_err = || {
-        Box::new(unsupported(format!(
-            "fabric outside the service budget (<= {MAX_FABRIC_NODES} nodes, \
-             <= {MAX_FABRIC_CHANNELS} channels)"
-        )))
+    let fabric =
+        netpart_scenario::build_fabric(spec).map_err(|e| Box::new(unsupported(e.to_string())))?;
+    let router: Box<dyn Router> = if fabric.torus().is_some() {
+        Box::new(DimensionOrdered::default())
+    } else {
+        Box::new(ShortestPath)
     };
-    let (nodes, channels) = estimated_size(spec).ok_or_else(budget_err)?;
-    if nodes == 0 || nodes > MAX_FABRIC_NODES || channels > MAX_FABRIC_CHANNELS {
-        return Err(budget_err());
-    }
-    Ok(match spec {
-        TopologySpec::Torus(dims) => (
-            Fabric::from_torus(Torus::new(dims.clone()), 2.0),
-            Box::new(DimensionOrdered::default()) as Box<dyn Router>,
-        ),
-        TopologySpec::Hypercube(d) => (
-            Fabric::from_topology(&Hypercube::new(*d), 2.0),
-            Box::new(ShortestPath),
-        ),
-        TopologySpec::Dragonfly(g, a, p) => (
-            Fabric::from_topology(
-                &Dragonfly::new(*g, *a, *p, 1.0, 1.0, 1.0, 1, GlobalArrangement::Relative),
-                2.0,
-            ),
-            Box::new(ShortestPath),
-        ),
-        TopologySpec::FatTree(k) => (
-            Fabric::from_topology(&FatTree::new(*k), 2.0),
-            Box::new(ShortestPath),
-        ),
-        TopologySpec::HyperX(dims) => (
-            Fabric::from_topology(&HyperX::regular(dims.clone()), 2.0),
-            Box::new(ShortestPath),
-        ),
-    })
+    Ok((fabric, router))
 }
 
 fn handle_advise(machine: &str, size: usize, kernel: &Option<KernelSpec>) -> Response {
@@ -365,6 +276,38 @@ fn handle_policy_sim(machine: &str, jobs: usize, seed: u64, policy: PolicySpec) 
     }
 }
 
+/// Fan a batch of scenarios out through the parallel sweep runner. Each
+/// scenario succeeds or fails on its own; a bad spec never fails the batch.
+fn handle_sweep(scenarios: &[ScenarioSpec]) -> Response {
+    if scenarios.is_empty() {
+        return unsupported("sweep needs at least one scenario");
+    }
+    if scenarios.len() > MAX_SWEEP {
+        return unsupported(format!("more than {MAX_SWEEP} scenarios in one sweep"));
+    }
+    let results = run_sweep(scenarios)
+        .into_iter()
+        .zip(scenarios)
+        .map(|(result, spec)| match result {
+            Ok(r) => SweepLine {
+                label: r.label,
+                makespan: r.makespan,
+                units: r.units,
+                solves: r.solves,
+                error: None,
+            },
+            Err(e) => SweepLine {
+                label: spec.label(),
+                makespan: 0.0,
+                units: 0,
+                solves: 0,
+                error: Some(e.to_string()),
+            },
+        })
+        .collect();
+    Response::SweepSummary { results }
+}
+
 /// Dispatch one cacheable request to its handler. Control-plane requests
 /// (`Health`, `Stats`, `Shutdown`) are answered by the server itself, not
 /// here; routing them to this function is a server bug surfaced as an
@@ -394,6 +337,7 @@ pub fn handle(request: &Request) -> Response {
             seed,
             policy,
         } => handle_policy_sim(machine, *jobs, *seed, *policy),
+        Request::Sweep { scenarios } => handle_sweep(scenarios),
         Request::Health | Request::Stats | Request::Shutdown => Response::error(
             ErrorCode::Internal,
             "control-plane request routed to the compute dispatcher",
@@ -565,6 +509,63 @@ mod tests {
             best <= worst + 1e-9,
             "best policy penalty {best} should not exceed worst {worst}"
         );
+    }
+
+    #[test]
+    fn sweep_mixes_successes_and_per_scenario_failures() {
+        use crate::protocol::{RoutingSpec, TrafficSpec};
+        let scenarios = vec![
+            ScenarioSpec {
+                topology: TopologySpec::Torus(vec![4, 4]),
+                routing: RoutingSpec::DimensionOrdered,
+                traffic: TrafficSpec::BisectionPairing {
+                    rounds: 6,
+                    warmup_rounds: 2,
+                    round_gigabytes: 0.5,
+                },
+                seed: 1,
+            },
+            // Invalid: dimension-ordered routing off a torus.
+            ScenarioSpec {
+                topology: TopologySpec::Hypercube(4),
+                routing: RoutingSpec::DimensionOrdered,
+                traffic: TrafficSpec::AllToAll { gigabytes: 0.5 },
+                seed: 1,
+            },
+        ];
+        match handle(&Request::Sweep { scenarios }) {
+            Response::SweepSummary { results } => {
+                assert_eq!(results.len(), 2);
+                assert!(results[0].is_ok(), "{:?}", results[0]);
+                assert!(results[0].makespan > 0.0);
+                assert!(!results[1].is_ok());
+            }
+            other => panic!("expected sweep summary, got {other:?}"),
+        }
+        // Empty and oversized batches are refused outright.
+        assert!(matches!(
+            handle(&Request::Sweep { scenarios: vec![] }),
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn standard_sweep_is_all_ok_through_the_handler() {
+        // The CI smoke contract: every scenario of the standard >= 24-combo
+        // sweep must come back Ok.
+        let scenarios = netpart_scenario::standard_sweep();
+        assert!(scenarios.len() >= 24);
+        match handle(&Request::Sweep { scenarios }) {
+            Response::SweepSummary { results } => {
+                for line in &results {
+                    assert!(line.is_ok(), "scenario failed: {line:?}");
+                }
+            }
+            other => panic!("expected sweep summary, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,15 @@ use serde::json::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+// The scenario vocabulary is the protocol's type layer: the wire codec below
+// renders / parses these shared spec types, so the service, the sweep runner
+// and the experiment drivers all speak about the same scenarios.
+pub use netpart_scenario::{AllocatorSpec, PolicySpec, RoutingSpec, ScenarioSpec, TrafficSpec};
+
+/// A network fabric, by family and shape (re-exported from
+/// `netpart-scenario`, which owns the canonical spec vocabulary).
+pub use netpart_scenario::TopologySpec;
+
 /// A decode failure, reported back to the client as a `bad_request` error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError(pub String);
@@ -56,100 +65,252 @@ fn get_dims(v: &Value, field: &str) -> Result<Vec<usize>, ProtocolError> {
         .collect()
 }
 
-/// A network fabric, by family and shape. The `dims` interpretation is
-/// family-specific: torus/HyperX extents, `[dimension]` for hypercubes,
-/// `[k]` for fat-trees, `[groups, routers_per_group, nodes_per_router]` for
-/// dragonflies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum TopologySpec {
-    /// A torus with the given extents.
-    Torus(Vec<usize>),
-    /// A `d`-dimensional hypercube.
-    Hypercube(u32),
-    /// A dragonfly: groups × routers-per-group × nodes-per-router.
-    Dragonfly(usize, usize, usize),
-    /// A `k`-ary fat-tree.
-    FatTree(usize),
-    /// A regular HyperX with the given per-dimension clique sizes.
-    HyperX(Vec<usize>),
+/// Exact-integer field decode: canonically a decimal string (exact for all
+/// `u64`); a plain JSON number is accepted from hand-written clients as long
+/// as it is integer-exact.
+fn get_u64(v: &Value, field: &str) -> Result<u64, ProtocolError> {
+    match v.get(field) {
+        Some(Value::Str(s)) => s.parse::<u64>().map_err(|_| missing(field)),
+        Some(n) => n.as_usize().map(|n| n as u64).ok_or_else(|| missing(field)),
+        None => Err(missing(field)),
+    }
 }
 
-impl TopologySpec {
-    /// Wire name of the family.
-    pub fn family(&self) -> &'static str {
-        match self {
-            TopologySpec::Torus(_) => "torus",
-            TopologySpec::Hypercube(_) => "hypercube",
-            TopologySpec::Dragonfly(..) => "dragonfly",
-            TopologySpec::FatTree(_) => "fattree",
-            TopologySpec::HyperX(_) => "hyperx",
+fn topology_to_value(spec: &TopologySpec) -> Value {
+    Value::obj([
+        ("family", Value::from(spec.family())),
+        ("dims", Value::from(spec.dims())),
+    ])
+}
+
+fn topology_from_value(v: &Value) -> Result<TopologySpec, ProtocolError> {
+    let family = get_str(v, "family")?;
+    let dims = get_dims(v, "dims")?;
+    let arity = |n: usize| {
+        if dims.len() == n {
+            Ok(())
+        } else {
+            Err(ProtocolError(format!(
+                "family '{family}' expects {n} dims, got {}",
+                dims.len()
+            )))
+        }
+    };
+    match family.as_str() {
+        "torus" => {
+            if dims.is_empty() || dims.contains(&0) {
+                return Err(ProtocolError(
+                    "torus dims must be non-empty and positive".into(),
+                ));
+            }
+            Ok(TopologySpec::Torus(dims))
+        }
+        "hypercube" => {
+            arity(1)?;
+            let d = u32::try_from(dims[0])
+                .map_err(|_| ProtocolError("hypercube dimension out of range".into()))?;
+            Ok(TopologySpec::Hypercube(d))
+        }
+        "dragonfly" => {
+            arity(3)?;
+            Ok(TopologySpec::Dragonfly(dims[0], dims[1], dims[2]))
+        }
+        "fattree" => {
+            arity(1)?;
+            Ok(TopologySpec::FatTree(dims[0]))
+        }
+        "hyperx" => {
+            if dims.is_empty() || dims.contains(&0) {
+                return Err(ProtocolError(
+                    "hyperx dims must be non-empty and positive".into(),
+                ));
+            }
+            Ok(TopologySpec::HyperX(dims))
+        }
+        "slimfly" => {
+            arity(1)?;
+            Ok(TopologySpec::SlimFly(dims[0]))
+        }
+        "expander" => {
+            if dims.len() < 2 {
+                return Err(ProtocolError(
+                    "expander expects dims = [nodes, skip...]".into(),
+                ));
+            }
+            Ok(TopologySpec::Expander(dims[0], dims[1..].to_vec()))
+        }
+        other => Err(ProtocolError(format!("unknown topology family '{other}'"))),
+    }
+}
+
+fn routing_to_value(spec: &RoutingSpec) -> Value {
+    match spec {
+        RoutingSpec::DimensionOrdered => Value::obj([("kind", Value::from("dor"))]),
+        RoutingSpec::ShortestPath => Value::obj([("kind", Value::from("shortest"))]),
+        RoutingSpec::Ecmp { salt } => Value::obj([
+            ("kind", Value::from("ecmp")),
+            ("salt", Value::from(salt.to_string())),
+        ]),
+        RoutingSpec::Valiant { seed } => Value::obj([
+            ("kind", Value::from("valiant")),
+            ("seed", Value::from(seed.to_string())),
+        ]),
+    }
+}
+
+fn routing_from_value(v: &Value) -> Result<RoutingSpec, ProtocolError> {
+    match get_str(v, "kind")?.as_str() {
+        "dor" => Ok(RoutingSpec::DimensionOrdered),
+        "shortest" => Ok(RoutingSpec::ShortestPath),
+        "ecmp" => Ok(RoutingSpec::Ecmp {
+            salt: get_u64(v, "salt")?,
+        }),
+        "valiant" => Ok(RoutingSpec::Valiant {
+            seed: get_u64(v, "seed")?,
+        }),
+        other => Err(ProtocolError(format!("unknown routing kind '{other}'"))),
+    }
+}
+
+fn allocator_pairs(allocator: &AllocatorSpec, pairs: &mut Vec<(&'static str, Value)>) {
+    match allocator {
+        AllocatorSpec::Compact => pairs.push(("allocator", Value::from("compact"))),
+        AllocatorSpec::Scatter(stride) => {
+            pairs.push(("allocator", Value::from("scatter")));
+            pairs.push(("stride", Value::from(*stride)));
         }
     }
+}
 
-    /// Family-specific `dims` encoding (see the type docs).
-    pub fn dims(&self) -> Vec<usize> {
-        match self {
-            TopologySpec::Torus(d) | TopologySpec::HyperX(d) => d.clone(),
-            TopologySpec::Hypercube(d) => vec![*d as usize],
-            TopologySpec::Dragonfly(g, a, p) => vec![*g, *a, *p],
-            TopologySpec::FatTree(k) => vec![*k],
+fn allocator_from_value(v: &Value) -> Result<AllocatorSpec, ProtocolError> {
+    match get_str(v, "allocator")?.as_str() {
+        "compact" => Ok(AllocatorSpec::Compact),
+        "scatter" => Ok(AllocatorSpec::Scatter(match v.get("stride") {
+            None => 7,
+            Some(s) => s.as_usize().ok_or_else(|| missing("stride"))?,
+        })),
+        other => Err(ProtocolError(format!("unknown allocator '{other}'"))),
+    }
+}
+
+fn policy_pairs(policy: &PolicySpec, pairs: &mut Vec<(&'static str, Value)>) {
+    match policy {
+        PolicySpec::Worst => pairs.push(("policy", Value::from("worst"))),
+        PolicySpec::Best => pairs.push(("policy", Value::from("best"))),
+        PolicySpec::HintAware(tol) => {
+            pairs.push(("policy", Value::from("hint_aware")));
+            pairs.push(("tolerance", Value::from(*tol)));
         }
     }
+}
 
-    fn to_value(&self) -> Value {
-        Value::obj([
-            ("family", Value::from(self.family())),
-            ("dims", Value::from(self.dims())),
-        ])
+fn policy_from_value(v: &Value) -> Result<PolicySpec, ProtocolError> {
+    match get_str(v, "policy")?.as_str() {
+        "worst" => Ok(PolicySpec::Worst),
+        "best" => Ok(PolicySpec::Best),
+        "hint_aware" => Ok(PolicySpec::HintAware(get_f64(v, "tolerance")?)),
+        other => Err(ProtocolError(format!("unknown policy '{other}'"))),
     }
+}
 
-    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
-        let family = get_str(v, "family")?;
-        let dims = get_dims(v, "dims")?;
-        let arity = |n: usize| {
-            if dims.len() == n {
-                Ok(())
-            } else {
-                Err(ProtocolError(format!(
-                    "family '{family}' expects {n} dims, got {}",
-                    dims.len()
-                )))
-            }
-        };
-        match family.as_str() {
-            "torus" => {
-                if dims.is_empty() || dims.contains(&0) {
-                    return Err(ProtocolError(
-                        "torus dims must be non-empty and positive".into(),
-                    ));
-                }
-                Ok(TopologySpec::Torus(dims))
-            }
-            "hypercube" => {
-                arity(1)?;
-                let d = u32::try_from(dims[0])
-                    .map_err(|_| ProtocolError("hypercube dimension out of range".into()))?;
-                Ok(TopologySpec::Hypercube(d))
-            }
-            "dragonfly" => {
-                arity(3)?;
-                Ok(TopologySpec::Dragonfly(dims[0], dims[1], dims[2]))
-            }
-            "fattree" => {
-                arity(1)?;
-                Ok(TopologySpec::FatTree(dims[0]))
-            }
-            "hyperx" => {
-                if dims.is_empty() || dims.contains(&0) {
-                    return Err(ProtocolError(
-                        "hyperx dims must be non-empty and positive".into(),
-                    ));
-                }
-                Ok(TopologySpec::HyperX(dims))
-            }
-            other => Err(ProtocolError(format!("unknown topology family '{other}'"))),
+fn traffic_to_value(spec: &TrafficSpec) -> Value {
+    match spec {
+        TrafficSpec::BisectionPairing {
+            rounds,
+            warmup_rounds,
+            round_gigabytes,
+        } => Value::obj([
+            ("kind", Value::from("pairing")),
+            ("rounds", Value::from(*rounds)),
+            ("warmup_rounds", Value::from(*warmup_rounds)),
+            ("round_gigabytes", Value::from(*round_gigabytes)),
+        ]),
+        TrafficSpec::AllToAll { gigabytes } => Value::obj([
+            ("kind", Value::from("all_to_all")),
+            ("gigabytes", Value::from(*gigabytes)),
+        ]),
+        TrafficSpec::RandomPermutation { gigabytes } => Value::obj([
+            ("kind", Value::from("permutation")),
+            ("gigabytes", Value::from(*gigabytes)),
+        ]),
+        TrafficSpec::JobTrace {
+            jobs,
+            max_nodes,
+            mean_gap,
+            gigabytes,
+            allocator,
+        } => {
+            let mut pairs = vec![
+                ("kind", Value::from("job_trace")),
+                ("jobs", Value::from(*jobs)),
+                ("max_nodes", Value::from(*max_nodes)),
+                ("mean_gap", Value::from(*mean_gap)),
+                ("gigabytes", Value::from(*gigabytes)),
+            ];
+            allocator_pairs(allocator, &mut pairs);
+            Value::obj(pairs)
+        }
+        TrafficSpec::SchedulerTrace {
+            machine,
+            jobs,
+            policy,
+        } => {
+            let mut pairs = vec![
+                ("kind", Value::from("sched_trace")),
+                ("machine", Value::from(machine.as_str())),
+                ("jobs", Value::from(*jobs)),
+            ];
+            policy_pairs(policy, &mut pairs);
+            Value::obj(pairs)
         }
     }
+}
+
+fn traffic_from_value(v: &Value) -> Result<TrafficSpec, ProtocolError> {
+    match get_str(v, "kind")?.as_str() {
+        "pairing" => Ok(TrafficSpec::BisectionPairing {
+            rounds: get_usize(v, "rounds")?,
+            warmup_rounds: get_usize(v, "warmup_rounds")?,
+            round_gigabytes: get_f64(v, "round_gigabytes")?,
+        }),
+        "all_to_all" => Ok(TrafficSpec::AllToAll {
+            gigabytes: get_f64(v, "gigabytes")?,
+        }),
+        "permutation" => Ok(TrafficSpec::RandomPermutation {
+            gigabytes: get_f64(v, "gigabytes")?,
+        }),
+        "job_trace" => Ok(TrafficSpec::JobTrace {
+            jobs: get_usize(v, "jobs")?,
+            max_nodes: get_usize(v, "max_nodes")?,
+            mean_gap: get_f64(v, "mean_gap")?,
+            gigabytes: get_f64(v, "gigabytes")?,
+            allocator: allocator_from_value(v)?,
+        }),
+        "sched_trace" => Ok(TrafficSpec::SchedulerTrace {
+            machine: get_str(v, "machine")?,
+            jobs: get_usize(v, "jobs")?,
+            policy: policy_from_value(v)?,
+        }),
+        other => Err(ProtocolError(format!("unknown traffic kind '{other}'"))),
+    }
+}
+
+fn scenario_to_value(spec: &ScenarioSpec) -> Value {
+    Value::obj([
+        ("topology", topology_to_value(&spec.topology)),
+        ("routing", routing_to_value(&spec.routing)),
+        ("traffic", traffic_to_value(&spec.traffic)),
+        ("seed", Value::from(spec.seed.to_string())),
+    ])
+}
+
+fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, ProtocolError> {
+    Ok(ScenarioSpec {
+        topology: topology_from_value(v.get("topology").ok_or_else(|| missing("topology"))?)?,
+        routing: routing_from_value(v.get("routing").ok_or_else(|| missing("routing"))?)?,
+        traffic: traffic_from_value(v.get("traffic").ok_or_else(|| missing("traffic"))?)?,
+        seed: get_u64(v, "seed")?,
+    })
 }
 
 /// A kernel for [`Request::Advise`], mirroring `netpart_contention::Kernel`.
@@ -239,28 +400,6 @@ impl FlowSpec {
     }
 }
 
-/// Allocator choice for [`Request::ClusterSim`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum AllocatorSpec {
-    /// Breadth-first compact allocation (the locality-preserving baseline).
-    Compact,
-    /// Strided scatter with the given stride (the adversarial baseline).
-    Scatter(usize),
-}
-
-/// Scheduling policy for [`Request::PolicySim`], mirroring
-/// `netpart_sched::SchedPolicy`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum PolicySpec {
-    /// Worst available bisection (adversarial size-only allocation).
-    Worst,
-    /// Best available bisection.
-    Best,
-    /// Hint-aware with a minimum acceptable fraction of the optimal
-    /// bisection for contention-bound jobs.
-    HintAware(f64),
-}
-
 /// A request line. Advice and analysis queries are deterministic and cached
 /// by the service; `Health`/`Stats`/`Shutdown` are control-plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -323,6 +462,13 @@ pub enum Request {
         /// Scheduling policy to evaluate.
         policy: PolicySpec,
     },
+    /// A batch of declarative scenarios, fanned out in parallel through
+    /// `netpart-scenario`'s sweep runner. Each scenario succeeds or fails
+    /// independently; the summary reports one line per spec, in order.
+    Sweep {
+        /// The scenarios to run.
+        scenarios: Vec<ScenarioSpec>,
+    },
     /// Liveness probe.
     Health,
     /// Metrics snapshot (request counts, latency percentiles, cache stats).
@@ -340,6 +486,7 @@ impl Request {
             Request::SimulateFlows { .. } => "simulate_flows",
             Request::ClusterSim { .. } => "cluster_sim",
             Request::PolicySim { .. } => "policy_sim",
+            Request::Sweep { .. } => "sweep",
             Request::Health => "health",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
@@ -382,10 +529,17 @@ impl Request {
             ]),
             Request::SimulateFlows { topology, flows } => Value::obj([
                 ("type", Value::from("simulate_flows")),
-                ("topology", topology.to_value()),
+                ("topology", topology_to_value(topology)),
                 (
                     "flows",
                     Value::Arr(flows.iter().copied().map(FlowSpec::to_value).collect()),
+                ),
+            ]),
+            Request::Sweep { scenarios } => Value::obj([
+                ("type", Value::from("sweep")),
+                (
+                    "scenarios",
+                    Value::Arr(scenarios.iter().map(scenario_to_value).collect()),
                 ),
             ]),
             Request::ClusterSim {
@@ -398,21 +552,13 @@ impl Request {
             } => {
                 let mut pairs = vec![
                     ("type", Value::from("cluster_sim")),
-                    ("topology", topology.to_value()),
+                    ("topology", topology_to_value(topology)),
                     ("jobs", Value::from(*jobs)),
                     ("max_nodes", Value::from(*max_nodes)),
                     ("mean_gap", Value::from(*mean_gap)),
                     ("gigabytes", Value::from(*gigabytes)),
                 ];
-                match allocator {
-                    AllocatorSpec::Compact => {
-                        pairs.push(("allocator", Value::from("compact")));
-                    }
-                    AllocatorSpec::Scatter(stride) => {
-                        pairs.push(("allocator", Value::from("scatter")));
-                        pairs.push(("stride", Value::from(*stride)));
-                    }
-                }
+                allocator_pairs(allocator, &mut pairs);
                 Value::obj(pairs)
             }
             Request::PolicySim {
@@ -429,14 +575,7 @@ impl Request {
                     // round seeds above 2^53.
                     ("seed", Value::from(seed.to_string())),
                 ];
-                match policy {
-                    PolicySpec::Worst => pairs.push(("policy", Value::from("worst"))),
-                    PolicySpec::Best => pairs.push(("policy", Value::from("best"))),
-                    PolicySpec::HintAware(tol) => {
-                        pairs.push(("policy", Value::from("hint_aware")));
-                        pairs.push(("tolerance", Value::from(*tol)));
-                    }
-                }
+                policy_pairs(policy, &mut pairs);
                 Value::obj(pairs)
             }
             Request::Health => Value::obj([("type", Value::from("health"))]),
@@ -473,47 +612,38 @@ impl Request {
                     .map(FlowSpec::from_value)
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Request::SimulateFlows {
-                    topology: TopologySpec::from_value(
+                    topology: topology_from_value(
                         v.get("topology").ok_or_else(|| missing("topology"))?,
                     )?,
                     flows,
                 })
             }
             "cluster_sim" => Ok(Request::ClusterSim {
-                topology: TopologySpec::from_value(
+                topology: topology_from_value(
                     v.get("topology").ok_or_else(|| missing("topology"))?,
                 )?,
                 jobs: get_usize(v, "jobs")?,
                 max_nodes: get_usize(v, "max_nodes")?,
                 mean_gap: get_f64(v, "mean_gap")?,
                 gigabytes: get_f64(v, "gigabytes")?,
-                allocator: match get_str(v, "allocator")?.as_str() {
-                    "compact" => AllocatorSpec::Compact,
-                    "scatter" => AllocatorSpec::Scatter(match v.get("stride") {
-                        None => 7,
-                        Some(s) => s.as_usize().ok_or_else(|| missing("stride"))?,
-                    }),
-                    other => return Err(ProtocolError(format!("unknown allocator '{other}'"))),
-                },
+                allocator: allocator_from_value(v)?,
             }),
             "policy_sim" => Ok(Request::PolicySim {
                 machine: get_str(v, "machine")?,
                 jobs: get_usize(v, "jobs")?,
-                // Canonically a decimal string (exact for all u64); a plain
-                // JSON number is accepted from hand-written clients as long
-                // as it is integer-exact.
-                seed: match v.get("seed") {
-                    Some(Value::Str(s)) => s.parse::<u64>().map_err(|_| missing("seed"))?,
-                    Some(n) => n.as_usize().ok_or_else(|| missing("seed"))? as u64,
-                    None => return Err(missing("seed")),
-                },
-                policy: match get_str(v, "policy")?.as_str() {
-                    "worst" => PolicySpec::Worst,
-                    "best" => PolicySpec::Best,
-                    "hint_aware" => PolicySpec::HintAware(get_f64(v, "tolerance")?),
-                    other => return Err(ProtocolError(format!("unknown policy '{other}'"))),
-                },
+                seed: get_u64(v, "seed")?,
+                policy: policy_from_value(v)?,
             }),
+            "sweep" => {
+                let scenarios = v
+                    .get("scenarios")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| missing("scenarios"))?
+                    .iter()
+                    .map(scenario_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Sweep { scenarios })
+            }
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -601,6 +731,66 @@ impl StatsSnapshot {
     }
 }
 
+/// One scenario's line in a [`Response::SweepSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepLine {
+    /// The spec's canonical label.
+    pub label: String,
+    /// Completion time of the last flow/job (seconds; 0 on failure).
+    pub makespan: f64,
+    /// Flows or jobs simulated (0 on failure).
+    pub units: usize,
+    /// Max–min rate solves the scenario needed (0 on failure).
+    pub solves: usize,
+    /// `None` when the scenario ran; `Some(reason)` when it failed.
+    pub error: Option<String>,
+}
+
+impl SweepLine {
+    /// Whether the scenario ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn to_value(&self) -> Value {
+        match &self.error {
+            None => Value::obj([
+                ("label", Value::from(self.label.as_str())),
+                ("status", Value::from("ok")),
+                ("makespan", Value::from(self.makespan)),
+                ("units", Value::from(self.units)),
+                ("solves", Value::from(self.solves)),
+            ]),
+            Some(message) => Value::obj([
+                ("label", Value::from(self.label.as_str())),
+                ("status", Value::from("error")),
+                ("message", Value::from(message.as_str())),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        let label = get_str(v, "label")?;
+        match get_str(v, "status")?.as_str() {
+            "ok" => Ok(SweepLine {
+                label,
+                makespan: get_f64(v, "makespan")?,
+                units: get_usize(v, "units")?,
+                solves: get_usize(v, "solves")?,
+                error: None,
+            }),
+            "error" => Ok(SweepLine {
+                label,
+                makespan: 0.0,
+                units: 0,
+                solves: 0,
+                error: Some(get_str(v, "message")?),
+            }),
+            other => Err(ProtocolError(format!("unknown sweep status '{other}'"))),
+        }
+    }
+}
+
 /// A response line, mirroring the request kinds plus `ok` / `error`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -671,6 +861,11 @@ pub enum Response {
         mean_contention_penalty: f64,
         /// Fraction of jobs that received an optimal geometry.
         optimal_geometry_fraction: f64,
+    },
+    /// Answer to [`Request::Sweep`]: one line per scenario, in spec order.
+    SweepSummary {
+        /// Per-scenario outcomes.
+        results: Vec<SweepLine>,
     },
     /// Answer to [`Request::Health`].
     Health {
@@ -780,6 +975,18 @@ impl Response {
                     Value::from(*optimal_geometry_fraction),
                 ),
             ]),
+            Response::SweepSummary { results } => Value::obj([
+                ("type", Value::from("sweep_summary")),
+                ("total", Value::from(results.len())),
+                (
+                    "ok",
+                    Value::from(results.iter().filter(|r| r.is_ok()).count()),
+                ),
+                (
+                    "results",
+                    Value::Arr(results.iter().map(SweepLine::to_value).collect()),
+                ),
+            ]),
             Response::Health {
                 uptime_seconds,
                 workers,
@@ -872,6 +1079,16 @@ impl Response {
                 mean_contention_penalty: get_f64(v, "mean_contention_penalty")?,
                 optimal_geometry_fraction: get_f64(v, "optimal_geometry_fraction")?,
             }),
+            "sweep_summary" => {
+                let results = v
+                    .get("results")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| missing("results"))?
+                    .iter()
+                    .map(SweepLine::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::SweepSummary { results })
+            }
             "health" => Ok(Response::Health {
                 uptime_seconds: get_f64(v, "uptime_seconds")?,
                 workers: get_usize(v, "workers")?,
@@ -961,6 +1178,42 @@ mod tests {
                 seed: 42,
                 policy: PolicySpec::HintAware(0.99),
             },
+            Request::Sweep {
+                scenarios: vec![
+                    ScenarioSpec {
+                        topology: TopologySpec::Torus(vec![4, 4, 2]),
+                        routing: RoutingSpec::DimensionOrdered,
+                        traffic: TrafficSpec::BisectionPairing {
+                            rounds: 8,
+                            warmup_rounds: 2,
+                            round_gigabytes: 0.5,
+                        },
+                        seed: u64::MAX,
+                    },
+                    ScenarioSpec {
+                        topology: TopologySpec::SlimFly(5),
+                        routing: RoutingSpec::Ecmp { salt: u64::MAX - 1 },
+                        traffic: TrafficSpec::JobTrace {
+                            jobs: 8,
+                            max_nodes: 8,
+                            mean_gap: 30.0,
+                            gigabytes: 0.25,
+                            allocator: AllocatorSpec::Scatter(3),
+                        },
+                        seed: 9,
+                    },
+                    ScenarioSpec {
+                        topology: TopologySpec::Expander(40, vec![1, 7, 16]),
+                        routing: RoutingSpec::Valiant { seed: 4 },
+                        traffic: TrafficSpec::SchedulerTrace {
+                            machine: "mira".into(),
+                            jobs: 10,
+                            policy: PolicySpec::HintAware(0.75),
+                        },
+                        seed: 0,
+                    },
+                ],
+            },
             Request::Health,
             Request::Stats,
             Request::Shutdown,
@@ -969,6 +1222,34 @@ mod tests {
             let line = r.encode();
             assert_eq!(Request::decode(&line).unwrap(), r, "line {line}");
         }
+    }
+
+    #[test]
+    fn sweep_summary_round_trips() {
+        let response = Response::SweepSummary {
+            results: vec![
+                SweepLine {
+                    label: "torus[4,4]/dor/pairing(6x0.5GB)/s42".into(),
+                    makespan: 12.5,
+                    units: 16,
+                    solves: 3,
+                    error: None,
+                },
+                SweepLine {
+                    label: "hypercube[4]/dor/all-to-all(1GB)/s0".into(),
+                    makespan: 0.0,
+                    units: 0,
+                    solves: 0,
+                    error: Some("invalid spec: dimension-ordered routing needs a torus".into()),
+                },
+            ],
+        };
+        let line = response.encode();
+        assert!(
+            line.contains(r#""total":2"#) && line.contains(r#""ok":1"#),
+            "{line}"
+        );
+        assert_eq!(Response::decode(&line).unwrap(), response);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! responses through encode → decode, and the canonical form is stable.
 
 use netpart_service::protocol::{
-    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, StatsSnapshot,
-    TopologySpec,
+    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, RoutingSpec,
+    ScenarioSpec, StatsSnapshot, SweepLine, TopologySpec, TrafficSpec,
 };
 use proptest::prelude::*;
 
@@ -30,8 +30,90 @@ fn topology_strategy() -> BoxedStrategy<TopologySpec> {
         (1usize..9, 1usize..9, 1usize..9).prop_map(|(g, a, p)| TopologySpec::Dragonfly(g, a, p)),
         (2usize..17).prop_map(TopologySpec::FatTree),
         dims_strategy().prop_map(TopologySpec::HyperX),
+        (2usize..32).prop_map(TopologySpec::SlimFly),
+        (3usize..64, dims_strategy()).prop_map(|(n, skips)| TopologySpec::Expander(n, skips)),
     ]
     .boxed()
+}
+
+fn routing_strategy() -> BoxedStrategy<RoutingSpec> {
+    prop_oneof![
+        Just(RoutingSpec::DimensionOrdered),
+        Just(RoutingSpec::ShortestPath),
+        (0usize..1_000_000).prop_map(|salt| RoutingSpec::Ecmp {
+            // Spread over the full u64 range (beyond 2^53) to pin the exact
+            // string-based wire encoding.
+            salt: (salt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }),
+        (0usize..1_000_000).prop_map(|seed| RoutingSpec::Valiant {
+            seed: (seed as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+        }),
+    ]
+    .boxed()
+}
+
+fn traffic_strategy() -> BoxedStrategy<TrafficSpec> {
+    prop_oneof![
+        (2usize..64, 0usize..1, 0.01f64..8.0).prop_map(|(rounds, warmup, gb)| {
+            TrafficSpec::BisectionPairing {
+                rounds,
+                warmup_rounds: warmup,
+                round_gigabytes: gb,
+            }
+        }),
+        (0.01f64..8.0).prop_map(|gigabytes| TrafficSpec::AllToAll { gigabytes }),
+        (0.01f64..8.0).prop_map(|gigabytes| TrafficSpec::RandomPermutation { gigabytes }),
+        (
+            1usize..64,
+            2usize..32,
+            0.1f64..1e4,
+            0.01f64..16.0,
+            prop_oneof![
+                Just(AllocatorSpec::Compact),
+                (1usize..16).prop_map(AllocatorSpec::Scatter),
+            ],
+        )
+            .prop_map(|(jobs, max_nodes, mean_gap, gigabytes, allocator)| {
+                TrafficSpec::JobTrace {
+                    jobs,
+                    max_nodes,
+                    mean_gap,
+                    gigabytes,
+                    allocator,
+                }
+            }),
+        (
+            name_strategy(),
+            1usize..128,
+            prop_oneof![
+                Just(PolicySpec::Worst),
+                Just(PolicySpec::Best),
+                (0.0f64..1.0).prop_map(PolicySpec::HintAware),
+            ],
+        )
+            .prop_map(|(machine, jobs, policy)| TrafficSpec::SchedulerTrace {
+                machine,
+                jobs,
+                policy,
+            }),
+    ]
+    .boxed()
+}
+
+fn scenario_strategy() -> BoxedStrategy<ScenarioSpec> {
+    (
+        topology_strategy(),
+        routing_strategy(),
+        traffic_strategy(),
+        0usize..1_000_000,
+    )
+        .prop_map(|(topology, routing, traffic, seed)| ScenarioSpec {
+            topology,
+            routing,
+            traffic,
+            seed: (seed as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+        })
+        .boxed()
 }
 
 fn kernel_strategy() -> BoxedStrategy<KernelSpec> {
@@ -113,6 +195,8 @@ fn request_strategy() -> BoxedStrategy<Request> {
                 seed: (seed as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                 policy,
             }),
+        proptest::collection::vec(scenario_strategy(), 0..6)
+            .prop_map(|scenarios| Request::Sweep { scenarios }),
         Just(Request::Health),
         Just(Request::Stats),
         Just(Request::Shutdown),
@@ -182,6 +266,33 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 latency_p99_us: 64.0,
             })
         }),
+        proptest::collection::vec(
+            (
+                name_strategy(),
+                0.0f64..1e5,
+                0usize..10_000,
+                0usize..64,
+                proptest::option::of(name_strategy()),
+            )
+                .prop_map(|(label, makespan, units, solves, error)| match error {
+                    None => SweepLine {
+                        label,
+                        makespan,
+                        units,
+                        solves,
+                        error: None,
+                    },
+                    some_error => SweepLine {
+                        label,
+                        makespan: 0.0,
+                        units: 0,
+                        solves: 0,
+                        error: some_error,
+                    },
+                }),
+            0..6,
+        )
+        .prop_map(|results| Response::SweepSummary { results }),
         Just(Response::Ok),
         (name_strategy()).prop_map(|message| Response::Error {
             code: ErrorCode::Unsupported,

@@ -85,6 +85,24 @@ fn every_request_variant_gets_its_response_type() {
         "{policy:?}"
     );
 
+    let sweep = client
+        .request(&Request::Sweep {
+            scenarios: netpart_scenario::standard_sweep(),
+        })
+        .unwrap();
+    match &sweep {
+        Response::SweepSummary { results } => {
+            assert!(results.len() >= 24, "{} scenarios", results.len());
+            assert!(
+                results
+                    .iter()
+                    .all(netpart_service::protocol::SweepLine::is_ok),
+                "{results:?}"
+            );
+        }
+        other => panic!("expected sweep summary, got {other:?}"),
+    }
+
     let health = client.health().unwrap();
     assert!(
         matches!(health, Response::Health { workers: 2, .. }),
