@@ -6,6 +6,9 @@
 //!
 //! * [`optimize`] — best / worst geometries per partition size and
 //!   improvement proposals for a given current geometry.
+//! * [`fabric`] — the fabric-generic counterpart of [`optimize`]: rank
+//!   explicit node-set candidates on any `netpart_engine::Fabric` by their
+//!   internal sweep-cut bisection capacity.
 //! * [`report`] — the paper's partition tables (Tables 1, 2, 5, 6, 7) as
 //!   structured rows plus plain-text rendering.
 //! * [`series`] — the bisection-bandwidth curves of Figures 1, 2 and 7.
@@ -34,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod optimize;
 pub mod report;
 pub mod scheduler;

@@ -1,0 +1,25 @@
+//! Criterion benchmarks for candidate-allocation scoring: per-candidate
+//! construction vs the reused CSR/fluid/scratch buffers (the hot path of
+//! the service's `advise_fabric` / `allocation_sweep` endpoints). The
+//! workloads are shared with the `bench_advise` baseline bin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netpart_bench::advise_workloads::{advise_fabric, candidate_sets, score_naive, score_reused};
+use netpart_engine::DimensionOrdered;
+
+fn bench_candidate_scoring(c: &mut Criterion) {
+    let fabric = advise_fabric();
+    let router = DimensionOrdered::default();
+    let candidates = candidate_sets(&fabric, 32, 8);
+    let mut group = c.benchmark_group("advise_scoring");
+    group.bench_function("naive_8x32", |b| {
+        b.iter(|| score_naive(&fabric, &router, &candidates, 0.25))
+    });
+    group.bench_function("reused_8x32", |b| {
+        b.iter(|| score_reused(&fabric, &router, &candidates, 0.25))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_scoring);
+criterion_main!(benches);

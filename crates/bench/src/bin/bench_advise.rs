@@ -1,0 +1,74 @@
+//! Machine-readable allocation-advice performance baseline.
+//!
+//! Times the candidate-allocation scoring hot path twice — per-candidate
+//! construction (the naive shape) vs the reused CSR/fluid/scratch buffers
+//! that `netpart_scenario::run_advice` actually uses — plus one end-to-end
+//! `run_advice` over the torus-blocks registry entry, and writes
+//! `results/bench_advise.json`. The two scoring paths are asserted
+//! bit-identical before anything is timed.
+
+use netpart_bench::advise_workloads::{advise_fabric, candidate_sets, score_naive, score_reused};
+use netpart_bench::emit_json;
+use netpart_engine::DimensionOrdered;
+use netpart_scenario::{named_advice, run_advice};
+use std::time::Instant;
+
+/// Best-of-five wall-clock seconds for `routine`.
+fn time_best<O>(mut routine: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let fabric = advise_fabric();
+    let router = DimensionOrdered::default();
+    let gigabytes = 0.25;
+    let mut entries: Vec<(String, &str, f64)> = Vec::new();
+
+    // Two sweep shapes: many tiny candidates (allocation-dominated) and a
+    // realistic medium shape (solve-dominated, reuse ~neutral). The fluid
+    // solve itself was already allocation-free within a run after PR 4, so
+    // cross-candidate reuse trims the remaining per-candidate setup only.
+    for (nodes, count) in [(4usize, 512usize), (12, 96)] {
+        let candidates = candidate_sets(&fabric, nodes, count);
+        let naive_score = score_naive(&fabric, &router, &candidates, gigabytes);
+        let reused_score = score_reused(&fabric, &router, &candidates, gigabytes);
+        assert_eq!(
+            naive_score.to_bits(),
+            reused_score.to_bits(),
+            "buffer reuse must not change the scores"
+        );
+        let naive = time_best(|| score_naive(&fabric, &router, &candidates, gigabytes));
+        let reused = time_best(|| score_reused(&fabric, &router, &candidates, gigabytes));
+        entries.push((format!("score_{count}x{nodes}_naive"), "seconds", naive));
+        entries.push((format!("score_{count}x{nodes}_reused"), "seconds", reused));
+        entries.push((
+            format!("score_{count}x{nodes}_speedup"),
+            "ratio",
+            naive / reused,
+        ));
+    }
+
+    let advice_spec = named_advice("advise-torus-blocks").expect("registry entry");
+    let end_to_end = time_best(|| run_advice(&advice_spec).expect("advice runs"));
+    entries.push((
+        "run_advice/advise-torus-blocks".to_string(),
+        "seconds",
+        end_to_end,
+    ));
+    let mut json =
+        String::from("{\n  \"schema\": \"netpart-bench-advise/v1\",\n  \"entries\": [\n");
+    for (i, (name, metric, value)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"metric\": \"{metric}\", \"value\": {value:.6}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    emit_json("bench_advise", &json);
+}

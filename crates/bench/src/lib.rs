@@ -156,6 +156,120 @@ pub mod engine_workloads {
     }
 }
 
+/// Shared workload definitions for the allocation-advice benchmarks.
+///
+/// `benches/advise.rs` (criterion timings) and the `bench_advise` bin (the
+/// committed `results/bench_advise.json`) both measure exactly these
+/// workloads: scoring a fixed list of candidate allocations by all-to-all
+/// flow simulation, once with per-candidate construction (`score_naive`)
+/// and once with the reused CSR/fluid/scratch buffers (`score_reused`).
+/// The two must produce bit-identical scores — only the allocation
+/// behaviour differs.
+pub mod advise_workloads {
+    use netpart_engine::{
+        route_flows, route_flows_csr, Allocator, BlockedAllocator, CompactAllocator, Fabric, Flow,
+        FluidSim, RandomAllocator, Router, ScatterAllocator,
+    };
+    use netpart_topology::Torus;
+
+    /// The fabric the advise benchmarks score on.
+    pub fn advise_fabric() -> Fabric {
+        Fabric::from_torus(Torus::new(vec![8, 8, 4]), 2.0)
+    }
+
+    /// A deterministic list of `count` candidate allocations of `nodes`
+    /// nodes, mixing the blocked / greedy / scatter / random generators.
+    pub fn candidate_sets(fabric: &Fabric, nodes: usize, count: usize) -> Vec<Vec<usize>> {
+        let free = vec![true; fabric.num_nodes()];
+        (0..count)
+            .map(|i| {
+                let set = match i % 4 {
+                    0 => BlockedAllocator.allocate(fabric, &free, nodes),
+                    1 => CompactAllocator.allocate(fabric, &free, nodes),
+                    2 => ScatterAllocator { stride: 3 + i }.allocate(fabric, &free, nodes),
+                    _ => RandomAllocator { seed: i as u64 }.allocate(fabric, &free, nodes),
+                };
+                set.expect("candidate fits the fabric")
+            })
+            .collect()
+    }
+
+    fn all_to_all(nodes: &[usize], gigabytes: f64) -> Vec<Flow> {
+        let mut flows = Vec::with_capacity(nodes.len() * (nodes.len() - 1));
+        for &a in nodes {
+            for &b in nodes {
+                if a != b {
+                    flows.push(Flow {
+                        src: a,
+                        dst: b,
+                        gigabytes,
+                    });
+                }
+            }
+        }
+        flows
+    }
+
+    /// Score every candidate with fresh per-candidate allocations (the
+    /// pre-refactor shape: per-flow route vectors + a new `FluidSim` each
+    /// round). Returns the sum of makespans.
+    pub fn score_naive(
+        fabric: &Fabric,
+        router: &dyn Router,
+        candidates: &[Vec<usize>],
+        gigabytes: f64,
+    ) -> f64 {
+        let mut total = 0.0;
+        for nodes in candidates {
+            let flows = all_to_all(nodes, gigabytes);
+            let paths = route_flows(fabric, router, &flows).expect("routable");
+            let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
+            let mut fluid = FluidSim::new(&paths, fabric.capacities(), &sizes);
+            fluid.run_to_completion();
+            total += fluid.time();
+        }
+        total
+    }
+
+    /// Score every candidate through the reused buffers (CSR paths, flow
+    /// list, fluid state and max–min scratch all persist across candidates).
+    /// Bit-identical scores to [`score_naive`].
+    pub fn score_reused(
+        fabric: &Fabric,
+        router: &dyn Router,
+        candidates: &[Vec<usize>],
+        gigabytes: f64,
+    ) -> f64 {
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut sizes: Vec<f64> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        let mut data: Vec<usize> = Vec::new();
+        let mut fluid = FluidSim::empty();
+        let mut total = 0.0;
+        for nodes in candidates {
+            flows.clear();
+            sizes.clear();
+            for &a in nodes {
+                for &b in nodes {
+                    if a != b {
+                        flows.push(Flow {
+                            src: a,
+                            dst: b,
+                            gigabytes,
+                        });
+                        sizes.push(gigabytes);
+                    }
+                }
+            }
+            route_flows_csr(fabric, router, &flows, &mut offsets, &mut data).expect("routable");
+            fluid.reset_csr(&offsets, &data, fabric.capacities(), &sizes);
+            fluid.run_to_completion();
+            total += fluid.time();
+        }
+        total
+    }
+}
+
 /// Format seconds with three significant decimals.
 pub fn secs(t: f64) -> String {
     format!("{t:.3}")

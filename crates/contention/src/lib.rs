@@ -17,6 +17,12 @@
 //! (contention / bandwidth / compute bound) and kernel-aware allocation
 //! advice ([`advisor`]).
 //!
+//! The same bounds generalize beyond standalone tori: [`fabric`] evaluates
+//! the uniform-spread crossing model against locality-sweep escape cuts on
+//! any `netpart_engine::Fabric` allocation (dragonfly, fat-tree, Slim Fly,
+//! expander, …), with the torus closed form kept as a bit-identical fast
+//! path for full-machine torus allocations.
+//!
 //! # Example
 //!
 //! ```
@@ -37,11 +43,17 @@
 
 pub mod advisor;
 pub mod bounds;
+pub mod fabric;
 pub mod kernels;
 
 pub use advisor::{advise_kernel, sizes_where_geometry_matters, KernelAdvice};
 pub use bounds::{
     runtime_breakdown, ContentionBound, ContentionModel, NodeModel, RuntimeBreakdown,
     RuntimeRegime, BYTES_PER_WORD,
+};
+pub use fabric::{
+    internal_bisection_gbs, internal_bisection_gbs_with, is_full_node_set, locality_order,
+    prefix_cut_gbs, prefix_internal_cut_gbs, sweep_bisection_gbs, FabricContentionBound,
+    SweepOrders,
 };
 pub use kernels::Kernel;

@@ -97,6 +97,66 @@ impl Allocator for CompactAllocator {
     }
 }
 
+/// Lowest-index block allocation: take the `count` lowest-numbered free
+/// nodes. On fabrics whose node numbering is locality-major — row-major
+/// tori, dragonfly groups, fat-tree hosts (numbered before the switches) —
+/// this is the "contiguous block" baseline a slot-based scheduler produces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedAllocator;
+
+impl Allocator for BlockedAllocator {
+    fn allocate(&self, fabric: &Fabric, free: &[bool], count: usize) -> Option<Vec<usize>> {
+        let _ = fabric;
+        if count == 0 {
+            return None;
+        }
+        let picked: Vec<usize> = (0..free.len()).filter(|&v| free[v]).take(count).collect();
+        if picked.len() < count {
+            return None;
+        }
+        Some(picked)
+    }
+
+    fn label(&self) -> String {
+        "blocked".to_string()
+    }
+}
+
+/// Seeded pseudo-random allocation: a deterministic partial Fisher–Yates
+/// sample of the free nodes. The locality-oblivious baseline a hash-placing
+/// scheduler produces; different seeds give different (still deterministic)
+/// samples.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAllocator {
+    /// Sample seed.
+    pub seed: u64,
+}
+
+impl Allocator for RandomAllocator {
+    fn allocate(&self, fabric: &Fabric, free: &[bool], count: usize) -> Option<Vec<usize>> {
+        let _ = fabric;
+        let mut free_nodes: Vec<usize> = (0..free.len()).filter(|&v| free[v]).collect();
+        if count == 0 || free_nodes.len() < count {
+            return None;
+        }
+        for i in 0..count {
+            let remaining = (free_nodes.len() - i) as u64;
+            let j = i
+                + (crate::router::splitmix64(self.seed.wrapping_add(i as u64)) % remaining)
+                    as usize;
+            free_nodes.swap(i, j);
+        }
+        let mut picked = free_nodes;
+        picked.truncate(count);
+        picked.sort_unstable();
+        Some(picked)
+    }
+
+    fn label(&self) -> String {
+        format!("random(seed={})", self.seed)
+    }
+}
+
 /// Strided scatter allocation: take every `stride`-th free node. The
 /// adversarial end of what a locality-blind scheduler can produce.
 #[derive(Debug, Clone, Copy)]
@@ -539,6 +599,46 @@ mod tests {
                 assert!(o.penalty >= 1.0 - 1e-9, "penalty {}", o.penalty);
             }
         }
+    }
+
+    #[test]
+    fn blocked_allocator_takes_the_lowest_free_indices() {
+        let fabric = Fabric::from_topology(&Hypercube::new(4), 1.0);
+        let mut free = vec![true; 16];
+        free[0] = false;
+        free[3] = false;
+        let picked = BlockedAllocator.allocate(&fabric, &free, 4).unwrap();
+        assert_eq!(picked, vec![1, 2, 4, 5]);
+        assert!(BlockedAllocator.allocate(&fabric, &free, 15).is_none());
+        assert!(BlockedAllocator.allocate(&fabric, &free, 0).is_none());
+    }
+
+    #[test]
+    fn random_allocator_is_seed_deterministic_and_valid() {
+        let fabric = Fabric::from_topology(&Hypercube::new(5), 1.0);
+        let free = vec![true; 32];
+        let a = RandomAllocator { seed: 7 }
+            .allocate(&fabric, &free, 12)
+            .unwrap();
+        let b = RandomAllocator { seed: 7 }
+            .allocate(&fabric, &free, 12)
+            .unwrap();
+        let c = RandomAllocator { seed: 8 }
+            .allocate(&fabric, &free, 12)
+            .unwrap();
+        assert_eq!(a, b, "same seed, same sample");
+        assert_ne!(a, c, "different seeds should differ");
+        for picked in [&a, &c] {
+            assert_eq!(picked.len(), 12);
+            let mut dedup = (*picked).clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 12, "no duplicates");
+            assert!(picked.windows(2).all(|w| w[0] < w[1]), "sorted");
+            assert!(picked.iter().all(|&v| v < 32));
+        }
+        assert!(RandomAllocator { seed: 1 }
+            .allocate(&fabric, &free, 33)
+            .is_none());
     }
 
     #[test]

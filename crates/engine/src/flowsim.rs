@@ -77,6 +77,28 @@ pub fn route_flows(
         .collect()
 }
 
+/// Route every flow straight into caller-owned CSR buffers (flow `i`
+/// traverses `path_data[path_offsets[i]..path_offsets[i + 1]]`), reusing
+/// their capacity across calls — the allocation-free companion of
+/// [`route_flows`] for repeated candidate scoring. On error the buffers hold
+/// a partial build and must not be consumed.
+pub fn route_flows_csr(
+    fabric: &Fabric,
+    router: &dyn Router,
+    flows: &[Flow],
+    path_offsets: &mut Vec<usize>,
+    path_data: &mut Vec<ChannelId>,
+) -> Result<(), EngineError> {
+    path_offsets.clear();
+    path_data.clear();
+    path_offsets.push(0);
+    for f in flows {
+        router.route_into(fabric, f.src, f.dst, path_data)?;
+        path_offsets.push(path_data.len());
+    }
+    Ok(())
+}
+
 /// Simulate `flows` on `fabric` under `router` to completion with max–min
 /// fair sharing, driving the fluid core through the discrete-event engine.
 pub fn simulate_flows(
@@ -211,6 +233,52 @@ mod tests {
         let out = simulate_flows(&fabric, &ShortestPath, &flows).unwrap();
         assert_eq!(out.makespan, 0.0);
         assert_eq!(out.completion[0], 0.0);
+    }
+
+    #[test]
+    fn csr_routing_matches_per_flow_routing_for_every_router() {
+        let fabrics = [
+            Fabric::from_torus(Torus::new(vec![4, 4, 2]), 2.0),
+            Fabric::from_topology(&Hypercube::new(5), 2.0),
+        ];
+        for fabric in &fabrics {
+            let n = fabric.num_nodes();
+            let flows: Vec<Flow> = (0..n)
+                .map(|src| Flow {
+                    src,
+                    dst: (src * 7 + 3) % n,
+                    gigabytes: 0.5,
+                })
+                .collect();
+            let routers: Vec<Box<dyn Router>> = if fabric.torus().is_some() {
+                vec![
+                    Box::new(DimensionOrdered::default()),
+                    Box::new(Ecmp { salt: 5 }),
+                    Box::new(Valiant { seed: 5 }),
+                ]
+            } else {
+                vec![
+                    Box::new(ShortestPath),
+                    Box::new(Ecmp { salt: 5 }),
+                    Box::new(Valiant { seed: 5 }),
+                ]
+            };
+            for router in &routers {
+                let per_flow = route_flows(fabric, router.as_ref(), &flows).unwrap();
+                let mut offsets = Vec::new();
+                let mut data = Vec::new();
+                route_flows_csr(fabric, router.as_ref(), &flows, &mut offsets, &mut data).unwrap();
+                assert_eq!(offsets.len(), flows.len() + 1);
+                for (i, path) in per_flow.iter().enumerate() {
+                    assert_eq!(
+                        &data[offsets[i]..offsets[i + 1]],
+                        path.as_slice(),
+                        "{} flow {i}",
+                        router.label()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

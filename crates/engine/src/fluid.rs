@@ -87,45 +87,117 @@ impl FluidSim {
     /// `gigabytes`.
     pub fn new(paths: &[Vec<ChannelId>], capacities: &[f64], gigabytes: &[f64]) -> Self {
         assert_eq!(paths.len(), gigabytes.len(), "one path per flow");
-        let n_channels = capacities.len();
-        let mut channel_load_gb = vec![0.0f64; n_channels];
-        let mut path_offsets = Vec::with_capacity(paths.len() + 1);
-        path_offsets.push(0usize);
-        let mut path_data = Vec::with_capacity(paths.iter().map(Vec::len).sum());
-        for (gb, path) in gigabytes.iter().zip(paths) {
-            assert!(*gb >= 0.0, "negative message size");
-            for &c in path {
-                assert!(c < n_channels, "channel {c} out of range 0..{n_channels}");
-                channel_load_gb[c] += gb;
-            }
-            path_data.extend_from_slice(path);
-            path_offsets.push(path_data.len());
+        let mut sim = Self::empty();
+        sim.path_offsets.reserve(paths.len() + 1);
+        sim.path_offsets.push(0);
+        sim.path_data.reserve(paths.iter().map(Vec::len).sum());
+        for path in paths {
+            sim.path_data.extend_from_slice(path);
+            sim.path_offsets.push(sim.path_data.len());
         }
-        let bottleneck_lower_bound = channel_load_gb
-            .iter()
-            .zip(capacities)
-            .map(|(gb, cap)| gb / cap)
-            .fold(0.0, f64::max);
+        sim.capacities.extend_from_slice(capacities);
+        sim.sizes.extend_from_slice(gigabytes);
+        sim.rebuild();
+        sim
+    }
 
-        let remaining: Vec<f64> = gigabytes.to_vec();
-        let active: Vec<usize> = (0..paths.len())
-            .filter(|&i| remaining[i] > 0.0 && !paths[i].is_empty())
-            .collect();
+    /// An empty simulation holding only reusable buffers. Pair with
+    /// [`reset_csr`](FluidSim::reset_csr) to score many flow sets without
+    /// re-allocating per set.
+    pub fn empty() -> Self {
         Self {
-            path_offsets,
-            path_data,
-            capacities: capacities.to_vec(),
-            sizes: gigabytes.to_vec(),
-            completion: vec![0.0f64; paths.len()],
-            rates: vec![0.0f64; paths.len()],
-            remaining,
-            active,
+            path_offsets: Vec::new(),
+            path_data: Vec::new(),
+            capacities: Vec::new(),
+            sizes: Vec::new(),
+            remaining: Vec::new(),
+            completion: Vec::new(),
+            active: Vec::new(),
+            rates: Vec::new(),
             time: 0.0,
             rounds: 0,
-            channel_load_gb,
-            bottleneck_lower_bound,
+            channel_load_gb: Vec::new(),
+            bottleneck_lower_bound: 0.0,
             scratch: MaxMinScratch::new(),
         }
+    }
+
+    /// Re-arm the simulation with a new flow set given in CSR form (flow `i`
+    /// traverses `path_data[path_offsets[i]..path_offsets[i + 1]]`), reusing
+    /// every internal buffer — including the max–min solver scratch — from
+    /// the previous run. Behaviour is identical to building a fresh
+    /// simulation with [`FluidSim::new`] on the same inputs.
+    ///
+    /// # Panics
+    /// Panics on negative flow volumes, on a path referencing a channel
+    /// `>= capacities.len()`, on malformed offsets, or on a length mismatch
+    /// between flows and `gigabytes`.
+    pub fn reset_csr(
+        &mut self,
+        path_offsets: &[usize],
+        path_data: &[ChannelId],
+        capacities: &[f64],
+        gigabytes: &[f64],
+    ) {
+        self.path_offsets.clear();
+        self.path_offsets.extend_from_slice(path_offsets);
+        self.path_data.clear();
+        self.path_data.extend_from_slice(path_data);
+        self.capacities.clear();
+        self.capacities.extend_from_slice(capacities);
+        self.sizes.clear();
+        self.sizes.extend_from_slice(gigabytes);
+        self.rebuild();
+    }
+
+    /// Validate the CSR invariants and recompute every piece of derived
+    /// state (channel loads, bottleneck bound, remaining volumes, active
+    /// set, clock) from `path_offsets` / `path_data` / `capacities` /
+    /// `sizes` — the single initialization shared by [`FluidSim::new`] and
+    /// [`FluidSim::reset_csr`].
+    fn rebuild(&mut self) {
+        let n_channels = self.capacities.len();
+        let n_flows = self.sizes.len();
+        assert_eq!(self.path_offsets.len(), n_flows + 1, "one path per flow");
+        assert_eq!(
+            self.path_offsets.first().copied(),
+            Some(0),
+            "offsets must start at 0"
+        );
+        assert_eq!(
+            self.path_offsets.last().copied(),
+            Some(self.path_data.len()),
+            "offsets must span the path data"
+        );
+        self.channel_load_gb.clear();
+        self.channel_load_gb.resize(n_channels, 0.0);
+        for (i, gb) in self.sizes.iter().enumerate() {
+            assert!(*gb >= 0.0, "negative message size");
+            for &c in &self.path_data[self.path_offsets[i]..self.path_offsets[i + 1]] {
+                assert!(c < n_channels, "channel {c} out of range 0..{n_channels}");
+                self.channel_load_gb[c] += gb;
+            }
+        }
+        self.bottleneck_lower_bound = self
+            .channel_load_gb
+            .iter()
+            .zip(&self.capacities)
+            .map(|(gb, cap)| gb / cap)
+            .fold(0.0, f64::max);
+        self.remaining.clear();
+        self.remaining.extend_from_slice(&self.sizes);
+        self.completion.clear();
+        self.completion.resize(n_flows, 0.0);
+        self.rates.clear();
+        self.rates.resize(n_flows, 0.0);
+        self.active.clear();
+        for i in 0..n_flows {
+            if self.sizes[i] > 0.0 && self.path_offsets[i + 1] > self.path_offsets[i] {
+                self.active.push(i);
+            }
+        }
+        self.time = 0.0;
+        self.rounds = 0;
     }
 
     /// Whether every flow has completed.
@@ -146,6 +218,28 @@ impl FluidSim {
     /// Number of flows still in flight.
     pub fn active_flows(&self) -> usize {
         self.active.len()
+    }
+
+    /// Per-flow completion times so far (0 for flows still in flight), in
+    /// input order. Lets a reused simulation report results without being
+    /// consumed by [`into_outcome`](FluidSim::into_outcome).
+    pub fn completion_times(&self) -> &[f64] {
+        &self.completion
+    }
+
+    /// Mean flow completion time (seconds); 0 for an empty flow set.
+    pub fn mean_completion_time(&self) -> f64 {
+        if self.completion.is_empty() {
+            0.0
+        } else {
+            self.completion.iter().sum::<f64>() / self.completion.len() as f64
+        }
+    }
+
+    /// The lower bound `max_channel load / bandwidth` (seconds) of the
+    /// current flow set.
+    pub fn bottleneck_lower_bound(&self) -> f64 {
+        self.bottleneck_lower_bound
     }
 
     /// Advance to the next completion round: recompute max–min rates, jump to
@@ -281,5 +375,39 @@ mod tests {
         let out = sim.into_outcome();
         assert_eq!(out.completion[0], 0.0);
         assert!((out.completion[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_simulation_matches_fresh_construction_bit_for_bit() {
+        type Case = (Vec<Vec<ChannelId>>, Vec<f64>, Vec<f64>);
+        let cases: Vec<Case> = vec![
+            (
+                vec![vec![0], vec![0, 1], vec![1]],
+                vec![2.0, 3.0],
+                vec![1.0, 2.0, 3.0],
+            ),
+            (vec![vec![1], vec![]], vec![1.0, 4.0], vec![7.0, 2.0]),
+            (vec![vec![0, 1, 2]], vec![2.0, 1.0, 3.0], vec![6.0]),
+        ];
+        let mut reused = FluidSim::empty();
+        for (paths, caps, sizes) in &cases {
+            let mut offsets = vec![0usize];
+            let mut data = Vec::new();
+            for p in paths {
+                data.extend_from_slice(p);
+                offsets.push(data.len());
+            }
+            reused.reset_csr(&offsets, &data, caps, sizes);
+            reused.run_to_completion();
+            let mut fresh = FluidSim::new(paths, caps, sizes);
+            fresh.run_to_completion();
+            assert_eq!(reused.time(), fresh.time());
+            assert_eq!(reused.completion_times(), fresh.completion_times());
+            assert_eq!(reused.rounds(), fresh.rounds());
+            assert_eq!(
+                reused.bottleneck_lower_bound(),
+                fresh.bottleneck_lower_bound()
+            );
+        }
     }
 }

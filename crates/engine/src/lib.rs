@@ -99,13 +99,13 @@ pub mod router;
 pub mod sim;
 
 pub use cluster::{
-    simulate_cluster, synthetic_job_stream, Allocator, ClusterJob, ClusterMetrics, ClusterOutcome,
-    CompactAllocator, ScatterAllocator,
+    simulate_cluster, synthetic_job_stream, Allocator, BlockedAllocator, ClusterJob,
+    ClusterMetrics, ClusterOutcome, CompactAllocator, RandomAllocator, ScatterAllocator,
 };
 pub use error::EngineError;
 pub use event::{ComponentId, Event, EventId, EventQueue};
 pub use fabric::{Channel, Fabric};
-pub use flowsim::{route_flows, simulate_flows, static_estimate, Flow};
+pub use flowsim::{route_flows, route_flows_csr, simulate_flows, static_estimate, Flow};
 pub use fluid::{FluidOutcome, FluidSim};
 pub use maxmin::{max_min_rates, max_min_rates_csr, ChannelId, MaxMinScratch};
 pub use router::{DimensionOrdered, Ecmp, Router, ShortestPath, TieBreak, Valiant};

@@ -18,8 +18,12 @@
 use crate::error::EngineError;
 use crate::fabric::Fabric;
 use crate::maxmin::ChannelId;
-use netpart_topology::coord::wrap_displacement;
+use netpart_topology::coord::{self, wrap_displacement};
 use serde::{Deserialize, Serialize};
+
+/// Torus dimensionality up to which [`DimensionOrdered`] keeps coordinates
+/// in stack buffers (every machine in the workspace is 5-D or less).
+const MAX_INLINE_DIMS: usize = 16;
 
 /// A deterministic routing algorithm over a [`Fabric`].
 pub trait Router {
@@ -27,6 +31,22 @@ pub trait Router {
     /// (empty when `src == dst`).
     fn route(&self, fabric: &Fabric, src: usize, dst: usize)
         -> Result<Vec<ChannelId>, EngineError>;
+
+    /// Append the channel path from `src` to `dst` onto `out`. The default
+    /// delegates to [`Router::route`]; the routers in this crate override it
+    /// to append without a per-flow allocation, which is what keeps repeated
+    /// candidate-allocation scoring allocation-free. On error `out` may hold
+    /// a partial path — callers rebuild their buffers on failure.
+    fn route_into(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<(), EngineError> {
+        out.extend(self.route(fabric, src, dst)?);
+        Ok(())
+    }
 
     /// Short label for reports.
     fn label(&self) -> String;
@@ -62,12 +82,37 @@ impl Router for DimensionOrdered {
         src: usize,
         dst: usize,
     ) -> Result<Vec<ChannelId>, EngineError> {
+        let mut path = Vec::new();
+        self.route_into(fabric, src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    fn route_into(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        path: &mut Vec<ChannelId>,
+    ) -> Result<(), EngineError> {
         fabric.check_node(src)?;
         fabric.check_node(dst)?;
         let torus = fabric.torus().ok_or(EngineError::NotATorus)?;
-        let src_coord = torus.coord_of(src);
-        let dst_coord = torus.coord_of(dst);
         let ndim = torus.ndim();
+        // Coordinates live in stack buffers (heap only beyond 16 dims): this
+        // route runs once per flow of every candidate-allocation scoring
+        // round, so it must not allocate per flow.
+        let mut src_buf = [0usize; MAX_INLINE_DIMS];
+        let mut dst_buf = [0usize; MAX_INLINE_DIMS];
+        let (src_heap, dst_heap);
+        let (src_coord, dst_coord): (&[usize], &[usize]) = if ndim <= MAX_INLINE_DIMS {
+            coord::coord_into(torus.dims(), src, &mut src_buf);
+            coord::coord_into(torus.dims(), dst, &mut dst_buf);
+            (&src_buf[..ndim], &dst_buf[..ndim])
+        } else {
+            src_heap = torus.coord_of(src);
+            dst_heap = torus.coord_of(dst);
+            (&src_heap, &dst_heap)
+        };
         // Per-dimension displacements up front, so the path vector can be
         // sized exactly (this route runs once per flow on the hot path — no
         // per-hop allocations).
@@ -78,7 +123,7 @@ impl Router for DimensionOrdered {
                 hops += wrap_displacement(src_coord[d], dst_coord[d], a).unsigned_abs() as usize;
             }
         }
-        let mut path = Vec::with_capacity(hops);
+        path.reserve(hops);
         let mut node = src;
         for i in 0..ndim {
             let d = if self.reverse_dimension_order {
@@ -128,7 +173,7 @@ impl Router for DimensionOrdered {
             }
         }
         debug_assert_eq!(node, dst, "route must terminate at the destination");
-        Ok(path)
+        Ok(())
     }
 
     fn label(&self) -> String {
@@ -148,7 +193,19 @@ impl Router for ShortestPath {
         src: usize,
         dst: usize,
     ) -> Result<Vec<ChannelId>, EngineError> {
-        minimal_route(fabric, src, dst, |_, _| 0)
+        let mut path = Vec::new();
+        self.route_into(fabric, src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    fn route_into(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<(), EngineError> {
+        minimal_route_into(fabric, src, dst, |_, _| 0, out)
     }
 
     fn label(&self) -> String {
@@ -173,10 +230,26 @@ impl Router for Ecmp {
         src: usize,
         dst: usize,
     ) -> Result<Vec<ChannelId>, EngineError> {
+        let mut path = Vec::new();
+        self.route_into(fabric, src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    fn route_into(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<(), EngineError> {
         let key = splitmix64(self.salt ^ ((src as u64) << 32) ^ dst as u64);
-        minimal_route(fabric, src, dst, |node, n_candidates| {
-            (splitmix64(key ^ node as u64) % n_candidates as u64) as usize
-        })
+        minimal_route_into(
+            fabric,
+            src,
+            dst,
+            |node, n_candidates| (splitmix64(key ^ node as u64) % n_candidates as u64) as usize,
+            out,
+        )
     }
 
     fn label(&self) -> String {
@@ -200,16 +273,27 @@ impl Router for Valiant {
         src: usize,
         dst: usize,
     ) -> Result<Vec<ChannelId>, EngineError> {
+        let mut path = Vec::new();
+        self.route_into(fabric, src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    fn route_into(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<(), EngineError> {
         fabric.check_node(src)?;
         fabric.check_node(dst)?;
         if src == dst {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let n = fabric.num_nodes() as u64;
         let w = (splitmix64(self.seed ^ ((src as u64) << 32) ^ dst as u64) % n) as usize;
-        let mut path = minimal_route(fabric, src, w, |_, _| 0)?;
-        path.extend(minimal_route(fabric, w, dst, |_, _| 0)?);
-        Ok(path)
+        minimal_route_into(fabric, src, w, |_, _| 0, out)?;
+        minimal_route_into(fabric, w, dst, |_, _| 0, out)
     }
 
     fn label(&self) -> String {
@@ -217,24 +301,26 @@ impl Router for Valiant {
     }
 }
 
-/// Walk a minimal path from `src` to `dst`, calling `pick(node, k)` to select
-/// among the `k` distance-reducing channels at each node (must return `< k`).
-fn minimal_route(
+/// Walk a minimal path from `src` to `dst`, appending onto a caller-owned
+/// path buffer and calling `pick(node, k)` to select among the `k`
+/// distance-reducing channels at each node (must return `< k`).
+fn minimal_route_into(
     fabric: &Fabric,
     src: usize,
     dst: usize,
     pick: impl Fn(usize, usize) -> usize,
-) -> Result<Vec<ChannelId>, EngineError> {
+    path: &mut Vec<ChannelId>,
+) -> Result<(), EngineError> {
     fabric.check_node(src)?;
     fabric.check_node(dst)?;
     if src == dst {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let dist = fabric.distances_to(dst);
     if dist[src] == usize::MAX {
         return Err(EngineError::Unreachable { src, dst });
     }
-    let mut path = Vec::with_capacity(dist[src]);
+    path.reserve(dist[src]);
     let mut node = src;
     while node != dst {
         let candidates: Vec<ChannelId> = fabric
@@ -248,11 +334,11 @@ fn minimal_route(
         path.push(chosen);
         node = fabric.channels()[chosen].to;
     }
-    Ok(path)
+    Ok(())
 }
 
 /// The splitmix64 mixing function: cheap, deterministic, well-spread.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);

@@ -1,0 +1,652 @@
+//! Allocation advice: candidate allocations scored by contention bounds and
+//! by actual flow simulation.
+//!
+//! An [`AdviceSpec`] asks one complete question: *on this fabric, with this
+//! routing, which allocation of `nodes` nodes should a scheduler hand out?*
+//! Candidates come from [`AllocationSpec`] generators — torus cuboid blocks
+//! via the isoperimetric enumerator, plus topology-generic blocked / greedy /
+//! scatter / random allocators — and every candidate is scored twice:
+//!
+//! * **Predicted**: the fabric-generic contention lower bound
+//!   (`netpart_contention::fabric`), the escape-cut generalization of the
+//!   paper's closed-form torus analysis.
+//! * **Simulated**: the candidate's all-to-all exchange routed by the spec's
+//!   router and run to completion through the engine's max–min fluid core.
+//!
+//! The [`AdviceResult`] ranks candidates by simulated time and quantifies,
+//! per candidate, the predicted-vs-simulated *gap* (`simulated / bound`,
+//! ≥ 1 because the bound is a true lower bound) — the avoidable-contention
+//! signal the paper's closing section asks schedulers to consume.
+//!
+//! Scoring is allocation-free across candidates: the channel paths (CSR),
+//! flow buffers and the max–min solver scratch are all reused from one
+//! candidate to the next (`FluidSim::reset_csr`), which is what makes an
+//! [`allocation sweep`](run_allocation_sweep) over dozens of candidates
+//! cheap (`results/bench_advise.json` records the effect).
+
+use crate::run::ScenarioError;
+use crate::spec::{build_fabric, RoutingSpec, TopologySpec, MAX_FLOWS};
+use netpart_contention::{internal_bisection_gbs_with, ContentionModel, Kernel, SweepOrders};
+use netpart_engine::{
+    route_flows_csr, Allocator, BlockedAllocator, CompactAllocator, Fabric, Flow, FluidSim,
+    RandomAllocator, Router, ScatterAllocator,
+};
+use netpart_topology::torus::Cuboid;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on the candidate allocations one advice request may score
+/// (each candidate costs one all-to-all flow simulation).
+pub const MAX_ADVICE_CANDIDATES: usize = 64;
+
+/// Upper bound on samples a single [`AllocationSpec::Random`] may request.
+pub const MAX_RANDOM_SAMPLES: usize = 16;
+
+/// A candidate-allocation generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationSpec {
+    /// Every axis-aligned cuboid shape of the requested volume, anchored at
+    /// the origin (torus fabrics only; via the isoperimetric cuboid
+    /// enumerator).
+    TorusBlocks,
+    /// The lowest-numbered nodes (contiguous block in index order).
+    Blocked,
+    /// Breadth-first compact allocation (locality-greedy).
+    Greedy,
+    /// Every `stride`-th node (the adversarial locality-blind baseline).
+    Scatter {
+        /// Stride through the node list (≥ 1).
+        stride: usize,
+    },
+    /// `samples` independent seeded pseudo-random node sets.
+    Random {
+        /// Number of samples (1 ..= [`MAX_RANDOM_SAMPLES`]).
+        samples: usize,
+    },
+}
+
+impl AllocationSpec {
+    /// Wire/label name of the generator.
+    pub fn label(&self) -> String {
+        match self {
+            AllocationSpec::TorusBlocks => "torus_blocks".to_string(),
+            AllocationSpec::Blocked => "blocked".to_string(),
+            AllocationSpec::Greedy => "greedy".to_string(),
+            AllocationSpec::Scatter { stride } => format!("scatter({stride})"),
+            AllocationSpec::Random { samples } => format!("random({samples})"),
+        }
+    }
+}
+
+/// One complete allocation-advice question.
+///
+/// Allocations are sets of *fabric node indices*. On indirect topologies
+/// (fat-trees, where switches are fabric nodes alongside the hosts) the
+/// generators other than [`AllocationSpec::Blocked`] may include switch
+/// nodes in a candidate — `Fabric` carries no endpoint mask yet (ROADMAP
+/// open item); interpret such candidates as traffic endpoints, not
+/// schedulable compute sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviceSpec {
+    /// The fabric.
+    pub topology: TopologySpec,
+    /// The routing algorithm used for the simulated exchanges.
+    pub routing: RoutingSpec,
+    /// Allocation size in nodes.
+    pub nodes: usize,
+    /// Per-ordered-pair volume (GB) of each candidate's all-to-all exchange.
+    pub gigabytes: f64,
+    /// Candidate generators to score.
+    pub candidates: Vec<AllocationSpec>,
+    /// Seed for the random candidate generators.
+    pub seed: u64,
+}
+
+impl AdviceSpec {
+    /// Canonical label, e.g. `advise:dragonfly[4,4,4]/shortest/n16/s0`.
+    pub fn label(&self) -> String {
+        format!(
+            "advise:{}/{}/n{}/s{}",
+            self.topology.label(),
+            self.routing.label(),
+            self.nodes,
+            self.seed
+        )
+    }
+}
+
+/// One scored candidate allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateResult {
+    /// Candidate label, e.g. `block[4,2,2]` or `random(7)#1`.
+    pub label: String,
+    /// The allocated nodes (sorted).
+    pub nodes: Vec<usize>,
+    /// Fabric-generic contention lower bound (seconds).
+    pub bound_seconds: f64,
+    /// Simulated all-to-all completion time (seconds).
+    pub simulated_seconds: f64,
+    /// `simulated_seconds / bound_seconds` (0 when the bound is vacuous);
+    /// ≥ 1 otherwise — how much of the simulated time the bound explains.
+    pub gap: f64,
+    /// Escape-cut capacity (GB/s) at the bound's critical scale.
+    pub cut_gbs: f64,
+    /// Internal (allocation-induced) bisection capacity (GB/s), the generic
+    /// stand-in for the partition's `bisection_links`.
+    pub internal_bisection_gbs: f64,
+    /// Whether the torus closed form produced the bound.
+    pub closed_form: bool,
+    /// Max–min rate solves the candidate's simulation needed.
+    pub solves: usize,
+}
+
+/// Ranked advice for one [`AdviceSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviceResult {
+    /// The spec's canonical label.
+    pub label: String,
+    /// Fabric name.
+    pub fabric: String,
+    /// Allocation size in nodes.
+    pub nodes: usize,
+    /// Scored candidates, best (smallest simulated time) first; ties break
+    /// towards the smaller contention bound, then the label.
+    pub candidates: Vec<CandidateResult>,
+    /// Fraction of candidate pairs on which the bound ordering agrees with
+    /// the simulated ordering (1.0 = the bound alone would have ranked
+    /// identically).
+    pub ordering_agreement: f64,
+    /// True when the candidate list was cut off at
+    /// [`MAX_ADVICE_CANDIDATES`].
+    pub truncated: bool,
+}
+
+impl AdviceResult {
+    /// The recommended (best-simulated) candidate.
+    pub fn best(&self) -> Option<&CandidateResult> {
+        self.candidates.first()
+    }
+}
+
+fn invalid(message: impl Into<String>) -> ScenarioError {
+    ScenarioError::InvalidSpec(message.into())
+}
+
+/// Mix a per-sample seed out of the spec seed (splitmix64 constant).
+fn derive_seed(seed: u64, index: u64) -> u64 {
+    seed.wrapping_add((index + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Labelled candidate node sets, in generation order.
+type LabeledAllocations = Vec<(String, Vec<usize>)>;
+
+/// Generate the labelled candidate node sets of a spec, capped at
+/// [`MAX_ADVICE_CANDIDATES`]. Returns `(candidates, truncated)`.
+fn generate_candidates(
+    spec: &AdviceSpec,
+    fabric: &Fabric,
+) -> Result<(LabeledAllocations, bool), ScenarioError> {
+    let all_free = vec![true; fabric.num_nodes()];
+    let mut out: LabeledAllocations = Vec::new();
+    let mut truncated = false;
+    let push = |label: String, nodes: Vec<usize>, out: &mut LabeledAllocations| {
+        if out.len() < MAX_ADVICE_CANDIDATES {
+            // Identical node sets from different generators are kept: the
+            // labels differ and the duplicate scoring cost is trivial.
+            out.push((label, nodes));
+            false
+        } else {
+            true
+        }
+    };
+    for candidate in &spec.candidates {
+        match candidate {
+            AllocationSpec::TorusBlocks => {
+                let Some(torus) = fabric.torus() else {
+                    return Err(invalid(format!(
+                        "torus_blocks candidates need a torus fabric, got {}",
+                        fabric.name()
+                    )));
+                };
+                for extent in netpart_iso::enumerate_cuboid_extents(torus.dims(), spec.nodes as u64)
+                {
+                    let nodes = torus.cuboid_nodes(&Cuboid::at_origin(extent.clone()));
+                    let label = format!(
+                        "block[{}]",
+                        extent
+                            .iter()
+                            .map(usize::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                    truncated |= push(label, nodes, &mut out);
+                }
+            }
+            AllocationSpec::Blocked => {
+                let nodes = BlockedAllocator
+                    .allocate(fabric, &all_free, spec.nodes)
+                    .expect("spec.nodes was validated against the fabric size");
+                truncated |= push("blocked".to_string(), nodes, &mut out);
+            }
+            AllocationSpec::Greedy => {
+                let nodes = CompactAllocator
+                    .allocate(fabric, &all_free, spec.nodes)
+                    .expect("spec.nodes was validated against the fabric size");
+                truncated |= push("greedy".to_string(), nodes, &mut out);
+            }
+            AllocationSpec::Scatter { stride } => {
+                // Reject rather than clamp: a silently-adjusted stride would
+                // answer a different question than the spec (and label) asked.
+                if *stride == 0 {
+                    return Err(invalid("scatter candidate stride must be >= 1"));
+                }
+                let nodes = ScatterAllocator { stride: *stride }
+                    .allocate(fabric, &all_free, spec.nodes)
+                    .expect("spec.nodes was validated against the fabric size");
+                truncated |= push(format!("scatter({stride})"), nodes, &mut out);
+            }
+            AllocationSpec::Random { samples } => {
+                if *samples == 0 || *samples > MAX_RANDOM_SAMPLES {
+                    return Err(invalid(format!(
+                        "random candidate samples must be in 1..={MAX_RANDOM_SAMPLES}"
+                    )));
+                }
+                for i in 0..*samples {
+                    let nodes = RandomAllocator {
+                        seed: derive_seed(spec.seed, i as u64),
+                    }
+                    .allocate(fabric, &all_free, spec.nodes)
+                    .expect("spec.nodes was validated against the fabric size");
+                    truncated |= push(format!("random(s{})#{i}", spec.seed), nodes, &mut out);
+                }
+            }
+        }
+    }
+    Ok((out, truncated))
+}
+
+/// Reusable scoring buffers: flow list, CSR paths and the fluid simulation
+/// (whose max–min scratch persists across `reset_csr` calls). One instance
+/// scores every candidate of a sweep without per-candidate allocation.
+struct Scorer {
+    flows: Vec<Flow>,
+    sizes: Vec<f64>,
+    path_offsets: Vec<usize>,
+    path_data: Vec<usize>,
+    fluid: FluidSim,
+}
+
+impl Scorer {
+    fn new() -> Self {
+        Self {
+            flows: Vec::new(),
+            sizes: Vec::new(),
+            path_offsets: Vec::new(),
+            path_data: Vec::new(),
+            fluid: FluidSim::empty(),
+        }
+    }
+
+    /// Simulate the all-to-all exchange inside `nodes` and return
+    /// `(makespan, solves)`.
+    fn simulate(
+        &mut self,
+        fabric: &Fabric,
+        router: &dyn Router,
+        nodes: &[usize],
+        gigabytes: f64,
+    ) -> Result<(f64, usize), ScenarioError> {
+        self.flows.clear();
+        self.sizes.clear();
+        for &a in nodes {
+            for &b in nodes {
+                if a != b {
+                    self.flows.push(Flow {
+                        src: a,
+                        dst: b,
+                        gigabytes,
+                    });
+                    self.sizes.push(gigabytes);
+                }
+            }
+        }
+        route_flows_csr(
+            fabric,
+            router,
+            &self.flows,
+            &mut self.path_offsets,
+            &mut self.path_data,
+        )?;
+        self.fluid.reset_csr(
+            &self.path_offsets,
+            &self.path_data,
+            fabric.capacities(),
+            &self.sizes,
+        );
+        self.fluid.run_to_completion();
+        Ok((self.fluid.time(), self.fluid.rounds()))
+    }
+}
+
+/// Fraction of candidate pairs whose bound ordering matches their simulated
+/// ordering (ties on both sides count as agreement; 1.0 for fewer than two
+/// candidates).
+fn ordering_agreement(candidates: &[CandidateResult]) -> f64 {
+    let n = candidates.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            let db = candidates[i].bound_seconds - candidates[j].bound_seconds;
+            let ds = candidates[i].simulated_seconds - candidates[j].simulated_seconds;
+            total += 1;
+            if (db == 0.0 && ds == 0.0) || db * ds > 0.0 {
+                concordant += 1;
+            }
+        }
+    }
+    concordant as f64 / total as f64
+}
+
+/// Answer one advice spec: generate the candidates, score each by bound and
+/// by simulation, and return them ranked.
+pub fn run_advice(spec: &AdviceSpec) -> Result<AdviceResult, ScenarioError> {
+    if spec.candidates.is_empty() {
+        return Err(invalid("advice needs at least one candidate generator"));
+    }
+    if !spec.gigabytes.is_finite() || spec.gigabytes <= 0.0 {
+        return Err(invalid("gigabytes must be positive"));
+    }
+    let fabric = build_fabric(&spec.topology)?;
+    if matches!(spec.routing, RoutingSpec::DimensionOrdered) && fabric.torus().is_none() {
+        return Err(invalid(format!(
+            "dimension-ordered routing needs a torus fabric, got {}",
+            fabric.name()
+        )));
+    }
+    if spec.nodes < 2 || spec.nodes > fabric.num_nodes() {
+        return Err(invalid(format!(
+            "allocation size must be in 2..={} for this fabric",
+            fabric.num_nodes()
+        )));
+    }
+    let flows_per_candidate = spec.nodes * (spec.nodes - 1);
+    if flows_per_candidate > MAX_FLOWS {
+        return Err(invalid(format!(
+            "an all-to-all over {} nodes is {flows_per_candidate} flows, exceeding the \
+             per-scenario budget of {MAX_FLOWS}",
+            spec.nodes
+        )));
+    }
+    let router = spec.routing.build();
+    let (candidates, truncated) = generate_candidates(spec, &fabric)?;
+    if candidates.is_empty() {
+        // E.g. torus_blocks with a volume no cuboid realizes (a large prime):
+        // a question that produced no candidates is an error, not an empty
+        // "ok" a sweep consumer would mistake for success.
+        return Err(invalid(format!(
+            "no candidate allocation of {} nodes exists for the requested generators",
+            spec.nodes
+        )));
+    }
+    // The simulated exchange moves (p - 1) · gigabytes GB out of each node;
+    // the bound sees the same volume through the uniform-spread model.
+    let model = ContentionModel::bgq(Kernel::Custom {
+        words_per_proc: (spec.nodes - 1) as f64 * spec.gigabytes * 1e9 / 8.0,
+        flops_per_proc: 1.0,
+    });
+    let mut scorer = Scorer::new();
+    let mut scored = Vec::with_capacity(candidates.len());
+    for (label, nodes) in candidates {
+        // One BFS + sort per candidate, shared by the bound and the
+        // internal-bisection score.
+        let orders = SweepOrders::new(&fabric, &nodes);
+        let bound = model.fabric_bound_with(&fabric, &nodes, &orders);
+        let (simulated, solves) =
+            scorer.simulate(&fabric, router.as_ref(), &nodes, spec.gigabytes)?;
+        let gap = if bound.seconds > 0.0 {
+            simulated / bound.seconds
+        } else {
+            0.0
+        };
+        scored.push(CandidateResult {
+            internal_bisection_gbs: internal_bisection_gbs_with(&fabric, &nodes, &orders),
+            label,
+            nodes,
+            bound_seconds: bound.seconds,
+            simulated_seconds: simulated,
+            gap,
+            cut_gbs: bound.cut_gbs,
+            closed_form: bound.closed_form,
+            solves,
+        });
+    }
+    scored.sort_by(|a, b| {
+        a.simulated_seconds
+            .total_cmp(&b.simulated_seconds)
+            .then_with(|| a.bound_seconds.total_cmp(&b.bound_seconds))
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    let agreement = ordering_agreement(&scored);
+    Ok(AdviceResult {
+        label: spec.label(),
+        fabric: fabric.name().to_string(),
+        nodes: spec.nodes,
+        candidates: scored,
+        ordering_agreement: agreement,
+        truncated,
+    })
+}
+
+/// Run a batch of advice specs in parallel (rayon), preserving input order.
+/// Each spec succeeds or fails independently.
+pub fn run_allocation_sweep(specs: &[AdviceSpec]) -> Vec<Result<AdviceResult, ScenarioError>> {
+    specs.par_iter().map(run_advice).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dragonfly_spec() -> AdviceSpec {
+        AdviceSpec {
+            topology: TopologySpec::Dragonfly(4, 4, 2),
+            routing: RoutingSpec::ShortestPath,
+            nodes: 8,
+            gigabytes: 0.25,
+            candidates: vec![
+                AllocationSpec::Blocked,
+                AllocationSpec::Greedy,
+                AllocationSpec::Scatter { stride: 5 },
+                AllocationSpec::Random { samples: 2 },
+            ],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn advice_runs_on_every_non_torus_family() {
+        let specs = [
+            dragonfly_spec(),
+            AdviceSpec {
+                topology: TopologySpec::FatTree(4),
+                routing: RoutingSpec::Ecmp { salt: 3 },
+                ..dragonfly_spec()
+            },
+            AdviceSpec {
+                topology: TopologySpec::Expander(40, vec![1, 7, 16]),
+                routing: RoutingSpec::ShortestPath,
+                ..dragonfly_spec()
+            },
+            AdviceSpec {
+                topology: TopologySpec::SlimFly(5),
+                routing: RoutingSpec::Ecmp { salt: 1 },
+                ..dragonfly_spec()
+            },
+        ];
+        for spec in &specs {
+            let result = run_advice(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+            assert_eq!(result.candidates.len(), 5, "{}", result.label);
+            for c in &result.candidates {
+                assert_eq!(c.nodes.len(), 8);
+                assert!(c.simulated_seconds > 0.0, "{}/{}", result.label, c.label);
+                assert!(
+                    c.bound_seconds <= c.simulated_seconds * (1.0 + 1e-9),
+                    "{}/{}: bound {} above simulation {}",
+                    result.label,
+                    c.label,
+                    c.bound_seconds,
+                    c.simulated_seconds
+                );
+                if c.bound_seconds > 0.0 {
+                    assert!(c.gap >= 1.0 - 1e-9, "{}: gap {}", c.label, c.gap);
+                }
+            }
+            // Ranked by simulated time.
+            for pair in result.candidates.windows(2) {
+                assert!(pair[0].simulated_seconds <= pair[1].simulated_seconds);
+            }
+            assert!((0.0..=1.0).contains(&result.ordering_agreement));
+        }
+    }
+
+    #[test]
+    fn torus_blocks_enumerate_cuboids_and_rank_deterministically() {
+        let spec = AdviceSpec {
+            topology: TopologySpec::Torus(vec![8, 4, 4]),
+            routing: RoutingSpec::DimensionOrdered,
+            nodes: 16,
+            gigabytes: 0.25,
+            candidates: vec![AllocationSpec::TorusBlocks],
+            seed: 0,
+        };
+        let a = run_advice(&spec).unwrap();
+        let b = run_advice(&spec).unwrap();
+        assert_eq!(a, b, "advice must be deterministic");
+        assert!(a.candidates.len() >= 4, "got {}", a.candidates.len());
+        assert!(a.candidates.iter().all(|c| c.label.starts_with("block[")));
+        // Every block is a real 16-node set.
+        for c in &a.candidates {
+            assert_eq!(c.nodes.len(), 16);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors() {
+        let base = dragonfly_spec();
+        let cases = [
+            AdviceSpec {
+                candidates: vec![],
+                ..base.clone()
+            },
+            AdviceSpec {
+                nodes: 1,
+                ..base.clone()
+            },
+            AdviceSpec {
+                nodes: 100_000,
+                ..base.clone()
+            },
+            AdviceSpec {
+                gigabytes: -1.0,
+                ..base.clone()
+            },
+            AdviceSpec {
+                candidates: vec![AllocationSpec::TorusBlocks],
+                ..base.clone()
+            },
+            AdviceSpec {
+                routing: RoutingSpec::DimensionOrdered,
+                ..base.clone()
+            },
+            AdviceSpec {
+                candidates: vec![AllocationSpec::Random { samples: 0 }],
+                ..base.clone()
+            },
+            AdviceSpec {
+                candidates: vec![AllocationSpec::Scatter { stride: 0 }],
+                ..base.clone()
+            },
+            // 31 is prime and exceeds every dimension of the torus: no
+            // cuboid realizes it, so torus_blocks generates nothing and the
+            // empty candidate list must surface as an error, not an empty
+            // "ok".
+            AdviceSpec {
+                topology: TopologySpec::Torus(vec![8, 4, 4]),
+                routing: RoutingSpec::DimensionOrdered,
+                nodes: 31,
+                candidates: vec![AllocationSpec::TorusBlocks],
+                ..base.clone()
+            },
+        ];
+        for spec in &cases {
+            assert!(
+                matches!(run_advice(spec), Err(ScenarioError::InvalidSpec(_))),
+                "{spec:?} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_isolates_failures() {
+        let good = dragonfly_spec();
+        let bad = AdviceSpec {
+            nodes: 0,
+            ..dragonfly_spec()
+        };
+        let results = run_allocation_sweep(&[bad, good]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn bound_and_simulation_agree_on_torus_reference_geometry_pairs() {
+        // The paper's reference question, node-granularity scaled: an
+        // elongated full-machine geometry vs the balanced one of the same
+        // size. Both scores must rank the balanced geometry better, and the
+        // full-machine candidates must go through the closed-form fast path.
+        let advise = |dims: Vec<usize>| {
+            let nodes = dims.iter().product();
+            let result = run_advice(&AdviceSpec {
+                topology: TopologySpec::Torus(dims),
+                routing: RoutingSpec::DimensionOrdered,
+                nodes,
+                gigabytes: 0.25,
+                candidates: vec![AllocationSpec::TorusBlocks],
+                seed: 0,
+            })
+            .unwrap();
+            let full = result
+                .candidates
+                .iter()
+                .find(|c| c.nodes.len() == nodes)
+                .expect("the full machine is one of its own cuboids")
+                .clone();
+            assert!(full.closed_form, "{}", full.label);
+            full
+        };
+        for (worse_dims, better_dims) in [
+            (vec![8, 2, 2], vec![4, 4, 2]),
+            (vec![16, 2, 2], vec![4, 4, 4]),
+        ] {
+            let worse = advise(worse_dims.clone());
+            let better = advise(better_dims.clone());
+            assert!(
+                worse.bound_seconds > better.bound_seconds,
+                "{worse_dims:?} bound {} !> {better_dims:?} bound {}",
+                worse.bound_seconds,
+                better.bound_seconds
+            );
+            assert!(
+                worse.simulated_seconds > better.simulated_seconds,
+                "{worse_dims:?} sim {} !> {better_dims:?} sim {}",
+                worse.simulated_seconds,
+                better.simulated_seconds
+            );
+            assert!(worse.gap >= 1.0 - 1e-9 && better.gap >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -34,14 +34,35 @@
 //! let results = run_sweep(&standard_sweep()[..4]);
 //! assert!(results.iter().all(Result::is_ok));
 //! ```
+//!
+//! The [`advice`] module asks the allocation question on the same
+//! vocabulary: an [`AdviceSpec`] names a fabric, a routing algorithm, an
+//! allocation size and candidate generators, and [`run_advice`] returns the
+//! candidates ranked by simulated exchange time next to their fabric-generic
+//! contention lower bounds:
+//!
+//! ```
+//! use netpart_scenario::{run_advice, named_advice};
+//!
+//! let advice = run_advice(&named_advice("advise-dragonfly").unwrap()).unwrap();
+//! let best = advice.best().unwrap();
+//! assert!(best.simulated_seconds > 0.0 && best.gap >= 1.0);
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod advice;
 pub mod registry;
 pub mod run;
 pub mod spec;
 
-pub use registry::{named, registry, standard_sweep};
+pub use advice::{
+    run_advice, run_allocation_sweep, AdviceResult, AdviceSpec, AllocationSpec, CandidateResult,
+    MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
+};
+pub use registry::{
+    advice_registry, named, named_advice, registry, standard_allocation_sweep, standard_sweep,
+};
 pub use run::{run_scenario, run_sweep, ScenarioDetail, ScenarioError, ScenarioResult};
 pub use spec::{
     build_fabric, estimated_size, AllocatorSpec, FabricError, PolicySpec, RoutingSpec,

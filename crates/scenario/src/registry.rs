@@ -5,6 +5,7 @@
 //! plain lists of specs. Adding a workload means adding a value, not a
 //! binary.
 
+use crate::advice::{AdviceSpec, AllocationSpec};
 use crate::spec::{
     AllocatorSpec, PolicySpec, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec,
 };
@@ -189,6 +190,102 @@ pub fn standard_sweep() -> Vec<ScenarioSpec> {
     sweep
 }
 
+/// The named allocation-advice catalog: `(name, spec)` pairs, name-sorted.
+/// One entry per topology family the advisor covers, each mixing the
+/// generic candidate generators (and the cuboid enumerator on the torus).
+pub fn advice_registry() -> Vec<(&'static str, AdviceSpec)> {
+    let generic = || {
+        vec![
+            AllocationSpec::Blocked,
+            AllocationSpec::Greedy,
+            AllocationSpec::Scatter { stride: 7 },
+            AllocationSpec::Random { samples: 2 },
+        ]
+    };
+    let mut entries = vec![
+        (
+            "advise-dragonfly",
+            AdviceSpec {
+                topology: TopologySpec::Dragonfly(4, 4, 4),
+                routing: RoutingSpec::ShortestPath,
+                nodes: 16,
+                gigabytes: 0.25,
+                candidates: generic(),
+                seed: 0,
+            },
+        ),
+        (
+            "advise-fattree",
+            AdviceSpec {
+                topology: TopologySpec::FatTree(4),
+                routing: RoutingSpec::Ecmp { salt: 1 },
+                nodes: 8,
+                gigabytes: 0.25,
+                candidates: generic(),
+                seed: 0,
+            },
+        ),
+        (
+            "advise-slimfly",
+            AdviceSpec {
+                topology: TopologySpec::SlimFly(5),
+                routing: RoutingSpec::Ecmp { salt: 1 },
+                nodes: 10,
+                gigabytes: 0.25,
+                candidates: generic(),
+                seed: 0,
+            },
+        ),
+        (
+            "advise-expander",
+            AdviceSpec {
+                topology: TopologySpec::Expander(40, vec![1, 7, 16]),
+                routing: RoutingSpec::ShortestPath,
+                nodes: 10,
+                gigabytes: 0.25,
+                candidates: generic(),
+                seed: 0,
+            },
+        ),
+        (
+            "advise-torus-blocks",
+            AdviceSpec {
+                topology: TopologySpec::Torus(vec![8, 4, 4]),
+                routing: RoutingSpec::DimensionOrdered,
+                nodes: 16,
+                gigabytes: 0.25,
+                candidates: {
+                    let mut c = vec![AllocationSpec::TorusBlocks];
+                    c.extend(generic());
+                    c
+                },
+                seed: 0,
+            },
+        ),
+    ];
+    entries.sort_by_key(|(name, _)| *name);
+    entries
+}
+
+/// Look up a named advice spec.
+pub fn named_advice(name: &str) -> Option<AdviceSpec> {
+    advice_registry()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, spec)| spec)
+}
+
+/// The standard allocation sweep: every advice-registry entry — torus (with
+/// cuboid blocks), dragonfly, fat-tree, Slim Fly and expander — small enough
+/// to run in seconds. CI sends exactly this batch through the service's
+/// `allocation_sweep` endpoint and fails on any non-Ok entry.
+pub fn standard_allocation_sweep() -> Vec<AdviceSpec> {
+    advice_registry()
+        .into_iter()
+        .map(|(_, spec)| spec)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +302,39 @@ mod tests {
             assert_eq!(named(name).as_ref(), Some(spec));
         }
         assert!(named("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn advice_registry_names_are_unique_and_resolvable() {
+        let entries = advice_registry();
+        let mut names: Vec<&str> = entries.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len(), "duplicate advice names");
+        for (name, spec) in &entries {
+            assert_eq!(named_advice(name).as_ref(), Some(spec));
+        }
+        assert!(named_advice("no-such-advice").is_none());
+    }
+
+    #[test]
+    fn standard_allocation_sweep_covers_the_families_and_all_run() {
+        let sweep = standard_allocation_sweep();
+        let families: Vec<String> = sweep
+            .iter()
+            .map(|s| s.topology.family().to_string())
+            .collect();
+        for family in ["torus", "dragonfly", "fattree", "slimfly", "expander"] {
+            assert!(families.iter().any(|f| f == family), "{family} missing");
+        }
+        for (spec, result) in sweep
+            .iter()
+            .zip(crate::advice::run_allocation_sweep(&sweep))
+        {
+            let result = result.unwrap_or_else(|e| panic!("{} failed: {e}", spec.label()));
+            assert!(!result.candidates.is_empty(), "{}", result.label);
+            assert!(result.best().unwrap().simulated_seconds > 0.0);
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! CI smoke check for the `sweep` endpoint: send the standard ≥24-combination
-//! scenario sweep (4 topology families × 3 routers × 2 traffic patterns) to a
-//! running `netpart_serve` and fail on any non-Ok scenario.
+//! CI smoke check for the `sweep` and `allocation_sweep` endpoints: send the
+//! standard ≥24-combination scenario sweep (4 topology families × 3 routers
+//! × 2 traffic patterns) and the standard allocation sweep (torus blocks +
+//! generic allocators over 5 families) to a running `netpart_serve` and fail
+//! on any non-Ok line.
 //!
 //! Usage: `scenario_sweep_smoke [--addr HOST:PORT]` (default 127.0.0.1:7878).
 
-use netpart_scenario::standard_sweep;
+use netpart_scenario::{standard_allocation_sweep, standard_sweep};
 use netpart_service::client::ServiceClient;
 use netpart_service::protocol::{Request, Response};
 use std::process::ExitCode;
@@ -71,6 +73,46 @@ fn main() -> ExitCode {
         results.len()
     );
     if failures > 0 || results.len() != total {
+        return ExitCode::FAILURE;
+    }
+
+    // Phase 2: the standard allocation sweep through `allocation_sweep`.
+    let specs = standard_allocation_sweep();
+    let advice_total = specs.len();
+    println!("\nadvising {advice_total} allocation specs against {addr}");
+    let response = match client.request(&Request::AllocationSweep { specs }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("allocation_sweep request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = match response {
+        Response::AllocationSweepSummary { results } => results,
+        other => {
+            eprintln!("expected an allocation sweep summary, got: {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut advice_failures = 0usize;
+    for line in &results {
+        match &line.error {
+            None => println!(
+                "ok    {:<48} best={:<16} candidates={:>3} agreement={:.2}",
+                line.label, line.best_candidate, line.candidates, line.ordering_agreement
+            ),
+            Some(reason) => {
+                advice_failures += 1;
+                println!("FAIL  {:<48} {reason}", line.label);
+            }
+        }
+    }
+    println!(
+        "{} of {} advice specs ok",
+        results.len() - advice_failures,
+        results.len()
+    );
+    if advice_failures > 0 || results.len() != advice_total {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

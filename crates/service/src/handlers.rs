@@ -7,8 +7,8 @@
 //! back as typed [`Response::Error`]s, never as panics.
 
 use crate::protocol::{
-    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, ScenarioSpec,
-    SweepLine, TopologySpec,
+    AdviceSpec, AdviceSweepLine, AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec,
+    Request, Response, ScenarioSpec, SweepLine, TopologySpec,
 };
 use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
 use netpart_engine::{
@@ -23,6 +23,10 @@ use netpart_topology::GlobalArrangement;
 /// Upper bound on scenarios per `sweep` request (each scenario already has
 /// its own fabric/flow/job budgets from `netpart-scenario`).
 const MAX_SWEEP: usize = 256;
+
+/// Upper bound on specs per `allocation_sweep` request (each spec scores up
+/// to `MAX_ADVICE_CANDIDATES` flow simulations).
+const MAX_ALLOCATION_SWEEP: usize = 32;
 
 fn unsupported(message: impl Into<String>) -> Response {
     Response::error(ErrorCode::Unsupported, message)
@@ -308,6 +312,49 @@ fn handle_sweep(scenarios: &[ScenarioSpec]) -> Response {
     Response::SweepSummary { results }
 }
 
+/// Fabric-generic allocation advice: one advice spec, scored and ranked by
+/// `netpart-scenario` (bounds + flow simulation on any topology family).
+fn handle_advise_fabric(spec: &AdviceSpec) -> Response {
+    match netpart_scenario::run_advice(spec) {
+        Ok(result) => Response::FabricAdvice(result),
+        Err(e) => unsupported(e.to_string()),
+    }
+}
+
+/// Fan a batch of advice specs out through the parallel advice runner. Each
+/// spec succeeds or fails on its own; a bad spec never fails the batch.
+fn handle_allocation_sweep(specs: &[AdviceSpec]) -> Response {
+    if specs.is_empty() {
+        return unsupported("allocation_sweep needs at least one spec");
+    }
+    if specs.len() > MAX_ALLOCATION_SWEEP {
+        return unsupported(format!(
+            "more than {MAX_ALLOCATION_SWEEP} specs in one allocation sweep"
+        ));
+    }
+    let results = netpart_scenario::run_allocation_sweep(specs)
+        .into_iter()
+        .zip(specs)
+        .map(|(result, spec)| match result {
+            Ok(r) => AdviceSweepLine {
+                label: r.label.clone(),
+                best_candidate: r.best().map(|c| c.label.clone()).unwrap_or_default(),
+                candidates: r.candidates.len(),
+                ordering_agreement: r.ordering_agreement,
+                error: None,
+            },
+            Err(e) => AdviceSweepLine {
+                label: spec.label(),
+                best_candidate: String::new(),
+                candidates: 0,
+                ordering_agreement: 0.0,
+                error: Some(e.to_string()),
+            },
+        })
+        .collect();
+    Response::AllocationSweepSummary { results }
+}
+
 /// Dispatch one cacheable request to its handler. Control-plane requests
 /// (`Health`, `Stats`, `Shutdown`) are answered by the server itself, not
 /// here; routing them to this function is a server bug surfaced as an
@@ -338,6 +385,8 @@ pub fn handle(request: &Request) -> Response {
             policy,
         } => handle_policy_sim(machine, *jobs, *seed, *policy),
         Request::Sweep { scenarios } => handle_sweep(scenarios),
+        Request::AdviseFabric { spec } => handle_advise_fabric(spec),
+        Request::AllocationSweep { specs } => handle_allocation_sweep(specs),
         Request::Health | Request::Stats | Request::Shutdown => Response::error(
             ErrorCode::Internal,
             "control-plane request routed to the compute dispatcher",

@@ -13,7 +13,10 @@ use std::fmt;
 // The scenario vocabulary is the protocol's type layer: the wire codec below
 // renders / parses these shared spec types, so the service, the sweep runner
 // and the experiment drivers all speak about the same scenarios.
-pub use netpart_scenario::{AllocatorSpec, PolicySpec, RoutingSpec, ScenarioSpec, TrafficSpec};
+pub use netpart_scenario::{
+    AdviceResult, AdviceSpec, AllocationSpec, AllocatorSpec, CandidateResult, PolicySpec,
+    RoutingSpec, ScenarioSpec, TrafficSpec,
+};
 
 /// A network fabric, by family and shape (re-exported from
 /// `netpart-scenario`, which owns the canonical spec vocabulary).
@@ -313,6 +316,140 @@ fn scenario_from_value(v: &Value) -> Result<ScenarioSpec, ProtocolError> {
     })
 }
 
+fn candidate_to_value(spec: &AllocationSpec) -> Value {
+    match spec {
+        AllocationSpec::TorusBlocks => Value::obj([("kind", Value::from("torus_blocks"))]),
+        AllocationSpec::Blocked => Value::obj([("kind", Value::from("blocked"))]),
+        AllocationSpec::Greedy => Value::obj([("kind", Value::from("greedy"))]),
+        AllocationSpec::Scatter { stride } => Value::obj([
+            ("kind", Value::from("scatter")),
+            ("stride", Value::from(*stride)),
+        ]),
+        AllocationSpec::Random { samples } => Value::obj([
+            ("kind", Value::from("random")),
+            ("samples", Value::from(*samples)),
+        ]),
+    }
+}
+
+fn candidate_from_value(v: &Value) -> Result<AllocationSpec, ProtocolError> {
+    match get_str(v, "kind")?.as_str() {
+        "torus_blocks" => Ok(AllocationSpec::TorusBlocks),
+        "blocked" => Ok(AllocationSpec::Blocked),
+        "greedy" => Ok(AllocationSpec::Greedy),
+        "scatter" => Ok(AllocationSpec::Scatter {
+            stride: get_usize(v, "stride")?,
+        }),
+        "random" => Ok(AllocationSpec::Random {
+            samples: get_usize(v, "samples")?,
+        }),
+        other => Err(ProtocolError(format!(
+            "unknown candidate generator '{other}'"
+        ))),
+    }
+}
+
+fn advice_spec_to_value(spec: &AdviceSpec) -> Value {
+    Value::obj([
+        ("topology", topology_to_value(&spec.topology)),
+        ("routing", routing_to_value(&spec.routing)),
+        ("nodes", Value::from(spec.nodes)),
+        ("gigabytes", Value::from(spec.gigabytes)),
+        (
+            "candidates",
+            Value::Arr(spec.candidates.iter().map(candidate_to_value).collect()),
+        ),
+        ("seed", Value::from(spec.seed.to_string())),
+    ])
+}
+
+fn advice_spec_from_value(v: &Value) -> Result<AdviceSpec, ProtocolError> {
+    let candidates = v
+        .get("candidates")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| missing("candidates"))?
+        .iter()
+        .map(candidate_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AdviceSpec {
+        topology: topology_from_value(v.get("topology").ok_or_else(|| missing("topology"))?)?,
+        routing: routing_from_value(v.get("routing").ok_or_else(|| missing("routing"))?)?,
+        nodes: get_usize(v, "nodes")?,
+        gigabytes: get_f64(v, "gigabytes")?,
+        candidates,
+        seed: get_u64(v, "seed")?,
+    })
+}
+
+fn candidate_result_to_value(c: &CandidateResult) -> Value {
+    Value::obj([
+        ("label", Value::from(c.label.as_str())),
+        ("nodes", Value::from(c.nodes.clone())),
+        ("bound_seconds", Value::from(c.bound_seconds)),
+        ("simulated_seconds", Value::from(c.simulated_seconds)),
+        ("gap", Value::from(c.gap)),
+        ("cut_gbs", Value::from(c.cut_gbs)),
+        (
+            "internal_bisection_gbs",
+            Value::from(c.internal_bisection_gbs),
+        ),
+        ("closed_form", Value::from(c.closed_form)),
+        ("solves", Value::from(c.solves)),
+    ])
+}
+
+fn candidate_result_from_value(v: &Value) -> Result<CandidateResult, ProtocolError> {
+    Ok(CandidateResult {
+        label: get_str(v, "label")?,
+        nodes: get_dims(v, "nodes")?,
+        bound_seconds: get_f64(v, "bound_seconds")?,
+        simulated_seconds: get_f64(v, "simulated_seconds")?,
+        gap: get_f64(v, "gap")?,
+        cut_gbs: get_f64(v, "cut_gbs")?,
+        internal_bisection_gbs: get_f64(v, "internal_bisection_gbs")?,
+        closed_form: v
+            .get("closed_form")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| missing("closed_form"))?,
+        solves: get_usize(v, "solves")?,
+    })
+}
+
+fn advice_result_to_value(r: &AdviceResult) -> Value {
+    Value::obj([
+        ("label", Value::from(r.label.as_str())),
+        ("fabric", Value::from(r.fabric.as_str())),
+        ("nodes", Value::from(r.nodes)),
+        (
+            "candidates",
+            Value::Arr(r.candidates.iter().map(candidate_result_to_value).collect()),
+        ),
+        ("ordering_agreement", Value::from(r.ordering_agreement)),
+        ("truncated", Value::from(r.truncated)),
+    ])
+}
+
+fn advice_result_from_value(v: &Value) -> Result<AdviceResult, ProtocolError> {
+    let candidates = v
+        .get("candidates")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| missing("candidates"))?
+        .iter()
+        .map(candidate_result_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AdviceResult {
+        label: get_str(v, "label")?,
+        fabric: get_str(v, "fabric")?,
+        nodes: get_usize(v, "nodes")?,
+        candidates,
+        ordering_agreement: get_f64(v, "ordering_agreement")?,
+        truncated: v
+            .get("truncated")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| missing("truncated"))?,
+    })
+}
+
 /// A kernel for [`Request::Advise`], mirroring `netpart_contention::Kernel`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum KernelSpec {
@@ -469,6 +606,20 @@ pub enum Request {
         /// The scenarios to run.
         scenarios: Vec<ScenarioSpec>,
     },
+    /// Fabric-generic allocation advice: candidate allocations generated,
+    /// bounded and flow-simulated on any topology family (dispatches into
+    /// `netpart_scenario::run_advice`).
+    AdviseFabric {
+        /// The advice question.
+        spec: AdviceSpec,
+    },
+    /// A batch of advice specs, fanned out in parallel. Each spec succeeds
+    /// or fails independently; the summary reports one line per spec, in
+    /// order.
+    AllocationSweep {
+        /// The advice specs to run.
+        specs: Vec<AdviceSpec>,
+    },
     /// Liveness probe.
     Health,
     /// Metrics snapshot (request counts, latency percentiles, cache stats).
@@ -487,6 +638,8 @@ impl Request {
             Request::ClusterSim { .. } => "cluster_sim",
             Request::PolicySim { .. } => "policy_sim",
             Request::Sweep { .. } => "sweep",
+            Request::AdviseFabric { .. } => "advise_fabric",
+            Request::AllocationSweep { .. } => "allocation_sweep",
             Request::Health => "health",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
@@ -540,6 +693,21 @@ impl Request {
                 (
                     "scenarios",
                     Value::Arr(scenarios.iter().map(scenario_to_value).collect()),
+                ),
+            ]),
+            Request::AdviseFabric { spec } => {
+                // The spec's fields live at the top level, like cluster_sim.
+                let Value::Obj(mut fields) = advice_spec_to_value(spec) else {
+                    unreachable!("advice specs encode as objects");
+                };
+                fields.insert("type".to_string(), Value::from("advise_fabric"));
+                Value::Obj(fields)
+            }
+            Request::AllocationSweep { specs } => Value::obj([
+                ("type", Value::from("allocation_sweep")),
+                (
+                    "specs",
+                    Value::Arr(specs.iter().map(advice_spec_to_value).collect()),
                 ),
             ]),
             Request::ClusterSim {
@@ -644,6 +812,19 @@ impl Request {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Request::Sweep { scenarios })
             }
+            "advise_fabric" => Ok(Request::AdviseFabric {
+                spec: advice_spec_from_value(v)?,
+            }),
+            "allocation_sweep" => {
+                let specs = v
+                    .get("specs")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| missing("specs"))?
+                    .iter()
+                    .map(advice_spec_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::AllocationSweep { specs })
+            }
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -727,6 +908,69 @@ impl StatsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One advice spec's line in a [`Response::AllocationSweepSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdviceSweepLine {
+    /// The spec's canonical label.
+    pub label: String,
+    /// Label of the recommended (best-simulated) candidate (empty on
+    /// failure).
+    pub best_candidate: String,
+    /// Candidates scored (0 on failure).
+    pub candidates: usize,
+    /// Bound-vs-simulated ordering agreement in `[0, 1]` (0 on failure).
+    pub ordering_agreement: f64,
+    /// `None` when the spec ran; `Some(reason)` when it failed.
+    pub error: Option<String>,
+}
+
+impl AdviceSweepLine {
+    /// Whether the spec ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn to_value(&self) -> Value {
+        match &self.error {
+            None => Value::obj([
+                ("label", Value::from(self.label.as_str())),
+                ("status", Value::from("ok")),
+                ("best_candidate", Value::from(self.best_candidate.as_str())),
+                ("candidates", Value::from(self.candidates)),
+                ("ordering_agreement", Value::from(self.ordering_agreement)),
+            ]),
+            Some(message) => Value::obj([
+                ("label", Value::from(self.label.as_str())),
+                ("status", Value::from("error")),
+                ("message", Value::from(message.as_str())),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtocolError> {
+        let label = get_str(v, "label")?;
+        match get_str(v, "status")?.as_str() {
+            "ok" => Ok(AdviceSweepLine {
+                label,
+                best_candidate: get_str(v, "best_candidate")?,
+                candidates: get_usize(v, "candidates")?,
+                ordering_agreement: get_f64(v, "ordering_agreement")?,
+                error: None,
+            }),
+            "error" => Ok(AdviceSweepLine {
+                label,
+                best_candidate: String::new(),
+                candidates: 0,
+                ordering_agreement: 0.0,
+                error: Some(get_str(v, "message")?),
+            }),
+            other => Err(ProtocolError(format!(
+                "unknown allocation-sweep status '{other}'"
+            ))),
         }
     }
 }
@@ -867,6 +1111,13 @@ pub enum Response {
         /// Per-scenario outcomes.
         results: Vec<SweepLine>,
     },
+    /// Answer to [`Request::AdviseFabric`]: the full ranked advice.
+    FabricAdvice(AdviceResult),
+    /// Answer to [`Request::AllocationSweep`]: one line per spec, in order.
+    AllocationSweepSummary {
+        /// Per-spec outcomes.
+        results: Vec<AdviceSweepLine>,
+    },
     /// Answer to [`Request::Health`].
     Health {
         /// Seconds since the server started.
@@ -987,6 +1238,25 @@ impl Response {
                     Value::Arr(results.iter().map(SweepLine::to_value).collect()),
                 ),
             ]),
+            Response::FabricAdvice(result) => {
+                let Value::Obj(mut fields) = advice_result_to_value(result) else {
+                    unreachable!("advice results encode as objects");
+                };
+                fields.insert("type".to_string(), Value::from("fabric_advice"));
+                Value::Obj(fields)
+            }
+            Response::AllocationSweepSummary { results } => Value::obj([
+                ("type", Value::from("allocation_sweep_summary")),
+                ("total", Value::from(results.len())),
+                (
+                    "ok",
+                    Value::from(results.iter().filter(|r| r.is_ok()).count()),
+                ),
+                (
+                    "results",
+                    Value::Arr(results.iter().map(AdviceSweepLine::to_value).collect()),
+                ),
+            ]),
             Response::Health {
                 uptime_seconds,
                 workers,
@@ -1088,6 +1358,17 @@ impl Response {
                     .map(SweepLine::from_value)
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Response::SweepSummary { results })
+            }
+            "fabric_advice" => Ok(Response::FabricAdvice(advice_result_from_value(v)?)),
+            "allocation_sweep_summary" => {
+                let results = v
+                    .get("results")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| missing("results"))?
+                    .iter()
+                    .map(AdviceSweepLine::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::AllocationSweepSummary { results })
             }
             "health" => Ok(Response::Health {
                 uptime_seconds: get_f64(v, "uptime_seconds")?,

@@ -2,8 +2,9 @@
 //! responses through encode → decode, and the canonical form is stable.
 
 use netpart_service::protocol::{
-    AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, RoutingSpec,
-    ScenarioSpec, StatsSnapshot, SweepLine, TopologySpec, TrafficSpec,
+    AdviceResult, AdviceSpec, AdviceSweepLine, AllocationSpec, AllocatorSpec, CandidateResult,
+    ErrorCode, FlowSpec, KernelSpec, PolicySpec, Request, Response, RoutingSpec, ScenarioSpec,
+    StatsSnapshot, SweepLine, TopologySpec, TrafficSpec,
 };
 use proptest::prelude::*;
 
@@ -116,6 +117,114 @@ fn scenario_strategy() -> BoxedStrategy<ScenarioSpec> {
         .boxed()
 }
 
+fn allocation_candidate_strategy() -> BoxedStrategy<AllocationSpec> {
+    prop_oneof![
+        Just(AllocationSpec::TorusBlocks),
+        Just(AllocationSpec::Blocked),
+        Just(AllocationSpec::Greedy),
+        (1usize..32).prop_map(|stride| AllocationSpec::Scatter { stride }),
+        (1usize..16).prop_map(|samples| AllocationSpec::Random { samples }),
+    ]
+    .boxed()
+}
+
+fn advice_spec_strategy() -> BoxedStrategy<AdviceSpec> {
+    (
+        topology_strategy(),
+        routing_strategy(),
+        2usize..256,
+        0.01f64..8.0,
+        proptest::collection::vec(allocation_candidate_strategy(), 1..5),
+        0usize..1_000_000,
+    )
+        .prop_map(
+            |(topology, routing, nodes, gigabytes, candidates, seed)| AdviceSpec {
+                topology,
+                routing,
+                nodes,
+                gigabytes,
+                candidates,
+                seed: (seed as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+            },
+        )
+        .boxed()
+}
+
+fn candidate_result_strategy() -> BoxedStrategy<CandidateResult> {
+    (
+        name_strategy(),
+        proptest::collection::vec(0usize..4096, 2..16),
+        0.01f64..1e4,
+        1.0f64..4.0,
+        0.5f64..1e3,
+        0usize..128,
+    )
+        .prop_map(
+            |(label, nodes, bound_seconds, gap, cut_gbs, solves)| CandidateResult {
+                label,
+                nodes,
+                bound_seconds,
+                simulated_seconds: bound_seconds * gap,
+                gap,
+                cut_gbs,
+                internal_bisection_gbs: cut_gbs / 2.0,
+                closed_form: solves % 2 == 0,
+                solves,
+            },
+        )
+        .boxed()
+}
+
+fn advice_result_strategy() -> BoxedStrategy<AdviceResult> {
+    (
+        name_strategy(),
+        name_strategy(),
+        2usize..256,
+        proptest::collection::vec(candidate_result_strategy(), 0..5),
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(label, fabric, nodes, candidates, ordering_agreement)| AdviceResult {
+                label,
+                fabric,
+                nodes,
+                truncated: candidates.len() > 3,
+                candidates,
+                ordering_agreement,
+            },
+        )
+        .boxed()
+}
+
+fn advice_sweep_line_strategy() -> BoxedStrategy<AdviceSweepLine> {
+    (
+        name_strategy(),
+        name_strategy(),
+        0usize..64,
+        0.0f64..1.0,
+        proptest::option::of(name_strategy()),
+    )
+        .prop_map(
+            |(label, best_candidate, candidates, agreement, error)| match error {
+                None => AdviceSweepLine {
+                    label,
+                    best_candidate,
+                    candidates,
+                    ordering_agreement: agreement,
+                    error: None,
+                },
+                some_error => AdviceSweepLine {
+                    label,
+                    best_candidate: String::new(),
+                    candidates: 0,
+                    ordering_agreement: 0.0,
+                    error: some_error,
+                },
+            },
+        )
+        .boxed()
+}
+
 fn kernel_strategy() -> BoxedStrategy<KernelSpec> {
     prop_oneof![
         (1usize..1_000_000).prop_map(|n| KernelSpec::ClassicalMatmul(n as u64)),
@@ -197,6 +306,9 @@ fn request_strategy() -> BoxedStrategy<Request> {
             }),
         proptest::collection::vec(scenario_strategy(), 0..6)
             .prop_map(|scenarios| Request::Sweep { scenarios }),
+        advice_spec_strategy().prop_map(|spec| Request::AdviseFabric { spec }),
+        proptest::collection::vec(advice_spec_strategy(), 0..4)
+            .prop_map(|specs| Request::AllocationSweep { specs }),
         Just(Request::Health),
         Just(Request::Stats),
         Just(Request::Shutdown),
@@ -293,6 +405,9 @@ fn response_strategy() -> BoxedStrategy<Response> {
             0..6,
         )
         .prop_map(|results| Response::SweepSummary { results }),
+        advice_result_strategy().prop_map(Response::FabricAdvice),
+        proptest::collection::vec(advice_sweep_line_strategy(), 0..6)
+            .prop_map(|results| Response::AllocationSweepSummary { results }),
         Just(Response::Ok),
         (name_strategy()).prop_map(|message| Response::Error {
             code: ErrorCode::Unsupported,

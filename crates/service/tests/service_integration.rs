@@ -4,7 +4,8 @@
 
 use netpart_service::client::ServiceClient;
 use netpart_service::protocol::{
-    AllocatorSpec, ErrorCode, FlowSpec, PolicySpec, Request, Response, TopologySpec,
+    AdviceSpec, AllocationSpec, AllocatorSpec, ErrorCode, FlowSpec, PolicySpec, Request, Response,
+    RoutingSpec, TopologySpec,
 };
 use netpart_service::server::{serve, ServerConfig};
 
@@ -103,6 +104,31 @@ fn every_request_variant_gets_its_response_type() {
         other => panic!("expected sweep summary, got {other:?}"),
     }
 
+    let advice = client
+        .request(&Request::AdviseFabric {
+            spec: advice_spec(TopologySpec::Dragonfly(4, 4, 2), RoutingSpec::ShortestPath),
+        })
+        .unwrap();
+    assert!(matches!(advice, Response::FabricAdvice(_)), "{advice:?}");
+
+    let allocation_sweep = client
+        .request(&Request::AllocationSweep {
+            specs: netpart_scenario::standard_allocation_sweep(),
+        })
+        .unwrap();
+    match &allocation_sweep {
+        Response::AllocationSweepSummary { results } => {
+            assert!(results.len() >= 5, "{} advice specs", results.len());
+            assert!(
+                results
+                    .iter()
+                    .all(netpart_service::protocol::AdviceSweepLine::is_ok),
+                "{results:?}"
+            );
+        }
+        other => panic!("expected allocation sweep summary, got {other:?}"),
+    }
+
     let health = client.health().unwrap();
     assert!(
         matches!(health, Response::Health { workers: 2, .. }),
@@ -110,7 +136,7 @@ fn every_request_variant_gets_its_response_type() {
     );
 
     let stats = client.stats().unwrap();
-    assert!(stats.requests_total >= 6);
+    assert!(stats.requests_total >= 8);
 
     client.shutdown().unwrap();
     handle.join();
@@ -188,6 +214,154 @@ fn repeated_queries_hit_the_cache() {
     assert_eq!(stats.cache_hits, 10, "everything else from cache");
     assert!(stats.hit_rate() > 0.9);
     assert_eq!(stats.cache_entries, 1);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+fn advice_spec(topology: TopologySpec, routing: RoutingSpec) -> AdviceSpec {
+    AdviceSpec {
+        topology,
+        routing,
+        nodes: 8,
+        gigabytes: 0.25,
+        candidates: vec![
+            AllocationSpec::Blocked,
+            AllocationSpec::Greedy,
+            AllocationSpec::Scatter { stride: 5 },
+            AllocationSpec::Random { samples: 1 },
+        ],
+        seed: 3,
+    }
+}
+
+#[test]
+fn advise_fabric_ranks_candidates_on_every_non_torus_family() {
+    let handle = boot(2);
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+    for (topology, routing) in [
+        (TopologySpec::Dragonfly(4, 4, 2), RoutingSpec::ShortestPath),
+        (TopologySpec::FatTree(4), RoutingSpec::Ecmp { salt: 1 }),
+        (
+            TopologySpec::Expander(40, vec![1, 7, 16]),
+            RoutingSpec::ShortestPath,
+        ),
+    ] {
+        let request = Request::AdviseFabric {
+            spec: advice_spec(topology.clone(), routing),
+        };
+        let response = client.request(&request).unwrap();
+        let Response::FabricAdvice(result) = response else {
+            panic!("expected fabric advice for {topology:?}, got {response:?}");
+        };
+        assert_eq!(result.nodes, 8);
+        assert_eq!(result.candidates.len(), 4, "{}", result.label);
+        for pair in result.candidates.windows(2) {
+            assert!(
+                pair[0].simulated_seconds <= pair[1].simulated_seconds,
+                "{} is not ranked",
+                result.label
+            );
+        }
+        for c in &result.candidates {
+            assert_eq!(c.nodes.len(), 8);
+            assert!(c.simulated_seconds > 0.0);
+            assert!(c.bound_seconds <= c.simulated_seconds * (1.0 + 1e-9));
+        }
+    }
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn advise_fabric_rejects_bad_specs_and_malformed_payloads() {
+    let handle = boot(2);
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+
+    // Well-formed but unanswerable: torus blocks need a torus fabric.
+    let response = client
+        .request(&Request::AdviseFabric {
+            spec: AdviceSpec {
+                candidates: vec![AllocationSpec::TorusBlocks],
+                ..advice_spec(TopologySpec::Hypercube(4), RoutingSpec::ShortestPath)
+            },
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            response,
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ),
+        "{response:?}"
+    );
+
+    // Malformed advice payloads are bad requests, not dropped connections.
+    for bad in [
+        r#"{"type":"advise_fabric"}"#,
+        r#"{"type":"advise_fabric","topology":{"family":"torus","dims":[4,4]},"routing":{"kind":"dor"},"nodes":8,"gigabytes":0.5,"candidates":[{"kind":"frobnicate"}],"seed":"1"}"#,
+        r#"{"type":"advise_fabric","topology":{"family":"torus","dims":[4,4]},"routing":{"kind":"dor"},"nodes":8,"gigabytes":"lots","candidates":[{"kind":"greedy"}],"seed":"1"}"#,
+        r#"{"type":"allocation_sweep","specs":[{}]}"#,
+        r#"{"type":"allocation_sweep"}"#,
+    ] {
+        let response = client.send_line(bad).expect("server must answer");
+        assert!(
+            matches!(
+                response,
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "line {bad:?} produced {response:?}"
+        );
+    }
+
+    // Empty sweeps are refused as unsupported.
+    let response = client
+        .request(&Request::AllocationSweep { specs: vec![] })
+        .unwrap();
+    assert!(matches!(
+        response,
+        Response::Error {
+            code: ErrorCode::Unsupported,
+            ..
+        }
+    ));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn allocation_sweep_isolates_per_spec_failures_and_caches() {
+    let handle = boot(2);
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+    let good = advice_spec(TopologySpec::SlimFly(5), RoutingSpec::Ecmp { salt: 1 });
+    let bad = AdviceSpec {
+        nodes: 100_000,
+        ..good.clone()
+    };
+    let request = Request::AllocationSweep {
+        specs: vec![good, bad],
+    };
+    let first = client.request(&request).unwrap();
+    let Response::AllocationSweepSummary { results } = &first else {
+        panic!("expected allocation sweep summary, got {first:?}");
+    };
+    assert_eq!(results.len(), 2);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    assert!(!results[0].best_candidate.is_empty());
+    assert!(results[0].candidates >= 4);
+    assert!(!results[1].is_ok());
+
+    // Identical sweeps come from the cache.
+    assert_eq!(client.request(&request).unwrap(), first);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 1);
 
     client.shutdown().unwrap();
     handle.join();

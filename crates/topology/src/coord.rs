@@ -53,6 +53,23 @@ pub fn coord_of(dims: &[usize], idx: usize) -> Vec<usize> {
     coord
 }
 
+/// [`coord_of`] into a caller-owned buffer (`out[..dims.len()]` is filled;
+/// the rest is untouched) — the allocation-free variant routing hot paths
+/// use.
+///
+/// # Panics
+/// Panics if `idx` is out of range or `out` is shorter than `dims`.
+pub fn coord_into(dims: &[usize], idx: usize, out: &mut [usize]) {
+    let total: usize = dims.iter().product();
+    assert!(idx < total.max(1), "index {idx} out of range 0..{total}");
+    assert!(out.len() >= dims.len(), "coordinate buffer too short");
+    let mut rest = idx;
+    for i in (0..dims.len()).rev() {
+        out[i] = rest % dims[i];
+        rest /= dims[i];
+    }
+}
+
 /// Number of nodes in a grid with the given extents (product of extents).
 pub fn volume(dims: &[usize]) -> usize {
     dims.iter().product()
