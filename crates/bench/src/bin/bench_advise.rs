@@ -8,7 +8,7 @@
 //! bit-identical before anything is timed.
 
 use netpart_bench::advise_workloads::{advise_fabric, candidate_sets, score_naive, score_reused};
-use netpart_bench::emit_json;
+use netpart_bench::emit_json_baseline;
 use netpart_engine::DimensionOrdered;
 use netpart_scenario::{named_advice, run_advice};
 use std::time::Instant;
@@ -25,6 +25,7 @@ fn time_best<O>(mut routine: impl FnMut() -> O) -> f64 {
 }
 
 fn main() {
+    let force = std::env::args().skip(1).any(|a| a == "--force");
     let fabric = advise_fabric();
     let router = DimensionOrdered::default();
     let gigabytes = 0.25;
@@ -70,5 +71,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    emit_json("bench_advise", &json);
+    emit_json_baseline("bench_advise", &json, force);
 }

@@ -7,7 +7,7 @@
 //! workloads themselves live in `netpart_bench::engine_workloads`, shared
 //! with `benches/engine_events.rs`.
 
-use netpart_bench::emit_json;
+use netpart_bench::emit_json_baseline;
 use netpart_bench::engine_workloads::{
     dispatch_chain, fabric_cases, queue_push_drain, shuffle_flows,
 };
@@ -26,6 +26,7 @@ fn time_best<O>(mut routine: impl FnMut() -> O) -> f64 {
 }
 
 fn main() {
+    let force = std::env::args().skip(1).any(|a| a == "--force");
     let mut entries: Vec<(String, &str, f64)> = vec![
         (
             "event_queue_100k".into(),
@@ -59,5 +60,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    emit_json("bench_engine", &json);
+    emit_json_baseline("bench_engine", &json, force);
 }

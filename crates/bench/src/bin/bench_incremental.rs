@@ -1,0 +1,117 @@
+//! Machine-readable batch-vs-incremental solver baseline.
+//!
+//! Two workloads, both run in `SolverMode::Batch` (full solve every event,
+//! via the threshold-0 fallback — the identical arithmetic the batch kernel
+//! performs) and `SolverMode::Incremental` (component-scoped repairs):
+//!
+//! * a 10 000-event churn trace on the 8×8×4 advise torus — disjoint
+//!   all-to-all job blocks arriving and retiring through a fixed-size
+//!   window, re-solving after every admission/retirement;
+//! * the allocation-advice candidate sweep (many all-to-all candidate
+//!   scorings through `FluidSim`).
+//!
+//! Before anything is timed, both modes' full rate/makespan checksums are
+//! asserted bit-identical — the speedup below is for the *same answer*.
+//!
+//! Writes `results/bench_incremental.json`. The file is a committed
+//! baseline: an existing file is kept (and the fresh numbers printed to
+//! stdout only) unless `--force` is passed.
+
+use netpart_bench::advise_workloads::{advise_fabric, candidate_sets};
+use netpart_bench::emit_json_baseline;
+use netpart_bench::incremental_workloads::{churn_fabric, churn_jobs, run_churn, score_candidates};
+use netpart_engine::{DimensionOrdered, SolverMode};
+use std::time::Instant;
+
+/// Best-of-five wall-clock seconds for `routine`.
+fn time_best<O>(mut routine: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let force = std::env::args().skip(1).any(|a| a == "--force");
+    let mut entries: Vec<(String, &str, f64)> = Vec::new();
+
+    // Churn trace: 32 disjoint 8-node all-to-all jobs on the 8×8×4 torus,
+    // 16 live at a time, 10k admission/retirement events.
+    let fabric = churn_fabric();
+    let jobs = churn_jobs(&fabric, 8);
+    let (window, events) = (16usize, 10_000usize);
+    let batch_sum = run_churn(&fabric, &jobs, window, events, SolverMode::Batch);
+    let incremental_sum = run_churn(&fabric, &jobs, window, events, SolverMode::Incremental);
+    assert_eq!(
+        batch_sum, incremental_sum,
+        "churn rate trajectories must be bit-identical across modes"
+    );
+    let batch = time_best(|| run_churn(&fabric, &jobs, window, events, SolverMode::Batch));
+    let incremental =
+        time_best(|| run_churn(&fabric, &jobs, window, events, SolverMode::Incremental));
+    entries.push(("churn_10k_batch".to_string(), "seconds", batch));
+    entries.push(("churn_10k_incremental".to_string(), "seconds", incremental));
+    entries.push((
+        "churn_10k_speedup".to_string(),
+        "ratio",
+        batch / incremental,
+    ));
+
+    // Advice candidate sweep: the allocation-scoring hot path.
+    let fabric = advise_fabric();
+    let router = DimensionOrdered::default();
+    let gigabytes = 0.25;
+    for (nodes, count) in [(4usize, 512usize), (12, 96)] {
+        let candidates = candidate_sets(&fabric, nodes, count);
+        let batch_sum =
+            score_candidates(&fabric, &router, &candidates, gigabytes, SolverMode::Batch);
+        let incremental_sum = score_candidates(
+            &fabric,
+            &router,
+            &candidates,
+            gigabytes,
+            SolverMode::Incremental,
+        );
+        assert_eq!(
+            batch_sum, incremental_sum,
+            "candidate makespans must be bit-identical across modes"
+        );
+        let batch = time_best(|| {
+            score_candidates(&fabric, &router, &candidates, gigabytes, SolverMode::Batch)
+        });
+        let incremental = time_best(|| {
+            score_candidates(
+                &fabric,
+                &router,
+                &candidates,
+                gigabytes,
+                SolverMode::Incremental,
+            )
+        });
+        entries.push((format!("sweep_{count}x{nodes}_batch"), "seconds", batch));
+        entries.push((
+            format!("sweep_{count}x{nodes}_incremental"),
+            "seconds",
+            incremental,
+        ));
+        entries.push((
+            format!("sweep_{count}x{nodes}_speedup"),
+            "ratio",
+            batch / incremental,
+        ));
+    }
+
+    let mut json =
+        String::from("{\n  \"schema\": \"netpart-bench-incremental/v1\",\n  \"entries\": [\n");
+    for (i, (name, metric, value)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"metric\": \"{metric}\", \"value\": {value:.6}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    emit_json_baseline("bench_incremental", &json, force);
+}

@@ -10,7 +10,7 @@
 //! Methodology (both then and now): release build, one warm-up pass over
 //! the whole sweep, then the mean of three timed repetitions per geometry.
 
-use netpart_bench::emit_json;
+use netpart_bench::emit_json_baseline;
 use netpart_scenario::{run_scenario, run_sweep, RoutingSpec, ScenarioSpec, TopologySpec};
 use std::time::Instant;
 
@@ -49,6 +49,7 @@ fn time_mean<O>(mut routine: impl FnMut() -> O) -> f64 {
 }
 
 fn main() {
+    let force = std::env::args().skip(1).any(|a| a == "--force");
     // Warm-up pass so allocator state does not skew the first case.
     for (dims, _, _) in LEGACY_BASELINE {
         run_scenario(&pairing_spec(dims)).expect("pairing scenario runs");
@@ -104,7 +105,7 @@ fn main() {
          \"total_speedup\": {:.3},\n  \"parallel_sweep_wall_s\": {sweep_wall:.6}\n}}\n",
         baseline_total / total,
     );
-    emit_json("bench_scenarios", &json);
+    emit_json_baseline("bench_scenarios", &json, force);
     eprintln!(
         "sweep total {total:.4}s vs legacy baseline {baseline_total:.4}s \
          (x{:.2})",

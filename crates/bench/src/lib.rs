@@ -59,6 +59,23 @@ pub fn emit_json(name: &str, body: &str) {
     emit_with_ext(name, "json", body);
 }
 
+/// Persist a JSON *baseline* under `results/<name>.json` — like
+/// [`emit_json`], except an existing file is left untouched unless `force`
+/// is set, so a stray local run cannot silently clobber the committed
+/// trajectory. Bench bins map their `--force` flag straight onto `force`.
+pub fn emit_json_baseline(name: &str, body: &str, force: bool) {
+    let path = results_dir().join(format!("{name}.json"));
+    if path.exists() && !force {
+        println!("{body}");
+        eprintln!(
+            "note: kept existing baseline {} (pass --force to overwrite)",
+            path.display()
+        );
+        return;
+    }
+    emit_with_ext(name, "json", body);
+}
+
 /// Render a header line for an experiment report.
 pub fn header(title: &str, source: &str) -> String {
     format!("{title}\n(reproduces {source} of 'Network Partitioning and Avoidable Contention', SPAA 2020)\n")
@@ -267,6 +284,355 @@ pub mod advise_workloads {
             total += fluid.time();
         }
         total
+    }
+}
+
+/// Proptest strategies for the incremental-solver differential tests.
+///
+/// The central artefact is [`delta_case`](strategies::delta_case): a
+/// strategy producing valid *(fabric, initial flow set, delta sequence)*
+/// triples over random torus / dragonfly / fat-tree / expander fabrics. The
+/// parity suite (`tests/incremental_parity.rs`) replays each triple against
+/// both solvers and demands bit-identical rates; future fuzz targets can
+/// consume the same generator unchanged.
+///
+/// ```
+/// use netpart_bench::strategies::{delta_case, DeltaOp};
+/// use proptest::strategy::Strategy;
+/// use proptest::test_runner::TestRng;
+///
+/// let mut rng = TestRng::deterministic("doc");
+/// let case = delta_case().sample(&mut rng);
+/// assert!(case.initial.iter().all(|f| f.src < case.fabric.num_nodes()));
+/// for op in &case.deltas {
+///     if let DeltaOp::Insert(flow) = op {
+///         assert!(flow.dst < case.fabric.num_nodes());
+///     }
+/// }
+/// ```
+pub mod strategies {
+    use netpart_engine::{DimensionOrdered, Fabric, Flow, Router, ShortestPath};
+    use netpart_scenario::{build_fabric, TopologySpec};
+    use proptest::prelude::*;
+    use proptest::strategy::BoxedStrategy;
+
+    /// One operation of a delta sequence.
+    #[derive(Debug, Clone)]
+    pub enum DeltaOp {
+        /// Insert this flow (endpoints already reduced into the fabric's
+        /// node range; `src == dst` is deliberately possible — it routes to
+        /// an empty path, the unbounded-rate edge case).
+        Insert(Flow),
+        /// Remove one live flow, chosen as `index` modulo the live count at
+        /// apply time (so the op is valid whatever the set looks like).
+        Remove {
+            /// Raw index; reduce modulo the live flow count when applying.
+            index: usize,
+        },
+        /// Solve now and check the rates against the reference solver.
+        Solve,
+    }
+
+    /// A generated differential-test case: a fabric, the flows present
+    /// before the first delta, and the delta script to replay.
+    #[derive(Debug, Clone)]
+    pub struct DeltaCase {
+        /// The fabric the flows are routed on.
+        pub fabric: Fabric,
+        /// Flows inserted (in order) before the script runs.
+        pub initial: Vec<Flow>,
+        /// The insert/remove/solve script.
+        pub deltas: Vec<DeltaOp>,
+    }
+
+    impl DeltaCase {
+        /// The fabric's natural router: dimension-ordered on tori,
+        /// shortest-path elsewhere (the same choice the service makes).
+        pub fn router(&self) -> Box<dyn Router> {
+            if self.fabric.torus().is_some() {
+                Box::new(DimensionOrdered::default())
+            } else {
+                Box::new(ShortestPath)
+            }
+        }
+    }
+
+    /// Random small fabric from the four families the parity suite covers.
+    /// Every emitted spec passes `netpart_scenario::build_fabric`
+    /// validation, so the strategy can never produce an unbuildable case.
+    pub fn small_fabric() -> BoxedStrategy<Fabric> {
+        prop_oneof![
+            proptest::collection::vec(2usize..=5, 2..=3).prop_map(TopologySpec::Torus),
+            (3usize..=5, 2usize..=4, 1usize..=2)
+                .prop_map(|(g, a, p)| TopologySpec::Dragonfly(g, a, p)),
+            Just(TopologySpec::FatTree(4)),
+            (8usize..=40, proptest::collection::vec(2usize..=7, 1..=3)).prop_map(|(n, skips)| {
+                // Circulant generators must be distinct and in 1..=n/2;
+                // generator 1 keeps the graph connected regardless of the
+                // other skips (e.g. C20(2) alone splits into two cycles).
+                let mut skips: Vec<usize> = skips.into_iter().map(|s| 1 + s % (n / 2)).collect();
+                skips.push(1);
+                skips.sort_unstable();
+                skips.dedup();
+                TopologySpec::Expander(n, skips)
+            }),
+        ]
+        .prop_map(|spec| build_fabric(&spec).expect("strategy emits only valid specs"))
+        .boxed()
+    }
+
+    /// Raw flow material: endpoints as unreduced indices plus a volume.
+    fn raw_flow() -> BoxedStrategy<(usize, usize, f64)> {
+        (0usize..1 << 16, 0usize..1 << 16, 0.05f64..4.0).boxed()
+    }
+
+    /// Raw op material; reduced against the fabric in [`delta_case`].
+    fn raw_op() -> BoxedStrategy<RawOp> {
+        prop_oneof![
+            raw_flow().prop_map(RawOp::Insert),
+            (0usize..1 << 16).prop_map(|index| RawOp::Remove { index }),
+            Just(RawOp::Solve),
+        ]
+        .boxed()
+    }
+
+    #[derive(Debug, Clone)]
+    enum RawOp {
+        Insert((usize, usize, f64)),
+        Remove { index: usize },
+        Solve,
+    }
+
+    fn reduce_flow(raw: &(usize, usize, f64), nodes: usize) -> Flow {
+        Flow {
+            src: raw.0 % nodes,
+            dst: raw.1 % nodes,
+            gigabytes: raw.2,
+        }
+    }
+
+    /// A valid (fabric, flow set, delta sequence) triple. Endpoints are
+    /// reduced into the fabric's node range at generation time; `Remove`
+    /// indices stay raw (reduce them modulo the live count when applying).
+    pub fn delta_case() -> BoxedStrategy<DeltaCase> {
+        (
+            small_fabric(),
+            proptest::collection::vec(raw_flow(), 0..24),
+            proptest::collection::vec(raw_op(), 1..48),
+        )
+            .prop_map(|(fabric, raw_flows, raw_ops)| {
+                let nodes = fabric.num_nodes();
+                let initial = raw_flows.iter().map(|f| reduce_flow(f, nodes)).collect();
+                let deltas = raw_ops
+                    .iter()
+                    .map(|op| match op {
+                        RawOp::Insert(raw) => DeltaOp::Insert(reduce_flow(raw, nodes)),
+                        RawOp::Remove { index } => DeltaOp::Remove { index: *index },
+                        RawOp::Solve => DeltaOp::Solve,
+                    })
+                    .collect();
+                DeltaCase {
+                    fabric,
+                    initial,
+                    deltas,
+                }
+            })
+            .boxed()
+    }
+}
+
+/// Shared workloads for the batch-vs-incremental solver benchmarks.
+///
+/// `src/bin/bench_incremental.rs` (the committed
+/// `results/bench_incremental.json`) measures exactly these workloads: a
+/// 10k-event allocation-churn trace replayed through [`IncrementalMaxMin`]
+/// in both modes, and the advice candidate sweep scored through
+/// [`FluidSim`] in both modes. Each workload returns a checksum over every
+/// solved rate's bits, so the benchmark asserts bit-identity between the
+/// modes before it times anything.
+///
+/// [`IncrementalMaxMin`]: netpart_engine::IncrementalMaxMin
+/// [`FluidSim`]: netpart_engine::FluidSim
+pub mod incremental_workloads {
+    use netpart_engine::{
+        route_flows_csr, DimensionOrdered, Fabric, Flow, FluidSim, IncrementalMaxMin, Router,
+        SolverMode,
+    };
+    use netpart_topology::Torus;
+
+    /// The churn fabric: the advise benchmarks' 8×8×4 torus.
+    pub fn churn_fabric() -> Fabric {
+        Fabric::from_torus(Torus::new(vec![8, 8, 4]), 2.0)
+    }
+
+    /// One churn job: a routed all-to-all exchange over one compact node
+    /// block, stored as per-flow channel paths.
+    pub struct ChurnJob {
+        /// CSR offsets into [`paths`](ChurnJob::paths).
+        pub offsets: Vec<usize>,
+        /// Concatenated channel paths of the job's flows.
+        pub paths: Vec<usize>,
+    }
+
+    impl ChurnJob {
+        /// Number of flows in the job.
+        pub fn flows(&self) -> usize {
+            self.offsets.len() - 1
+        }
+    }
+
+    /// Build the churn jobs: disjoint compact blocks of `block` consecutive
+    /// nodes, each running an all-to-all exchange. Disjoint blocks keep the
+    /// flow–channel interaction graph partitioned per job — the regime the
+    /// incremental solver exists for (a job arriving or leaving only
+    /// disturbs its own component).
+    pub fn churn_jobs(fabric: &Fabric, block: usize) -> Vec<ChurnJob> {
+        let router = DimensionOrdered::default();
+        let mut jobs = Vec::new();
+        let mut flows = Vec::new();
+        for start in (0..fabric.num_nodes()).step_by(block) {
+            let nodes: Vec<usize> = (start..start + block).collect();
+            if *nodes.last().unwrap() >= fabric.num_nodes() {
+                break;
+            }
+            flows.clear();
+            for &a in &nodes {
+                for &b in &nodes {
+                    if a != b {
+                        flows.push(Flow {
+                            src: a,
+                            dst: b,
+                            gigabytes: 1.0,
+                        });
+                    }
+                }
+            }
+            let mut offsets = Vec::new();
+            let mut paths = Vec::new();
+            route_flows_csr(fabric, &router, &flows, &mut offsets, &mut paths)
+                .expect("blocks route on their own fabric");
+            jobs.push(ChurnJob { offsets, paths });
+        }
+        jobs
+    }
+
+    /// Replay an `events`-step churn trace: keep a window of `window` jobs
+    /// live; each step retires the oldest job, admits the next (cycling
+    /// through `jobs`), and re-solves. Returns an XOR checksum over every
+    /// post-solve rate's bits — identical across modes exactly when every
+    /// intermediate rate assignment is bit-identical.
+    ///
+    /// `mode` selects the solver: `Batch` forces the full batch solve on
+    /// every event (the pre-incremental cost model), `Incremental` repairs
+    /// only the admitted/retired job's component.
+    pub fn run_churn(
+        fabric: &Fabric,
+        jobs: &[ChurnJob],
+        window: usize,
+        events: usize,
+        mode: SolverMode,
+    ) -> u64 {
+        assert!(window < jobs.len(), "window must leave jobs to cycle in");
+        let mut solver = IncrementalMaxMin::new(fabric.capacities());
+        if mode == SolverMode::Batch {
+            // Threshold 0 sends every repair down the full-batch path: the
+            // same arithmetic every event, none of the delta bookkeeping
+            // pay-off.
+            solver.set_full_solve_fraction(0.0);
+        }
+        // Flow ids partition into fixed per-slot ranges so ids never clash
+        // between coexisting jobs.
+        let slot_width = jobs.iter().map(ChurnJob::flows).max().unwrap_or(0);
+        let insert = |solver: &mut IncrementalMaxMin, slot: usize, job: &ChurnJob| {
+            for f in 0..job.flows() {
+                solver.insert_flow(
+                    slot * slot_width + f,
+                    &job.paths[job.offsets[f]..job.offsets[f + 1]],
+                );
+            }
+        };
+        let remove = |solver: &mut IncrementalMaxMin, slot: usize, job: &ChurnJob| {
+            for f in 0..job.flows() {
+                solver.remove_flow(slot * slot_width + f);
+            }
+        };
+        let mut checksum = 0u64;
+        let mut digest = |solver: &mut IncrementalMaxMin| {
+            for &r in solver.solve() {
+                checksum ^= r.to_bits().rotate_left(checksum as u32 & 63);
+            }
+        };
+        // Fill the window, solving per admission (these count as events).
+        let mut next = 0usize;
+        let mut live: Vec<usize> = Vec::new(); // slot i holds jobs[live[i]]
+        let mut remaining = events;
+        while live.len() < window && remaining > 0 {
+            insert(&mut solver, live.len(), &jobs[next]);
+            live.push(next);
+            next = (next + 1) % jobs.len();
+            digest(&mut solver);
+            remaining -= 1;
+        }
+        // Steady-state churn: retire the oldest slot, admit the next job.
+        let mut oldest = 0usize;
+        while remaining > 0 {
+            remove(&mut solver, oldest, &jobs[live[oldest]]);
+            digest(&mut solver);
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+            // Skip the job currently in every other live slot: with
+            // disjoint blocks any job not live is admissible.
+            while live.contains(&next) {
+                next = (next + 1) % jobs.len();
+            }
+            insert(&mut solver, oldest, &jobs[next]);
+            live[oldest] = next;
+            digest(&mut solver);
+            remaining -= 1;
+            oldest = (oldest + 1) % window;
+        }
+        checksum
+    }
+
+    /// Score the advise candidate sweep through a [`FluidSim`] in the given
+    /// mode (the advice hot path). Returns the checksum over all candidate
+    /// makespans' bits.
+    pub fn score_candidates(
+        fabric: &Fabric,
+        router: &dyn Router,
+        candidates: &[Vec<usize>],
+        gigabytes: f64,
+        mode: SolverMode,
+    ) -> u64 {
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut sizes: Vec<f64> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        let mut data: Vec<usize> = Vec::new();
+        let mut fluid = FluidSim::empty_with_mode(mode);
+        let mut checksum = 0u64;
+        for nodes in candidates {
+            flows.clear();
+            sizes.clear();
+            for &a in nodes {
+                for &b in nodes {
+                    if a != b {
+                        flows.push(Flow {
+                            src: a,
+                            dst: b,
+                            gigabytes,
+                        });
+                        sizes.push(gigabytes);
+                    }
+                }
+            }
+            route_flows_csr(fabric, router, &flows, &mut offsets, &mut data).expect("routable");
+            fluid.reset_csr(&offsets, &data, fabric.capacities(), &sizes);
+            fluid.run_to_completion();
+            checksum ^= fluid.time().to_bits().rotate_left(checksum as u32 & 63);
+        }
+        checksum
     }
 }
 

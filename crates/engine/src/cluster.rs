@@ -21,8 +21,10 @@
 
 use crate::error::EngineError;
 use crate::fabric::Fabric;
-use crate::flowsim::{route_flows, Flow};
+use crate::flowsim::{route_flows_csr, Flow};
 use crate::fluid::FluidSim;
+use crate::incremental::SolverMode;
+use crate::maxmin::ChannelId;
 use crate::router::Router;
 use crate::sim::{Component, Context, Simulation};
 use serde::{Deserialize, Serialize};
@@ -293,6 +295,14 @@ struct ClusterScheduler {
     running: BTreeMap<usize, RunningJob>,
     outcomes: Rc<RefCell<Vec<ClusterOutcome>>>,
     error: Rc<RefCell<Option<EngineError>>>,
+    /// Fluid simulation reused across every job-start penalty evaluation
+    /// (buffers — and in incremental mode the solver state — persist).
+    fluid: FluidSim,
+    /// Route/size buffers reused across penalty evaluations.
+    flows_buf: Vec<Flow>,
+    route_offsets: Vec<usize>,
+    route_data: Vec<ChannelId>,
+    sizes_buf: Vec<f64>,
 }
 
 impl ClusterScheduler {
@@ -319,24 +329,42 @@ impl ClusterScheduler {
     /// contention-free serial time (the slowest own flow's volume over its
     /// path's narrowest channel). ≥ 1 by construction; 1 exactly when none
     /// of the job's flows shares a channel with anything.
-    fn exchange_penalty(&self, own: &[Flow]) -> Result<f64, EngineError> {
+    fn exchange_penalty(&mut self, own: &[Flow]) -> Result<f64, EngineError> {
         if own.is_empty() {
             return Ok(1.0);
         }
-        let mut flows: Vec<Flow> = own.to_vec();
+        self.flows_buf.clear();
+        self.flows_buf.extend_from_slice(own);
         for running in self.running.values() {
-            flows.extend_from_slice(&running.flows);
+            self.flows_buf.extend_from_slice(&running.flows);
         }
-        let paths = route_flows(&self.fabric, self.router.as_ref(), &flows)?;
-        let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-        let mut fluid = FluidSim::new(&paths, self.fabric.capacities(), &sizes);
-        fluid.run_to_completion();
-        let own_done = fluid.into_outcome().completion[..own.len()]
+        route_flows_csr(
+            &self.fabric,
+            self.router.as_ref(),
+            &self.flows_buf,
+            &mut self.route_offsets,
+            &mut self.route_data,
+        )?;
+        self.sizes_buf.clear();
+        self.sizes_buf
+            .extend(self.flows_buf.iter().map(|f| f.gigabytes));
+        self.fluid.reset_csr(
+            &self.route_offsets,
+            &self.route_data,
+            self.fabric.capacities(),
+            &self.sizes_buf,
+        );
+        self.fluid.run_to_completion();
+        let own_done = self.fluid.completion_times()[..own.len()]
             .iter()
             .fold(0.0f64, |a, &b| a.max(b));
         let serial = own
             .iter()
-            .zip(&paths)
+            .enumerate()
+            .map(|(i, flow)| {
+                let path = &self.route_data[self.route_offsets[i]..self.route_offsets[i + 1]];
+                (flow, path)
+            })
             .filter(|(_, path)| !path.is_empty())
             .map(|(flow, path)| {
                 let narrowest = path
@@ -426,6 +454,20 @@ pub fn simulate_cluster(
     allocator: Box<dyn Allocator>,
     jobs: &[ClusterJob],
 ) -> Result<ClusterMetrics, EngineError> {
+    simulate_cluster_with(fabric, router, allocator, jobs, SolverMode::default())
+}
+
+/// [`simulate_cluster`] with an explicit max–min solver mode for the
+/// per-event penalty evaluations. Both modes produce bit-identical metrics
+/// (pinned by `tests/incremental_parity.rs`); [`SolverMode::Incremental`]
+/// repairs rates per completion round instead of re-solving the whole mix.
+pub fn simulate_cluster_with(
+    fabric: &Fabric,
+    router: Box<dyn Router>,
+    allocator: Box<dyn Allocator>,
+    jobs: &[ClusterJob],
+    mode: SolverMode,
+) -> Result<ClusterMetrics, EngineError> {
     let outcomes = Rc::new(RefCell::new(Vec::new()));
     let error = Rc::new(RefCell::new(None));
     let labels = (fabric.name().to_string(), router.label(), allocator.label());
@@ -438,6 +480,11 @@ pub fn simulate_cluster(
         running: BTreeMap::new(),
         outcomes: Rc::clone(&outcomes),
         error: Rc::clone(&error),
+        fluid: FluidSim::empty_with_mode(mode),
+        flows_buf: Vec::new(),
+        route_offsets: Vec::new(),
+        route_data: Vec::new(),
+        sizes_buf: Vec::new(),
     };
     let mut sim = Simulation::new();
     let sched_id = sim.add_component("cluster-scheduler", Box::new(scheduler));
@@ -671,6 +718,36 @@ mod tests {
         .unwrap();
         assert!(metrics.outcomes.iter().all(|o| o.job_id < 99));
         assert_eq!(metrics.outcomes.len(), feasible);
+    }
+
+    #[test]
+    fn solver_modes_give_identical_cluster_metrics() {
+        let fabric = Fabric::from_torus(Torus::new(vec![4, 4]), 2.0);
+        let jobs = stream();
+        let batch = simulate_cluster_with(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(CompactAllocator),
+            &jobs,
+            SolverMode::Batch,
+        )
+        .unwrap();
+        let incremental = simulate_cluster_with(
+            &fabric,
+            Box::new(ShortestPath),
+            Box::new(CompactAllocator),
+            &jobs,
+            SolverMode::Incremental,
+        )
+        .unwrap();
+        assert_eq!(batch.makespan.to_bits(), incremental.makespan.to_bits());
+        assert_eq!(batch.outcomes.len(), incremental.outcomes.len());
+        for (a, b) in batch.outcomes.iter().zip(&incremental.outcomes) {
+            assert_eq!(a.job_id, b.job_id);
+            assert_eq!(a.penalty.to_bits(), b.penalty.to_bits());
+            assert_eq!(a.completion.to_bits(), b.completion.to_bits());
+            assert_eq!(a.nodes, b.nodes);
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! through the event queue — so the two produce bit-identical results on
 //! identical inputs.
 
+use crate::incremental::{IncrementalMaxMin, SolverMode};
 use crate::maxmin::{max_min_rates_csr, ChannelId, MaxMinScratch};
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +76,13 @@ pub struct FluidSim {
     bottleneck_lower_bound: f64,
     /// Solver buffers, reused across completion rounds.
     scratch: MaxMinScratch,
+    solver_mode: SolverMode,
+    /// Live only in [`SolverMode::Incremental`]: each completion round is a
+    /// pure remove-delta, so rates repair in time proportional to the
+    /// affected component instead of the whole flow set.
+    incremental: Option<IncrementalMaxMin>,
+    /// Flow ids retired in the current round (reused per round).
+    retired_buf: Vec<usize>,
 }
 
 impl FluidSim {
@@ -119,6 +127,51 @@ impl FluidSim {
             channel_load_gb: Vec::new(),
             bottleneck_lower_bound: 0.0,
             scratch: MaxMinScratch::new(),
+            solver_mode: SolverMode::Batch,
+            incremental: None,
+            retired_buf: Vec::new(),
+        }
+    }
+
+    /// Like [`empty`](FluidSim::empty), but with the given solver mode. Both
+    /// modes produce bit-identical results on identical inputs (pinned by
+    /// `tests/incremental_parity.rs`); they differ only in how much work a
+    /// rate recomputation costs.
+    pub fn empty_with_mode(mode: SolverMode) -> Self {
+        let mut sim = Self::empty();
+        sim.solver_mode = mode;
+        sim
+    }
+
+    /// The solver mode rate recomputations run under.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.solver_mode
+    }
+
+    /// Switch solver mode; safe at any point (mid-run included) — the
+    /// incremental state, when entering [`SolverMode::Incremental`], is
+    /// reseeded from the currently active flows.
+    pub fn set_solver_mode(&mut self, mode: SolverMode) {
+        self.solver_mode = mode;
+        self.reseed_incremental();
+    }
+
+    /// (Re)build the incremental solver state from the active flow set, or
+    /// drop it when running batch.
+    fn reseed_incremental(&mut self) {
+        if self.solver_mode != SolverMode::Incremental {
+            self.incremental = None;
+            return;
+        }
+        let inc = self
+            .incremental
+            .get_or_insert_with(|| IncrementalMaxMin::new(&[]));
+        inc.reset(&self.capacities);
+        for &i in &self.active {
+            inc.insert_flow(
+                i,
+                &self.path_data[self.path_offsets[i]..self.path_offsets[i + 1]],
+            );
         }
     }
 
@@ -198,6 +251,7 @@ impl FluidSim {
         }
         self.time = 0.0;
         self.rounds = 0;
+        self.reseed_incremental();
     }
 
     /// Whether every flow has completed.
@@ -254,14 +308,30 @@ impl FluidSim {
             return None;
         }
         self.rounds += 1;
-        max_min_rates_csr(
-            &self.active,
-            &self.path_offsets,
-            &self.path_data,
-            &self.capacities,
-            &mut self.scratch,
-            &mut self.rates,
-        );
+        match self.solver_mode {
+            SolverMode::Batch => max_min_rates_csr(
+                &self.active,
+                &self.path_offsets,
+                &self.path_data,
+                &self.capacities,
+                &mut self.scratch,
+                &mut self.rates,
+            ),
+            SolverMode::Incremental => {
+                // Completion rounds only ever *remove* flows, so each round
+                // is a pure delta repair; `active` stays in ascending order
+                // under compaction, matching the incremental solver's
+                // batch-equivalent flow ordering.
+                let rates = self
+                    .incremental
+                    .as_mut()
+                    .expect("incremental mode keeps solver state")
+                    .solve();
+                for &i in &self.active {
+                    self.rates[i] = rates[i];
+                }
+            }
+        }
         // Advance to the earliest completion among active flows.
         let dt = self
             .active
@@ -286,6 +356,7 @@ impl FluidSim {
         // Retire completed flows by compacting `active` in place (order
         // preserved, no per-round allocation).
         let mut kept = 0usize;
+        self.retired_buf.clear();
         for idx in 0..self.active.len() {
             let i = self.active[idx];
             self.remaining[i] -= self.rates[i] * dt;
@@ -295,10 +366,14 @@ impl FluidSim {
             if self.remaining[i] <= 1e-9 * self.sizes[i].max(1e-9) {
                 self.remaining[i] = 0.0;
                 self.completion[i] = self.time;
+                self.retired_buf.push(i);
             } else {
                 self.active[kept] = i;
                 kept += 1;
             }
+        }
+        if let Some(inc) = self.incremental.as_mut() {
+            inc.remove_flows(&self.retired_buf);
         }
         assert!(
             kept < self.active.len(),
@@ -375,6 +450,60 @@ mod tests {
         let out = sim.into_outcome();
         assert_eq!(out.completion[0], 0.0);
         assert!((out.completion[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_modes_agree_bit_for_bit() {
+        let paths: Vec<Vec<ChannelId>> = vec![
+            vec![0],
+            vec![0, 1],
+            vec![1],
+            vec![2],
+            vec![0, 2],
+            vec![],
+            vec![1, 2, 1],
+        ];
+        let caps = vec![2.0, 3.0, 1.5];
+        let sizes = vec![1.0, 2.0, 3.0, 0.5, 1.25, 4.0, 0.75];
+        let mut batch = FluidSim::new(&paths, &caps, &sizes);
+        batch.run_to_completion();
+
+        let mut offsets = vec![0usize];
+        let mut data = Vec::new();
+        for p in &paths {
+            data.extend_from_slice(p);
+            offsets.push(data.len());
+        }
+        let mut inc = FluidSim::empty_with_mode(SolverMode::Incremental);
+        assert_eq!(inc.solver_mode(), SolverMode::Incremental);
+        inc.reset_csr(&offsets, &data, &caps, &sizes);
+        inc.run_to_completion();
+
+        assert_eq!(batch.time().to_bits(), inc.time().to_bits());
+        assert_eq!(batch.rounds(), inc.rounds());
+        for (a, b) in batch.completion_times().iter().zip(inc.completion_times()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn switching_modes_mid_run_keeps_the_trajectory() {
+        let paths = vec![vec![0], vec![0, 1], vec![1], vec![0]];
+        let caps = vec![2.0, 3.0];
+        let sizes = vec![1.0, 2.0, 3.0, 0.25];
+        let mut reference = FluidSim::new(&paths, &caps, &sizes);
+        reference.run_to_completion();
+        let mut switched = FluidSim::new(&paths, &caps, &sizes);
+        switched.advance_round();
+        switched.set_solver_mode(SolverMode::Incremental);
+        switched.run_to_completion();
+        for (a, b) in reference
+            .completion_times()
+            .iter()
+            .zip(switched.completion_times())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

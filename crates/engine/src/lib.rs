@@ -94,19 +94,22 @@ pub mod event;
 pub mod fabric;
 pub mod flowsim;
 pub mod fluid;
+pub mod incremental;
 pub mod maxmin;
 pub mod router;
 pub mod sim;
 
 pub use cluster::{
-    simulate_cluster, synthetic_job_stream, Allocator, BlockedAllocator, ClusterJob,
-    ClusterMetrics, ClusterOutcome, CompactAllocator, RandomAllocator, ScatterAllocator,
+    simulate_cluster, simulate_cluster_with, synthetic_job_stream, Allocator, BlockedAllocator,
+    ClusterJob, ClusterMetrics, ClusterOutcome, CompactAllocator, RandomAllocator,
+    ScatterAllocator,
 };
 pub use error::EngineError;
 pub use event::{ComponentId, Event, EventId, EventQueue};
 pub use fabric::{Channel, Fabric};
 pub use flowsim::{route_flows, route_flows_csr, simulate_flows, static_estimate, Flow};
 pub use fluid::{FluidOutcome, FluidSim};
+pub use incremental::{IncrementalMaxMin, SolverMode};
 pub use maxmin::{max_min_rates, max_min_rates_csr, ChannelId, MaxMinScratch};
 pub use router::{DimensionOrdered, Ecmp, Router, ShortestPath, TieBreak, Valiant};
 pub use sim::{Component, Context, Simulation};

@@ -236,6 +236,57 @@ mod tests {
     }
 
     #[test]
+    fn empty_flow_set_is_a_no_op() {
+        // No active flows: the solver must terminate immediately and leave
+        // the (inactive) rate slots untouched.
+        let paths: Vec<Vec<ChannelId>> = vec![vec![0], vec![1]];
+        let caps = vec![2.0, 4.0];
+        let mut rates = vec![-1.0; 2];
+        max_min_rates(&[], &paths, &caps, 2, &mut rates);
+        assert_eq!(rates, vec![-1.0, -1.0], "inactive slots stay untouched");
+    }
+
+    #[test]
+    fn zero_capacity_channel_pins_its_flows_to_zero() {
+        // Flow 0 crosses the dead channel and gets rate 0; flow 1 avoids it
+        // and still receives its full bottleneck share.
+        let paths = vec![vec![0, 1], vec![1]];
+        let caps = vec![0.0, 4.0];
+        let mut rates = vec![0.0; 2];
+        max_min_rates(&[0, 1], &paths, &caps, 2, &mut rates);
+        assert_eq!(rates[0], 0.0, "dead channel forces rate 0");
+        assert!((rates[1] - 4.0).abs() < 1e-12, "rate {}", rates[1]);
+    }
+
+    #[test]
+    fn duplicate_flows_on_one_path_split_the_bottleneck_evenly() {
+        // Three flows with byte-identical paths: each must get exactly a
+        // third of the narrower channel, and the split must be exact for a
+        // capacity that divides cleanly.
+        let paths = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        let caps = vec![3.0, 9.0];
+        let mut rates = vec![0.0; 3];
+        max_min_rates(&[0, 1, 2], &paths, &caps, 2, &mut rates);
+        assert_eq!(rates, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn a_path_revisiting_a_channel_counts_once_per_traversal() {
+        // Flow 0 crosses channel 0 twice (a routing loop), so its demand on
+        // that channel is doubled: capacity 2 sustains only rate 1. Flow 1
+        // crosses once and picks up the remaining capacity.
+        let paths = vec![vec![0, 1, 0], vec![0]];
+        let caps = vec![3.0, 10.0];
+        let mut rates = vec![0.0; 2];
+        max_min_rates(&[0, 1], &paths, &caps, 2, &mut rates);
+        // Channel 0 has 3 traversals (2 from flow 0, 1 from flow 1): fair
+        // share 1.0 per traversal fixes both flows at 1.0, and usage is
+        // 2·1 + 1 = 3 = capacity.
+        assert!((rates[0] - 1.0).abs() < 1e-12, "rate {}", rates[0]);
+        assert!((rates[1] - 1.0).abs() < 1e-12, "rate {}", rates[1]);
+    }
+
+    #[test]
     fn scratch_reuse_is_bit_identical_to_fresh_solves() {
         // Drive the same solver twice through one scratch and compare with
         // fresh-scratch runs: buffer reuse must not leak state.

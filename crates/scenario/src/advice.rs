@@ -29,7 +29,7 @@ use crate::spec::{build_fabric, RoutingSpec, TopologySpec, MAX_FLOWS};
 use netpart_contention::{internal_bisection_gbs_with, ContentionModel, Kernel, SweepOrders};
 use netpart_engine::{
     route_flows_csr, Allocator, BlockedAllocator, CompactAllocator, Fabric, Flow, FluidSim,
-    RandomAllocator, Router, ScatterAllocator,
+    RandomAllocator, Router, ScatterAllocator, SolverMode,
 };
 use netpart_topology::torus::Cuboid;
 use rayon::prelude::*;
@@ -277,13 +277,13 @@ struct Scorer {
 }
 
 impl Scorer {
-    fn new() -> Self {
+    fn with_mode(mode: SolverMode) -> Self {
         Self {
             flows: Vec::new(),
             sizes: Vec::new(),
             path_offsets: Vec::new(),
             path_data: Vec::new(),
-            fluid: FluidSim::empty(),
+            fluid: FluidSim::empty_with_mode(mode),
         }
     }
 
@@ -354,6 +354,15 @@ fn ordering_agreement(candidates: &[CandidateResult]) -> f64 {
 /// Answer one advice spec: generate the candidates, score each by bound and
 /// by simulation, and return them ranked.
 pub fn run_advice(spec: &AdviceSpec) -> Result<AdviceResult, ScenarioError> {
+    run_advice_with(spec, SolverMode::default())
+}
+
+/// [`run_advice`] with an explicit max–min solver mode for the candidate
+/// simulations. The mode is an execution knob, not part of the question:
+/// it never appears in [`AdviceSpec`] (so cache keys and response bytes are
+/// mode-independent) and both modes return identical results, pinned by
+/// `tests/advice_parity.rs` and `tests/incremental_parity.rs`.
+pub fn run_advice_with(spec: &AdviceSpec, mode: SolverMode) -> Result<AdviceResult, ScenarioError> {
     if spec.candidates.is_empty() {
         return Err(invalid("advice needs at least one candidate generator"));
     }
@@ -398,7 +407,7 @@ pub fn run_advice(spec: &AdviceSpec) -> Result<AdviceResult, ScenarioError> {
         words_per_proc: (spec.nodes - 1) as f64 * spec.gigabytes * 1e9 / 8.0,
         flops_per_proc: 1.0,
     });
-    let mut scorer = Scorer::new();
+    let mut scorer = Scorer::with_mode(mode);
     let mut scored = Vec::with_capacity(candidates.len());
     for (label, nodes) in candidates {
         // One BFS + sort per candidate, shared by the bound and the
@@ -444,7 +453,16 @@ pub fn run_advice(spec: &AdviceSpec) -> Result<AdviceResult, ScenarioError> {
 /// Run a batch of advice specs in parallel (rayon), preserving input order.
 /// Each spec succeeds or fails independently.
 pub fn run_allocation_sweep(specs: &[AdviceSpec]) -> Vec<Result<AdviceResult, ScenarioError>> {
-    specs.par_iter().map(run_advice).collect()
+    run_allocation_sweep_with(specs, SolverMode::default())
+}
+
+/// [`run_allocation_sweep`] with an explicit max–min solver mode (see
+/// [`run_advice_with`]).
+pub fn run_allocation_sweep_with(
+    specs: &[AdviceSpec],
+    mode: SolverMode,
+) -> Vec<Result<AdviceResult, ScenarioError>> {
+    specs.par_iter().map(|s| run_advice_with(s, mode)).collect()
 }
 
 #[cfg(test)]
@@ -587,6 +605,35 @@ mod tests {
                 matches!(run_advice(spec), Err(ScenarioError::InvalidSpec(_))),
                 "{spec:?} should be invalid"
             );
+        }
+    }
+
+    #[test]
+    fn solver_modes_give_identical_advice() {
+        let specs = [
+            dragonfly_spec(),
+            AdviceSpec {
+                topology: TopologySpec::Torus(vec![8, 4, 4]),
+                routing: RoutingSpec::DimensionOrdered,
+                nodes: 16,
+                candidates: vec![AllocationSpec::TorusBlocks],
+                ..dragonfly_spec()
+            },
+        ];
+        for spec in &specs {
+            let batch = run_advice_with(spec, SolverMode::Batch).unwrap();
+            let incremental = run_advice_with(spec, SolverMode::Incremental).unwrap();
+            assert_eq!(batch, incremental, "{}", spec.label());
+            for (a, b) in batch.candidates.iter().zip(&incremental.candidates) {
+                assert_eq!(
+                    a.simulated_seconds.to_bits(),
+                    b.simulated_seconds.to_bits(),
+                    "{}/{}",
+                    batch.label,
+                    a.label
+                );
+                assert_eq!(a.solves, b.solves);
+            }
         }
     }
 

@@ -57,8 +57,8 @@ pub mod run;
 pub mod spec;
 
 pub use advice::{
-    run_advice, run_allocation_sweep, AdviceResult, AdviceSpec, AllocationSpec, CandidateResult,
-    MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
+    run_advice, run_advice_with, run_allocation_sweep, run_allocation_sweep_with, AdviceResult,
+    AdviceSpec, AllocationSpec, CandidateResult, MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
 };
 pub use registry::{
     advice_registry, named, named_advice, registry, standard_allocation_sweep, standard_sweep,

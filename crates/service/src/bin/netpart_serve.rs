@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//!               [--solver batch|incremental]
 //! ```
 //!
 //! Prints one `listening on <addr>` line once the socket is bound, then
 //! serves until a client sends `{"type":"shutdown"}`.
 
+use netpart_engine::SolverMode;
 use netpart_service::server::{serve, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]");
+    eprintln!(
+        "usage: netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
+         [--solver batch|incremental]"
+    );
     std::process::exit(2);
 }
 
@@ -26,6 +31,9 @@ fn main() {
             }
             "--cache-capacity" => {
                 config.cache_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--solver" => {
+                config.solver = SolverMode::from_label(&value()).unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! service_loadgen [--addr HOST:PORT] [--requests N] [--threads N]
-//!                 [--mix cached|mixed] [--no-emit]
+//!                 [--mix cached|mixed] [--no-emit] [--force]
 //! ```
 //!
 //! The default `cached` mix repeats one advice query, measuring the
@@ -28,6 +28,7 @@ struct Args {
     threads: usize,
     mix: Mix,
     emit: bool,
+    force: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -39,7 +40,7 @@ enum Mix {
 fn usage() -> ! {
     eprintln!(
         "usage: service_loadgen [--addr HOST:PORT] [--requests N] [--threads N] \
-         [--mix cached|mixed] [--no-emit]"
+         [--mix cached|mixed] [--no-emit] [--force]"
     );
     std::process::exit(2);
 }
@@ -51,6 +52,7 @@ fn parse_args() -> Args {
         threads: 8,
         mix: Mix::Cached,
         emit: true,
+        force: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -67,6 +69,7 @@ fn parse_args() -> Args {
                 }
             }
             "--no-emit" => parsed.emit = false,
+            "--force" => parsed.force = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -245,7 +248,7 @@ fn main() {
         ),
     ]);
     if args.emit {
-        netpart_bench::emit_json("bench_service", &report.to_string());
+        netpart_bench::emit_json_baseline("bench_service", &report.to_string(), args.force);
     } else {
         println!("{report}");
     }

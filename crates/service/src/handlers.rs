@@ -12,8 +12,8 @@ use crate::protocol::{
 };
 use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
 use netpart_engine::{
-    simulate_cluster, simulate_flows, Allocator, CompactAllocator, DimensionOrdered, Fabric, Flow,
-    Router, ScatterAllocator, ShortestPath,
+    simulate_cluster_with, simulate_flows, Allocator, CompactAllocator, DimensionOrdered, Fabric,
+    Flow, Router, ScatterAllocator, ShortestPath, SolverMode,
 };
 use netpart_machines::{known, BlueGeneQ};
 use netpart_scenario::{run_sweep, MAX_FLOWS, MAX_JOBS};
@@ -210,6 +210,7 @@ fn handle_cluster_sim(
     mean_gap: f64,
     gigabytes: f64,
     allocator: AllocatorSpec,
+    mode: SolverMode,
 ) -> Response {
     if jobs == 0 || jobs > MAX_JOBS {
         return unsupported(format!("jobs must be in 1..={MAX_JOBS}"));
@@ -234,7 +235,7 @@ fn handle_cluster_sim(
         }),
     };
     let stream = netpart_engine::synthetic_job_stream(jobs, max_nodes, mean_gap, gigabytes);
-    match simulate_cluster(&fabric, router, alloc, &stream) {
+    match simulate_cluster_with(&fabric, router, alloc, &stream, mode) {
         Ok(metrics) => Response::ClusterSummary {
             fabric: metrics.fabric.clone(),
             allocator: metrics.allocator.clone(),
@@ -314,8 +315,8 @@ fn handle_sweep(scenarios: &[ScenarioSpec]) -> Response {
 
 /// Fabric-generic allocation advice: one advice spec, scored and ranked by
 /// `netpart-scenario` (bounds + flow simulation on any topology family).
-fn handle_advise_fabric(spec: &AdviceSpec) -> Response {
-    match netpart_scenario::run_advice(spec) {
+fn handle_advise_fabric(spec: &AdviceSpec, mode: SolverMode) -> Response {
+    match netpart_scenario::run_advice_with(spec, mode) {
         Ok(result) => Response::FabricAdvice(result),
         Err(e) => unsupported(e.to_string()),
     }
@@ -323,7 +324,7 @@ fn handle_advise_fabric(spec: &AdviceSpec) -> Response {
 
 /// Fan a batch of advice specs out through the parallel advice runner. Each
 /// spec succeeds or fails on its own; a bad spec never fails the batch.
-fn handle_allocation_sweep(specs: &[AdviceSpec]) -> Response {
+fn handle_allocation_sweep(specs: &[AdviceSpec], mode: SolverMode) -> Response {
     if specs.is_empty() {
         return unsupported("allocation_sweep needs at least one spec");
     }
@@ -332,7 +333,7 @@ fn handle_allocation_sweep(specs: &[AdviceSpec]) -> Response {
             "more than {MAX_ALLOCATION_SWEEP} specs in one allocation sweep"
         ));
     }
-    let results = netpart_scenario::run_allocation_sweep(specs)
+    let results = netpart_scenario::run_allocation_sweep_with(specs, mode)
         .into_iter()
         .zip(specs)
         .map(|(result, spec)| match result {
@@ -360,6 +361,15 @@ fn handle_allocation_sweep(specs: &[AdviceSpec]) -> Response {
 /// here; routing them to this function is a server bug surfaced as an
 /// internal error rather than a panic.
 pub fn handle(request: &Request) -> Response {
+    handle_with(request, SolverMode::default())
+}
+
+/// [`handle`] with an explicit max–min solver mode for the simulation-backed
+/// handlers. The mode is a server-side execution knob, never part of the
+/// wire protocol: requests don't carry it, and responses are byte-identical
+/// across modes (pinned by the service integration tests), so cached
+/// responses are valid regardless of the mode they were computed under.
+pub fn handle_with(request: &Request, mode: SolverMode) -> Response {
     match request {
         Request::Advise {
             machine,
@@ -376,7 +386,7 @@ pub fn handle(request: &Request) -> Response {
             gigabytes,
             allocator,
         } => handle_cluster_sim(
-            topology, *jobs, *max_nodes, *mean_gap, *gigabytes, *allocator,
+            topology, *jobs, *max_nodes, *mean_gap, *gigabytes, *allocator, mode,
         ),
         Request::PolicySim {
             machine,
@@ -385,8 +395,8 @@ pub fn handle(request: &Request) -> Response {
             policy,
         } => handle_policy_sim(machine, *jobs, *seed, *policy),
         Request::Sweep { scenarios } => handle_sweep(scenarios),
-        Request::AdviseFabric { spec } => handle_advise_fabric(spec),
-        Request::AllocationSweep { specs } => handle_allocation_sweep(specs),
+        Request::AdviseFabric { spec } => handle_advise_fabric(spec, mode),
+        Request::AllocationSweep { specs } => handle_allocation_sweep(specs, mode),
         Request::Health | Request::Stats | Request::Shutdown => Response::error(
             ErrorCode::Internal,
             "control-plane request routed to the compute dispatcher",

@@ -17,6 +17,7 @@ use crate::cache::ResponseCache;
 use crate::handlers;
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, Request, Response};
+use netpart_engine::SolverMode;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +38,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Cache shards.
     pub cache_shards: usize,
+    /// Max–min solver mode for simulation-backed handlers. An execution
+    /// knob only: responses are byte-identical across modes (pinned by the
+    /// integration tests), so it never enters cache keys or the protocol.
+    pub solver: SolverMode,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +54,7 @@ impl Default for ServerConfig {
                 .max(4),
             cache_capacity: 4096,
             cache_shards: 16,
+            solver: SolverMode::default(),
         }
     }
 }
@@ -63,6 +69,8 @@ pub struct ServiceState {
     pub metrics: Metrics,
     /// Worker count, reported by `health`.
     pub workers: usize,
+    /// Solver mode handed to every compute dispatch.
+    pub solver: SolverMode,
     stop: AtomicBool,
 }
 
@@ -153,7 +161,8 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                     match state.cache.get(&key) {
                         Some(cached) => cached,
                         None => {
-                            let outcome = state.batcher.run(&key, || compute(&request));
+                            let outcome =
+                                state.batcher.run(&key, || compute(&request, state.solver));
                             if outcome.coalesced {
                                 // The leader already cached this response.
                                 state.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -164,7 +173,7 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                         }
                     }
                 }
-                _ => Arc::new(compute(&request)),
+                _ => Arc::new(compute(&request, state.solver)),
             }
         }
     };
@@ -176,9 +185,9 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
 
 /// Run a handler, converting any panic into a typed internal error so a
 /// worker thread can never die on a request.
-fn compute(request: &Request) -> String {
+fn compute(request: &Request, solver: SolverMode) -> String {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handlers::handle(request).encode()
+        handlers::handle_with(request, solver).encode()
     }));
     result.unwrap_or_else(|panic| {
         let reason = panic
@@ -298,6 +307,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         batcher: Batcher::new(),
         metrics: Metrics::new(),
         workers,
+        solver: config.solver,
         stop: AtomicBool::new(false),
     });
 
@@ -374,7 +384,7 @@ mod tests {
             topology: crate::protocol::TopologySpec::Dragonfly(0, 0, 1),
             flows: vec![],
         };
-        let rendered = compute(&request);
+        let rendered = compute(&request, SolverMode::default());
         let response = Response::decode(&rendered).expect("always a valid response line");
         match response {
             Response::Error { code, .. } => {

@@ -367,6 +367,71 @@ fn allocation_sweep_isolates_per_spec_failures_and_caches() {
     handle.join();
 }
 
+/// Boot one server per solver mode and drive both through the same request
+/// sequence: every response — including the cache-hit replays — must be
+/// byte-identical. The solver mode is a server-side execution knob, never
+/// part of the wire contract or the cache key.
+#[test]
+fn solver_modes_serve_byte_identical_responses_from_cache_and_compute() {
+    use netpart_engine::SolverMode;
+    let batch = boot(2);
+    let incremental = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        solver: SolverMode::Incremental,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut batch_client = ServiceClient::connect(batch.local_addr()).unwrap();
+    let mut incremental_client = ServiceClient::connect(incremental.local_addr()).unwrap();
+
+    let requests = [
+        Request::AdviseFabric {
+            spec: advice_spec(TopologySpec::Dragonfly(4, 4, 2), RoutingSpec::ShortestPath),
+        },
+        Request::AdviseFabric {
+            spec: advice_spec(TopologySpec::FatTree(4), RoutingSpec::Ecmp { salt: 1 }),
+        },
+        Request::ClusterSim {
+            topology: TopologySpec::Torus(vec![4, 4]),
+            jobs: 6,
+            max_nodes: 4,
+            mean_gap: 50.0,
+            gigabytes: 0.25,
+            allocator: AllocatorSpec::Compact,
+        },
+    ];
+    for request in &requests {
+        // First ask computes; the replay must come from the cache.
+        let computed_b = batch_client.request(request).unwrap();
+        let computed_i = incremental_client.request(request).unwrap();
+        assert_eq!(
+            computed_b.encode(),
+            computed_i.encode(),
+            "computed responses differ for {request:?}"
+        );
+        let cached_b = batch_client.request(request).unwrap();
+        let cached_i = incremental_client.request(request).unwrap();
+        assert_eq!(cached_b.encode(), computed_b.encode());
+        assert_eq!(
+            cached_b.encode(),
+            cached_i.encode(),
+            "cache-hit responses differ for {request:?}"
+        );
+    }
+    // Confirm the replays really were cache hits on both servers.
+    for client in [&mut batch_client, &mut incremental_client] {
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_misses, requests.len() as u64);
+        assert_eq!(stats.cache_hits, requests.len() as u64);
+    }
+
+    batch_client.shutdown().unwrap();
+    incremental_client.shutdown().unwrap();
+    batch.join();
+    incremental.join();
+}
+
 #[test]
 fn concurrent_clients_are_served_in_parallel() {
     let handle = boot(4);

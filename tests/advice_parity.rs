@@ -19,11 +19,11 @@
 //!   scaled).
 
 use netpart::contention::{ContentionModel, Kernel};
-use netpart::engine::Fabric;
+use netpart::engine::{Fabric, SolverMode};
 use netpart::scenario::{
     run_advice, AdviceSpec, AllocationSpec, RoutingSpec as ScenarioRouting, TopologySpec,
 };
-use netpart::service::handlers::handle;
+use netpart::service::handlers::{handle, handle_with};
 use netpart::service::protocol::Request;
 use netpart::topology::Torus;
 use proptest::prelude::*;
@@ -139,6 +139,50 @@ fn legacy_advise_wire_output_is_bit_identical_to_pre_refactor() {
          \"machine\":\"mira\",\"predicted_speedup\":2,\"regime\":\"contention_bound\",\
          \"size\":16,\"type\":\"advice\",\"worst_dims\":[16,8,8,4,2],\"worst_links\":1024}"
     );
+}
+
+/// The solver mode is a server-side execution knob, not part of the request
+/// or the answer: every solver-backed endpoint must render byte-identical
+/// responses whether the incremental solver is enabled or not. (This is
+/// what makes it safe to flip `--solver incremental` on a running fleet
+/// without invalidating caches or changing any client-visible bytes.)
+#[test]
+fn solver_mode_never_changes_a_single_response_byte() {
+    use netpart::service::protocol as wire;
+    let requests = vec![
+        Request::AdviseFabric {
+            spec: wire::AdviceSpec {
+                topology: wire::TopologySpec::Dragonfly(4, 4, 2),
+                routing: wire::RoutingSpec::ShortestPath,
+                nodes: 8,
+                gigabytes: 0.25,
+                candidates: vec![
+                    wire::AllocationSpec::Blocked,
+                    wire::AllocationSpec::Greedy,
+                    wire::AllocationSpec::Random { samples: 2 },
+                ],
+                seed: 7,
+            },
+        },
+        Request::AllocationSweep {
+            specs: netpart::scenario::standard_allocation_sweep(),
+        },
+        Request::ClusterSim {
+            topology: wire::TopologySpec::Torus(vec![4, 4]),
+            jobs: 6,
+            max_nodes: 4,
+            mean_gap: 50.0,
+            gigabytes: 0.25,
+            allocator: wire::AllocatorSpec::Compact,
+        },
+    ];
+    for request in &requests {
+        let batch = handle_with(request, SolverMode::Batch).encode();
+        let incremental = handle_with(request, SolverMode::Incremental).encode();
+        assert_eq!(batch, incremental, "request {request:?}");
+        // The default entry point is the batch path.
+        assert_eq!(handle(request).encode(), batch);
+    }
 }
 
 #[test]

@@ -11,14 +11,37 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment variable
+    /// (exactly like real proptest) so CI can elevate coverage — e.g.
+    /// `PROPTEST_CASES=512` — without touching the tests.
     fn default() -> Self {
-        Self { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
+        Self { cases }
     }
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` cases.
+    /// A configuration running exactly `cases` cases (not overridable by
+    /// `PROPTEST_CASES`; use [`ProptestConfig::default`] — or
+    /// [`with_cases_env`](ProptestConfig::with_cases_env) — for that).
     pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// A configuration running `default_cases` cases unless the
+    /// `PROPTEST_CASES` environment variable overrides the count — the
+    /// idiom for suites that want a modest local default and an elevated
+    /// CI run.
+    pub fn with_cases_env(default_cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default_cases);
         Self { cases }
     }
 }
