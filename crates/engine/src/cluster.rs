@@ -27,6 +27,7 @@ use crate::incremental::SolverMode;
 use crate::maxmin::ChannelId;
 use crate::router::Router;
 use crate::sim::{Component, Context, Simulation};
+use netpart_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -468,9 +469,27 @@ pub fn simulate_cluster_with(
     jobs: &[ClusterJob],
     mode: SolverMode,
 ) -> Result<ClusterMetrics, EngineError> {
+    simulate_cluster_observed(fabric, router, allocator, jobs, mode, Telemetry::disabled())
+}
+
+/// [`simulate_cluster_with`] with a telemetry sink: the event loop emits
+/// periodic progress heartbeats and the embedded fluid solver emits
+/// per-round / per-repair events through `telemetry`. Telemetry never
+/// influences the simulation — the metrics are bit-identical to the
+/// unobserved run.
+pub fn simulate_cluster_observed(
+    fabric: &Fabric,
+    router: Box<dyn Router>,
+    allocator: Box<dyn Allocator>,
+    jobs: &[ClusterJob],
+    mode: SolverMode,
+    telemetry: Telemetry,
+) -> Result<ClusterMetrics, EngineError> {
     let outcomes = Rc::new(RefCell::new(Vec::new()));
     let error = Rc::new(RefCell::new(None));
     let labels = (fabric.name().to_string(), router.label(), allocator.label());
+    let mut fluid = FluidSim::empty_with_mode(mode);
+    fluid.set_telemetry(telemetry.clone());
     let scheduler = ClusterScheduler {
         free: vec![true; fabric.num_nodes()],
         fabric: fabric.clone(),
@@ -480,13 +499,14 @@ pub fn simulate_cluster_with(
         running: BTreeMap::new(),
         outcomes: Rc::clone(&outcomes),
         error: Rc::clone(&error),
-        fluid: FluidSim::empty_with_mode(mode),
+        fluid,
         flows_buf: Vec::new(),
         route_offsets: Vec::new(),
         route_data: Vec::new(),
         sizes_buf: Vec::new(),
     };
     let mut sim = Simulation::new();
+    sim.set_telemetry(telemetry);
     let sched_id = sim.add_component("cluster-scheduler", Box::new(scheduler));
     for job in jobs {
         if job.nodes == 0 || job.nodes > fabric.num_nodes() {

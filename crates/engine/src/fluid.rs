@@ -10,6 +10,7 @@
 
 use crate::incremental::{IncrementalMaxMin, SolverMode};
 use crate::maxmin::{max_min_rates_csr, ChannelId, MaxMinScratch};
+use netpart_telemetry::{Telemetry, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 /// Result of running a [`FluidSim`] to completion.
@@ -83,6 +84,8 @@ pub struct FluidSim {
     incremental: Option<IncrementalMaxMin>,
     /// Flow ids retired in the current round (reused per round).
     retired_buf: Vec<usize>,
+    /// Observability sink; disabled by default (one branch per round).
+    telemetry: Telemetry,
 }
 
 impl FluidSim {
@@ -130,6 +133,7 @@ impl FluidSim {
             solver_mode: SolverMode::Batch,
             incremental: None,
             retired_buf: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -146,6 +150,17 @@ impl FluidSim {
     /// The solver mode rate recomputations run under.
     pub fn solver_mode(&self) -> SolverMode {
         self.solver_mode
+    }
+
+    /// Route [`TelemetryEvent::SolverRound`] events (one per completion
+    /// round) through `telemetry`, and forward the handle to the incremental
+    /// solver so its repairs are observable too. Survives
+    /// [`reset_csr`](FluidSim::reset_csr).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        if let Some(inc) = self.incremental.as_mut() {
+            inc.set_telemetry(self.telemetry.clone());
+        }
     }
 
     /// Switch solver mode; safe at any point (mid-run included) — the
@@ -166,6 +181,7 @@ impl FluidSim {
         let inc = self
             .incremental
             .get_or_insert_with(|| IncrementalMaxMin::new(&[]));
+        inc.set_telemetry(self.telemetry.clone());
         inc.reset(&self.capacities);
         for &i in &self.active {
             inc.insert_flow(
@@ -380,6 +396,11 @@ impl FluidSim {
             "simulation failed to make progress"
         );
         self.active.truncate(kept);
+        self.telemetry.emit(TelemetryEvent::SolverRound {
+            round: self.rounds as u64,
+            active_flows: kept as u64,
+            retired: self.retired_buf.len() as u64,
+        });
         Some(self.time)
     }
 
@@ -504,6 +525,28 @@ mod tests {
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn telemetry_observes_rounds_and_repairs() {
+        let telemetry = Telemetry::counters_only();
+        let mut sim = FluidSim::empty_with_mode(SolverMode::Incremental);
+        sim.set_telemetry(telemetry.clone());
+        let paths = [vec![0], vec![0, 1], vec![1]];
+        let mut offsets = vec![0usize];
+        let mut data = Vec::new();
+        for p in &paths {
+            data.extend_from_slice(p);
+            offsets.push(data.len());
+        }
+        sim.reset_csr(&offsets, &data, &[2.0, 3.0], &[1.0, 2.0, 3.0]);
+        sim.run_to_completion();
+        let counters = telemetry.counters().unwrap();
+        assert_eq!(counters.solver_rounds as usize, sim.rounds());
+        assert!(
+            counters.solver_repairs + counters.solver_full_solves >= 1,
+            "every dirty solve must be observed: {counters:?}"
+        );
     }
 
     #[test]

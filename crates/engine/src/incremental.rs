@@ -48,6 +48,7 @@
 //! out, so the hot path stays proportional to the change.
 
 use crate::maxmin::{max_min_rates_csr, ChannelId, MaxMinScratch};
+use netpart_telemetry::{Telemetry, TelemetryEvent};
 
 /// Which solver a rate-recomputing simulation should run.
 ///
@@ -140,6 +141,9 @@ pub struct IncrementalMaxMin {
     repairs: usize,
     full_solves: usize,
     last_affected: usize,
+    /// Observability sink; the default disabled handle costs one branch per
+    /// repair.
+    telemetry: Telemetry,
 }
 
 /// Default [`full_solve_fraction`](IncrementalMaxMin::set_full_solve_fraction):
@@ -176,6 +180,7 @@ impl IncrementalMaxMin {
             repairs: 0,
             full_solves: 0,
             last_affected: 0,
+            telemetry: Telemetry::disabled(),
         };
         state.reset(capacities);
         state
@@ -218,6 +223,14 @@ impl IncrementalMaxMin {
             "fraction must be in [0, 1], got {fraction}"
         );
         self.full_solve_fraction = fraction;
+    }
+
+    /// Route [`TelemetryEvent::SolverRepair`] events (one per dirty solve,
+    /// stating whether the repair stayed incremental and what fraction of
+    /// the present flows it re-solved) through `telemetry`. Survives
+    /// [`reset`](Self::reset); cloning the solver shares the sink.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of flows currently present.
@@ -458,15 +471,32 @@ impl IncrementalMaxMin {
     }
 
     fn repair(&mut self) {
+        let dirty_channels = self.dirty.len() as u64;
+        let fell_back;
         if self.collect_affected() {
             self.repair_affected();
             self.repairs += 1;
             self.last_affected = self.affected_flows.len();
+            fell_back = false;
         } else {
             self.clear_walk_markers();
             self.solve_everything();
             self.full_solves += 1;
             self.last_affected = self.present_count;
+            fell_back = true;
+        }
+        if self.telemetry.is_enabled() {
+            let flows = self.present_count as u64;
+            self.telemetry.emit(TelemetryEvent::SolverRepair {
+                flows,
+                dirty_channels,
+                affected_fraction: if flows == 0 {
+                    0.0
+                } else {
+                    self.last_affected as f64 / flows as f64
+                },
+                fell_back,
+            });
         }
         self.clear_dirty();
     }

@@ -100,9 +100,9 @@ pub mod router;
 pub mod sim;
 
 pub use cluster::{
-    simulate_cluster, simulate_cluster_with, synthetic_job_stream, Allocator, BlockedAllocator,
-    ClusterJob, ClusterMetrics, ClusterOutcome, CompactAllocator, RandomAllocator,
-    ScatterAllocator,
+    simulate_cluster, simulate_cluster_observed, simulate_cluster_with, synthetic_job_stream,
+    Allocator, BlockedAllocator, ClusterJob, ClusterMetrics, ClusterOutcome, CompactAllocator,
+    RandomAllocator, ScatterAllocator,
 };
 pub use error::EngineError;
 pub use event::{ComponentId, Event, EventId, EventQueue};
@@ -112,4 +112,8 @@ pub use fluid::{FluidOutcome, FluidSim};
 pub use incremental::{IncrementalMaxMin, SolverMode};
 pub use maxmin::{max_min_rates, max_min_rates_csr, ChannelId, MaxMinScratch};
 pub use router::{DimensionOrdered, Ecmp, Router, ShortestPath, TieBreak, Valiant};
-pub use sim::{Component, Context, Simulation};
+pub use sim::{Component, Context, Simulation, PROGRESS_EVERY};
+
+// Re-exported so downstream layers can take a telemetry sink without
+// depending on `netpart-telemetry` directly.
+pub use netpart_telemetry::{Telemetry, TelemetryEvent};

@@ -7,6 +7,11 @@
 //! clock monotonically to each event's timestamp.
 
 use crate::event::{ComponentId, Event, EventId, EventQueue};
+use netpart_telemetry::{Telemetry, TelemetryEvent};
+
+/// [`Simulation`] emits one [`TelemetryEvent::EngineProgress`] heartbeat
+/// every this many delivered events (a power of two, so the check is a mask).
+pub const PROGRESS_EVERY: u64 = 4096;
 
 /// An event handler registered with a [`Simulation`].
 ///
@@ -73,6 +78,7 @@ pub struct Simulation<P> {
     names: Vec<String>,
     clock: f64,
     processed: u64,
+    telemetry: Telemetry,
 }
 
 impl<P> Default for Simulation<P> {
@@ -90,7 +96,15 @@ impl<P> Simulation<P> {
             names: Vec::new(),
             clock: 0.0,
             processed: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Route a periodic [`TelemetryEvent::EngineProgress`] heartbeat (every
+    /// [`PROGRESS_EVERY`] delivered events) through `telemetry`, so a tail
+    /// can watch a long event loop make progress without perturbing it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Register a component under `name`, returning its id (dense, in
@@ -143,6 +157,12 @@ impl<P> Simulation<P> {
         };
         self.clock = self.clock.max(event.time);
         self.processed += 1;
+        if self.processed & (PROGRESS_EVERY - 1) == 0 {
+            self.telemetry.emit(TelemetryEvent::EngineProgress {
+                events_processed: self.processed,
+                sim_time: self.clock,
+            });
+        }
         let dest = event.dest;
         let mut component = self.components[dest]
             .take()

@@ -29,7 +29,7 @@ use crate::spec::{build_fabric, RoutingSpec, TopologySpec, MAX_FLOWS};
 use netpart_contention::{internal_bisection_gbs_with, ContentionModel, Kernel, SweepOrders};
 use netpart_engine::{
     route_flows_csr, Allocator, BlockedAllocator, CompactAllocator, Fabric, Flow, FluidSim,
-    RandomAllocator, Router, ScatterAllocator, SolverMode,
+    RandomAllocator, Router, ScatterAllocator, SolverMode, Telemetry, TelemetryEvent,
 };
 use netpart_topology::torus::Cuboid;
 use rayon::prelude::*;
@@ -363,6 +363,17 @@ pub fn run_advice(spec: &AdviceSpec) -> Result<AdviceResult, ScenarioError> {
 /// mode-independent) and both modes return identical results, pinned by
 /// `tests/advice_parity.rs` and `tests/incremental_parity.rs`.
 pub fn run_advice_with(spec: &AdviceSpec, mode: SolverMode) -> Result<AdviceResult, ScenarioError> {
+    run_advice_observed(spec, mode, &Telemetry::disabled())
+}
+
+/// [`run_advice_with`] with a telemetry sink: the candidate-scoring fluid
+/// simulations emit per-round (and, in incremental mode, per-repair) events
+/// through `telemetry`. Observability never changes the advice.
+pub fn run_advice_observed(
+    spec: &AdviceSpec,
+    mode: SolverMode,
+    telemetry: &Telemetry,
+) -> Result<AdviceResult, ScenarioError> {
     if spec.candidates.is_empty() {
         return Err(invalid("advice needs at least one candidate generator"));
     }
@@ -408,6 +419,7 @@ pub fn run_advice_with(spec: &AdviceSpec, mode: SolverMode) -> Result<AdviceResu
         flops_per_proc: 1.0,
     });
     let mut scorer = Scorer::with_mode(mode);
+    scorer.fluid.set_telemetry(telemetry.clone());
     let mut scored = Vec::with_capacity(candidates.len());
     for (label, nodes) in candidates {
         // One BFS + sort per candidate, shared by the bound and the
@@ -462,7 +474,30 @@ pub fn run_allocation_sweep_with(
     specs: &[AdviceSpec],
     mode: SolverMode,
 ) -> Vec<Result<AdviceResult, ScenarioError>> {
-    specs.par_iter().map(|s| run_advice_with(s, mode)).collect()
+    run_allocation_sweep_observed(specs, mode, &Telemetry::disabled())
+}
+
+/// [`run_allocation_sweep_with`] with a telemetry sink: one
+/// [`TelemetryEvent::SweepSpecDone`] per spec, plus the per-candidate solver
+/// events [`run_advice_observed`] emits.
+pub fn run_allocation_sweep_observed(
+    specs: &[AdviceSpec],
+    mode: SolverMode,
+    telemetry: &Telemetry,
+) -> Vec<Result<AdviceResult, ScenarioError>> {
+    (0..specs.len())
+        .into_par_iter()
+        .map(|idx| {
+            let started = std::time::Instant::now();
+            let result = run_advice_observed(&specs[idx], mode, telemetry);
+            telemetry.emit(TelemetryEvent::SweepSpecDone {
+                spec_idx: idx as u64,
+                ok: result.is_ok(),
+                micros: started.elapsed().as_micros() as u64,
+            });
+            result
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -57,13 +57,21 @@ pub mod run;
 pub mod spec;
 
 pub use advice::{
-    run_advice, run_advice_with, run_allocation_sweep, run_allocation_sweep_with, AdviceResult,
-    AdviceSpec, AllocationSpec, CandidateResult, MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
+    run_advice, run_advice_observed, run_advice_with, run_allocation_sweep,
+    run_allocation_sweep_observed, run_allocation_sweep_with, AdviceResult, AdviceSpec,
+    AllocationSpec, CandidateResult, MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
 };
 pub use registry::{
     advice_registry, named, named_advice, registry, standard_allocation_sweep, standard_sweep,
 };
-pub use run::{run_scenario, run_sweep, ScenarioDetail, ScenarioError, ScenarioResult};
+pub use run::{
+    run_scenario, run_scenario_observed, run_sweep, run_sweep_observed, ScenarioDetail,
+    ScenarioError, ScenarioResult,
+};
+
+// Re-exported so sweep drivers can construct a sink without a direct
+// `netpart-telemetry` dependency.
+pub use netpart_engine::{Telemetry, TelemetryEvent};
 pub use spec::{
     build_fabric, estimated_size, AllocatorSpec, FabricError, PolicySpec, RoutingSpec,
     ScenarioSpec, TopologySpec, TrafficSpec, MAX_FABRIC_CHANNELS, MAX_FABRIC_NODES, MAX_FLOWS,

@@ -6,8 +6,8 @@ use crate::spec::{
     MAX_FLOWS, MAX_JOBS,
 };
 use netpart_engine::{
-    route_flows, simulate_cluster, Allocator, CompactAllocator, EngineError, Fabric, Flow,
-    FluidSim, Router, ScatterAllocator,
+    route_flows, simulate_cluster_observed, Allocator, CompactAllocator, EngineError, Fabric, Flow,
+    FluidSim, Router, ScatterAllocator, SolverMode, Telemetry, TelemetryEvent,
 };
 use netpart_machines::{known, BlueGeneQ};
 use netpart_sched::{generate_trace, SchedPolicy, TraceConfig};
@@ -209,6 +209,7 @@ fn run_flow_pattern(
     router: &dyn Router,
     flows: Vec<Flow>,
     scale: f64,
+    telemetry: &Telemetry,
 ) -> Result<ScenarioResult, ScenarioError> {
     if flows.len() > MAX_FLOWS {
         return Err(invalid(format!(
@@ -225,6 +226,7 @@ fn run_flow_pattern(
     let paths = route_flows(fabric, router, &flows)?;
     let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
     let mut fluid = FluidSim::new(&paths, fabric.capacities(), &sizes);
+    fluid.set_telemetry(telemetry.clone());
     fluid.run_to_completion();
     let outcome = fluid.into_outcome();
     Ok(ScenarioResult {
@@ -267,6 +269,16 @@ fn machine_by_name(name: &str) -> Option<BlueGeneQ> {
 
 /// Run one scenario to completion.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError> {
+    run_scenario_observed(spec, &Telemetry::disabled())
+}
+
+/// [`run_scenario`] with a telemetry sink: the scenario's fluid simulation
+/// emits per-round (and, for job traces, engine-progress) events through
+/// `telemetry`. Observability never changes the result.
+pub fn run_scenario_observed(
+    spec: &ScenarioSpec,
+    telemetry: &Telemetry,
+) -> Result<ScenarioResult, ScenarioError> {
     // Scheduler traces are machine-defined: no fabric to build.
     if let TrafficSpec::SchedulerTrace {
         machine,
@@ -300,15 +312,15 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError
             }
             let flows = pairing_flows(&fabric, *round_gigabytes);
             let measured = (rounds - warmup_rounds) as f64;
-            run_flow_pattern(spec, &fabric, router.as_ref(), flows, measured)
+            run_flow_pattern(spec, &fabric, router.as_ref(), flows, measured, telemetry)
         }
         TrafficSpec::AllToAll { gigabytes } => {
             let flows = all_to_all_flows(&fabric, *gigabytes)?;
-            run_flow_pattern(spec, &fabric, router.as_ref(), flows, 1.0)
+            run_flow_pattern(spec, &fabric, router.as_ref(), flows, 1.0, telemetry)
         }
         TrafficSpec::RandomPermutation { gigabytes } => {
             let flows = permutation_flows(&fabric, *gigabytes, spec.seed);
-            run_flow_pattern(spec, &fabric, router.as_ref(), flows, 1.0)
+            run_flow_pattern(spec, &fabric, router.as_ref(), flows, 1.0, telemetry)
         }
         TrafficSpec::JobTrace {
             jobs,
@@ -341,7 +353,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError
             };
             let stream =
                 netpart_engine::synthetic_job_stream(*jobs, *max_nodes, *mean_gap, *gigabytes);
-            let metrics = simulate_cluster(&fabric, router, alloc, &stream)?;
+            let metrics = simulate_cluster_observed(
+                &fabric,
+                router,
+                alloc,
+                &stream,
+                SolverMode::default(),
+                telemetry.clone(),
+            )?;
             let mean_completion = mean_of(metrics.outcomes.iter().map(|o| o.completion));
             Ok(ScenarioResult {
                 label: spec.label(),
@@ -414,7 +433,30 @@ fn run_scheduler_trace(
 /// Each scenario succeeds or fails independently — a bad spec never aborts
 /// the sweep.
 pub fn run_sweep(specs: &[ScenarioSpec]) -> Vec<Result<ScenarioResult, ScenarioError>> {
-    specs.par_iter().map(run_scenario).collect()
+    run_sweep_observed(specs, &Telemetry::disabled())
+}
+
+/// [`run_sweep`] with a telemetry sink: one
+/// [`TelemetryEvent::SweepSpecDone`] per spec (index, success, wall-clock
+/// microseconds), plus whatever the scenarios themselves emit. The handle is
+/// shared across rayon workers — the ring write path is wait-free.
+pub fn run_sweep_observed(
+    specs: &[ScenarioSpec],
+    telemetry: &Telemetry,
+) -> Vec<Result<ScenarioResult, ScenarioError>> {
+    (0..specs.len())
+        .into_par_iter()
+        .map(|idx| {
+            let started = std::time::Instant::now();
+            let result = run_scenario_observed(&specs[idx], telemetry);
+            telemetry.emit(TelemetryEvent::SweepSpecDone {
+                spec_idx: idx as u64,
+                ok: result.is_ok(),
+                micros: started.elapsed().as_micros() as u64,
+            });
+            result
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -509,6 +551,52 @@ mod tests {
         let results = run_sweep(&[bad_routing, good]);
         assert!(matches!(results[0], Err(ScenarioError::InvalidSpec(_))));
         assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn observed_sweep_emits_one_done_event_per_spec() {
+        use netpart_telemetry::{ReadOutcome, RingReader};
+
+        let ring = std::env::temp_dir().join(format!(
+            "netpart-sweep-observed-{}.ring",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&ring);
+        let telemetry = Telemetry::to_ring(&ring, 4096).unwrap();
+        let bad = ScenarioSpec {
+            topology: TopologySpec::Hypercube(4),
+            routing: RoutingSpec::DimensionOrdered,
+            traffic: TrafficSpec::AllToAll { gigabytes: 1.0 },
+            seed: 0,
+        };
+        let good = pairing_spec(
+            TopologySpec::Torus(vec![4, 4]),
+            RoutingSpec::DimensionOrdered,
+        );
+        let results = run_sweep_observed(&[bad, good], &telemetry);
+        assert!(results[0].is_err() && results[1].is_ok());
+
+        let reader = RingReader::open(&ring).unwrap();
+        let mut done = Vec::new();
+        let mut rounds = 0usize;
+        for seq in 0..reader.cursor() {
+            let ReadOutcome::Record(words) = reader.read(seq) else {
+                panic!("record {seq} should be readable");
+            };
+            match TelemetryEvent::decode(&words).unwrap().1 {
+                TelemetryEvent::SweepSpecDone {
+                    spec_idx,
+                    ok,
+                    micros: _,
+                } => done.push((spec_idx, ok)),
+                TelemetryEvent::SolverRound { .. } => rounds += 1,
+                _ => {}
+            }
+        }
+        done.sort_unstable();
+        assert_eq!(done, vec![(0, false), (1, true)]);
+        assert!(rounds >= 1, "the good spec's fluid rounds must be observed");
+        std::fs::remove_file(&ring).unwrap();
     }
 
     #[test]

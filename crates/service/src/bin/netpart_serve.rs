@@ -3,10 +3,15 @@
 //! ```text
 //! netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!               [--solver batch|incremental]
+//!               [--telemetry-ring PATH] [--telemetry-ring-capacity N]
 //! ```
 //!
 //! Prints one `listening on <addr>` line once the socket is bound, then
 //! serves until a client sends `{"type":"shutdown"}`.
+//!
+//! With `--telemetry-ring`, every request and solver milestone is appended
+//! to a file-backed ring that `telemetry_tail` (from `netpart-telemetry`)
+//! can follow live from another process.
 
 use netpart_engine::SolverMode;
 use netpart_service::server::{serve, ServerConfig};
@@ -14,7 +19,7 @@ use netpart_service::server::{serve, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
-         [--solver batch|incremental]"
+         [--solver batch|incremental] [--telemetry-ring PATH] [--telemetry-ring-capacity N]"
     );
     std::process::exit(2);
 }
@@ -34,6 +39,12 @@ fn main() {
             }
             "--solver" => {
                 config.solver = SolverMode::from_label(&value()).unwrap_or_else(|| usage());
+            }
+            "--telemetry-ring" => {
+                config.telemetry_ring = Some(std::path::PathBuf::from(value()));
+            }
+            "--telemetry-ring-capacity" => {
+                config.telemetry_ring_capacity = value().parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),

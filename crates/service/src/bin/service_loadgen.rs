@@ -204,7 +204,8 @@ fn main() {
     let p99 = percentile_us(&latencies, 0.99);
     let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1_000.0;
 
-    // Cache statistics from the server itself.
+    // Cache statistics and the server's own latency view (its log2-bucket
+    // histogram measures the serving path without client-side socket time).
     let stats = ServiceClient::connect(&*addr)
         .and_then(|mut c| c.stats())
         .ok();
@@ -212,6 +213,10 @@ fn main() {
         .as_ref()
         .map(|s| (s.cache_hits, s.cache_misses, s.hit_rate(), s.coalesced))
         .unwrap_or((0, 0, 0.0, 0));
+    let (server_p50, server_p99) = stats
+        .as_ref()
+        .map(|s| (s.latency_p50_us, s.latency_p99_us))
+        .unwrap_or((0.0, 0.0));
 
     if let Some(handle) = in_process {
         handle.shutdown();
@@ -238,6 +243,13 @@ fn main() {
             ]),
         ),
         (
+            "server_latency_us",
+            Value::obj([
+                ("p50", Value::from(server_p50)),
+                ("p99", Value::from(server_p99)),
+            ]),
+        ),
+        (
             "cache",
             Value::obj([
                 ("hits", Value::from(hits)),
@@ -254,7 +266,8 @@ fn main() {
     }
     eprintln!(
         "{total} requests over {} threads in {wall:.3}s: {throughput:.0} req/s, \
-         p50 {p50:.1}us, p99 {p99:.1}us, cache hit rate {:.1}%",
+         p50 {p50:.1}us, p99 {p99:.1}us (server-side p50 {server_p50:.1}us, \
+         p99 {server_p99:.1}us), cache hit rate {:.1}%",
         args.threads,
         hit_rate * 100.0
     );

@@ -12,11 +12,11 @@ use crate::protocol::{
 };
 use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
 use netpart_engine::{
-    simulate_cluster_with, simulate_flows, Allocator, CompactAllocator, DimensionOrdered, Fabric,
-    Flow, Router, ScatterAllocator, ShortestPath, SolverMode,
+    simulate_cluster_observed, simulate_flows, Allocator, CompactAllocator, DimensionOrdered,
+    Fabric, Flow, Router, ScatterAllocator, ShortestPath, SolverMode, Telemetry,
 };
 use netpart_machines::{known, BlueGeneQ};
-use netpart_scenario::{run_sweep, MAX_FLOWS, MAX_JOBS};
+use netpart_scenario::{run_allocation_sweep_observed, run_sweep_observed, MAX_FLOWS, MAX_JOBS};
 use netpart_sched::{generate_trace, SchedPolicy, TraceConfig};
 use netpart_topology::GlobalArrangement;
 
@@ -211,6 +211,7 @@ fn handle_cluster_sim(
     gigabytes: f64,
     allocator: AllocatorSpec,
     mode: SolverMode,
+    telemetry: &Telemetry,
 ) -> Response {
     if jobs == 0 || jobs > MAX_JOBS {
         return unsupported(format!("jobs must be in 1..={MAX_JOBS}"));
@@ -235,7 +236,7 @@ fn handle_cluster_sim(
         }),
     };
     let stream = netpart_engine::synthetic_job_stream(jobs, max_nodes, mean_gap, gigabytes);
-    match simulate_cluster_with(&fabric, router, alloc, &stream, mode) {
+    match simulate_cluster_observed(&fabric, router, alloc, &stream, mode, telemetry.clone()) {
         Ok(metrics) => Response::ClusterSummary {
             fabric: metrics.fabric.clone(),
             allocator: metrics.allocator.clone(),
@@ -283,14 +284,14 @@ fn handle_policy_sim(machine: &str, jobs: usize, seed: u64, policy: PolicySpec) 
 
 /// Fan a batch of scenarios out through the parallel sweep runner. Each
 /// scenario succeeds or fails on its own; a bad spec never fails the batch.
-fn handle_sweep(scenarios: &[ScenarioSpec]) -> Response {
+fn handle_sweep(scenarios: &[ScenarioSpec], telemetry: &Telemetry) -> Response {
     if scenarios.is_empty() {
         return unsupported("sweep needs at least one scenario");
     }
     if scenarios.len() > MAX_SWEEP {
         return unsupported(format!("more than {MAX_SWEEP} scenarios in one sweep"));
     }
-    let results = run_sweep(scenarios)
+    let results = run_sweep_observed(scenarios, telemetry)
         .into_iter()
         .zip(scenarios)
         .map(|(result, spec)| match result {
@@ -315,8 +316,8 @@ fn handle_sweep(scenarios: &[ScenarioSpec]) -> Response {
 
 /// Fabric-generic allocation advice: one advice spec, scored and ranked by
 /// `netpart-scenario` (bounds + flow simulation on any topology family).
-fn handle_advise_fabric(spec: &AdviceSpec, mode: SolverMode) -> Response {
-    match netpart_scenario::run_advice_with(spec, mode) {
+fn handle_advise_fabric(spec: &AdviceSpec, mode: SolverMode, telemetry: &Telemetry) -> Response {
+    match netpart_scenario::run_advice_observed(spec, mode, telemetry) {
         Ok(result) => Response::FabricAdvice(result),
         Err(e) => unsupported(e.to_string()),
     }
@@ -324,7 +325,11 @@ fn handle_advise_fabric(spec: &AdviceSpec, mode: SolverMode) -> Response {
 
 /// Fan a batch of advice specs out through the parallel advice runner. Each
 /// spec succeeds or fails on its own; a bad spec never fails the batch.
-fn handle_allocation_sweep(specs: &[AdviceSpec], mode: SolverMode) -> Response {
+fn handle_allocation_sweep(
+    specs: &[AdviceSpec],
+    mode: SolverMode,
+    telemetry: &Telemetry,
+) -> Response {
     if specs.is_empty() {
         return unsupported("allocation_sweep needs at least one spec");
     }
@@ -333,7 +338,7 @@ fn handle_allocation_sweep(specs: &[AdviceSpec], mode: SolverMode) -> Response {
             "more than {MAX_ALLOCATION_SWEEP} specs in one allocation sweep"
         ));
     }
-    let results = netpart_scenario::run_allocation_sweep_with(specs, mode)
+    let results = run_allocation_sweep_observed(specs, mode, telemetry)
         .into_iter()
         .zip(specs)
         .map(|(result, spec)| match result {
@@ -370,6 +375,14 @@ pub fn handle(request: &Request) -> Response {
 /// across modes (pinned by the service integration tests), so cached
 /// responses are valid regardless of the mode they were computed under.
 pub fn handle_with(request: &Request, mode: SolverMode) -> Response {
+    handle_observed(request, mode, &Telemetry::disabled())
+}
+
+/// [`handle_with`] with a telemetry sink: the simulation-backed handlers
+/// emit solver-repair, solver-round and per-spec sweep-completion events
+/// through `telemetry`. Like the solver mode, telemetry is an execution
+/// knob only — responses are byte-identical with and without it.
+pub fn handle_observed(request: &Request, mode: SolverMode, telemetry: &Telemetry) -> Response {
     match request {
         Request::Advise {
             machine,
@@ -386,7 +399,7 @@ pub fn handle_with(request: &Request, mode: SolverMode) -> Response {
             gigabytes,
             allocator,
         } => handle_cluster_sim(
-            topology, *jobs, *max_nodes, *mean_gap, *gigabytes, *allocator, mode,
+            topology, *jobs, *max_nodes, *mean_gap, *gigabytes, *allocator, mode, telemetry,
         ),
         Request::PolicySim {
             machine,
@@ -394,9 +407,9 @@ pub fn handle_with(request: &Request, mode: SolverMode) -> Response {
             seed,
             policy,
         } => handle_policy_sim(machine, *jobs, *seed, *policy),
-        Request::Sweep { scenarios } => handle_sweep(scenarios),
-        Request::AdviseFabric { spec } => handle_advise_fabric(spec, mode),
-        Request::AllocationSweep { specs } => handle_allocation_sweep(specs, mode),
+        Request::Sweep { scenarios } => handle_sweep(scenarios, telemetry),
+        Request::AdviseFabric { spec } => handle_advise_fabric(spec, mode, telemetry),
+        Request::AllocationSweep { specs } => handle_allocation_sweep(specs, mode, telemetry),
         Request::Health | Request::Stats | Request::Shutdown => Response::error(
             ErrorCode::Internal,
             "control-plane request routed to the compute dispatcher",

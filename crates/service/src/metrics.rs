@@ -7,23 +7,38 @@
 //! reports.
 
 use crate::protocol::StatsSnapshot;
+use netpart_telemetry::CounterSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Request kinds tracked separately (wire names from
 /// [`Request::kind`](crate::protocol::Request::kind), plus the synthetic
 /// `invalid` kind for lines that never decoded to a request).
-pub const KINDS: [&str; 9] = [
+///
+/// `invalid` must stay last: [`Metrics::count_request`] folds unknown kinds
+/// into the final slot.
+pub const KINDS: [&str; 12] = [
     "advise",
     "bisection",
     "simulate_flows",
     "cluster_sim",
     "policy_sim",
+    "sweep",
+    "advise_fabric",
+    "allocation_sweep",
     "health",
     "stats",
     "shutdown",
     "invalid",
 ];
+
+/// Index of `kind` in [`KINDS`]; unknown kinds land on the `invalid` slot.
+fn kind_index(kind: &str) -> usize {
+    KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(KINDS.len() - 1)
+}
 
 /// Number of log₂ latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds; 48 buckets cover ~3 days.
@@ -75,6 +90,8 @@ impl LatencyHistogram {
 pub struct Metrics {
     started: Instant,
     requests: [AtomicU64; KINDS.len()],
+    cache_hits: [AtomicU64; KINDS.len()],
+    cache_misses: [AtomicU64; KINDS.len()],
     /// Requests coalesced onto an identical in-flight computation.
     pub coalesced: AtomicU64,
     latency: LatencyHistogram,
@@ -92,6 +109,8 @@ impl Metrics {
         Metrics {
             started: Instant::now(),
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_misses: std::array::from_fn(|_| AtomicU64::new(0)),
             coalesced: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
@@ -99,11 +118,17 @@ impl Metrics {
 
     /// Count one request of `kind` (an unknown kind counts as `invalid`).
     pub fn count_request(&self, kind: &str) {
-        let idx = KINDS
-            .iter()
-            .position(|&k| k == kind)
-            .unwrap_or(KINDS.len() - 1);
-        self.requests[idx].fetch_add(1, Ordering::Relaxed);
+        self.requests[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response-cache hit for `kind`.
+    pub fn count_cache_hit(&self, kind: &str) {
+        self.cache_hits[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response-cache miss for `kind`.
+    pub fn count_cache_miss(&self, kind: &str) {
+        self.cache_misses[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one request latency.
@@ -116,22 +141,30 @@ impl Metrics {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Assemble the `Stats` payload, folding in the cache counters.
+    /// Assemble the `Stats` payload, folding in the cache counters and the
+    /// solver's telemetry aggregates (`None` when the server runs without a
+    /// telemetry handle).
     pub fn snapshot(
         &self,
         cache_hits: u64,
         cache_misses: u64,
         cache_entries: usize,
+        solver: Option<CounterSnapshot>,
     ) -> StatsSnapshot {
-        let mut by_kind: Vec<(String, u64)> = KINDS
-            .iter()
-            .zip(&self.requests)
-            .map(|(k, n)| (k.to_string(), n.load(Ordering::Relaxed)))
-            .filter(|(_, n)| *n > 0)
-            .collect();
         // Sorted by kind name, matching the canonical (sorted-key) wire
         // form so a snapshot equals its own encode/decode round trip.
-        by_kind.sort();
+        let sorted_nonzero = |counters: &[AtomicU64; KINDS.len()]| -> Vec<(String, u64)> {
+            let mut pairs: Vec<(String, u64)> = KINDS
+                .iter()
+                .zip(counters)
+                .map(|(k, n)| (k.to_string(), n.load(Ordering::Relaxed)))
+                .filter(|(_, n)| *n > 0)
+                .collect();
+            pairs.sort();
+            pairs
+        };
+        let by_kind = sorted_nonzero(&self.requests);
+        let solver = solver.unwrap_or_default();
         StatsSnapshot {
             uptime_seconds: self.uptime_seconds(),
             requests_total: by_kind.iter().map(|(_, n)| n).sum(),
@@ -139,9 +172,14 @@ impl Metrics {
             cache_hits,
             cache_misses,
             cache_entries,
+            cache_hits_by_kind: sorted_nonzero(&self.cache_hits),
+            cache_misses_by_kind: sorted_nonzero(&self.cache_misses),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             latency_p50_us: self.latency.quantile_us(0.5),
             latency_p99_us: self.latency.quantile_us(0.99),
+            solver_repairs: solver.solver_repairs,
+            solver_full_solves: solver.solver_full_solves,
+            solver_rounds: solver.solver_rounds,
         }
     }
 }
@@ -172,12 +210,117 @@ mod tests {
         m.count_request("stats");
         m.count_request("no-such-kind");
         m.record_latency_nanos(5_000);
-        let s = m.snapshot(3, 1, 2);
+        let s = m.snapshot(3, 1, 2, None);
         assert_eq!(s.requests_total, 4);
         assert!(s.requests_by_kind.contains(&("advise".to_string(), 2)));
         assert!(s.requests_by_kind.contains(&("invalid".to_string(), 1)));
         assert_eq!(s.cache_hits, 3);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!(s.latency_p50_us > 0.0);
+        assert_eq!(s.solver_repairs, 0);
+    }
+
+    #[test]
+    fn snapshot_reports_per_kind_cache_traffic_and_solver_aggregates() {
+        let m = Metrics::new();
+        m.count_cache_hit("advise");
+        m.count_cache_hit("advise");
+        m.count_cache_hit("sweep");
+        m.count_cache_miss("sweep");
+        let s = m.snapshot(
+            3,
+            1,
+            2,
+            Some(CounterSnapshot {
+                solver_repairs: 7,
+                solver_full_solves: 2,
+                solver_rounds: 40,
+            }),
+        );
+        // Sorted by kind, zero-count kinds omitted.
+        assert_eq!(
+            s.cache_hits_by_kind,
+            vec![("advise".to_string(), 2), ("sweep".to_string(), 1)]
+        );
+        assert_eq!(s.cache_misses_by_kind, vec![("sweep".to_string(), 1)]);
+        assert_eq!(s.solver_repairs, 7);
+        assert_eq!(s.solver_full_solves, 2);
+        assert_eq!(s.solver_rounds, 40);
+    }
+
+    #[test]
+    fn kinds_covers_every_request_kind() {
+        use crate::protocol::Request;
+        // One sample per variant. The match below has no wildcard, so adding
+        // a `Request` variant fails compilation here until a sample (and its
+        // wire name in `KINDS`) is added.
+        let samples = vec![
+            Request::Advise {
+                machine: "mira".into(),
+                size: 16,
+                kernel: None,
+            },
+            Request::Bisection {
+                topology: "torus".into(),
+                dims: vec![4, 4],
+            },
+            Request::SimulateFlows {
+                topology: crate::protocol::TopologySpec::Torus(vec![2, 2]),
+                flows: vec![],
+            },
+            Request::ClusterSim {
+                topology: crate::protocol::TopologySpec::Torus(vec![2, 2]),
+                jobs: 1,
+                max_nodes: 2,
+                mean_gap: 1.0,
+                gigabytes: 1.0,
+                allocator: crate::protocol::AllocatorSpec::Compact,
+            },
+            Request::PolicySim {
+                machine: "mira".into(),
+                jobs: 1,
+                seed: 0,
+                policy: crate::protocol::PolicySpec::Best,
+            },
+            Request::Sweep { scenarios: vec![] },
+            Request::AdviseFabric {
+                spec: crate::protocol::AdviceSpec {
+                    topology: crate::protocol::TopologySpec::Torus(vec![2, 2]),
+                    routing: crate::protocol::RoutingSpec::ShortestPath,
+                    nodes: 2,
+                    gigabytes: 1.0,
+                    candidates: vec![],
+                    seed: 0,
+                },
+            },
+            Request::AllocationSweep { specs: vec![] },
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in &samples {
+            match request {
+                Request::Advise { .. }
+                | Request::Bisection { .. }
+                | Request::SimulateFlows { .. }
+                | Request::ClusterSim { .. }
+                | Request::PolicySim { .. }
+                | Request::Sweep { .. }
+                | Request::AdviseFabric { .. }
+                | Request::AllocationSweep { .. }
+                | Request::Health
+                | Request::Stats
+                | Request::Shutdown => {}
+            }
+            assert!(
+                KINDS.contains(&request.kind()),
+                "KINDS is missing wire kind '{}'",
+                request.kind()
+            );
+        }
+        // Every variant plus the synthetic `invalid` kind, which must stay
+        // last (count_request folds unknown kinds into the final slot).
+        assert_eq!(KINDS.len(), samples.len() + 1);
+        assert_eq!(KINDS.last(), Some(&"invalid"));
     }
 }

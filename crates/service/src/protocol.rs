@@ -892,12 +892,25 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Live entries across all cache shards.
     pub cache_entries: usize,
+    /// Cache hits per request kind, as `(kind, count)` sorted by kind with
+    /// zero-count kinds omitted. Empty on snapshots from older servers.
+    pub cache_hits_by_kind: Vec<(String, u64)>,
+    /// Cache misses per request kind, same shape as
+    /// [`cache_hits_by_kind`](Self::cache_hits_by_kind).
+    pub cache_misses_by_kind: Vec<(String, u64)>,
     /// Requests that were coalesced onto an identical in-flight computation.
     pub coalesced: u64,
     /// Median request latency in microseconds.
     pub latency_p50_us: f64,
     /// 99th-percentile request latency in microseconds.
     pub latency_p99_us: f64,
+    /// Incremental max–min repairs that stayed incremental (telemetry
+    /// aggregate; 0 on snapshots from older servers).
+    pub solver_repairs: u64,
+    /// Solver repairs that fell back to a full recompute.
+    pub solver_full_solves: u64,
+    /// Fluid-simulation rounds completed across all handled requests.
+    pub solver_rounds: u64,
 }
 
 impl StatsSnapshot {
@@ -910,6 +923,33 @@ impl StatsSnapshot {
             self.cache_hits as f64 / total as f64
         }
     }
+}
+
+/// Encode a sorted `(kind, count)` list as a JSON object.
+fn kind_counts_to_value(counts: &[(String, u64)]) -> Value {
+    Value::Obj(
+        counts
+            .iter()
+            .map(|(k, n)| (k.clone(), Value::from(*n)))
+            .collect(),
+    )
+}
+
+/// Decode an optional `(kind, count)` object under `key`; absent keys (old
+/// servers) decode as empty so stats snapshots stay wire-compatible.
+fn kind_counts_from_value(parent: &Value, key: &str) -> Result<Vec<(String, u64)>, ProtocolError> {
+    let Some(obj) = parent.get(key) else {
+        return Ok(Vec::new());
+    };
+    obj.as_obj()
+        .ok_or_else(|| missing(key))?
+        .iter()
+        .map(|(k, n)| {
+            n.as_usize()
+                .map(|n| (k.clone(), n as u64))
+                .ok_or_else(|| missing(key))
+        })
+        .collect()
 }
 
 /// One advice spec's line in a [`Response::AllocationSweepSummary`].
@@ -1286,6 +1326,11 @@ impl Response {
                         ("misses", Value::from(s.cache_misses)),
                         ("entries", Value::from(s.cache_entries)),
                         ("hit_rate", Value::from(s.hit_rate())),
+                        ("hits_by_kind", kind_counts_to_value(&s.cache_hits_by_kind)),
+                        (
+                            "misses_by_kind",
+                            kind_counts_to_value(&s.cache_misses_by_kind),
+                        ),
                     ]),
                 ),
                 ("coalesced", Value::from(s.coalesced)),
@@ -1294,6 +1339,14 @@ impl Response {
                     Value::obj([
                         ("p50", Value::from(s.latency_p50_us)),
                         ("p99", Value::from(s.latency_p99_us)),
+                    ]),
+                ),
+                (
+                    "solver",
+                    Value::obj([
+                        ("repairs", Value::from(s.solver_repairs)),
+                        ("full_solves", Value::from(s.solver_full_solves)),
+                        ("rounds", Value::from(s.solver_rounds)),
                     ]),
                 ),
             ]),
@@ -1388,6 +1441,15 @@ impl Response {
                             .ok_or_else(|| missing("requests_by_kind"))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
+                // Telemetry-era fields: absent on snapshots from older
+                // servers, decoded as empty/zero.
+                let solver = v.get("solver");
+                let solver_count = |key: &str| -> Result<u64, ProtocolError> {
+                    match solver {
+                        None => Ok(0),
+                        Some(s) => Ok(get_usize(s, key)? as u64),
+                    }
+                };
                 Ok(Response::Stats(StatsSnapshot {
                     uptime_seconds: get_f64(v, "uptime_seconds")?,
                     requests_total: get_usize(v, "requests_total")? as u64,
@@ -1395,9 +1457,14 @@ impl Response {
                     cache_hits: get_usize(cache, "hits")? as u64,
                     cache_misses: get_usize(cache, "misses")? as u64,
                     cache_entries: get_usize(cache, "entries")?,
+                    cache_hits_by_kind: kind_counts_from_value(cache, "hits_by_kind")?,
+                    cache_misses_by_kind: kind_counts_from_value(cache, "misses_by_kind")?,
                     coalesced: get_usize(v, "coalesced")? as u64,
                     latency_p50_us: get_f64(latency, "p50")?,
                     latency_p99_us: get_f64(latency, "p99")?,
+                    solver_repairs: solver_count("repairs")?,
+                    solver_full_solves: solver_count("full_solves")?,
+                    solver_rounds: solver_count("rounds")?,
                 }))
             }
             "ok" => Ok(Response::Ok),

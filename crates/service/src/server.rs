@@ -18,6 +18,7 @@ use crate::handlers;
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, Request, Response};
 use netpart_engine::SolverMode;
+use netpart_telemetry::{Telemetry, TelemetryEvent, DEFAULT_RING_CAPACITY};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,6 +43,14 @@ pub struct ServerConfig {
     /// knob only: responses are byte-identical across modes (pinned by the
     /// integration tests), so it never enters cache keys or the protocol.
     pub solver: SolverMode,
+    /// Path of the file-backed telemetry ring. `None` keeps in-process
+    /// solver aggregates for `stats` but writes no ring file. Like the
+    /// solver mode, telemetry is an execution knob only — responses are
+    /// byte-identical with and without it.
+    pub telemetry_ring: Option<std::path::PathBuf>,
+    /// Record capacity for a freshly created telemetry ring (rounded up to
+    /// a power of two; an existing ring file keeps its own capacity).
+    pub telemetry_ring_capacity: u64,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +64,8 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             solver: SolverMode::default(),
+            telemetry_ring: None,
+            telemetry_ring_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -71,6 +82,8 @@ pub struct ServiceState {
     pub workers: usize,
     /// Solver mode handed to every compute dispatch.
     pub solver: SolverMode,
+    /// Telemetry sink shared by the request path and every handler.
+    pub telemetry: Telemetry,
     stop: AtomicBool,
 }
 
@@ -126,13 +139,17 @@ fn signal_shutdown(state: &ServiceState, addr: SocketAddr) {
 /// rendered response line.
 fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<String> {
     let started = Instant::now();
+    let mut kind = "invalid";
+    let mut cache_hit = false;
+    let mut coalesced = false;
     let rendered = match Request::decode(line.trim()) {
         Err(e) => {
-            state.metrics.count_request("invalid");
+            state.metrics.count_request(kind);
             Arc::new(Response::error(ErrorCode::BadRequest, e.to_string()).encode())
         }
         Ok(request) => {
-            state.metrics.count_request(request.kind());
+            kind = request.kind();
+            state.metrics.count_request(kind);
             match &request {
                 Request::Health => Arc::new(
                     Response::Health {
@@ -146,6 +163,7 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                         state.cache.hits(),
                         state.cache.misses(),
                         state.cache.len(),
+                        state.telemetry.counters(),
                     ))
                     .encode(),
                 ),
@@ -159,12 +177,19 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                 req if req.cacheable() => {
                     let key = request.cache_key();
                     match state.cache.get(&key) {
-                        Some(cached) => cached,
+                        Some(cached) => {
+                            cache_hit = true;
+                            state.metrics.count_cache_hit(kind);
+                            cached
+                        }
                         None => {
-                            let outcome =
-                                state.batcher.run(&key, || compute(&request, state.solver));
+                            state.metrics.count_cache_miss(kind);
+                            let outcome = state
+                                .batcher
+                                .run(&key, || compute(&request, state.solver, &state.telemetry));
                             if outcome.coalesced {
                                 // The leader already cached this response.
+                                coalesced = true;
                                 state.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
                             } else {
                                 state.cache.put(key, Arc::clone(&outcome.response));
@@ -173,21 +198,26 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                         }
                     }
                 }
-                _ => Arc::new(compute(&request, state.solver)),
+                _ => Arc::new(compute(&request, state.solver, &state.telemetry)),
             }
         }
     };
-    state
-        .metrics
-        .record_latency_nanos(started.elapsed().as_nanos() as u64);
+    let nanos = started.elapsed().as_nanos() as u64;
+    state.metrics.record_latency_nanos(nanos);
+    state.telemetry.emit(TelemetryEvent::request_done(
+        kind,
+        nanos / 1_000,
+        cache_hit,
+        coalesced,
+    ));
     rendered
 }
 
 /// Run a handler, converting any panic into a typed internal error so a
 /// worker thread can never die on a request.
-fn compute(request: &Request, solver: SolverMode) -> String {
+fn compute(request: &Request, solver: SolverMode, telemetry: &Telemetry) -> String {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handlers::handle_with(request, solver).encode()
+        handlers::handle_observed(request, solver, telemetry).encode()
     }));
     result.unwrap_or_else(|panic| {
         let reason = panic
@@ -302,12 +332,17 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     )?;
     let local_addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let telemetry = match &config.telemetry_ring {
+        Some(path) => Telemetry::to_ring(path, config.telemetry_ring_capacity)?,
+        None => Telemetry::counters_only(),
+    };
     let state = Arc::new(ServiceState {
         cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
         batcher: Batcher::new(),
         metrics: Metrics::new(),
         workers,
         solver: config.solver,
+        telemetry,
         stop: AtomicBool::new(false),
     });
 
@@ -384,7 +419,7 @@ mod tests {
             topology: crate::protocol::TopologySpec::Dragonfly(0, 0, 1),
             flows: vec![],
         };
-        let rendered = compute(&request, SolverMode::default());
+        let rendered = compute(&request, SolverMode::default(), &Telemetry::disabled());
         let response = Response::decode(&rendered).expect("always a valid response line");
         match response {
             Response::Error { code, .. } => {

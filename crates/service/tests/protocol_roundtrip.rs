@@ -373,9 +373,14 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 cache_hits: hits as u64,
                 cache_misses: misses as u64,
                 cache_entries: entries,
+                cache_hits_by_kind: vec![("advise".into(), hits as u64)],
+                cache_misses_by_kind: vec![("sweep".into(), misses as u64)],
                 coalesced: 3,
                 latency_p50_us: 8.0,
                 latency_p99_us: 64.0,
+                solver_repairs: hits as u64 / 2,
+                solver_full_solves: 1,
+                solver_rounds: misses as u64,
             })
         }),
         proptest::collection::vec(

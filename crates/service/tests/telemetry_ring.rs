@@ -1,0 +1,142 @@
+//! Socket-level telemetry test: boot a server with a file-backed ring,
+//! drive real requests over TCP, then read the ring from this process (a
+//! different "process" than the worker threads as far as the mapping is
+//! concerned — the reader path is the same read-only mmap `telemetry_tail`
+//! uses) and check the request-lifecycle and solver events landed.
+
+use netpart_engine::SolverMode;
+use netpart_service::client::ServiceClient;
+use netpart_service::protocol::{
+    Request, Response, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec,
+};
+use netpart_service::server::{serve, ServerConfig};
+use netpart_telemetry::{ReadOutcome, RingReader, TelemetryEvent};
+
+/// Drain every record currently in the ring, decoded.
+fn drain(reader: &RingReader) -> Vec<TelemetryEvent> {
+    let mut events = Vec::new();
+    for seq in reader.oldest()..reader.cursor() {
+        match reader.read(seq) {
+            ReadOutcome::Record(words) => {
+                let (_, event) = TelemetryEvent::decode(&words).expect("known kind");
+                events.push(event);
+            }
+            other => panic!("record {seq} unreadable: {other:?}"),
+        }
+    }
+    events
+}
+
+#[test]
+fn sweep_over_a_socket_lands_request_and_solver_events_in_the_ring() {
+    let ring_path = std::env::temp_dir().join(format!(
+        "netpart_service_telemetry_{}.ring",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ring_path);
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        // Incremental mode so cluster_sim exercises the repair path and the
+        // ring sees SolverRepair records, not just rounds.
+        solver: SolverMode::Incremental,
+        telemetry_ring: Some(ring_path.clone()),
+        telemetry_ring_capacity: 1 << 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port with telemetry ring");
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+
+    let scenarios = vec![
+        ScenarioSpec {
+            topology: TopologySpec::Torus(vec![4, 4]),
+            routing: RoutingSpec::DimensionOrdered,
+            traffic: TrafficSpec::BisectionPairing {
+                rounds: 4,
+                warmup_rounds: 1,
+                round_gigabytes: 0.5,
+            },
+            seed: 1,
+        },
+        // Invalid on purpose: dimension-ordered routing off a torus. The
+        // spec must still get its own SweepSpecDone record, with ok=false.
+        ScenarioSpec {
+            topology: TopologySpec::Hypercube(4),
+            routing: RoutingSpec::DimensionOrdered,
+            traffic: TrafficSpec::AllToAll { gigabytes: 0.5 },
+            seed: 1,
+        },
+    ];
+    let response = client.request(&Request::Sweep { scenarios }).unwrap();
+    assert!(
+        matches!(response, Response::SweepSummary { .. }),
+        "{response:?}"
+    );
+
+    // A cluster simulation in incremental mode: the repair path proper.
+    let response = client
+        .request(&Request::ClusterSim {
+            topology: TopologySpec::Torus(vec![4, 4]),
+            jobs: 8,
+            max_nodes: 4,
+            mean_gap: 10.0,
+            gigabytes: 0.25,
+            allocator: netpart_service::protocol::AllocatorSpec::Compact,
+        })
+        .unwrap();
+    assert!(
+        matches!(response, Response::ClusterSummary { .. }),
+        "{response:?}"
+    );
+
+    // The stats endpoint must agree with the ring's aggregates.
+    let stats = client.stats().unwrap();
+    assert!(stats.solver_rounds > 0, "no rounds in {stats:?}");
+    assert!(
+        stats.solver_repairs + stats.solver_full_solves > 0,
+        "no repairs in {stats:?}"
+    );
+    assert!(stats
+        .cache_misses_by_kind
+        .iter()
+        .any(|(k, n)| k == "sweep" && *n == 1));
+
+    client.shutdown().unwrap();
+    handle.join();
+
+    let reader = RingReader::open(&ring_path).expect("ring file readable");
+    let events = drain(&reader);
+    let mut sweep_specs_done = Vec::new();
+    let mut request_kinds = Vec::new();
+    let mut solver_rounds = 0u64;
+    let mut solver_repairs = 0u64;
+    for event in &events {
+        match event {
+            TelemetryEvent::SweepSpecDone { spec_idx, ok, .. } => {
+                sweep_specs_done.push((*spec_idx, *ok));
+            }
+            TelemetryEvent::RequestDone { kind, .. } => {
+                request_kinds.push(kind.as_str().to_string());
+            }
+            TelemetryEvent::SolverRound { .. } => solver_rounds += 1,
+            TelemetryEvent::SolverRepair { .. } => solver_repairs += 1,
+            _ => {}
+        }
+    }
+    sweep_specs_done.sort();
+    assert_eq!(
+        sweep_specs_done,
+        vec![(0, true), (1, false)],
+        "one SweepSpecDone per spec in {events:?}"
+    );
+    for expected in ["sweep", "cluster_sim", "stats", "shutdown"] {
+        assert!(
+            request_kinds.iter().any(|k| k == expected),
+            "no RequestDone for '{expected}' in {request_kinds:?}"
+        );
+    }
+    assert!(solver_rounds > 0, "no SolverRound records");
+    assert!(solver_repairs > 0, "no SolverRepair records");
+
+    let _ = std::fs::remove_file(&ring_path);
+}

@@ -1,0 +1,190 @@
+//! Tail a telemetry ring live, like `tail -f` for the event spine.
+//!
+//! ```text
+//! telemetry_tail <ring-file> [--follow] [--since-seq N] [--json]
+//! ```
+//!
+//! Maps the ring read-only — it never perturbs the writer — and prints one
+//! line per record, oldest available first. `--since-seq N` starts at
+//! sequence `N` (clamped to the oldest record still in the ring); the
+//! default is everything still available. `--follow` keeps polling for new
+//! records; without it the tail stops at the current cursor. `--json`
+//! switches from human-readable lines to JSON lines.
+//!
+//! When the writer laps the reader, the gap is reported on stderr and the
+//! tail jumps forward to the oldest surviving record.
+
+use netpart_telemetry::{ReadOutcome, RingReader, TelemetryEvent};
+use std::io::Write;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: telemetry_tail <ring-file> [--follow] [--since-seq N] [--json]");
+    std::process::exit(2);
+}
+
+struct Options {
+    path: String,
+    follow: bool,
+    since_seq: Option<u64>,
+    json: bool,
+}
+
+fn parse_args() -> Options {
+    let mut path = None;
+    let mut follow = false;
+    let mut since_seq = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--follow" | "-f" => follow = true,
+            "--json" => json = true,
+            "--since-seq" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse() {
+                    Ok(n) => since_seq = Some(n),
+                    Err(_) => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    Options {
+        path,
+        follow,
+        since_seq,
+        json,
+    }
+}
+
+fn format_human(seq: u64, t_micros: u64, event: &TelemetryEvent) -> String {
+    let head = format!(
+        "#{seq} +{}.{:06}s {}",
+        t_micros / 1_000_000,
+        t_micros % 1_000_000,
+        event.name()
+    );
+    match *event {
+        TelemetryEvent::SolverRepair {
+            flows,
+            dirty_channels,
+            affected_fraction,
+            fell_back,
+        } => format!(
+            "{head} flows={flows} dirty_channels={dirty_channels} affected_fraction={affected_fraction:.4} fell_back={fell_back}"
+        ),
+        TelemetryEvent::SolverRound {
+            round,
+            active_flows,
+            retired,
+        } => format!("{head} round={round} active_flows={active_flows} retired={retired}"),
+        TelemetryEvent::EngineProgress {
+            events_processed,
+            sim_time,
+        } => format!("{head} events_processed={events_processed} sim_time={sim_time:.6}"),
+        TelemetryEvent::SweepSpecDone {
+            spec_idx,
+            ok,
+            micros,
+        } => format!("{head} spec_idx={spec_idx} ok={ok} micros={micros}"),
+        TelemetryEvent::RequestDone {
+            kind,
+            micros,
+            cache_hit,
+            coalesced,
+        } => format!("{head} kind={kind} micros={micros} cache_hit={cache_hit} coalesced={coalesced}"),
+    }
+}
+
+fn format_json(seq: u64, t_micros: u64, event: &TelemetryEvent) -> String {
+    let head = format!(
+        "{{\"seq\":{seq},\"t_micros\":{t_micros},\"event\":\"{}\"",
+        event.name()
+    );
+    match *event {
+        TelemetryEvent::SolverRepair {
+            flows,
+            dirty_channels,
+            affected_fraction,
+            fell_back,
+        } => format!(
+            "{head},\"flows\":{flows},\"dirty_channels\":{dirty_channels},\"affected_fraction\":{affected_fraction},\"fell_back\":{fell_back}}}"
+        ),
+        TelemetryEvent::SolverRound {
+            round,
+            active_flows,
+            retired,
+        } => format!("{head},\"round\":{round},\"active_flows\":{active_flows},\"retired\":{retired}}}"),
+        TelemetryEvent::EngineProgress {
+            events_processed,
+            sim_time,
+        } => format!("{head},\"events_processed\":{events_processed},\"sim_time\":{sim_time}}}"),
+        TelemetryEvent::SweepSpecDone {
+            spec_idx,
+            ok,
+            micros,
+        } => format!("{head},\"spec_idx\":{spec_idx},\"ok\":{ok},\"micros\":{micros}}}"),
+        TelemetryEvent::RequestDone {
+            kind,
+            micros,
+            cache_hit,
+            coalesced,
+        } => format!(
+            "{head},\"kind\":\"{kind}\",\"micros\":{micros},\"cache_hit\":{cache_hit},\"coalesced\":{coalesced}}}"
+        ),
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let reader = match RingReader::open(&options.path) {
+        Ok(reader) => reader,
+        Err(err) => {
+            eprintln!("telemetry_tail: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut seq = options.since_seq.unwrap_or(0).max(reader.oldest());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    loop {
+        match reader.read(seq) {
+            ReadOutcome::Record(words) => {
+                match TelemetryEvent::decode(&words) {
+                    Some((t_micros, event)) => {
+                        let line = if options.json {
+                            format_json(seq, t_micros, &event)
+                        } else {
+                            format_human(seq, t_micros, &event)
+                        };
+                        if writeln!(out, "{line}").is_err() {
+                            return; // downstream pipe closed (e.g. `| head`)
+                        }
+                    }
+                    None => eprintln!("telemetry_tail: skipping record {seq} (unknown kind)"),
+                }
+                seq += 1;
+            }
+            ReadOutcome::Lapped { oldest } => {
+                eprintln!(
+                    "telemetry_tail: lapped — skipped {} records ({seq}..{oldest})",
+                    oldest.saturating_sub(seq)
+                );
+                seq = oldest.max(seq + 1);
+            }
+            ReadOutcome::NotYetWritten => {
+                if !options.follow {
+                    break;
+                }
+                let _ = out.flush();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    let _ = out.flush();
+}

@@ -1,0 +1,264 @@
+//! The workspace's observability spine: a lock-free mmap event ring and the
+//! cheap [`Telemetry`] handle every layer writes through.
+//!
+//! Following the OLAP tradeoff the roadmap cites (store raw, aggregate at
+//! read time), the hot path appends raw fixed-width binary records to a
+//! file-backed ring ([`ring`]) and all shaping — human text, JSON lines,
+//! aggregates — happens in readers like `telemetry_tail`. Emitting an event
+//! costs a handful of relaxed atomic stores; emitting with telemetry
+//! disabled costs one branch on an `Option`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use netpart_telemetry::{ReadOutcome, RingReader, Telemetry, TelemetryEvent};
+//!
+//! let path = std::env::temp_dir().join(format!("np-doc-{}.ring", std::process::id()));
+//! # let _ = std::fs::remove_file(&path);
+//! let telemetry = Telemetry::to_ring(&path, 1024).unwrap();
+//! telemetry.emit(TelemetryEvent::SweepSpecDone { spec_idx: 0, ok: true, micros: 42 });
+//!
+//! let reader = RingReader::open(&path).unwrap();
+//! let ReadOutcome::Record(words) = reader.read(0) else { panic!("published") };
+//! let (_t, event) = TelemetryEvent::decode(&words).unwrap();
+//! assert!(matches!(event, TelemetryEvent::SweepSpecDone { spec_idx: 0, ok: true, .. }));
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+//!
+//! The handle clones like an `Arc` and a disabled handle
+//! ([`Telemetry::disabled`], also `Default`) is a single `None` — structs
+//! can hold one unconditionally. [`Telemetry::counters_only`] keeps the
+//! solver aggregate counters (surfaced by the service's `stats` endpoint)
+//! without any ring file.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod ring;
+
+pub use event::{
+    KindLabel, TelemetryEvent, KIND_ENGINE_PROGRESS, KIND_REQUEST_DONE, KIND_SOLVER_REPAIR,
+    KIND_SOLVER_ROUND, KIND_SWEEP_SPEC_DONE,
+};
+pub use ring::{ReadOutcome, RingReader, RingWriter};
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default ring capacity (slots) when the caller does not pick one:
+/// 64 Ki slots × 64 B = a 4 MiB file holding the last 65 536 events.
+pub const DEFAULT_RING_CAPACITY: u64 = 64 * 1024;
+
+#[derive(Debug, Default)]
+struct SolverCounters {
+    repairs: AtomicU64,
+    full_solves: AtomicU64,
+    rounds: AtomicU64,
+}
+
+/// Point-in-time copy of the solver aggregates a handle has accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Incremental repairs that stayed incremental.
+    pub solver_repairs: u64,
+    /// Repairs that fell back to a full solve.
+    pub solver_full_solves: u64,
+    /// Fluid-simulation rounds completed.
+    pub solver_rounds: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: Option<RingWriter>,
+    epoch: Instant,
+    counters: SolverCounters,
+}
+
+impl Inner {
+    fn record(&self, event: TelemetryEvent) {
+        match event {
+            TelemetryEvent::SolverRepair { fell_back, .. } => {
+                let counter = if fell_back {
+                    &self.counters.full_solves
+                } else {
+                    &self.counters.repairs
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            TelemetryEvent::SolverRound { .. } => {
+                self.counters.rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if let Some(ring) = &self.ring {
+            let t_micros = self.epoch.elapsed().as_micros() as u64;
+            ring.publish(&event.encode(t_micros));
+        }
+    }
+}
+
+/// Cheap, cloneable handle the whole stack emits events through.
+///
+/// Internally an `Option<Arc<_>>`: the disabled handle is `None`, so the
+/// cost of instrumenting a hot loop that nobody is watching is one branch —
+/// no allocation, no atomics, no syscalls.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A handle that drops every event (the `Default`).
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A handle that maintains the [`CounterSnapshot`] aggregates but writes
+    /// no ring file. The service uses this when `--telemetry-ring` is not
+    /// given, so `stats` can still report solver behavior.
+    pub fn counters_only() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                ring: None,
+                epoch: Instant::now(),
+                counters: SolverCounters::default(),
+            })),
+        }
+    }
+
+    /// A handle backed by a ring file at `path` (created, or adopted if a
+    /// valid ring already exists there; see [`RingWriter::create`]).
+    pub fn to_ring(path: impl AsRef<Path>, capacity: u64) -> io::Result<Self> {
+        let ring = RingWriter::create(path, capacity)?;
+        Ok(Telemetry {
+            inner: Some(Arc::new(Inner {
+                ring: Some(ring),
+                epoch: Instant::now(),
+                counters: SolverCounters::default(),
+            })),
+        })
+    }
+
+    /// Whether events go anywhere at all (counters or ring).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether events are written to a ring file.
+    pub fn has_ring(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.ring.is_some())
+    }
+
+    /// Emit one event. Wait-free; a no-op (single branch) when disabled.
+    #[inline]
+    pub fn emit(&self, event: TelemetryEvent) {
+        let Some(inner) = &self.inner else { return };
+        inner.record(event);
+    }
+
+    /// Snapshot the solver aggregates; `None` for a disabled handle.
+    pub fn counters(&self) -> Option<CounterSnapshot> {
+        let inner = self.inner.as_ref()?;
+        Some(CounterSnapshot {
+            solver_repairs: inner.counters.repairs.load(Ordering::Relaxed),
+            solver_full_solves: inner.counters.full_solves.load(Ordering::Relaxed),
+            solver_rounds: inner.counters.rounds.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Sequence number the next ring record will get; `None` without a ring.
+    pub fn ring_cursor(&self) -> Option<u64> {
+        Some(self.inner.as_ref()?.ring.as_ref()?.cursor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.has_ring());
+        t.emit(TelemetryEvent::SolverRound {
+            round: 0,
+            active_flows: 0,
+            retired: 0,
+        });
+        assert_eq!(t.counters(), None);
+        assert_eq!(t.ring_cursor(), None);
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_only_aggregates_without_ring() {
+        let t = Telemetry::counters_only();
+        assert!(t.is_enabled());
+        assert!(!t.has_ring());
+        t.emit(TelemetryEvent::SolverRepair {
+            flows: 10,
+            dirty_channels: 1,
+            affected_fraction: 0.1,
+            fell_back: false,
+        });
+        t.emit(TelemetryEvent::SolverRepair {
+            flows: 10,
+            dirty_channels: 9,
+            affected_fraction: 1.0,
+            fell_back: true,
+        });
+        t.emit(TelemetryEvent::SolverRound {
+            round: 1,
+            active_flows: 8,
+            retired: 2,
+        });
+        let clone = t.clone(); // clones share the same counters
+        assert_eq!(
+            clone.counters(),
+            Some(CounterSnapshot {
+                solver_repairs: 1,
+                solver_full_solves: 1,
+                solver_rounds: 1,
+            })
+        );
+        assert_eq!(t.ring_cursor(), None);
+    }
+
+    #[test]
+    fn ring_handle_publishes_decodable_events() {
+        let path = std::env::temp_dir().join(format!(
+            "netpart-telemetry-handle-{}.ring",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let t = Telemetry::to_ring(&path, 256).unwrap();
+        assert!(t.has_ring());
+        t.emit(TelemetryEvent::request_done("sweep", 1234, false, true));
+        assert_eq!(t.ring_cursor(), Some(1));
+
+        let reader = RingReader::open(&path).unwrap();
+        let ReadOutcome::Record(words) = reader.read(0) else {
+            panic!("record 0 should be published");
+        };
+        let (_, event) = TelemetryEvent::decode(&words).unwrap();
+        match event {
+            TelemetryEvent::RequestDone {
+                kind,
+                micros,
+                cache_hit,
+                coalesced,
+            } => {
+                assert_eq!(kind.as_str(), "sweep");
+                assert_eq!(micros, 1234);
+                assert!(!cache_hit);
+                assert!(coalesced);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,492 @@
+//! File-backed mmap ring buffer of fixed-size binary records.
+//!
+//! The ring is a single file: a 64-byte header followed by `capacity`
+//! 64-byte slots. One *writer process* appends records (its threads may share
+//! the writer — the claim is a `fetch_add` on the header cursor); any number
+//! of *reader processes* map the same file read-only and tail it without
+//! coordination. Nothing is ever serialized on the write path: a record is
+//! seven 64-bit stores plus two sequence-word stores.
+//!
+//! # Slot protocol (seqlock per slot)
+//!
+//! Logical record `s` lives in slot `s % capacity`. Its slot's sequence word
+//! moves `… → 2s+1 → 2s+2` around the payload stores:
+//!
+//! ```text
+//! writer                                reader (for record s)
+//! ------                                --------------------
+//! s = cursor.fetch_add(1)               s1 = seq.load(Acquire)
+//! seq.store(2s+1, Relaxed)              s1 < 2s+2  => not yet written
+//! fence(Release)                        s1 > 2s+2  => lapped
+//! payload stores (Relaxed)              payload loads (Relaxed)
+//! seq.store(2s+2, Release)              fence(Acquire)
+//!                                       seq reload != 2s+2 => lapped
+//! ```
+//!
+//! A reader therefore never observes a torn record: any overlap with the
+//! writer leaves the sequence word odd or advanced past `2s+2`, and the
+//! record is reported as [`ReadOutcome::Lapped`] with the oldest sequence
+//! still (conservatively) available.
+//!
+//! Two threads of the writer process can race on the *same* slot only if one
+//! laps the other — the in-flight window of claims would have to span the
+//! whole ring. Size the capacity well above writer concurrency (the default
+//! is 65 536 slots) and the race is unreachable in practice.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// First header word; spells `NPTELM01` when viewed as ASCII bytes.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"NPTELM01");
+/// Ring format version; bump when the header or slot layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Every slot (and the header) is exactly this many bytes.
+pub const RECORD_SIZE: usize = 64;
+/// Number of 64-bit payload words in a slot (the eighth word is the
+/// sequence word).
+pub const PAYLOAD_WORDS: usize = 7;
+/// Smallest capacity [`RingWriter::create`] will produce.
+pub const MIN_CAPACITY: u64 = 16;
+
+#[repr(C)]
+struct Header {
+    magic: u64,
+    version: u32,
+    record_size: u32,
+    capacity: u64,
+    cursor: AtomicU64,
+    _reserved: [u64; 4],
+}
+
+#[repr(C)]
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; PAYLOAD_WORDS],
+}
+
+const _: () = assert!(std::mem::size_of::<Header>() == RECORD_SIZE);
+const _: () = assert!(std::mem::size_of::<Slot>() == RECORD_SIZE);
+
+/// Outcome of [`RingReader::read`] for one logical sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The writer has not (finished) publishing this record yet.
+    NotYetWritten,
+    /// The writer overwrote this slot with a newer record before we read it.
+    Lapped {
+        /// Oldest sequence number that is still (conservatively) readable;
+        /// the gap the reader skipped is `oldest - seq` records.
+        oldest: u64,
+    },
+    /// The record was read consistently.
+    Record([u64; PAYLOAD_WORDS]),
+}
+
+// ---------------------------------------------------------------------------
+// mmap shim — std already links libc on unix, so we declare the two symbols
+// we need instead of depending on the `libc` crate (the build is offline).
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::os::raw::{c_int, c_void};
+
+    const PROT_READ: c_int = 1;
+    const PROT_WRITE: c_int = 2;
+    const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map(file: &File, len: usize, writable: bool) -> io::Result<*mut u8> {
+        let prot = if writable {
+            PROT_READ | PROT_WRITE
+        } else {
+            PROT_READ
+        };
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                prot,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr.cast())
+    }
+
+    pub fn unmap(ptr: *mut u8, len: usize) {
+        unsafe {
+            munmap(ptr.cast(), len);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::fs::File;
+    use std::io;
+
+    pub fn map(_file: &File, _len: usize, _writable: bool) -> io::Result<*mut u8> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "telemetry rings need mmap, which this platform does not provide",
+        ))
+    }
+
+    pub fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+/// An owned `MAP_SHARED` mapping of the ring file.
+#[derive(Debug)]
+struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The region is only ever accessed through atomics (or read-only header
+// fields written before any reader can validate the magic), so handing the
+// pointer to other threads is sound.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    fn map(file: &File, len: usize, writable: bool) -> io::Result<Self> {
+        let ptr = sys::map(file, len, writable)?;
+        Ok(MmapRegion { ptr, len })
+    }
+
+    fn header(&self) -> &Header {
+        // Safety: the mapping is at least HEADER bytes (checked at open) and
+        // page-aligned, which over-satisfies Header's 8-byte alignment.
+        unsafe { &*(self.ptr as *const Header) }
+    }
+
+    fn slot(&self, index: u64) -> &Slot {
+        debug_assert!(((index as usize) + 1) * RECORD_SIZE < self.len);
+        // Safety: index < capacity was enforced by the caller masking, and
+        // the file length covers header + capacity slots (checked at open).
+        unsafe { &*(self.ptr.add(RECORD_SIZE * (1 + index as usize)) as *const Slot) }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            sys::unmap(self.ptr, self.len);
+        }
+    }
+}
+
+fn ring_error(path: &Path, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {what}", path.display()),
+    )
+}
+
+fn file_len_for(capacity: u64) -> usize {
+    RECORD_SIZE * (1 + capacity as usize)
+}
+
+fn validate(region: &MmapRegion, path: &Path, file_len: u64) -> io::Result<u64> {
+    let header = region.header();
+    if header.magic != MAGIC {
+        return Err(ring_error(path, "not a telemetry ring (bad magic)"));
+    }
+    if header.version != FORMAT_VERSION {
+        return Err(ring_error(
+            path,
+            &format!(
+                "ring format v{} but this build reads v{FORMAT_VERSION}",
+                header.version
+            ),
+        ));
+    }
+    if header.record_size as usize != RECORD_SIZE {
+        return Err(ring_error(path, "unexpected record size"));
+    }
+    let capacity = header.capacity;
+    if capacity < MIN_CAPACITY || !capacity.is_power_of_two() {
+        return Err(ring_error(path, "capacity is not a power of two"));
+    }
+    if (file_len as usize) < file_len_for(capacity) {
+        return Err(ring_error(path, "file is shorter than header + slots"));
+    }
+    Ok(capacity)
+}
+
+/// The writing end of a ring: one per file, shared freely between the
+/// writer process's threads (publishing takes `&self`).
+#[derive(Debug)]
+pub struct RingWriter {
+    region: MmapRegion,
+    mask: u64,
+    capacity: u64,
+}
+
+impl RingWriter {
+    /// Create a ring at `path` with at least `capacity` slots (rounded up to
+    /// a power of two, minimum [`MIN_CAPACITY`]).
+    ///
+    /// If `path` already holds a valid ring, the existing ring is adopted
+    /// as-is — capacity and cursor survive, so a writer restarted after a
+    /// crash resumes appending where it stopped and attached tails keep
+    /// their position. A non-empty file that is *not* a ring is refused
+    /// rather than clobbered.
+    pub fn create(path: impl AsRef<Path>, capacity: u64) -> io::Result<Self> {
+        let path = path.as_ref();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let existing_len = file.metadata()?.len();
+        if existing_len >= RECORD_SIZE as u64 {
+            // Adopt (or refuse) whatever is already there.
+            let region = MmapRegion::map(&file, existing_len as usize, true)?;
+            let capacity = validate(&region, path, existing_len)?;
+            return Ok(RingWriter {
+                region,
+                mask: capacity - 1,
+                capacity,
+            });
+        }
+        if existing_len != 0 {
+            return Err(ring_error(path, "not a telemetry ring (truncated header)"));
+        }
+        let capacity = capacity.max(MIN_CAPACITY).next_power_of_two();
+        let total = file_len_for(capacity);
+        file.set_len(total as u64)?; // zero-fills: every slot seq starts at 0
+        let region = MmapRegion::map(&file, total, true)?;
+        // Safety: we own the only mapping this early (readers validate the
+        // magic, which is still zero), and field writes through a raw
+        // pointer do not create overlapping references.
+        unsafe {
+            let h = region.ptr as *mut Header;
+            (*h).version = FORMAT_VERSION;
+            (*h).record_size = RECORD_SIZE as u32;
+            (*h).capacity = capacity;
+            (*h).cursor = AtomicU64::new(0);
+            // Magic last, so a concurrently-opening reader either sees a
+            // complete header or refuses the file.
+            (*h).magic = MAGIC;
+        }
+        Ok(RingWriter {
+            region,
+            mask: capacity - 1,
+            capacity,
+        })
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Sequence number the *next* published record will get.
+    pub fn cursor(&self) -> u64 {
+        self.region.header().cursor.load(Ordering::Acquire)
+    }
+
+    /// Publish one record; returns its sequence number.
+    ///
+    /// Wait-free: one `fetch_add`, nine plain stores, no syscalls.
+    #[inline]
+    pub fn publish(&self, words: &[u64; PAYLOAD_WORDS]) -> u64 {
+        let s = self.region.header().cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = self.region.slot(s & self.mask);
+        slot.seq.store(2 * s + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (dst, &src) in slot.words.iter().zip(words) {
+            dst.store(src, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * s + 2, Ordering::Release);
+        s
+    }
+}
+
+/// The reading end of a ring: a read-only mapping, any number per file.
+#[derive(Debug)]
+pub struct RingReader {
+    region: MmapRegion,
+    mask: u64,
+    capacity: u64,
+}
+
+impl RingReader {
+    /// Map an existing ring read-only and validate its header.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < RECORD_SIZE as u64 {
+            return Err(ring_error(path, "not a telemetry ring (truncated header)"));
+        }
+        let region = MmapRegion::map(&file, len as usize, false)?;
+        let capacity = validate(&region, path, len)?;
+        Ok(RingReader {
+            region,
+            mask: capacity - 1,
+            capacity,
+        })
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Sequence number the next published record will get. Records
+    /// `cursor().saturating_sub(capacity())..cursor()` are (conservatively)
+    /// readable; older ones have been overwritten.
+    pub fn cursor(&self) -> u64 {
+        self.region.header().cursor.load(Ordering::Acquire)
+    }
+
+    /// Oldest sequence number still (conservatively) readable.
+    pub fn oldest(&self) -> u64 {
+        self.cursor().saturating_sub(self.capacity)
+    }
+
+    /// Try to read logical record `seq`. Never blocks and never observes a
+    /// torn record; see the module docs for the protocol.
+    pub fn read(&self, seq: u64) -> ReadOutcome {
+        let slot = self.region.slot(seq & self.mask);
+        let want = 2 * seq + 2;
+        let first = slot.seq.load(Ordering::Acquire);
+        if first < want {
+            return ReadOutcome::NotYetWritten;
+        }
+        if first > want {
+            return ReadOutcome::Lapped {
+                oldest: self.oldest(),
+            };
+        }
+        let mut words = [0u64; PAYLOAD_WORDS];
+        for (dst, src) in words.iter_mut().zip(&slot.words) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != want {
+            return ReadOutcome::Lapped {
+                oldest: self.oldest(),
+            };
+        }
+        ReadOutcome::Record(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_ring(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("netpart-ring-{}-{tag}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_and_cursor() {
+        let path = temp_ring("roundtrip");
+        let writer = RingWriter::create(&path, 64).unwrap();
+        assert_eq!(writer.capacity(), 64);
+        for i in 0..10u64 {
+            let seq = writer.publish(&[i, i * 2, i * 3, 0, 0, 0, i ^ 0xff]);
+            assert_eq!(seq, i);
+        }
+        let reader = RingReader::open(&path).unwrap();
+        assert_eq!(reader.cursor(), 10);
+        for i in 0..10u64 {
+            match reader.read(i) {
+                ReadOutcome::Record(words) => {
+                    assert_eq!(words[0], i);
+                    assert_eq!(words[6], i ^ 0xff);
+                }
+                other => panic!("record {i}: {other:?}"),
+            }
+        }
+        assert_eq!(reader.read(10), ReadOutcome::NotYetWritten);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lap_reports_oldest() {
+        let path = temp_ring("lap");
+        let writer = RingWriter::create(&path, 16).unwrap();
+        let reader = RingReader::open(&path).unwrap();
+        for i in 0..40u64 {
+            writer.publish(&[i; PAYLOAD_WORDS]);
+        }
+        // Record 0 was overwritten (capacity 16, cursor 40).
+        match reader.read(0) {
+            ReadOutcome::Lapped { oldest } => assert_eq!(oldest, 40 - 16),
+            other => panic!("expected lap, got {other:?}"),
+        }
+        // The newest records are intact.
+        match reader.read(39) {
+            ReadOutcome::Record(words) => assert_eq!(words[0], 39),
+            other => panic!("expected record, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let path = temp_ring("roundup");
+        let writer = RingWriter::create(&path, 100).unwrap();
+        assert_eq!(writer.capacity(), 128);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_cursor() {
+        let path = temp_ring("reopen");
+        {
+            let writer = RingWriter::create(&path, 32).unwrap();
+            for i in 0..5u64 {
+                writer.publish(&[i; PAYLOAD_WORDS]);
+            }
+        }
+        let writer = RingWriter::create(&path, 9999).unwrap();
+        assert_eq!(writer.capacity(), 32, "existing ring is adopted as-is");
+        assert_eq!(writer.cursor(), 5);
+        writer.publish(&[77; PAYLOAD_WORDS]);
+        let reader = RingReader::open(&path).unwrap();
+        assert!(matches!(reader.read(4), ReadOutcome::Record(w) if w[0] == 4));
+        assert!(matches!(reader.read(5), ReadOutcome::Record(w) if w[0] == 77));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refuses_non_ring_file() {
+        let path = temp_ring("notaring");
+        std::fs::write(&path, vec![0x41u8; 4096]).unwrap();
+        assert!(RingWriter::create(&path, 64).is_err());
+        assert!(RingReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,217 @@
+//! Property and concurrency tests for the telemetry ring.
+//!
+//! Records are self-describing — record `s` carries `words[i] = s + i` — so
+//! any mix of two records' words (a torn read) is detectable by inspection.
+
+use netpart_telemetry::ring::{ReadOutcome, RingReader, RingWriter, PAYLOAD_WORDS};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn temp_ring(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "netpart-ring-prop-{}-{tag}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn payload_for(seq: u64) -> [u64; PAYLOAD_WORDS] {
+    std::array::from_fn(|i| seq.wrapping_add(i as u64))
+}
+
+fn assert_untorn(seq: u64, words: &[u64; PAYLOAD_WORDS]) {
+    assert_eq!(
+        words,
+        &payload_for(seq),
+        "record {seq} mixes words from different records (torn read)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary single-threaded writer/reader interleavings over a tiny
+    /// ring: the reader never observes a torn record, `NotYetWritten` only
+    /// occurs at (or past) the cursor, and a lapped reader learns the exact
+    /// gap it must skip.
+    #[test]
+    fn interleavings_are_consistent(ops in proptest::collection::vec(any::<bool>(), 1..240)) {
+        const CAPACITY: u64 = 16;
+        let path = temp_ring("interleave");
+        let writer = RingWriter::create(&path, CAPACITY).unwrap();
+        let reader = RingReader::open(&path).unwrap();
+        prop_assert_eq!(reader.capacity(), CAPACITY);
+
+        let mut published = 0u64; // ground truth
+        let mut pos = 0u64; // reader's tail position
+        for &write in &ops {
+            if write {
+                let seq = writer.publish(&payload_for(published));
+                prop_assert_eq!(seq, published);
+                published += 1;
+            } else {
+                match reader.read(pos) {
+                    ReadOutcome::Record(words) => {
+                        assert_untorn(pos, &words);
+                        // Readable implies the slot was not reused yet.
+                        prop_assert!(published - pos <= CAPACITY);
+                        pos += 1;
+                    }
+                    ReadOutcome::NotYetWritten => {
+                        prop_assert!(pos >= published, "record {} exists but read as unwritten", pos);
+                    }
+                    ReadOutcome::Lapped { oldest } => {
+                        prop_assert_eq!(oldest, published - CAPACITY);
+                        prop_assert!(pos < oldest, "lap reported for a live record");
+                        pos = oldest; // resume at the reported gap end
+                    }
+                }
+            }
+        }
+        // Drain: after the writer stops, everything still in the window reads back.
+        if pos < published.saturating_sub(CAPACITY) {
+            pos = published - CAPACITY;
+        }
+        while pos < published {
+            match reader.read(pos) {
+                ReadOutcome::Record(words) => assert_untorn(pos, &words),
+                other => prop_assert!(false, "drain at {}: {:?}", pos, other),
+            }
+            pos += 1;
+        }
+        prop_assert_eq!(reader.read(published), ReadOutcome::NotYetWritten);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Real concurrency: one writer thread races two tailing reader threads.
+/// Readers must only ever see untorn records and correctly-sized laps.
+#[test]
+fn concurrent_tail_never_tears() {
+    const TOTAL: u64 = 40_000;
+    const CAPACITY: u64 = 1024;
+    let path = temp_ring("stress");
+    let writer = RingWriter::create(&path, CAPACITY).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let path = path.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let reader = RingReader::open(&path).unwrap();
+                let mut pos = 0u64;
+                let mut records = 0u64;
+                let mut laps = 0u64;
+                loop {
+                    match reader.read(pos) {
+                        ReadOutcome::Record(words) => {
+                            assert_untorn(pos, &words);
+                            pos += 1;
+                            records += 1;
+                        }
+                        ReadOutcome::Lapped { oldest } => {
+                            assert!(oldest > pos, "lap must move the tail forward");
+                            assert!(oldest <= TOTAL, "gap cannot pass the writer");
+                            pos = oldest;
+                            laps += 1;
+                        }
+                        ReadOutcome::NotYetWritten => {
+                            if done.load(Ordering::Acquire) && pos >= TOTAL {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                (records, laps)
+            })
+        })
+        .collect();
+
+    for seq in 0..TOTAL {
+        writer.publish(&payload_for(seq));
+    }
+    done.store(true, Ordering::Release);
+
+    for handle in readers {
+        let (records, _laps) = handle.join().unwrap();
+        assert!(records > 0, "reader made no progress");
+    }
+    assert_eq!(writer.cursor(), TOTAL);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Several writer threads share one `RingWriter`: every record is published
+/// exactly once and none is torn (the ring is sized so no lap occurs).
+#[test]
+fn multithreaded_writer_publishes_each_record_once() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 1000;
+    const CAPACITY: u64 = 8192; // > THREADS * PER_THREAD: no laps
+    let path = temp_ring("mtwriter");
+    let writer = Arc::new(RingWriter::create(&path, CAPACITY).unwrap());
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let writer = Arc::clone(&writer);
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    writer.publish(&[u64::MAX; PAYLOAD_WORDS]);
+                }
+            });
+        }
+    });
+
+    let reader = RingReader::open(&path).unwrap();
+    assert_eq!(reader.cursor(), THREADS * PER_THREAD);
+    for seq in 0..THREADS * PER_THREAD {
+        match reader.read(seq) {
+            ReadOutcome::Record(words) => assert_eq!(words, [u64::MAX; PAYLOAD_WORDS]),
+            other => panic!("record {seq}: {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Crash consistency: the writer process dies mid-run; a new writer adopts
+/// the ring and an already-attached tail resumes seamlessly across the gap.
+#[test]
+fn reopened_ring_resumes_tail() {
+    let path = temp_ring("crash");
+    {
+        let writer = RingWriter::create(&path, 64).unwrap();
+        for seq in 0..10 {
+            writer.publish(&payload_for(seq));
+        }
+        // Writer dropped without any shutdown handshake — the mmap is the
+        // only persistence, exactly like a crash.
+    }
+
+    // A tail attached before the restart…
+    let reader = RingReader::open(&path).unwrap();
+    for seq in 0..10 {
+        assert!(matches!(reader.read(seq), ReadOutcome::Record(_)));
+    }
+    assert_eq!(reader.read(10), ReadOutcome::NotYetWritten);
+
+    // …keeps working when a new writer adopts the ring (capacity request is
+    // ignored in favor of the file's) and appends.
+    let writer = RingWriter::create(&path, 4096).unwrap();
+    assert_eq!(writer.capacity(), 64);
+    assert_eq!(writer.cursor(), 10);
+    for seq in 10..20 {
+        writer.publish(&payload_for(seq));
+    }
+    for seq in 0..20 {
+        match reader.read(seq) {
+            ReadOutcome::Record(words) => assert_untorn(seq, &words),
+            other => panic!("record {seq} after reopen: {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
