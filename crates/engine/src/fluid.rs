@@ -225,6 +225,7 @@ impl FluidSim {
     /// `sizes` — the single initialization shared by [`FluidSim::new`] and
     /// [`FluidSim::reset_csr`].
     fn rebuild(&mut self) {
+        let _span = self.telemetry.span("csr_build");
         let n_channels = self.capacities.len();
         let n_flows = self.sizes.len();
         assert_eq!(self.path_offsets.len(), n_flows + 1, "one path per flow");
@@ -405,8 +406,27 @@ impl FluidSim {
     }
 
     /// Run every remaining round.
+    ///
+    /// When the telemetry handle records to a ring, the whole loop is
+    /// wrapped in a `fluid_solve` span and the handle is swapped for the
+    /// span's for the duration, so the incremental solver's repair spans
+    /// nest under it.
     pub fn run_to_completion(&mut self) {
+        if !self.telemetry.has_ring() {
+            while self.advance_round().is_some() {}
+            return;
+        }
+        let span = self.telemetry.span("fluid_solve");
+        let outer = std::mem::replace(&mut self.telemetry, span.telemetry().clone());
+        if let Some(inc) = self.incremental.as_mut() {
+            inc.set_telemetry(self.telemetry.clone());
+        }
         while self.advance_round().is_some() {}
+        self.telemetry = outer;
+        if let Some(inc) = self.incremental.as_mut() {
+            inc.set_telemetry(self.telemetry.clone());
+        }
+        drop(span);
     }
 
     /// Consume the simulation and return its outcome.

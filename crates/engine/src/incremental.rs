@@ -473,12 +473,19 @@ impl IncrementalMaxMin {
     fn repair(&mut self) {
         let dirty_channels = self.dirty.len() as u64;
         let fell_back;
-        if self.collect_affected() {
+        // The guards own handle clones, so spanning does not hold a borrow
+        // across the `&mut self` solve calls.
+        let walk_span = self.telemetry.span("dirty_walk");
+        let walk_contained = self.collect_affected();
+        drop(walk_span);
+        if walk_contained {
+            let _span = self.telemetry.span("component_solve");
             self.repair_affected();
             self.repairs += 1;
             self.last_affected = self.affected_flows.len();
             fell_back = false;
         } else {
+            let _span = self.telemetry.span("fallback_solve");
             self.clear_walk_markers();
             self.solve_everything();
             self.full_solves += 1;

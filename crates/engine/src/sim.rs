@@ -9,9 +9,11 @@
 use crate::event::{ComponentId, Event, EventId, EventQueue};
 use netpart_telemetry::{Telemetry, TelemetryEvent};
 
-/// [`Simulation`] emits one [`TelemetryEvent::EngineProgress`] heartbeat
-/// every this many delivered events (a power of two, so the check is a mask).
-pub const PROGRESS_EVERY: u64 = 4096;
+/// Default cadence of the [`TelemetryEvent::EngineProgress`] heartbeat, in
+/// delivered events. Re-exported from the telemetry crate; override per
+/// handle with [`Telemetry::set_progress_every`] before
+/// [`Simulation::set_telemetry`].
+pub const PROGRESS_EVERY: u64 = netpart_telemetry::DEFAULT_PROGRESS_EVERY;
 
 /// An event handler registered with a [`Simulation`].
 ///
@@ -79,6 +81,7 @@ pub struct Simulation<P> {
     clock: f64,
     processed: u64,
     telemetry: Telemetry,
+    progress_mask: u64,
 }
 
 impl<P> Default for Simulation<P> {
@@ -97,13 +100,17 @@ impl<P> Simulation<P> {
             clock: 0.0,
             processed: 0,
             telemetry: Telemetry::disabled(),
+            progress_mask: PROGRESS_EVERY - 1,
         }
     }
 
-    /// Route a periodic [`TelemetryEvent::EngineProgress`] heartbeat (every
-    /// [`PROGRESS_EVERY`] delivered events) through `telemetry`, so a tail
-    /// can watch a long event loop make progress without perturbing it.
+    /// Route a periodic [`TelemetryEvent::EngineProgress`] heartbeat through
+    /// `telemetry`, so a tail can watch a long event loop make progress
+    /// without perturbing it. The cadence is the handle's
+    /// [`Telemetry::progress_every`] (default [`PROGRESS_EVERY`]), sampled
+    /// here — always a power of two, so the per-event check stays a mask.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.progress_mask = telemetry.progress_every() - 1;
         self.telemetry = telemetry;
     }
 
@@ -157,7 +164,7 @@ impl<P> Simulation<P> {
         };
         self.clock = self.clock.max(event.time);
         self.processed += 1;
-        if self.processed & (PROGRESS_EVERY - 1) == 0 {
+        if self.processed & self.progress_mask == 0 {
             self.telemetry.emit(TelemetryEvent::EngineProgress {
                 events_processed: self.processed,
                 sim_time: self.clock,

@@ -402,7 +402,9 @@ pub fn run_advice_observed(
         )));
     }
     let router = spec.routing.build();
+    let generate_span = telemetry.span("generate_cands");
     let (candidates, truncated) = generate_candidates(spec, &fabric)?;
+    drop(generate_span);
     if candidates.is_empty() {
         // E.g. torus_blocks with a volume no cuboid realizes (a large prime):
         // a question that produced no candidates is an error, not an empty
@@ -418,8 +420,9 @@ pub fn run_advice_observed(
         words_per_proc: (spec.nodes - 1) as f64 * spec.gigabytes * 1e9 / 8.0,
         flops_per_proc: 1.0,
     });
+    let score_span = telemetry.span("score_cands");
     let mut scorer = Scorer::with_mode(mode);
-    scorer.fluid.set_telemetry(telemetry.clone());
+    scorer.fluid.set_telemetry(score_span.telemetry().clone());
     let mut scored = Vec::with_capacity(candidates.len());
     for (label, nodes) in candidates {
         // One BFS + sort per candidate, shared by the bound and the
@@ -445,6 +448,7 @@ pub fn run_advice_observed(
             solves,
         });
     }
+    drop(score_span);
     scored.sort_by(|a, b| {
         a.simulated_seconds
             .total_cmp(&b.simulated_seconds)
@@ -489,7 +493,9 @@ pub fn run_allocation_sweep_observed(
         .into_par_iter()
         .map(|idx| {
             let started = std::time::Instant::now();
-            let result = run_advice_observed(&specs[idx], mode, telemetry);
+            let span = telemetry.span("spec");
+            let result = run_advice_observed(&specs[idx], mode, span.telemetry());
+            drop(span);
             telemetry.emit(TelemetryEvent::SweepSpecDone {
                 spec_idx: idx as u64,
                 ok: result.is_ok(),

@@ -223,10 +223,24 @@ fn run_flow_pattern(
     {
         return Err(invalid("flow volumes must be finite and non-negative"));
     }
+    let route_span = telemetry.span("route");
     let paths = route_flows(fabric, router, &flows)?;
+    drop(route_span);
     let sizes: Vec<f64> = flows.iter().map(|f| f.gigabytes).collect();
-    let mut fluid = FluidSim::new(&paths, fabric.capacities(), &sizes);
+    // Build through `empty` + `reset_csr` rather than `FluidSim::new` so the
+    // telemetry handle is attached before the CSR build and the `csr_build`
+    // span fires; the two paths are bit-identical (pinned by the engine's
+    // `reused_simulation_matches_fresh_construction_bit_for_bit`).
+    let mut offsets = Vec::with_capacity(paths.len() + 1);
+    offsets.push(0);
+    let mut data = Vec::with_capacity(paths.iter().map(Vec::len).sum());
+    for path in &paths {
+        data.extend_from_slice(path);
+        offsets.push(data.len());
+    }
+    let mut fluid = FluidSim::empty();
     fluid.set_telemetry(telemetry.clone());
+    fluid.reset_csr(&offsets, &data, fabric.capacities(), &sizes);
     fluid.run_to_completion();
     let outcome = fluid.into_outcome();
     Ok(ScenarioResult {
@@ -448,7 +462,11 @@ pub fn run_sweep_observed(
         .into_par_iter()
         .map(|idx| {
             let started = std::time::Instant::now();
-            let result = run_scenario_observed(&specs[idx], telemetry);
+            // One causal span per spec; the scenario's own phase spans
+            // (route, csr_build, fluid_solve, …) nest under it.
+            let span = telemetry.span("spec");
+            let result = run_scenario_observed(&specs[idx], span.telemetry());
+            drop(span);
             telemetry.emit(TelemetryEvent::SweepSpecDone {
                 spec_idx: idx as u64,
                 ok: result.is_ok(),

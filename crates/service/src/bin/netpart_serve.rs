@@ -4,14 +4,24 @@
 //! netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!               [--solver batch|incremental]
 //!               [--telemetry-ring PATH] [--telemetry-ring-capacity N]
+//!               [--telemetry-progress-every N]
+//!               [--trace-slow-ms N] [--trace-dir DIR]
 //! ```
 //!
 //! Prints one `listening on <addr>` line once the socket is bound, then
 //! serves until a client sends `{"type":"shutdown"}`.
 //!
-//! With `--telemetry-ring`, every request and solver milestone is appended
-//! to a file-backed ring that `telemetry_tail` (from `netpart-telemetry`)
-//! can follow live from another process.
+//! With `--telemetry-ring`, every request and solver milestone — plus the
+//! causal span tree of every request — is appended to a file-backed ring
+//! that `telemetry_tail` / `telemetry_trace` (from `netpart-telemetry`) can
+//! follow or reconstruct from another process.
+//! `--telemetry-progress-every N` tunes the `EngineProgress` heartbeat
+//! cadence (rounded up to a power of two).
+//!
+//! `--trace-slow-ms N` (requires `--telemetry-ring`) arms the slow-request
+//! flight recorder: any request slower than N ms gets its span tree dumped
+//! as Chrome trace JSON into `--trace-dir` (default: the ring path with a
+//! `.traces` extension), rotating through a bounded set of slot files.
 
 use netpart_engine::SolverMode;
 use netpart_service::server::{serve, ServerConfig};
@@ -19,7 +29,8 @@ use netpart_service::server::{serve, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
-         [--solver batch|incremental] [--telemetry-ring PATH] [--telemetry-ring-capacity N]"
+         [--solver batch|incremental] [--telemetry-ring PATH] [--telemetry-ring-capacity N] \
+         [--telemetry-progress-every N] [--trace-slow-ms N] [--trace-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -45,6 +56,15 @@ fn main() {
             }
             "--telemetry-ring-capacity" => {
                 config.telemetry_ring_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--telemetry-progress-every" => {
+                config.telemetry_progress_every = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--trace-slow-ms" => {
+                config.trace_slow_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--trace-dir" => {
+                config.trace_dir = Some(std::path::PathBuf::from(value()));
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -18,10 +18,12 @@ use crate::handlers;
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, Request, Response};
 use netpart_engine::SolverMode;
-use netpart_telemetry::{Telemetry, TelemetryEvent, DEFAULT_RING_CAPACITY};
+use netpart_telemetry::trace::{snapshot, TraceForest};
+use netpart_telemetry::{KindLabel, RingReader, Telemetry, TelemetryEvent, DEFAULT_RING_CAPACITY};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -51,6 +53,19 @@ pub struct ServerConfig {
     /// Record capacity for a freshly created telemetry ring (rounded up to
     /// a power of two; an existing ring file keeps its own capacity).
     pub telemetry_ring_capacity: u64,
+    /// Slow-request flight recorder: any request slower than this many
+    /// milliseconds gets its reconstructed span tree dumped as Chrome trace
+    /// JSON. Requires `telemetry_ring` (the tree is read back from the
+    /// ring). `Some(0)` dumps every request.
+    pub trace_slow_ms: Option<u64>,
+    /// Directory for flight-recorder dumps. Defaults to the ring path with
+    /// a `.traces` extension. The directory is bounded: dumps rotate
+    /// through [`FLIGHT_SLOTS`] slot files.
+    pub trace_dir: Option<PathBuf>,
+    /// Override of the `EngineProgress` heartbeat cadence, in simulation
+    /// events (rounded up to a power of two). `None` keeps the telemetry
+    /// default.
+    pub telemetry_progress_every: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -66,7 +81,49 @@ impl Default for ServerConfig {
             solver: SolverMode::default(),
             telemetry_ring: None,
             telemetry_ring_capacity: DEFAULT_RING_CAPACITY,
+            trace_slow_ms: None,
+            trace_dir: None,
+            telemetry_progress_every: None,
         }
+    }
+}
+
+/// How many rotating dump files the flight recorder keeps.
+pub const FLIGHT_SLOTS: u64 = 32;
+
+/// Slow-request flight recorder: reads the server's own ring back and dumps
+/// the span tree of over-threshold requests.
+///
+/// Costs the hot path nothing — it only runs after a request that was
+/// already slow, and the ring scan is a read-only mmap walk another process
+/// could equally be doing.
+struct FlightRecorder {
+    reader: RingReader,
+    dir: PathBuf,
+    threshold_micros: u64,
+    next: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Dump `trace_id`'s span tree if the request was over threshold.
+    /// Dump-file IO failures are swallowed: observability must never take
+    /// down the request path.
+    fn maybe_dump(&self, trace_id: u64, kind: &str, micros: u64) {
+        if trace_id == 0 || micros < self.threshold_micros {
+            return;
+        }
+        let forest = TraceForest::from_records(&snapshot(&self.reader));
+        let json = forest.chrome_trace_json(u64::from(std::process::id()), Some(trace_id));
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("slow-{}.json", n % FLIGHT_SLOTS));
+        if std::fs::write(&path, json).is_err() {
+            return;
+        }
+        eprintln!(
+            "netpart_serve: slow request kind={kind} micros={micros} \
+             trace_id={trace_id:#x} -> {}",
+            path.display()
+        );
     }
 }
 
@@ -84,6 +141,7 @@ pub struct ServiceState {
     pub solver: SolverMode,
     /// Telemetry sink shared by the request path and every handler.
     pub telemetry: Telemetry,
+    flight: Option<FlightRecorder>,
     stop: AtomicBool,
 }
 
@@ -135,14 +193,31 @@ fn signal_shutdown(state: &ServiceState, addr: SocketAddr) {
     }
 }
 
-/// Serve one request, routing through cache and batcher. Returns the
-/// rendered response line.
-fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<String> {
+/// Serve one request, routing through cache and batcher, and write the
+/// rendered response line (plus `\n`) to `stream`.
+///
+/// The whole function is one `request` span with phase children — `parse`,
+/// `cache_lookup`, `singleflight` (coalesced requests only, retroactive),
+/// `compute`, `respond` (the socket write) — so every `RequestDone` record
+/// (which carries the trace id) is the root of a reconstructable tree.
+/// Metrics and telemetry are emitted even when the write fails; the IO
+/// error is returned afterwards.
+fn respond(
+    state: &ServiceState,
+    local_addr: SocketAddr,
+    line: &str,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
     let started = Instant::now();
+    let root = state.telemetry.span("request");
+    let telemetry = root.telemetry();
     let mut kind = "invalid";
     let mut cache_hit = false;
     let mut coalesced = false;
-    let rendered = match Request::decode(line.trim()) {
+    let parse_span = telemetry.span("parse");
+    let decoded = Request::decode(line.trim());
+    drop(parse_span);
+    let rendered = match decoded {
         Err(e) => {
             state.metrics.count_request(kind);
             Arc::new(Response::error(ErrorCode::BadRequest, e.to_string()).encode())
@@ -176,7 +251,10 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                 // handled above and not cacheable is answered uncached.
                 req if req.cacheable() => {
                     let key = request.cache_key();
-                    match state.cache.get(&key) {
+                    let lookup_span = telemetry.span("cache_lookup");
+                    let cached = state.cache.get(&key);
+                    drop(lookup_span);
+                    match cached {
                         Some(cached) => {
                             cache_hit = true;
                             state.metrics.count_cache_hit(kind);
@@ -184,13 +262,22 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                         }
                         None => {
                             state.metrics.count_cache_miss(kind);
-                            let outcome = state
-                                .batcher
-                                .run(&key, || compute(&request, state.solver, &state.telemetry));
+                            // Whether this call computes (leader) or waits
+                            // (follower) is only known afterwards, so the
+                            // wait span is emitted retroactively from this
+                            // timestamp when the flight was coalesced.
+                            let wait_begin = telemetry.now_micros();
+                            let outcome = state.batcher.run(&key, || {
+                                let span = telemetry.span("compute");
+                                let rendered = compute(&request, state.solver, span.telemetry());
+                                drop(span);
+                                rendered
+                            });
                             if outcome.coalesced {
                                 // The leader already cached this response.
                                 coalesced = true;
                                 state.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                                telemetry.span_retro("singleflight", wait_begin);
                             } else {
                                 state.cache.put(key, Arc::clone(&outcome.response));
                             }
@@ -198,19 +285,37 @@ fn respond(state: &ServiceState, local_addr: SocketAddr, line: &str) -> Arc<Stri
                         }
                     }
                 }
-                _ => Arc::new(compute(&request, state.solver, &state.telemetry)),
+                _ => {
+                    let span = telemetry.span("compute");
+                    let rendered = Arc::new(compute(&request, state.solver, span.telemetry()));
+                    drop(span);
+                    rendered
+                }
             }
         }
     };
+    let respond_span = telemetry.span("respond");
+    let write_result = stream
+        .write_all(rendered.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+    drop(respond_span);
     let nanos = started.elapsed().as_nanos() as u64;
     state.metrics.record_latency_nanos(nanos);
-    state.telemetry.emit(TelemetryEvent::request_done(
-        kind,
-        nanos / 1_000,
+    let micros = nanos / 1_000;
+    let trace_id = root.trace_id();
+    state.telemetry.emit(TelemetryEvent::RequestDone {
+        kind: KindLabel::new(kind),
+        micros,
         cache_hit,
         coalesced,
-    ));
-    rendered
+        trace_id,
+    });
+    drop(root);
+    if let Some(flight) = &state.flight {
+        flight.maybe_dump(trace_id, kind, micros);
+    }
+    write_result
 }
 
 /// Run a handler, converting any panic into a typed internal error so a
@@ -263,10 +368,7 @@ fn serve_connection(
             if line.trim().is_empty() {
                 continue;
             }
-            let response = respond(state, local_addr, line.trim());
-            stream.write_all(response.as_bytes())?;
-            stream.write_all(b"\n")?;
-            stream.flush()?;
+            respond(state, local_addr, line.trim(), &mut stream)?;
         }
         scanned = pending.len();
         if state.stopping() {
@@ -336,6 +438,31 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         Some(path) => Telemetry::to_ring(path, config.telemetry_ring_capacity)?,
         None => Telemetry::counters_only(),
     };
+    if let Some(every) = config.telemetry_progress_every {
+        telemetry.set_progress_every(every);
+    }
+    let flight = match config.trace_slow_ms {
+        None => None,
+        Some(threshold_ms) => {
+            let Some(ring_path) = &config.telemetry_ring else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "trace_slow_ms requires telemetry_ring (the recorder reads the ring back)",
+                ));
+            };
+            let dir = config
+                .trace_dir
+                .clone()
+                .unwrap_or_else(|| ring_path.with_extension("traces"));
+            std::fs::create_dir_all(&dir)?;
+            Some(FlightRecorder {
+                reader: RingReader::open(ring_path)?,
+                dir,
+                threshold_micros: threshold_ms.saturating_mul(1_000),
+                next: AtomicU64::new(0),
+            })
+        }
+    };
     let state = Arc::new(ServiceState {
         cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
         batcher: Batcher::new(),
@@ -343,6 +470,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         workers,
         solver: config.solver,
         telemetry,
+        flight,
         stop: AtomicBool::new(false),
     });
 

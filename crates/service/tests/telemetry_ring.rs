@@ -7,9 +7,11 @@
 use netpart_engine::SolverMode;
 use netpart_service::client::ServiceClient;
 use netpart_service::protocol::{
-    Request, Response, RoutingSpec, ScenarioSpec, TopologySpec, TrafficSpec,
+    AdviceSpec, AllocationSpec, Request, Response, RoutingSpec, ScenarioSpec, TopologySpec,
+    TrafficSpec,
 };
 use netpart_service::server::{serve, ServerConfig};
+use netpart_telemetry::trace::{snapshot, TraceForest};
 use netpart_telemetry::{ReadOutcome, RingReader, TelemetryEvent};
 
 /// Drain every record currently in the ring, decoded.
@@ -139,4 +141,167 @@ fn sweep_over_a_socket_lands_request_and_solver_events_in_the_ring() {
     assert!(solver_repairs > 0, "no SolverRepair records");
 
     let _ = std::fs::remove_file(&ring_path);
+}
+
+fn advice_spec() -> AdviceSpec {
+    AdviceSpec {
+        topology: TopologySpec::Torus(vec![4, 4]),
+        routing: RoutingSpec::ShortestPath,
+        nodes: 8,
+        gigabytes: 0.25,
+        candidates: vec![
+            AllocationSpec::Blocked,
+            AllocationSpec::Greedy,
+            AllocationSpec::Scatter { stride: 5 },
+            AllocationSpec::Random { samples: 2 },
+        ],
+        seed: 7,
+    }
+}
+
+#[test]
+fn advise_fabric_request_reconstructs_to_a_covering_span_tree() {
+    let ring_path =
+        std::env::temp_dir().join(format!("netpart_service_spans_{}.ring", std::process::id()));
+    let _ = std::fs::remove_file(&ring_path);
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        solver: SolverMode::Incremental,
+        telemetry_ring: Some(ring_path.clone()),
+        telemetry_ring_capacity: 1 << 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port with telemetry ring");
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+
+    let response = client
+        .request(&Request::AdviseFabric {
+            spec: advice_spec(),
+        })
+        .unwrap();
+    assert!(
+        matches!(response, Response::FabricAdvice(_)),
+        "{response:?}"
+    );
+    client.shutdown().unwrap();
+    handle.join();
+
+    let reader = RingReader::open(&ring_path).expect("ring file readable");
+    let records = snapshot(&reader);
+    let forest = TraceForest::from_records(&records);
+
+    let request = forest
+        .requests()
+        .iter()
+        .find(|r| {
+            matches!(
+                r.event,
+                TelemetryEvent::RequestDone { kind, trace_id, .. }
+                    if kind.as_str() == "advise_fabric" && trace_id != 0
+            )
+        })
+        .copied()
+        .expect("an advise_fabric RequestDone with a trace id");
+    let TelemetryEvent::RequestDone { trace_id, .. } = request.event else {
+        unreachable!()
+    };
+
+    // The issue's acceptance bar: the reconstructed span tree accounts for
+    // at least 95% of the latency the service itself reported.
+    let coverage = forest.coverage(&request).expect("closed root span");
+    assert!(coverage >= 0.95, "span tree covers {coverage:.3} < 0.95");
+
+    // The root is the request span; the phases hang off it.
+    let roots = forest.trace_roots(trace_id);
+    assert_eq!(roots.len(), 1, "one root span per request, got {roots:?}");
+    let root = forest.span(roots[0]).unwrap();
+    assert_eq!(root.label.as_str(), "request");
+    let mut labels = std::collections::BTreeSet::new();
+    let mut stack = vec![roots[0]];
+    while let Some(id) = stack.pop() {
+        let node = forest.span(id).unwrap();
+        labels.insert(node.label.as_str().to_string());
+        stack.extend(&node.children);
+    }
+    for expected in [
+        "request",
+        "parse",
+        "cache_lookup",
+        "compute",
+        "respond",
+        "generate_cands",
+        "score_cands",
+        "csr_build",
+        "fluid_solve",
+    ] {
+        assert!(
+            labels.contains(expected),
+            "no '{expected}' span in {labels:?}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&ring_path);
+}
+
+#[test]
+fn flight_recorder_dumps_slow_request_traces() {
+    let ring_path = std::env::temp_dir().join(format!(
+        "netpart_service_flight_{}.ring",
+        std::process::id()
+    ));
+    let trace_dir = std::env::temp_dir().join(format!(
+        "netpart_service_flight_{}.traces",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ring_path);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        telemetry_ring: Some(ring_path.clone()),
+        telemetry_ring_capacity: 1 << 14,
+        // Threshold 0: every traced request counts as slow.
+        trace_slow_ms: Some(0),
+        trace_dir: Some(trace_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port with flight recorder");
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+    let response = client
+        .request(&Request::AdviseFabric {
+            spec: advice_spec(),
+        })
+        .unwrap();
+    assert!(
+        matches!(response, Response::FabricAdvice(_)),
+        "{response:?}"
+    );
+    client.shutdown().unwrap();
+    handle.join();
+
+    let dump = trace_dir.join("slow-0.json");
+    let json = std::fs::read_to_string(&dump).expect("flight-recorder dump exists");
+    assert!(
+        json.trim_start().starts_with('['),
+        "not a JSON array: {json}"
+    );
+    assert!(json.contains("\"request\""), "no request span in {json}");
+    assert!(
+        json.contains("\"ph\":\"X\""),
+        "no complete events in {json}"
+    );
+
+    // The recorder must also refuse to arm without a ring to read back.
+    match serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        trace_slow_ms: Some(5),
+        ..ServerConfig::default()
+    }) {
+        Ok(_) => panic!("trace_slow_ms without telemetry_ring must be rejected"),
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+    }
+
+    let _ = std::fs::remove_file(&ring_path);
+    let _ = std::fs::remove_dir_all(&trace_dir);
 }

@@ -1,7 +1,7 @@
 //! Tail a telemetry ring live, like `tail -f` for the event spine.
 //!
 //! ```text
-//! telemetry_tail <ring-file> [--follow] [--since-seq N] [--json]
+//! telemetry_tail <ring-file> [--follow] [--since-seq N] [--json] [--poll-ms N]
 //! ```
 //!
 //! Maps the ring read-only — it never perturbs the writer — and prints one
@@ -11,6 +11,11 @@
 //! records; without it the tail stops at the current cursor. `--json`
 //! switches from human-readable lines to JSON lines.
 //!
+//! While idle under `--follow`, the poll sleep backs off exponentially from
+//! 1 ms to a 10 ms cap and snaps back to 1 ms on the next record — a busy
+//! ring is tailed with ~1 ms latency, a quiet one costs ~100 wakeups/s at
+//! worst. `--poll-ms N` pins a fixed sleep instead.
+//!
 //! When the writer laps the reader, the gap is reported on stderr and the
 //! tail jumps forward to the oldest surviving record.
 
@@ -19,15 +24,23 @@ use std::io::Write;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: telemetry_tail <ring-file> [--follow] [--since-seq N] [--json]");
+    eprintln!(
+        "usage: telemetry_tail <ring-file> [--follow] [--since-seq N] [--json] [--poll-ms N]"
+    );
     std::process::exit(2);
 }
+
+/// Ceiling of the exponential idle backoff under `--follow`.
+const MAX_POLL: Duration = Duration::from_millis(10);
+/// First idle sleep after a record was seen.
+const MIN_POLL: Duration = Duration::from_millis(1);
 
 struct Options {
     path: String,
     follow: bool,
     since_seq: Option<u64>,
     json: bool,
+    poll_ms: Option<u64>,
 }
 
 fn parse_args() -> Options {
@@ -35,6 +48,7 @@ fn parse_args() -> Options {
     let mut follow = false;
     let mut since_seq = None;
     let mut json = false;
+    let mut poll_ms = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +59,13 @@ fn parse_args() -> Options {
                 match value.parse() {
                     Ok(n) => since_seq = Some(n),
                     Err(_) => usage(),
+                }
+            }
+            "--poll-ms" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<u64>() {
+                    Ok(n) if n > 0 => poll_ms = Some(n),
+                    _ => usage(),
                 }
             }
             "--help" | "-h" => usage(),
@@ -58,6 +79,7 @@ fn parse_args() -> Options {
         follow,
         since_seq,
         json,
+        poll_ms,
     }
 }
 
@@ -96,7 +118,27 @@ fn format_human(seq: u64, t_micros: u64, event: &TelemetryEvent) -> String {
             micros,
             cache_hit,
             coalesced,
-        } => format!("{head} kind={kind} micros={micros} cache_hit={cache_hit} coalesced={coalesced}"),
+            trace_id,
+        } => format!(
+            "{head} kind={kind} micros={micros} cache_hit={cache_hit} coalesced={coalesced} trace_id={trace_id:#x}"
+        ),
+        TelemetryEvent::SpanBegin {
+            trace_id,
+            span_id,
+            parent_span_id,
+            label,
+        } => format!(
+            "{head} label={label} trace_id={trace_id:#x} span_id={span_id:#x} parent={parent_span_id:#x}"
+        ),
+        TelemetryEvent::SpanEnd {
+            trace_id,
+            span_id,
+            parent_span_id,
+            label,
+            dur_micros,
+        } => format!(
+            "{head} label={label} trace_id={trace_id:#x} span_id={span_id:#x} parent={parent_span_id:#x} dur_micros={dur_micros}"
+        ),
     }
 }
 
@@ -133,8 +175,26 @@ fn format_json(seq: u64, t_micros: u64, event: &TelemetryEvent) -> String {
             micros,
             cache_hit,
             coalesced,
+            trace_id,
         } => format!(
-            "{head},\"kind\":\"{kind}\",\"micros\":{micros},\"cache_hit\":{cache_hit},\"coalesced\":{coalesced}}}"
+            "{head},\"kind\":\"{kind}\",\"micros\":{micros},\"cache_hit\":{cache_hit},\"coalesced\":{coalesced},\"trace_id\":{trace_id}}}"
+        ),
+        TelemetryEvent::SpanBegin {
+            trace_id,
+            span_id,
+            parent_span_id,
+            label,
+        } => format!(
+            "{head},\"label\":\"{label}\",\"trace_id\":{trace_id},\"span_id\":{span_id},\"parent_span_id\":{parent_span_id}}}"
+        ),
+        TelemetryEvent::SpanEnd {
+            trace_id,
+            span_id,
+            parent_span_id,
+            label,
+            dur_micros,
+        } => format!(
+            "{head},\"label\":\"{label}\",\"trace_id\":{trace_id},\"span_id\":{span_id},\"parent_span_id\":{parent_span_id},\"dur_micros\":{dur_micros}}}"
         ),
     }
 }
@@ -150,11 +210,14 @@ fn main() {
     };
 
     let mut seq = options.since_seq.unwrap_or(0).max(reader.oldest());
+    let fixed_poll = options.poll_ms.map(Duration::from_millis);
+    let mut poll = fixed_poll.unwrap_or(MIN_POLL);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     loop {
         match reader.read(seq) {
             ReadOutcome::Record(words) => {
+                poll = fixed_poll.unwrap_or(MIN_POLL); // ring is live again
                 match TelemetryEvent::decode(&words) {
                     Some((t_micros, event)) => {
                         let line = if options.json {
@@ -182,7 +245,10 @@ fn main() {
                     break;
                 }
                 let _ = out.flush();
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(poll);
+                if fixed_poll.is_none() {
+                    poll = (poll * 2).min(MAX_POLL);
+                }
             }
         }
     }

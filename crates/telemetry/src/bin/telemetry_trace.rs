@@ -1,0 +1,221 @@
+//! Reconstruct span trees from a telemetry ring and export/profile them.
+//!
+//! ```text
+//! telemetry_trace <ring-file> [--chrome PATH] [--profile] [--trace-id ID]
+//!                 [--request KIND] [--min-coverage PCT]
+//! ```
+//!
+//! Takes one snapshot of the ring (read-only; tolerant of laps and torn
+//! reads), reconstructs every span tree still visible, and then:
+//!
+//! - `--chrome PATH` writes Chrome/Perfetto trace-event JSON (`-` = stdout),
+//!   loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! - `--profile` prints a per-phase self-vs-total time table.
+//! - With neither flag, prints a summary of traces and requests found.
+//!
+//! The trace under inspection defaults to the **latest** request in the ring
+//! that carries a trace id; `--request KIND` restricts that choice to
+//! requests of one wire kind, and `--trace-id ID` (decimal or 0x-hex) pins a
+//! trace directly. `--min-coverage PCT` turns the run into a check: exit 1
+//! unless the selected request's span tree is complete (a closed root) and
+//! covers at least PCT percent of the request's reported latency — the CI
+//! smoke job uses this to prove a live server produces whole trees.
+
+use netpart_telemetry::trace::{snapshot, ProfileLine, TraceForest, TraceRecord};
+use netpart_telemetry::{RingReader, TelemetryEvent};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry_trace <ring-file> [--chrome PATH] [--profile] \
+         [--trace-id ID] [--request KIND] [--min-coverage PCT]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    path: String,
+    chrome: Option<String>,
+    profile: bool,
+    trace_id: Option<u64>,
+    request_kind: Option<String>,
+    min_coverage: Option<f64>,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        path: String::new(),
+        chrome: None,
+        profile: false,
+        trace_id: None,
+        request_kind: None,
+        min_coverage: None,
+    };
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chrome" => options.chrome = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => options.profile = true,
+            "--trace-id" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                options.trace_id = Some(parse_u64(&value).unwrap_or_else(|| usage()));
+            }
+            "--request" => options.request_kind = Some(args.next().unwrap_or_else(|| usage())),
+            "--min-coverage" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<f64>() {
+                    Ok(pct) if (0.0..=100.0).contains(&pct) => options.min_coverage = Some(pct),
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    options.path = path;
+    options
+}
+
+/// The request anchoring the trace under inspection: the latest one matching
+/// the kind filter that carries a trace id (later requests are more likely
+/// to have both endpoints of every span still in the ring).
+fn select_request<'a>(forest: &'a TraceForest, options: &Options) -> Option<&'a TraceRecord> {
+    forest.requests().iter().rev().find(|record| {
+        let TelemetryEvent::RequestDone { kind, trace_id, .. } = record.event else {
+            return false;
+        };
+        if trace_id == 0 {
+            return false;
+        }
+        if let Some(want) = &options.trace_id {
+            return trace_id == *want;
+        }
+        options
+            .request_kind
+            .as_deref()
+            .is_none_or(|want| kind.as_str() == want)
+    })
+}
+
+fn print_profile(out: &mut impl Write, lines: &[ProfileLine]) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{:<18} {:>7} {:>14} {:>14} {:>6}",
+        "phase", "count", "self(ms)", "total(ms)", "self%"
+    )?;
+    let grand_self: u64 = lines.iter().map(|l| l.self_micros).sum();
+    for line in lines {
+        let pct = if grand_self == 0 {
+            0.0
+        } else {
+            100.0 * line.self_micros as f64 / grand_self as f64
+        };
+        writeln!(
+            out,
+            "{:<18} {:>7} {:>14.3} {:>14.3} {:>5.1}%",
+            line.label.as_str(),
+            line.count,
+            line.self_micros as f64 / 1_000.0,
+            line.total_micros as f64 / 1_000.0,
+            pct
+        )?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let options = parse_args();
+    let reader = match RingReader::open(&options.path) {
+        Ok(reader) => reader,
+        Err(err) => {
+            eprintln!("telemetry_trace: {err}");
+            std::process::exit(1);
+        }
+    };
+    let records = snapshot(&reader);
+    let forest = TraceForest::from_records(&records);
+
+    let selected = select_request(&forest, &options);
+    let focus_trace = options.trace_id.or_else(|| {
+        selected.map(|record| {
+            let TelemetryEvent::RequestDone { trace_id, .. } = record.event else {
+                unreachable!("select_request only returns RequestDone records");
+            };
+            trace_id
+        })
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    if let Some(chrome) = &options.chrome {
+        let json = forest.chrome_trace_json(std::process::id().into(), focus_trace);
+        let result = if chrome == "-" {
+            out.write_all(json.as_bytes())
+        } else {
+            std::fs::write(chrome, &json)
+        };
+        if let Err(err) = result {
+            eprintln!("telemetry_trace: writing {chrome}: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if options.profile || (options.chrome.is_none() && options.min_coverage.is_none()) {
+        let _ = writeln!(
+            out,
+            "{} records, {} spans, {} requests{}",
+            records.len(),
+            forest.len(),
+            forest.requests().len(),
+            focus_trace.map_or(String::new(), |t| format!(", focused on trace {t:#x}")),
+        );
+        if let (Some(record), Some(coverage)) =
+            (selected, selected.and_then(|r| forest.coverage(r)))
+        {
+            if let TelemetryEvent::RequestDone { kind, micros, .. } = record.event {
+                let _ = writeln!(
+                    out,
+                    "request kind={kind} micros={micros} span-tree coverage={:.1}%",
+                    coverage * 100.0
+                );
+            }
+        }
+        let _ = print_profile(&mut out, &forest.profile(focus_trace));
+    }
+
+    if let Some(min_pct) = options.min_coverage {
+        let Some(record) = selected else {
+            eprintln!("telemetry_trace: no request with a trace id matched the filter");
+            std::process::exit(1);
+        };
+        let Some(coverage) = forest.coverage(record) else {
+            eprintln!("telemetry_trace: selected request has no closed root span");
+            std::process::exit(1);
+        };
+        if coverage * 100.0 < min_pct {
+            eprintln!(
+                "telemetry_trace: coverage {:.1}% below required {min_pct}%",
+                coverage * 100.0
+            );
+            std::process::exit(1);
+        }
+        let _ = writeln!(
+            out,
+            "coverage check passed: {:.1}% >= {min_pct}%",
+            coverage * 100.0
+        );
+    }
+    let _ = out.flush();
+}

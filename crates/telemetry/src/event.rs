@@ -24,6 +24,10 @@ pub const KIND_ENGINE_PROGRESS: u32 = 3;
 pub const KIND_SWEEP_SPEC_DONE: u32 = 4;
 /// Kind code for [`TelemetryEvent::RequestDone`].
 pub const KIND_REQUEST_DONE: u32 = 5;
+/// Kind code for [`TelemetryEvent::SpanBegin`].
+pub const KIND_SPAN_BEGIN: u32 = 6;
+/// Kind code for [`TelemetryEvent::SpanEnd`].
+pub const KIND_SPAN_END: u32 = 7;
 
 /// A request-kind label stored inline as 16 NUL-padded bytes, so
 /// `RequestDone` needs no allocation and no string table.
@@ -133,17 +137,51 @@ pub enum TelemetryEvent {
         /// Whether the request was coalesced onto another in-flight
         /// computation of the same key (single-flight).
         coalesced: bool,
+        /// Trace id of the request's span tree (0 when no ring was
+        /// attached, or for records written by a pre-tracing build).
+        trace_id: u64,
+    },
+    /// A causal span opened (the write side of `Telemetry::span`). Its
+    /// `t_micros` is the span's begin time.
+    SpanBegin {
+        /// Trace the span belongs to; the root span's id doubles as the
+        /// trace id.
+        trace_id: u64,
+        /// This span's id, unique within the writer process.
+        span_id: u64,
+        /// Enclosing span's id; 0 for a trace root.
+        parent_span_id: u64,
+        /// Phase label (`request`, `compute`, `fluid_solve`, …).
+        label: KindLabel,
+    },
+    /// A causal span closed. Its `t_micros` is the span's end time; the
+    /// record repeats the identity fields of its `SpanBegin` so a tree can
+    /// still be reconstructed when the begin record was lapped.
+    SpanEnd {
+        /// Trace the span belongs to.
+        trace_id: u64,
+        /// This span's id.
+        span_id: u64,
+        /// Enclosing span's id; 0 for a trace root.
+        parent_span_id: u64,
+        /// Phase label, repeated from the begin record.
+        label: KindLabel,
+        /// Span duration in microseconds, saturated to 32 bits (~71
+        /// minutes) — the fallback when the matching begin was lapped.
+        dur_micros: u32,
     },
 }
 
 impl TelemetryEvent {
-    /// Convenience constructor for [`TelemetryEvent::RequestDone`].
+    /// Convenience constructor for [`TelemetryEvent::RequestDone`] with no
+    /// associated trace (trace id 0).
     pub fn request_done(kind: &str, micros: u64, cache_hit: bool, coalesced: bool) -> Self {
         TelemetryEvent::RequestDone {
             kind: KindLabel::new(kind),
             micros,
             cache_hit,
             coalesced,
+            trace_id: 0,
         }
     }
 
@@ -155,6 +193,8 @@ impl TelemetryEvent {
             TelemetryEvent::EngineProgress { .. } => KIND_ENGINE_PROGRESS,
             TelemetryEvent::SweepSpecDone { .. } => KIND_SWEEP_SPEC_DONE,
             TelemetryEvent::RequestDone { .. } => KIND_REQUEST_DONE,
+            TelemetryEvent::SpanBegin { .. } => KIND_SPAN_BEGIN,
+            TelemetryEvent::SpanEnd { .. } => KIND_SPAN_END,
         }
     }
 
@@ -166,6 +206,8 @@ impl TelemetryEvent {
             TelemetryEvent::EngineProgress { .. } => "EngineProgress",
             TelemetryEvent::SweepSpecDone { .. } => "SweepSpecDone",
             TelemetryEvent::RequestDone { .. } => "RequestDone",
+            TelemetryEvent::SpanBegin { .. } => "SpanBegin",
+            TelemetryEvent::SpanEnd { .. } => "SpanEnd",
         }
     }
 
@@ -215,6 +257,7 @@ impl TelemetryEvent {
                 micros,
                 cache_hit,
                 coalesced,
+                trace_id,
             } => {
                 flags |= cache_hit as u32;
                 flags |= (coalesced as u32) << 1;
@@ -222,6 +265,35 @@ impl TelemetryEvent {
                 body[0] = label[0];
                 body[1] = label[1];
                 body[2] = micros;
+                body[3] = trace_id;
+            }
+            TelemetryEvent::SpanBegin {
+                trace_id,
+                span_id,
+                parent_span_id,
+                label,
+            } => {
+                body[0] = trace_id;
+                body[1] = span_id;
+                body[2] = parent_span_id;
+                let words = label.to_words();
+                body[3] = words[0];
+                body[4] = words[1];
+            }
+            TelemetryEvent::SpanEnd {
+                trace_id,
+                span_id,
+                parent_span_id,
+                label,
+                dur_micros,
+            } => {
+                flags = dur_micros;
+                body[0] = trace_id;
+                body[1] = span_id;
+                body[2] = parent_span_id;
+                let words = label.to_words();
+                body[3] = words[0];
+                body[4] = words[1];
             }
         }
         let mut words = [0u64; PAYLOAD_WORDS];
@@ -264,6 +336,20 @@ impl TelemetryEvent {
                 micros: body[2],
                 cache_hit: flags & 1 != 0,
                 coalesced: flags & 2 != 0,
+                trace_id: body[3],
+            },
+            KIND_SPAN_BEGIN => TelemetryEvent::SpanBegin {
+                trace_id: body[0],
+                span_id: body[1],
+                parent_span_id: body[2],
+                label: KindLabel::from_words([body[3], body[4]]),
+            },
+            KIND_SPAN_END => TelemetryEvent::SpanEnd {
+                trace_id: body[0],
+                span_id: body[1],
+                parent_span_id: body[2],
+                label: KindLabel::from_words([body[3], body[4]]),
+                dur_micros: flags,
             },
             _ => return None,
         };
@@ -317,6 +403,39 @@ mod tests {
             true,
         ));
         roundtrip(TelemetryEvent::request_done("sweep", 1, false, false));
+        roundtrip(TelemetryEvent::RequestDone {
+            kind: KindLabel::new("advise_fabric"),
+            micros: 400_000,
+            cache_hit: false,
+            coalesced: false,
+            trace_id: 0x1234_5678_9abc_def0,
+        });
+        roundtrip(TelemetryEvent::SpanBegin {
+            trace_id: 42,
+            span_id: 42,
+            parent_span_id: 0,
+            label: KindLabel::new("request"),
+        });
+        roundtrip(TelemetryEvent::SpanEnd {
+            trace_id: 42,
+            span_id: 43,
+            parent_span_id: 42,
+            label: KindLabel::new("compute"),
+            dur_micros: u32::MAX,
+        });
+    }
+
+    #[test]
+    fn pre_tracing_request_done_decodes_with_zero_trace_id() {
+        // A ring written by a build that predates span tracing leaves
+        // body[3] zeroed; the decode must surface trace_id 0, not garbage.
+        let mut words = TelemetryEvent::request_done("sweep", 9, true, false).encode(7);
+        words[5] = 0;
+        let (_, event) = TelemetryEvent::decode(&words).expect("known kind");
+        match event {
+            TelemetryEvent::RequestDone { trace_id, .. } => assert_eq!(trace_id, 0),
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! Span-tree reconstruction and trace export — the read side of the span
+//! layer `Telemetry::span` writes.
+//!
+//! The ring is a lossy transport: the writer laps slow readers, a reader can
+//! start mid-trace, and a crash can leave `SpanBegin`s without `SpanEnd`s.
+//! Reconstruction therefore never assumes completeness; the rules are:
+//!
+//! - Spans are keyed by `span_id`. A `SpanBegin` contributes the begin time;
+//!   a `SpanEnd` contributes the end time, and — because it repeats the
+//!   trace/parent/label identity and carries a saturated duration — an
+//!   orphaned end still yields a usable span with `begin = end − dur`.
+//! - A span is attached under its parent only when the parent was itself
+//!   observed; otherwise it becomes a root of a partial tree. Self-parent
+//!   and duplicate records are tolerated (last write wins per field).
+//! - `RequestDone` records carry the `trace_id` of their span tree, linking
+//!   the service's latency metric to the tree that explains it.
+//!
+//! The export format is the Chrome trace-event JSON array-of-`"X"`-events
+//! form, loadable in `chrome://tracing` and Perfetto. The writer is
+//! hand-rolled: this crate is deliberately std-only and the format is flat
+//! enough that escaping labels is the only subtlety.
+
+use crate::event::{KindLabel, TelemetryEvent};
+use crate::ring::{ReadOutcome, RingReader};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One decoded record captured from a ring, with its sequence number and
+/// writer-relative timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Ring sequence number of the record.
+    pub seq: u64,
+    /// Microseconds since the writing handle's epoch.
+    pub t_micros: u64,
+    /// The decoded event.
+    pub event: TelemetryEvent,
+}
+
+/// Snapshot every decodable record still in the ring, oldest first.
+///
+/// Laps that happen *during* the scan are chased (the scan jumps forward to
+/// the surviving oldest record); unknown kinds and torn slots are skipped.
+/// The snapshot ends at the writer's cursor at the moment the scan catches
+/// up — records published after that are left for the next snapshot.
+pub fn snapshot(reader: &RingReader) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    let mut seq = reader.oldest();
+    loop {
+        match reader.read(seq) {
+            ReadOutcome::Record(words) => {
+                if let Some((t_micros, event)) = TelemetryEvent::decode(&words) {
+                    records.push(TraceRecord {
+                        seq,
+                        t_micros,
+                        event,
+                    });
+                }
+                seq += 1;
+            }
+            ReadOutcome::Lapped { oldest } => {
+                // Everything collected below `oldest` may describe spans
+                // whose partners are gone; keep them — partial trees are
+                // the point — and resume at the surviving edge.
+                seq = oldest.max(seq + 1);
+            }
+            ReadOutcome::NotYetWritten => break,
+        }
+    }
+    records
+}
+
+/// One reconstructed span. Either endpoint may be missing when the matching
+/// record was lapped; `end_micros` is always present for spans whose
+/// `SpanEnd` was seen (the end record is self-sufficient).
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// The span's id.
+    pub span_id: u64,
+    /// Parent span id as recorded (0 for a true root). The parent may not
+    /// have been observed; see [`TraceForest::roots`].
+    pub parent_span_id: u64,
+    /// Phase label.
+    pub label: KindLabel,
+    /// Begin time, from `SpanBegin` or inferred as `end − dur`. `None` only
+    /// when the begin was lapped *and* the end's duration was saturated
+    /// away (never in practice for sub-71-minute spans).
+    pub begin_micros: Option<u64>,
+    /// End time from `SpanEnd`; `None` while the span is still open or when
+    /// the end was lapped.
+    pub end_micros: Option<u64>,
+    /// Child span ids, ordered by begin time (unknown begins last).
+    pub children: Vec<u64>,
+}
+
+impl SpanNode {
+    /// Duration when both endpoints are known.
+    pub fn duration_micros(&self) -> Option<u64> {
+        let (begin, end) = (self.begin_micros?, self.end_micros?);
+        Some(end.saturating_sub(begin))
+    }
+
+    fn sort_key(&self) -> (u64, u64) {
+        (self.begin_micros.unwrap_or(u64::MAX), self.span_id)
+    }
+}
+
+/// All span trees reconstructed from one ring snapshot, plus the
+/// `RequestDone` records that anchor them to request latencies.
+#[derive(Debug, Default)]
+pub struct TraceForest {
+    spans: HashMap<u64, SpanNode>,
+    roots: Vec<u64>,
+    requests: Vec<TraceRecord>,
+}
+
+impl TraceForest {
+    /// Build the forest from snapshot records. Tolerates any interleaving:
+    /// orphaned ends, missing ends, duplicate ids, self-parent loops.
+    pub fn from_records(records: &[TraceRecord]) -> Self {
+        let mut spans: HashMap<u64, SpanNode> = HashMap::new();
+        let mut requests = Vec::new();
+        for record in records {
+            match record.event {
+                TelemetryEvent::SpanBegin {
+                    trace_id,
+                    span_id,
+                    parent_span_id,
+                    label,
+                } => {
+                    if span_id == 0 {
+                        continue; // 0 is the reserved "none" id
+                    }
+                    let node = spans.entry(span_id).or_insert_with(|| SpanNode {
+                        trace_id,
+                        span_id,
+                        parent_span_id,
+                        label,
+                        begin_micros: None,
+                        end_micros: None,
+                        children: Vec::new(),
+                    });
+                    node.begin_micros = Some(record.t_micros);
+                    node.label = label;
+                }
+                TelemetryEvent::SpanEnd {
+                    trace_id,
+                    span_id,
+                    parent_span_id,
+                    label,
+                    dur_micros,
+                } => {
+                    if span_id == 0 {
+                        continue;
+                    }
+                    let node = spans.entry(span_id).or_insert_with(|| SpanNode {
+                        trace_id,
+                        span_id,
+                        parent_span_id,
+                        label,
+                        begin_micros: None,
+                        end_micros: None,
+                        children: Vec::new(),
+                    });
+                    node.end_micros = Some(record.t_micros);
+                    node.label = label;
+                    if node.begin_micros.is_none() {
+                        // Orphaned end: the begin was lapped, but the end
+                        // carries enough to place the span.
+                        node.begin_micros =
+                            Some(record.t_micros.saturating_sub(u64::from(dur_micros)));
+                    }
+                }
+                TelemetryEvent::RequestDone { .. } => requests.push(*record),
+                _ => {}
+            }
+        }
+
+        // Link children under observed parents; everything else is a root.
+        let ids: Vec<u64> = spans.keys().copied().collect();
+        let mut roots = Vec::new();
+        for id in ids {
+            let parent = spans[&id].parent_span_id;
+            if parent != 0 && parent != id && spans.contains_key(&parent) {
+                spans.get_mut(&parent).unwrap().children.push(id);
+            } else {
+                roots.push(id);
+            }
+        }
+        let mut forest = TraceForest {
+            spans,
+            roots,
+            requests,
+        };
+        forest.sort_sibling_lists();
+        forest
+    }
+
+    fn sort_sibling_lists(&mut self) {
+        let keys: HashMap<u64, (u64, u64)> = self
+            .spans
+            .iter()
+            .map(|(&id, n)| (id, n.sort_key()))
+            .collect();
+        for node in self.spans.values_mut() {
+            node.children.sort_by_key(|id| keys[id]);
+        }
+        self.roots.sort_by_key(|id| keys[id]);
+    }
+
+    /// Look up a span by id.
+    pub fn span(&self, span_id: u64) -> Option<&SpanNode> {
+        self.spans.get(&span_id)
+    }
+
+    /// Ids of spans with no observed parent, ordered by begin time. Includes
+    /// both true trace roots and orphans whose ancestry was lapped.
+    pub fn roots(&self) -> &[u64] {
+        &self.roots
+    }
+
+    /// Number of reconstructed spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans were reconstructed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `RequestDone` records seen in the snapshot, in ring order.
+    pub fn requests(&self) -> &[TraceRecord] {
+        &self.requests
+    }
+
+    /// Root span ids belonging to `trace_id`, ordered by begin time.
+    pub fn trace_roots(&self, trace_id: u64) -> Vec<u64> {
+        self.roots
+            .iter()
+            .copied()
+            .filter(|id| self.spans[id].trace_id == trace_id)
+            .collect()
+    }
+
+    /// Fraction (0–1) of a request's reported latency covered by the root
+    /// span of its trace. `None` when the trace has no closed root span or
+    /// the request reports zero latency.
+    pub fn coverage(&self, request: &TraceRecord) -> Option<f64> {
+        let TelemetryEvent::RequestDone {
+            micros, trace_id, ..
+        } = request.event
+        else {
+            return None;
+        };
+        if micros == 0 || trace_id == 0 {
+            return None;
+        }
+        let covered: u64 = self
+            .trace_roots(trace_id)
+            .iter()
+            .filter_map(|id| self.spans[id].duration_micros())
+            .sum();
+        Some(covered as f64 / micros as f64)
+    }
+
+    /// Export as a Chrome trace-event JSON array of complete (`"X"`) events.
+    /// Spans missing either endpoint are emitted with a zero duration at the
+    /// endpoint that *was* observed, so partial traces still render.
+    /// `pid` groups the events in the viewer; `trace_id` (when `Some`)
+    /// restricts the export to one trace.
+    pub fn chrome_trace_json(&self, pid: u64, trace_id: Option<u64>) -> String {
+        let mut out = String::from("[");
+        let mut ordered: Vec<&SpanNode> = self
+            .spans
+            .values()
+            .filter(|n| trace_id.is_none_or(|t| n.trace_id == t))
+            .collect();
+        ordered.sort_by_key(|n| n.sort_key());
+        let mut first = true;
+        for node in ordered {
+            let ts = node.begin_micros.or(node.end_micros).unwrap_or(0);
+            let dur = node.duration_micros().unwrap_or(0);
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  {\"name\":\"");
+            escape_json_into(&mut out, node.label.as_str());
+            let _ = write!(
+                out,
+                "\",\"cat\":\"netpart\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+                 \"pid\":{pid},\"tid\":{},\"args\":{{\"trace_id\":\"{:#x}\",\
+                 \"span_id\":\"{:#x}\",\"parent_span_id\":\"{:#x}\",\
+                 \"partial\":{}}}}}",
+                node.trace_id, // one thread lane per trace
+                node.trace_id,
+                node.span_id,
+                node.parent_span_id,
+                node.begin_micros.is_none() || node.end_micros.is_none(),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Per-label profile over one trace (or every span when `trace_id` is
+    /// `None`): total time (span durations summed) and self time (total
+    /// minus observed children), in microseconds, with span counts. Sorted
+    /// by descending self time.
+    pub fn profile(&self, trace_id: Option<u64>) -> Vec<ProfileLine> {
+        let mut by_label: HashMap<&str, ProfileLine> = HashMap::new();
+        for node in self.spans.values() {
+            if trace_id.is_some_and(|t| node.trace_id != t) {
+                continue;
+            }
+            let Some(total) = node.duration_micros() else {
+                continue;
+            };
+            let children: u64 = node
+                .children
+                .iter()
+                .filter_map(|id| self.spans[id].duration_micros())
+                .sum();
+            let line = by_label
+                .entry(node.label.as_str())
+                .or_insert_with(|| ProfileLine {
+                    label: node.label,
+                    count: 0,
+                    total_micros: 0,
+                    self_micros: 0,
+                });
+            line.count += 1;
+            line.total_micros += total;
+            line.self_micros += total.saturating_sub(children);
+        }
+        let mut lines: Vec<ProfileLine> = by_label.into_values().collect();
+        lines.sort_by(|a, b| {
+            b.self_micros
+                .cmp(&a.self_micros)
+                .then_with(|| a.label.as_str().cmp(b.label.as_str()))
+        });
+        lines
+    }
+}
+
+/// One row of [`TraceForest::profile`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileLine {
+    /// Phase label the row aggregates.
+    pub label: KindLabel,
+    /// Closed spans with this label.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_micros: u64,
+    /// Total minus time attributed to observed children, microseconds.
+    pub self_micros: u64,
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(seq: u64, t: u64, trace: u64, span: u64, parent: u64, label: &str) -> TraceRecord {
+        TraceRecord {
+            seq,
+            t_micros: t,
+            event: TelemetryEvent::SpanBegin {
+                trace_id: trace,
+                span_id: span,
+                parent_span_id: parent,
+                label: KindLabel::new(label),
+            },
+        }
+    }
+
+    fn end(
+        seq: u64,
+        t: u64,
+        trace: u64,
+        span: u64,
+        parent: u64,
+        label: &str,
+        dur: u32,
+    ) -> TraceRecord {
+        TraceRecord {
+            seq,
+            t_micros: t,
+            event: TelemetryEvent::SpanEnd {
+                trace_id: trace,
+                span_id: span,
+                parent_span_id: parent,
+                label: KindLabel::new(label),
+                dur_micros: dur,
+            },
+        }
+    }
+
+    #[test]
+    fn reconstructs_a_complete_tree() {
+        let records = vec![
+            begin(0, 100, 7, 7, 0, "request"),
+            begin(1, 110, 7, 8, 7, "compute"),
+            end(2, 190, 7, 8, 7, "compute", 80),
+            end(3, 200, 7, 7, 0, "request", 100),
+            TraceRecord {
+                seq: 4,
+                t_micros: 200,
+                event: TelemetryEvent::RequestDone {
+                    kind: KindLabel::new("sweep"),
+                    micros: 104,
+                    cache_hit: false,
+                    coalesced: false,
+                    trace_id: 7,
+                },
+            },
+        ];
+        let forest = TraceForest::from_records(&records);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest.roots(), &[7]);
+        let root = forest.span(7).unwrap();
+        assert_eq!(root.children, vec![8]);
+        assert_eq!(root.duration_micros(), Some(100));
+        assert_eq!(forest.span(8).unwrap().duration_micros(), Some(80));
+        let coverage = forest.coverage(&forest.requests()[0]).unwrap();
+        assert!((coverage - 100.0 / 104.0).abs() < 1e-9);
+
+        let profile = forest.profile(Some(7));
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile[0].label.as_str(), "compute"); // 80 self > 20 self
+        assert_eq!(profile[0].self_micros, 80);
+        assert_eq!(profile[1].label.as_str(), "request");
+        assert_eq!(profile[1].self_micros, 20);
+        assert_eq!(profile[1].total_micros, 100);
+    }
+
+    #[test]
+    fn orphaned_end_yields_a_placed_span() {
+        // Begin was lapped; only the end survives.
+        let records = vec![end(9, 500, 3, 4, 3, "fluid_solve", 120)];
+        let forest = TraceForest::from_records(&records);
+        let node = forest.span(4).unwrap();
+        assert_eq!(node.begin_micros, Some(380));
+        assert_eq!(node.end_micros, Some(500));
+        assert_eq!(node.duration_micros(), Some(120));
+        // Parent 3 was never observed → the span is a (partial-tree) root.
+        assert_eq!(forest.roots(), &[4]);
+    }
+
+    #[test]
+    fn missing_end_leaves_span_open_and_out_of_profile() {
+        let records = vec![
+            begin(0, 10, 1, 1, 0, "request"),
+            begin(1, 20, 1, 2, 1, "compute"),
+            end(2, 90, 1, 1, 0, "request", 80),
+        ];
+        let forest = TraceForest::from_records(&records);
+        assert_eq!(forest.span(2).unwrap().end_micros, None);
+        assert_eq!(forest.span(2).unwrap().duration_micros(), None);
+        let profile = forest.profile(None);
+        assert_eq!(profile.len(), 1, "open spans contribute no time");
+        // The open child still appears in the tree and the export.
+        assert_eq!(forest.span(1).unwrap().children, vec![2]);
+        let json = forest.chrome_trace_json(1, Some(1));
+        assert!(json.contains("\"partial\":true"));
+    }
+
+    #[test]
+    fn self_parent_and_duplicate_records_do_not_loop() {
+        let records = vec![
+            begin(0, 10, 5, 5, 5, "weird"), // self-parent
+            begin(1, 11, 5, 5, 5, "weird"), // duplicate id
+            end(2, 20, 5, 5, 5, "weird", 9),
+        ];
+        let forest = TraceForest::from_records(&records);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest.roots(), &[5]);
+        assert!(forest.span(5).unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_escapes_and_orders() {
+        let records = vec![
+            begin(0, 30, 2, 3, 2, "b\"phase\\x"),
+            end(1, 40, 2, 3, 2, "b\"phase\\x", 10),
+            begin(2, 10, 2, 2, 0, "request"),
+            end(3, 50, 2, 2, 0, "request", 40),
+        ];
+        let forest = TraceForest::from_records(&records);
+        let json = forest.chrome_trace_json(42, None);
+        assert!(json.contains("b\\\"phase\\\\x"));
+        // Ordered by begin time: request (t=10) before the child (t=30).
+        let request_at = json.find("request").unwrap();
+        let child_at = json.find("phase").unwrap();
+        assert!(request_at < child_at);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn trace_filter_limits_export_and_profile() {
+        let records = vec![
+            begin(0, 10, 1, 1, 0, "request"),
+            end(1, 20, 1, 1, 0, "request", 10),
+            begin(2, 30, 9, 9, 0, "other"),
+            end(3, 40, 9, 9, 0, "other", 10),
+        ];
+        let forest = TraceForest::from_records(&records);
+        assert_eq!(forest.trace_roots(1), vec![1]);
+        let json = forest.chrome_trace_json(1, Some(9));
+        assert!(!json.contains("request"));
+        assert!(json.contains("other"));
+        assert_eq!(forest.profile(Some(9)).len(), 1);
+        assert_eq!(forest.profile(None).len(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Property tests for span-tree reconstruction.
+//!
+//! The reconstruction contract (`netpart_telemetry::trace`) is that ANY
+//! record sequence a lossy ring can hand a reader — lapped begins, lapped
+//! ends, a reader attaching mid-trace, interleaved non-span records —
+//! produces a well-formed forest without panicking, and that a lossless
+//! sequence reproduces the writer's tree exactly.
+
+use netpart_telemetry::trace::{snapshot, TraceForest, TraceRecord};
+use netpart_telemetry::{KindLabel, RingReader, Span, Telemetry, TelemetryEvent};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+
+fn temp_ring(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "netpart-trace-prop-{}-{tag}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+const LABELS: [&str; 6] = [
+    "request",
+    "parse",
+    "compute",
+    "fluid_solve",
+    "csr_build",
+    "respond",
+];
+
+/// Structural invariants every reconstructed forest must satisfy, no matter
+/// how mangled its input was: every span is reachable from exactly one root,
+/// child links agree with the child's recorded parent, and sibling lists are
+/// begin-ordered.
+fn assert_well_formed(forest: &TraceForest) {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<u64> = forest.roots().to_vec();
+    while let Some(id) = stack.pop() {
+        assert!(seen.insert(id), "span {id:#x} linked twice");
+        let node = forest.span(id).expect("linked span exists");
+        let mut last_key = (0u64, 0u64);
+        for &child in &node.children {
+            let c = forest.span(child).expect("child exists");
+            assert_eq!(c.parent_span_id, id, "child/parent link disagrees");
+            let key = (c.begin_micros.unwrap_or(u64::MAX), c.span_id);
+            assert!(key >= last_key, "siblings out of begin order");
+            last_key = key;
+        }
+        stack.extend(&node.children);
+    }
+    assert_eq!(seen.len(), forest.len(), "spans unreachable from any root");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
+
+    /// A random well-nested open/close walk, executed against the REAL span
+    /// API over a real (lossless-sized) ring. Reconstruction must reproduce
+    /// the exact tree the walk built: same ids, same parents, every span
+    /// closed.
+    #[test]
+    fn lossless_ring_reconstructs_the_exact_tree(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..LABELS.len()), 1..60),
+    ) {
+        let path = temp_ring("lossless");
+        let telemetry = Telemetry::to_ring(&path, 1 << 10).unwrap();
+        let mut stack: Vec<Span> = Vec::new();
+        // Ground truth: span_id -> (parent_span_id, trace_id).
+        let mut expected: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut expected_roots = 0usize;
+        for &(open, label_idx) in &ops {
+            if open {
+                let span = match stack.last() {
+                    Some(parent) => parent.telemetry().span(LABELS[label_idx]),
+                    None => {
+                        expected_roots += 1;
+                        telemetry.span(LABELS[label_idx])
+                    }
+                };
+                let parent_id = stack.last().map_or(0, Span::span_id);
+                expected.insert(span.span_id(), (parent_id, span.trace_id()));
+                stack.push(span);
+            } else {
+                stack.pop(); // no-op when already at the top level
+            }
+        }
+        drop(stack); // close everything still open
+
+        let reader = RingReader::open(&path).unwrap();
+        let forest = TraceForest::from_records(&snapshot(&reader));
+        assert_well_formed(&forest);
+        prop_assert_eq!(forest.len(), expected.len());
+        prop_assert_eq!(forest.roots().len(), expected_roots);
+        for (&span_id, &(parent, trace)) in &expected {
+            let node = forest.span(span_id).expect("every span reconstructed");
+            prop_assert_eq!(node.parent_span_id, parent);
+            prop_assert_eq!(node.trace_id, trace);
+            prop_assert!(node.begin_micros.is_some());
+            prop_assert!(node.end_micros.is_some(), "span left open");
+            prop_assert!(node.duration_micros().is_some());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Build a valid record sequence for a random nesting, then mangle it
+    /// the ways a lossy ring can: drop any subset (lapped records, a reader
+    /// attaching mid-trace), duplicate records, and interleave non-span
+    /// noise. Reconstruction must never panic, must stay well-formed, and
+    /// every span whose end survived must be placed (begin inferred from
+    /// the end's duration when the begin was dropped).
+    #[test]
+    fn mangled_sequences_yield_well_formed_partial_trees(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..LABELS.len()), 1..40),
+        mangling in proptest::collection::vec((0usize..6, any::<bool>()), 80),
+    ) {
+        // Phase 1: a valid trace. Ids start at 1; timestamps tick once per
+        // record so durations are exact and fit in u32.
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let mut stack: Vec<(u64, u64, u64, usize)> = Vec::new(); // (span, parent, begin, label)
+        let mut next_id = 1u64;
+        let mut trace_id = 0u64;
+        let mut t = 0u64;
+        for &(open, label_idx) in &ops {
+            t += 1;
+            if open {
+                let span_id = next_id;
+                next_id += 1;
+                let parent = stack.last().map_or(0, |f| f.0);
+                if parent == 0 {
+                    trace_id = span_id;
+                }
+                records.push(TraceRecord {
+                    seq: records.len() as u64,
+                    t_micros: t,
+                    event: TelemetryEvent::SpanBegin {
+                        trace_id,
+                        span_id,
+                        parent_span_id: parent,
+                        label: KindLabel::new(LABELS[label_idx]),
+                    },
+                });
+                stack.push((span_id, parent, t, label_idx));
+            } else if let Some((span_id, parent, begin, label_idx)) = stack.pop() {
+                records.push(TraceRecord {
+                    seq: records.len() as u64,
+                    t_micros: t,
+                    event: TelemetryEvent::SpanEnd {
+                        trace_id,
+                        span_id,
+                        parent_span_id: parent,
+                        label: KindLabel::new(LABELS[label_idx]),
+                        dur_micros: (t - begin) as u32,
+                    },
+                });
+            }
+        }
+        while let Some((span_id, parent, begin, label_idx)) = stack.pop() {
+            t += 1;
+            records.push(TraceRecord {
+                seq: records.len() as u64,
+                t_micros: t,
+                event: TelemetryEvent::SpanEnd {
+                    trace_id,
+                    span_id,
+                    parent_span_id: parent,
+                    label: KindLabel::new(LABELS[label_idx]),
+                    dur_micros: (t - begin) as u32,
+                },
+            });
+        }
+
+        // Phase 2: mangle. Fate: 0-2 keep, 3-4 drop, 5 duplicate.
+        let mut mangled = Vec::new();
+        for (i, record) in records.iter().enumerate() {
+            let (fate, noise) = mangling[i % mangling.len()];
+            if noise {
+                mangled.push(TraceRecord {
+                    seq: 1000 + i as u64,
+                    t_micros: record.t_micros,
+                    event: TelemetryEvent::EngineProgress {
+                        events_processed: i as u64,
+                        sim_time: 0.5,
+                    },
+                });
+            }
+            match fate {
+                0..=2 => mangled.push(*record),
+                3 | 4 => {}
+                _ => {
+                    mangled.push(*record);
+                    mangled.push(*record);
+                }
+            }
+        }
+
+        // Phase 3: reconstruction survives and stays coherent.
+        let forest = TraceForest::from_records(&mangled);
+        assert_well_formed(&forest);
+        let surviving_ends: HashSet<u64> = mangled
+            .iter()
+            .filter_map(|r| match r.event {
+                TelemetryEvent::SpanEnd { span_id, .. } => Some(span_id),
+                _ => None,
+            })
+            .collect();
+        for &span_id in &surviving_ends {
+            let node = forest.span(span_id).expect("ended span reconstructed");
+            prop_assert!(
+                node.begin_micros.is_some(),
+                "end without inferred begin for {}", span_id
+            );
+            prop_assert!(node.duration_micros().is_some());
+        }
+        // Exports over mangled input must not panic either.
+        let _ = forest.chrome_trace_json(1, None);
+        let _ = forest.profile(None);
+    }
+}
+
+/// A ring far too small for the workload: the writer laps the reader many
+/// times over. The snapshot chases the laps and reconstruction yields a
+/// well-formed forest where at least the most recent spans survive intact.
+#[test]
+fn lapped_tiny_ring_yields_partial_but_coherent_trees() {
+    let path = temp_ring("lapped");
+    let telemetry = Telemetry::to_ring(&path, 16).unwrap();
+    let mut last_root = 0u64;
+    for _ in 0..50 {
+        let root = telemetry.span("request");
+        last_root = root.span_id();
+        for label in ["parse", "compute", "respond"] {
+            let child = root.telemetry().span(label);
+            let _grandchild = child.telemetry().span("csr_build");
+        }
+    }
+    let reader = RingReader::open(&path).unwrap();
+    let forest = TraceForest::from_records(&snapshot(&reader));
+    assert_well_formed(&forest);
+    assert!(!forest.is_empty(), "nothing survived the laps");
+    // The final request finished last, so its end record is among the
+    // newest 16: it must be reconstructed and closed (begin observed or
+    // inferred from the end's duration).
+    let node = forest.span(last_root).expect("newest root survives");
+    assert_eq!(node.label.as_str(), "request");
+    assert!(node.duration_micros().is_some());
+    std::fs::remove_file(&path).unwrap();
+}
