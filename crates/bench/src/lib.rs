@@ -184,8 +184,8 @@ pub mod engine_workloads {
 /// behaviour differs.
 pub mod advise_workloads {
     use netpart_engine::{
-        route_flows, route_flows_csr, Allocator, BlockedAllocator, CompactAllocator, Fabric, Flow,
-        FluidSim, RandomAllocator, Router, ScatterAllocator,
+        route_flows, route_flows_csr, Allocator, BlockedAllocator, ChannelId, CompactAllocator,
+        Fabric, Flow, FluidSim, RandomAllocator, Router, ScatterAllocator,
     };
     use netpart_topology::Torus;
 
@@ -260,7 +260,7 @@ pub mod advise_workloads {
         let mut flows: Vec<Flow> = Vec::new();
         let mut sizes: Vec<f64> = Vec::new();
         let mut offsets: Vec<usize> = Vec::new();
-        let mut data: Vec<usize> = Vec::new();
+        let mut data: Vec<ChannelId> = Vec::new();
         let mut fluid = FluidSim::empty();
         let mut total = 0.0;
         for nodes in candidates {
@@ -455,8 +455,8 @@ pub mod strategies {
 /// [`FluidSim`]: netpart_engine::FluidSim
 pub mod incremental_workloads {
     use netpart_engine::{
-        route_flows_csr, DimensionOrdered, Fabric, Flow, FluidSim, IncrementalMaxMin, Router,
-        SolverMode,
+        route_flows_csr, ChannelId, DimensionOrdered, Fabric, Flow, FluidSim, IncrementalMaxMin,
+        Router, SolverMode,
     };
     use netpart_topology::Torus;
 
@@ -471,7 +471,7 @@ pub mod incremental_workloads {
         /// CSR offsets into [`paths`](ChurnJob::paths).
         pub offsets: Vec<usize>,
         /// Concatenated channel paths of the job's flows.
-        pub paths: Vec<usize>,
+        pub paths: Vec<ChannelId>,
     }
 
     impl ChurnJob {
@@ -609,7 +609,7 @@ pub mod incremental_workloads {
         let mut flows: Vec<Flow> = Vec::new();
         let mut sizes: Vec<f64> = Vec::new();
         let mut offsets: Vec<usize> = Vec::new();
-        let mut data: Vec<usize> = Vec::new();
+        let mut data: Vec<ChannelId> = Vec::new();
         let mut fluid = FluidSim::empty_with_mode(mode);
         let mut checksum = 0u64;
         for nodes in candidates {
@@ -639,6 +639,20 @@ pub mod incremental_workloads {
 /// Format seconds with three significant decimals.
 pub fn secs(t: f64) -> String {
     format!("{t:.3}")
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. Std-only on
+/// purpose: the scale benchmark records it next to each timing so memory
+/// regressions surface in the same baseline file as throughput ones.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kib * 1024)
 }
 
 #[cfg(test)]

@@ -99,7 +99,7 @@ pub fn locality_order(fabric: &Fabric, nodes: &[usize]) -> Vec<usize> {
                 order.push(v);
             }
             for &c in fabric.out_channels(v) {
-                let next = fabric.channels()[c].to;
+                let next = fabric.channel_dst(c);
                 if !visited[next] {
                     visited[next] = true;
                     queue.push_back(next);
@@ -123,7 +123,7 @@ pub fn prefix_cut_gbs(fabric: &Fabric, order: &[usize]) -> Vec<f64> {
     for &v in order {
         member[v] = true;
         for &c in fabric.out_channels(v) {
-            let ch = fabric.channels()[c];
+            let ch = fabric.channel(c);
             if member[ch.to] {
                 // The mirror channel `ch.to -> v` was part of the cut and now
                 // points inside; same bandwidth by fabric symmetry.
@@ -154,7 +154,7 @@ pub fn prefix_internal_cut_gbs(fabric: &Fabric, order: &[usize], allocation: &[u
     for &v in order {
         member[v] = true;
         for &c in fabric.out_channels(v) {
-            let ch = fabric.channels()[c];
+            let ch = fabric.channel(c);
             if !in_alloc[ch.to] {
                 continue;
             }
@@ -524,9 +524,8 @@ mod tests {
         let cuts = prefix_cut_gbs(&fabric, &order);
         for (t, &cut) in cuts.iter().enumerate() {
             let members: std::collections::HashSet<usize> = order[..=t].iter().copied().collect();
-            let direct: f64 = fabric
-                .channels()
-                .iter()
+            let direct: f64 = (0..fabric.num_channels() as netpart_engine::ChannelId)
+                .map(|c| fabric.channel(c))
                 .filter(|ch| members.contains(&ch.from) && !members.contains(&ch.to))
                 .map(|ch| ch.bandwidth_gbs)
                 .sum();

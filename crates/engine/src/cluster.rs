@@ -83,7 +83,7 @@ impl Allocator for CompactAllocator {
                     break;
                 }
                 for &c in fabric.out_channels(v) {
-                    let n = fabric.channels()[c].to;
+                    let n = fabric.channel_dst(c);
                     if free[n] && !taken[n] {
                         taken[n] = true;
                         queue.push_back(n);
@@ -370,7 +370,7 @@ impl ClusterScheduler {
             .map(|(flow, path)| {
                 let narrowest = path
                     .iter()
-                    .map(|&c| self.fabric.channels()[c].bandwidth_gbs)
+                    .map(|&c| self.fabric.channel_bandwidth(c))
                     .fold(f64::INFINITY, f64::min);
                 flow.gigabytes / narrowest
             })

@@ -38,6 +38,18 @@ pub enum EngineError {
         /// The offending direction.
         direction: i8,
     },
+    /// A fabric constructor was asked for more nodes or channels than the
+    /// compact `u32` id space can address. Checked *before* any per-entity
+    /// allocation, so a `2^33`-node request fails typed instead of silently
+    /// truncating ids (or OOMing while trying).
+    IdSpaceExceeded {
+        /// What overflowed: `"nodes"` or `"channels"`.
+        entity: String,
+        /// The requested count.
+        count: u64,
+        /// The id-space limit (`u32::MAX`).
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -57,6 +69,16 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::InvalidDirection { direction } => {
                 write!(f, "direction must be +1 or -1, got {direction}")
+            }
+            EngineError::IdSpaceExceeded {
+                entity,
+                count,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "fabric would need {count} {entity}, exceeding the u32 id budget of {limit}"
+                )
             }
         }
     }
@@ -82,5 +104,12 @@ mod tests {
         assert!(EngineError::InvalidDirection { direction: 0 }
             .to_string()
             .contains("+1 or -1"));
+        let budget = EngineError::IdSpaceExceeded {
+            entity: "channels".to_string(),
+            count: 1 << 35,
+            limit: u32::MAX as u64,
+        }
+        .to_string();
+        assert!(budget.contains("channels") && budget.contains("u32"));
     }
 }

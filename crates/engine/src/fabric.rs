@@ -1,11 +1,21 @@
 //! Topology-generic directed-channel networks.
 //!
 //! [`Fabric`] turns any [`Topology`] into the representation the flow
-//! machinery needs: a flat list of *directed channels* with bandwidths plus
+//! machinery needs: a flat set of *directed channels* with bandwidths plus
 //! O(1) per-node outgoing-channel access. Every undirected link contributes
 //! two channels, one per direction, each with the full per-direction
 //! bandwidth — traffic flowing in opposite directions over one cable does
 //! not contend, exactly as in `netpart-netsim`'s torus model.
+//!
+//! Channels are stored struct-of-arrays: parallel `srcs` / `dsts` / capacity
+//! vectors indexed by [`ChannelId`], with `u32` endpoints. A million-node
+//! 3-D torus carries six million directed channels; the SoA split means the
+//! solver streams only the 8-byte capacity lane and BFS streams only the
+//! 4-byte destination lane, instead of dragging 24-byte `Channel` records
+//! through the cache. Constructors check the node and channel counts against
+//! the `u32` id budget *before* allocating and fail with
+//! [`EngineError::IdSpaceExceeded`] — a `2^33`-node request errors instead of
+//! OOMing or truncating ids.
 //!
 //! [`Fabric::from_torus`] additionally enumerates channels in the *same
 //! order* as `netpart_netsim::TorusNetwork` (node-major, then dimension,
@@ -17,7 +27,14 @@ use crate::maxmin::ChannelId;
 use netpart_topology::{coord, Topology, Torus};
 use serde::{Deserialize, Serialize};
 
-/// A physical unidirectional channel of a fabric.
+/// Sentinel in the torus hop table for length-1 dimensions.
+const NO_CHANNEL: u32 = u32::MAX;
+
+/// A materialized view of one directed channel (see [`Fabric::channel`]).
+///
+/// The fabric itself stores channels struct-of-arrays; this gather type
+/// exists for callers that want one channel's endpoints and bandwidth
+/// together, and as the serializable wire form of a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Channel {
     /// Source node of the channel.
@@ -28,7 +45,8 @@ pub struct Channel {
     pub bandwidth_gbs: f64,
 }
 
-/// A directed-channel network over an arbitrary topology.
+/// A directed-channel network over an arbitrary topology, stored
+/// struct-of-arrays with compact `u32` ids.
 ///
 /// The channel set is assumed symmetric (for every channel `u -> v` there is
 /// a channel `v -> u`), which holds for every constructor in this crate.
@@ -36,9 +54,12 @@ pub struct Channel {
 pub struct Fabric {
     name: String,
     num_nodes: usize,
-    channels: Vec<Channel>,
-    /// Per-channel bandwidths in channel order, precomputed once so the
-    /// fluid hot path never rebuilds the capacity vector.
+    /// Source node per channel (SoA lane, indexed by [`ChannelId`]).
+    srcs: Vec<u32>,
+    /// Destination node per channel (SoA lane, indexed by [`ChannelId`]).
+    dsts: Vec<u32>,
+    /// Per-channel bandwidths in channel order — the SoA capacity lane and
+    /// simultaneously the capacity vector the fluid hot path consumes.
     capacities: Vec<f64>,
     /// CSR offsets: outgoing channels of node `v` live at
     /// `out_adjacency[out_offsets[v]..out_offsets[v + 1]]`.
@@ -47,8 +68,22 @@ pub struct Fabric {
     /// Present when built via [`Fabric::from_torus`].
     torus: Option<Torus>,
     /// Torus hop lookup (`node * ndim * 2 + dim * 2 + dir_bit`), empty for
-    /// non-torus fabrics; `usize::MAX` marks length-1 dimensions.
-    hop_channel: Vec<usize>,
+    /// non-torus fabrics; [`NO_CHANNEL`] marks length-1 dimensions.
+    hop_channel: Vec<u32>,
+}
+
+/// Check an entity count against the `u32` id budget before any
+/// proportional allocation happens.
+fn check_budget(entity: &str, count: u64) -> Result<(), EngineError> {
+    if count > u32::MAX as u64 {
+        Err(EngineError::IdSpaceExceeded {
+            entity: entity.to_string(),
+            count,
+            limit: u32::MAX as u64,
+        })
+    } else {
+        Ok(())
+    }
 }
 
 impl Fabric {
@@ -58,25 +93,49 @@ impl Fabric {
     /// `2l + 1` for `v -> u`.
     ///
     /// # Panics
-    /// Panics if `bandwidth_gbs` is not positive.
+    /// Panics if `bandwidth_gbs` is not positive, or if the topology exceeds
+    /// the `u32` id budget (use [`Fabric::try_from_topology`] to handle that
+    /// as a value).
     pub fn from_topology<T: Topology + ?Sized>(topology: &T, bandwidth_gbs: f64) -> Self {
+        Self::try_from_topology(topology, bandwidth_gbs).unwrap()
+    }
+
+    /// Fallible form of [`Fabric::from_topology`]: returns
+    /// [`EngineError::IdSpaceExceeded`] (before allocating anything
+    /// proportional to the request) if the node or channel count does not
+    /// fit the `u32` id space.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_gbs` is not positive.
+    pub fn try_from_topology<T: Topology + ?Sized>(
+        topology: &T,
+        bandwidth_gbs: f64,
+    ) -> Result<Self, EngineError> {
         assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
         let num_nodes = topology.num_nodes();
-        let mut channels = Vec::new();
+        check_budget("nodes", num_nodes as u64)?;
+        check_budget("channels", 2u64.saturating_mul(topology.num_links() as u64))?;
+        let mut srcs = Vec::new();
+        let mut dsts = Vec::new();
+        let mut capacities = Vec::new();
         for link in topology.links() {
             let bw = bandwidth_gbs * link.capacity;
-            channels.push(Channel {
-                from: link.u,
-                to: link.v,
-                bandwidth_gbs: bw,
-            });
-            channels.push(Channel {
-                from: link.v,
-                to: link.u,
-                bandwidth_gbs: bw,
-            });
+            srcs.push(link.u as u32);
+            dsts.push(link.v as u32);
+            capacities.push(bw);
+            srcs.push(link.v as u32);
+            dsts.push(link.u as u32);
+            capacities.push(bw);
         }
-        Self::assemble(topology.name(), num_nodes, channels, None, Vec::new())
+        Ok(Self::assemble(
+            topology.name(),
+            num_nodes,
+            srcs,
+            dsts,
+            capacities,
+            None,
+            Vec::new(),
+        ))
     }
 
     /// Build the fabric of a torus with the exact channel numbering of
@@ -86,17 +145,39 @@ impl Fabric {
     /// capacities.
     ///
     /// # Panics
-    /// Panics if `bandwidth_gbs` is not positive.
+    /// Panics if `bandwidth_gbs` is not positive, or if the torus exceeds
+    /// the `u32` id budget (use [`Fabric::try_from_torus`] to handle that
+    /// as a value).
     pub fn from_torus(torus: Torus, bandwidth_gbs: f64) -> Self {
+        Self::try_from_torus(torus, bandwidth_gbs).unwrap()
+    }
+
+    /// Fallible form of [`Fabric::from_torus`]: returns
+    /// [`EngineError::IdSpaceExceeded`] (before allocating anything
+    /// proportional to the request) if the node or channel count does not
+    /// fit the `u32` id space.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_gbs` is not positive.
+    pub fn try_from_torus(torus: Torus, bandwidth_gbs: f64) -> Result<Self, EngineError> {
         assert!(bandwidth_gbs > 0.0, "bandwidth must be positive");
         let ndim = torus.ndim();
         let dims = torus.dims().to_vec();
         let strides = coord::strides(&dims);
-        let n = coord::volume(&dims);
+        // Checked volume: `coord::volume` itself could overflow usize for
+        // absurd requests, so fold in u64 with saturation first.
+        let n_u64 = dims
+            .iter()
+            .fold(1u64, |acc, &a| acc.saturating_mul(a as u64));
+        check_budget("nodes", n_u64)?;
         // Directed channels per node: two per non-degenerate dimension.
         let per_node = 2 * dims.iter().filter(|&&a| a >= 2).count();
-        let mut channels = Vec::with_capacity(n * per_node);
-        let mut hop_channel = vec![usize::MAX; n * ndim * 2];
+        check_budget("channels", n_u64.saturating_mul(per_node as u64))?;
+        let n = coord::volume(&dims);
+        let mut srcs = Vec::with_capacity(n * per_node);
+        let mut dsts = Vec::with_capacity(n * per_node);
+        let mut capacities = Vec::with_capacity(n * per_node);
+        let mut hop_channel = vec![NO_CHANNEL; n * ndim * 2];
         // The node coordinate is tracked as an incremental mixed-radix
         // counter and neighbours are reached by stride arithmetic — this
         // constructor is on the scenario hot path (one fabric per spec), so
@@ -112,12 +193,10 @@ impl Fabric {
                 for (dir_bit, step) in [(0usize, 1usize), (1, a - 1)] {
                     let next_c = (c + step) % a;
                     let to = node + next_c * strides[d] - c * strides[d];
-                    let id = channels.len();
-                    channels.push(Channel {
-                        from: node,
-                        to,
-                        bandwidth_gbs: bandwidth,
-                    });
+                    let id = srcs.len() as u32;
+                    srcs.push(node as u32);
+                    dsts.push(to as u32);
+                    capacities.push(bandwidth);
                     hop_channel[node * ndim * 2 + d * 2 + dir_bit] = id;
                 }
             }
@@ -132,36 +211,51 @@ impl Fabric {
             }
         }
         let name = format!("torus{dims:?}");
-        Self::assemble(name, n, channels, Some(torus), hop_channel)
+        Ok(Self::assemble(
+            name,
+            n,
+            srcs,
+            dsts,
+            capacities,
+            Some(torus),
+            hop_channel,
+        ))
     }
 
     fn assemble(
         name: String,
         num_nodes: usize,
-        channels: Vec<Channel>,
+        srcs: Vec<u32>,
+        dsts: Vec<u32>,
+        capacities: Vec<f64>,
         torus: Option<Torus>,
-        hop_channel: Vec<usize>,
+        hop_channel: Vec<u32>,
     ) -> Self {
+        debug_assert_eq!(srcs.len(), dsts.len());
+        debug_assert_eq!(srcs.len(), capacities.len());
         let mut degree = vec![0usize; num_nodes];
-        for ch in &channels {
-            assert!(ch.from < num_nodes && ch.to < num_nodes, "endpoint range");
-            degree[ch.from] += 1;
+        for (&s, &d) in srcs.iter().zip(&dsts) {
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "endpoint range"
+            );
+            degree[s as usize] += 1;
         }
         let mut out_offsets = vec![0usize; num_nodes + 1];
         for v in 0..num_nodes {
             out_offsets[v + 1] = out_offsets[v] + degree[v];
         }
         let mut cursor = out_offsets.clone();
-        let mut out_adjacency = vec![0usize; channels.len()];
-        for (id, ch) in channels.iter().enumerate() {
-            out_adjacency[cursor[ch.from]] = id;
-            cursor[ch.from] += 1;
+        let mut out_adjacency = vec![0 as ChannelId; srcs.len()];
+        for (id, &s) in srcs.iter().enumerate() {
+            out_adjacency[cursor[s as usize]] = id as ChannelId;
+            cursor[s as usize] += 1;
         }
-        let capacities = channels.iter().map(|c| c.bandwidth_gbs).collect();
         Self {
             name,
             num_nodes,
-            channels,
+            srcs,
+            dsts,
             capacities,
             out_offsets,
             out_adjacency,
@@ -182,16 +276,42 @@ impl Fabric {
 
     /// Number of directed channels.
     pub fn num_channels(&self) -> usize {
-        self.channels.len()
+        self.srcs.len()
     }
 
-    /// All channels, indexed by [`ChannelId`].
-    pub fn channels(&self) -> &[Channel] {
-        &self.channels
+    /// Gather one channel's endpoints and bandwidth into a [`Channel`] view.
+    ///
+    /// Prefer the single-lane accessors ([`Fabric::channel_src`],
+    /// [`Fabric::channel_dst`], [`Fabric::channel_bandwidth`]) on hot paths —
+    /// they touch one SoA lane instead of three.
+    pub fn channel(&self, c: ChannelId) -> Channel {
+        Channel {
+            from: self.srcs[c as usize] as usize,
+            to: self.dsts[c as usize] as usize,
+            bandwidth_gbs: self.capacities[c as usize],
+        }
+    }
+
+    /// Source node of channel `c`.
+    #[inline]
+    pub fn channel_src(&self, c: ChannelId) -> usize {
+        self.srcs[c as usize] as usize
+    }
+
+    /// Destination node of channel `c`.
+    #[inline]
+    pub fn channel_dst(&self, c: ChannelId) -> usize {
+        self.dsts[c as usize] as usize
+    }
+
+    /// Bandwidth (GB/s) of channel `c`.
+    #[inline]
+    pub fn channel_bandwidth(&self, c: ChannelId) -> f64 {
+        self.capacities[c as usize]
     }
 
     /// Per-channel bandwidths (GB/s), in channel order — the capacity vector
-    /// the fluid simulation consumes (precomputed, no allocation).
+    /// the fluid simulation consumes (a borrow of the SoA lane, no copy).
     pub fn capacities(&self) -> &[f64] {
         &self.capacities
     }
@@ -229,7 +349,7 @@ impl Fabric {
         }
         let ndim = torus.ndim();
         let id = self.hop_channel[node * ndim * 2 + dim * 2 + dir_bit];
-        if id == usize::MAX {
+        if id == NO_CHANNEL {
             return Err(EngineError::DegenerateDimension { dim });
         }
         Ok(id)
@@ -245,7 +365,7 @@ impl Fabric {
         queue.push_back(dst);
         while let Some(v) = queue.pop_front() {
             for &c in self.out_channels(v) {
-                let n = self.channels[c].to;
+                let n = self.dsts[c as usize] as usize;
                 if dist[n] == usize::MAX {
                     dist[n] = dist[v] + 1;
                     queue.push_back(n);
@@ -281,8 +401,8 @@ mod tests {
         assert_eq!(fabric.num_channels(), 2 * cube.num_links());
         // Link-major numbering: channel 2l+1 reverses channel 2l.
         for l in 0..cube.num_links() {
-            let fwd = fabric.channels()[2 * l];
-            let rev = fabric.channels()[2 * l + 1];
+            let fwd = fabric.channel(2 * l as ChannelId);
+            let rev = fabric.channel(2 * l as ChannelId + 1);
             assert_eq!((fwd.from, fwd.to), (rev.to, rev.from));
             assert_eq!(fwd.bandwidth_gbs, 2.0);
         }
@@ -295,7 +415,7 @@ mod tests {
             let out = fabric.out_channels(v);
             assert_eq!(out.len(), 3, "hypercube degree");
             for &c in out {
-                assert_eq!(fabric.channels()[c].from, v);
+                assert_eq!(fabric.channel_src(c), v);
             }
         }
     }
@@ -311,7 +431,7 @@ mod tests {
         let plus = fabric.hop_channel(0, 1, 1).unwrap();
         let minus = fabric.hop_channel(0, 1, -1).unwrap();
         assert_ne!(plus, minus, "parallel cables are distinct");
-        assert_eq!(fabric.channels()[plus].to, fabric.channels()[minus].to);
+        assert_eq!(fabric.channel_dst(plus), fabric.channel_dst(minus));
     }
 
     #[test]
@@ -327,6 +447,31 @@ mod tests {
         );
         let generic = Fabric::from_topology(&Hypercube::new(2), 1.0);
         assert_eq!(generic.hop_channel(0, 0, 1), Err(EngineError::NotATorus));
+    }
+
+    #[test]
+    fn oversized_torus_fails_typed_before_allocating() {
+        // 2^17 x 2^16 = 2^33 nodes: over the u32 budget. The check must run
+        // before the per-node hop table (which would be 32 GiB here) is
+        // allocated, so this test passing *at all* is part of the assertion.
+        let torus = Torus::new(vec![1 << 17, 1 << 16]);
+        match Fabric::try_from_torus(torus, 1.0) {
+            Err(EngineError::IdSpaceExceeded { entity, count, .. }) => {
+                assert_eq!(entity, "nodes");
+                assert_eq!(count, 1u64 << 33);
+            }
+            other => panic!("expected IdSpaceExceeded, got {other:?}"),
+        }
+        // Node count inside budget, channel count outside: 2^31 nodes in a
+        // 3-D torus would need 3 * 2^32 directed channels.
+        let wide = Torus::new(vec![1 << 21, 1 << 5, 1 << 5]);
+        match Fabric::try_from_torus(wide, 1.0) {
+            Err(EngineError::IdSpaceExceeded { entity, count, .. }) => {
+                assert_eq!(entity, "channels");
+                assert_eq!(count, 6u64 << 31);
+            }
+            other => panic!("expected IdSpaceExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -138,13 +138,13 @@ pub fn static_estimate(
     let mut load = vec![0.0f64; fabric.num_channels()];
     for (flow, path) in flows.iter().zip(&paths) {
         for &c in path {
-            load[c] += flow.gigabytes;
+            load[c as usize] += flow.gigabytes;
         }
     }
     Ok(load
         .iter()
-        .zip(fabric.channels())
-        .map(|(gb, ch)| gb / ch.bandwidth_gbs)
+        .zip(fabric.capacities())
+        .map(|(gb, bw)| gb / bw)
         .fold(0.0, f64::max))
 }
 

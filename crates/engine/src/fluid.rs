@@ -244,8 +244,11 @@ impl FluidSim {
         for (i, gb) in self.sizes.iter().enumerate() {
             assert!(*gb >= 0.0, "negative message size");
             for &c in &self.path_data[self.path_offsets[i]..self.path_offsets[i + 1]] {
-                assert!(c < n_channels, "channel {c} out of range 0..{n_channels}");
-                self.channel_load_gb[c] += gb;
+                assert!(
+                    (c as usize) < n_channels,
+                    "channel {c} out of range 0..{n_channels}"
+                );
+                self.channel_load_gb[c as usize] += gb;
             }
         }
         self.bottleneck_lower_bound = self

@@ -14,9 +14,10 @@
 //! Progressive filling factors over the connected components of the
 //! flow–channel interaction graph (two flows interact when they share a
 //! channel, directly or transitively): fixing a bottleneck channel only
-//! reads and writes state of its own component, and the heap order between
-//! channels of different components never influences either component's
-//! arithmetic. So after a delta, the rates of every component that is not
+//! reads and writes state of its own component, and the bottleneck order
+//! between channels of different components never influences either
+//! component's arithmetic. So after a delta, the rates of every component
+//! that is not
 //! reachable from a touched channel are *exactly* the rates a fresh batch
 //! solve would produce — not approximately, bit for bit.
 //!
@@ -25,7 +26,7 @@
 //! the affected components, and (c) re-runs **the batch kernel itself**
 //! ([`max_min_rates_csr`]) on the affected subproblem, with channels
 //! remapped to a dense range in ascending id order (which preserves the
-//! heap's share-then-channel tie-break) and flows presented in ascending id
+//! kernel's share-then-channel tie-break) and flows presented in ascending id
 //! order (which preserves the per-channel member order). Because the same
 //! code runs on an equivalent subproblem, there is no second floating-point
 //! path to diverge — the incremental result is the batch result by
@@ -272,12 +273,12 @@ impl IncrementalMaxMin {
         let start = self.arena.len();
         for &c in path {
             assert!(
-                c < self.capacities.len(),
+                (c as usize) < self.capacities.len(),
                 "channel {c} out of range 0..{}",
                 self.capacities.len()
             );
             self.arena.push(c);
-            self.members[c].push(id);
+            self.members[c as usize].push(id);
             self.mark_dirty(c);
         }
         self.flows[id] = FlowSlot {
@@ -310,11 +311,11 @@ impl IncrementalMaxMin {
         for idx in slot.start..slot.start + slot.len {
             let c = self.arena[idx];
             // One membership entry per path occurrence: remove exactly one.
-            let pos = self.members[c]
+            let pos = self.members[c as usize]
                 .iter()
                 .position(|&f| f == id)
                 .expect("membership mirrors the arena");
-            self.members[c].swap_remove(pos);
+            self.members[c as usize].swap_remove(pos);
             self.mark_dirty(c);
         }
         if self.live_len * 2 < self.arena.len() && self.arena.len() > 1024 {
@@ -393,8 +394,8 @@ impl IncrementalMaxMin {
     }
 
     fn mark_dirty(&mut self, c: ChannelId) {
-        if !self.chan_dirty[c] {
-            self.chan_dirty[c] = true;
+        if !self.chan_dirty[c as usize] {
+            self.chan_dirty[c as usize] = true;
             self.dirty.push(c);
         }
     }
@@ -421,15 +422,15 @@ impl IncrementalMaxMin {
         self.chan_stack.clear();
         for i in 0..self.dirty.len() {
             let c = self.dirty[i];
-            if !self.chan_seen[c] {
-                self.chan_seen[c] = true;
+            if !self.chan_seen[c as usize] {
+                self.chan_seen[c as usize] = true;
                 self.chan_stack.push(c);
                 self.affected_channels.push(c);
             }
         }
         while let Some(c) = self.chan_stack.pop() {
-            for i in 0..self.members[c].len() {
-                let id = self.members[c][i];
+            for i in 0..self.members[c as usize].len() {
+                let id = self.members[c as usize][i];
                 if self.flow_seen[id] {
                     continue;
                 }
@@ -441,8 +442,8 @@ impl IncrementalMaxMin {
                 let slot = self.flows[id];
                 for idx in slot.start..slot.start + slot.len {
                     let d = self.arena[idx];
-                    if !self.chan_seen[d] {
-                        self.chan_seen[d] = true;
+                    if !self.chan_seen[d as usize] {
+                        self.chan_seen[d as usize] = true;
                         self.chan_stack.push(d);
                         self.affected_channels.push(d);
                     }
@@ -458,14 +459,14 @@ impl IncrementalMaxMin {
             self.flow_seen[id] = false;
         }
         for &c in &self.affected_channels {
-            self.chan_seen[c] = false;
+            self.chan_seen[c as usize] = false;
         }
     }
 
     fn clear_dirty(&mut self) {
         for i in 0..self.dirty.len() {
             let c = self.dirty[i];
-            self.chan_dirty[c] = false;
+            self.chan_dirty[c as usize] = false;
         }
         self.dirty.clear();
     }
@@ -510,7 +511,7 @@ impl IncrementalMaxMin {
 
     /// Batch-solve the affected subproblem through the batch kernel, with
     /// channels densely remapped in ascending id order and flows in
-    /// ascending id order (both order-preserving, so the kernel's heap
+    /// ascending id order (both order-preserving, so the kernel's bottleneck
     /// tie-breaks and member iteration run exactly as they would inside a
     /// full batch solve — see the module docs).
     fn repair_affected(&mut self) {
@@ -518,8 +519,8 @@ impl IncrementalMaxMin {
         self.affected_channels.sort_unstable();
         self.caps_compact.clear();
         for (dense, &c) in self.affected_channels.iter().enumerate() {
-            self.chan_dense[c] = dense;
-            self.caps_compact.push(self.capacities[c]);
+            self.chan_dense[c as usize] = dense as ChannelId;
+            self.caps_compact.push(self.capacities[c as usize]);
         }
         self.csr_offsets.clear();
         self.csr_data.clear();
@@ -527,7 +528,8 @@ impl IncrementalMaxMin {
         for &id in &self.affected_flows {
             let slot = self.flows[id];
             for idx in slot.start..slot.start + slot.len {
-                self.csr_data.push(self.chan_dense[self.arena[idx]]);
+                self.csr_data
+                    .push(self.chan_dense[self.arena[idx] as usize]);
             }
             self.csr_offsets.push(self.csr_data.len());
         }

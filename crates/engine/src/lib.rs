@@ -5,11 +5,12 @@
 //! FCFS trace replay. This crate supplies the substrate that frees both
 //! simulators from that shape, in three layers:
 //!
-//! 1. **The event core** ([`event`], [`sim`]) — a binary-heap event queue
-//!    with deterministic `(time, id)` tie-breaking, an `f64` clock, typed
-//!    event payloads, and component/handler registration in the style of
-//!    dslab: components implement [`Component`] and exchange payloads
-//!    through [`Context::emit`].
+//! 1. **The event core** ([`event`], [`sim`]) — an event queue with
+//!    deterministic `(time, id)` tie-breaking (a bucketed calendar queue by
+//!    default, with a binary-heap reference core behind the [`QueueKind`]
+//!    knob), an `f64` clock, typed event payloads, and component/handler
+//!    registration in the style of dslab: components implement [`Component`]
+//!    and exchange payloads through [`Context::emit`].
 //! 2. **The fabric** ([`fabric`], [`router`], [`maxmin`], [`fluid`]) — any
 //!    [`netpart_topology::Topology`] becomes a [`Fabric`] of directed
 //!    channels; a [`Router`] (dimension-ordered on tori, shortest-path /
@@ -105,7 +106,7 @@ pub use cluster::{
     RandomAllocator, ScatterAllocator,
 };
 pub use error::EngineError;
-pub use event::{ComponentId, Event, EventId, EventQueue};
+pub use event::{ComponentId, Event, EventId, EventQueue, QueueKind};
 pub use fabric::{Channel, Fabric};
 pub use flowsim::{route_flows, route_flows_csr, simulate_flows, static_estimate, Flow};
 pub use fluid::{FluidOutcome, FluidSim};

@@ -8,16 +8,70 @@
 //! The solver is allocation-free on the hot path: callers that solve
 //! repeatedly (every [`FluidSim`](crate::FluidSim) completion round) keep a
 //! [`MaxMinScratch`] alive and hand paths over in CSR form, so each solve
-//! reuses the channel-membership arrays and the bottleneck heap instead of
-//! rebuilding a `Vec<Vec<usize>>` per round.
+//! reuses the channel-membership arrays and the live-channel list instead of
+//! rebuilding a `Vec<Vec<u32>>` per round.
+//!
+//! # Finding the bottleneck: one argmin, two engines
+//!
+//! Each filling round must locate the channel with the smallest fair share
+//! `remaining_capacity / unfixed_traversals`. The bottleneck is defined as
+//! the argmin of `(share, channel)` — `share` ordered by `total_cmp`, ties
+//! broken by the smaller channel id. That key is a total order with no
+//! duplicates, so the minimum is unique, and two interchangeable engines
+//! compute it:
+//!
+//! * **Parallel scan** (wide rounds): the live-channel list is compacted
+//!   and chunk-scanned across the rayon pool; chunk minima are folded in
+//!   chunk order, so the reduction yields the *same bits* as a serial scan,
+//!   for any chunk size and any thread count. Used while at least
+//!   `PAR_THRESHOLD` channels are live, for up to `SCAN_ROUND_BUDGET`
+//!   rounds per solve.
+//! * **Lazy-deletion min-heap** (everything else): channels are keyed by a
+//!   possibly stale share. Shares are monotone non-decreasing as flows fix
+//!   (fixing at the round minimum `m` turns a share `(cap, n)` into
+//!   `((cap - k·m) / (n - k)) ≥ cap / n` because `cap / n ≥ m`), so every
+//!   heap key is a lower bound on its channel's fresh share: a popped entry
+//!   whose key still *equals* the fresh share is the exact global argmin,
+//!   and a stale one is re-pushed under the fresh key. Per round this costs
+//!   `O(log)` instead of a full scan, which keeps narrow many-round solves
+//!   (each round fixing a handful of flows) from going quadratic.
+//!
+//! Because both engines compute the identical unique argmin, any mix of
+//! phases — and any thread count — produces bit-identical rates.
 
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Identifier of a directed channel (an index into a capacity slice).
-pub type ChannelId = usize;
+///
+/// Compact on purpose: a million-node torus carries several million directed
+/// channels, and the solver's membership arrays, the routers' path buffers
+/// and the fabric adjacency all store these ids densely — `u32` halves their
+/// footprint against `usize` and keeps the per-round bottleneck scan inside
+/// the cache. Fabric constructors reject channel counts beyond `u32::MAX`
+/// with a typed error ([`EngineError::IdSpaceExceeded`]), so the narrowing
+/// is checked once at construction, never on the hot path.
+///
+/// [`EngineError::IdSpaceExceeded`]: crate::EngineError::IdSpaceExceeded
+pub type ChannelId = u32;
 
-/// `f64` ordered by `total_cmp` so it can live in a heap.
+/// Live-channel count above which a round uses the parallel scan engine.
+/// Below it the heap engine's `O(log)` rounds beat a fork/join.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Channels per chunk of the parallel bottleneck scan. Chunk minima are
+/// folded in chunk order, which (with the duplicate-free total order on
+/// `(share, channel)`) makes the reduction bit-identical to a serial scan.
+const PAR_CHUNK: usize = 2048;
+
+/// Upper bound on scan-engine rounds per solve. Wide solves that retire
+/// most flows in a few rounds get the parallel scans; solves that turn out
+/// to need many rounds (each fixing a handful of flows) fall through to
+/// the heap engine before the per-round full scans can go quadratic.
+const SCAN_ROUND_BUDGET: usize = 64;
+
+/// `f64` ordered by `total_cmp` so it can live in an ordered key.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Share(f64);
 impl Eq for Share {}
@@ -33,16 +87,23 @@ impl Ord for Share {
 }
 
 /// Reusable buffers for [`max_min_rates_csr`]. One instance amortizes every
-/// per-solve allocation (membership CSR, remaining capacities, the
-/// bottleneck heap) across an entire simulation.
+/// per-solve allocation (membership CSR, remaining capacities, the live
+/// channel list, the heap arena) across an entire simulation.
 #[derive(Debug, Clone, Default)]
 pub struct MaxMinScratch {
     remaining_cap: Vec<f64>,
-    unfixed_count: Vec<usize>,
+    unfixed_count: Vec<u32>,
     member_offsets: Vec<usize>,
-    members: Vec<usize>,
+    /// Flow ids, channel-major (flow counts are checked against u32 once per
+    /// solve, so members pack twice as densely as a usize arena would).
+    members: Vec<u32>,
     cursor: Vec<usize>,
-    heap: BinaryHeap<Reverse<(Share, usize)>>,
+    /// Channels still carrying unfixed flows, ascending; compacted in place
+    /// each round of the scan engine.
+    live: Vec<ChannelId>,
+    /// Lazy-deletion heap for the narrow-round engine: entries key channels
+    /// by a (possibly stale) lower bound of their fair share.
+    heap: BinaryHeap<Reverse<(Share, ChannelId)>>,
     fixed: Vec<bool>,
 }
 
@@ -53,6 +114,75 @@ impl MaxMinScratch {
     }
 }
 
+/// The unique argmin of `(share, channel)` over the live channels, where
+/// `share(c) = remaining_cap[c] / unfixed[c]`. Serial below
+/// [`PAR_THRESHOLD`]; above it, chunked with the chunk minima folded in
+/// order — bit-identical to the serial scan for any thread count (see the
+/// module docs).
+fn bottleneck_channel(
+    live: &[ChannelId],
+    remaining_cap: &[f64],
+    unfixed: &[u32],
+) -> Option<(f64, ChannelId)> {
+    let key = |c: ChannelId| {
+        (
+            Share(remaining_cap[c as usize] / unfixed[c as usize] as f64),
+            c,
+        )
+    };
+    let best = if live.len() < PAR_THRESHOLD {
+        live.iter().map(|&c| key(c)).min()
+    } else {
+        live.chunks(PAR_CHUNK)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&c| key(c))
+                    .min()
+                    .expect("non-empty chunk")
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .min()
+    };
+    best.map(|(Share(share), c)| (share, c))
+}
+
+/// Fix every still-unfixed flow crossing bottleneck channel `c` at rate
+/// `current` and retire its demand from every channel it traverses.
+/// Returns the number of flows newly fixed.
+#[allow(clippy::too_many_arguments)]
+fn fix_channel_flows(
+    c: ChannelId,
+    current: f64,
+    member_offsets: &[usize],
+    members: &[u32],
+    path_offsets: &[usize],
+    path_data: &[ChannelId],
+    fixed: &mut [bool],
+    rate: &mut [f64],
+    remaining_cap: &mut [f64],
+    unfixed_count: &mut [u32],
+) -> usize {
+    let mut newly_fixed = 0usize;
+    for &i in &members[member_offsets[c as usize]..member_offsets[c as usize + 1]] {
+        let i = i as usize;
+        if fixed[i] {
+            continue;
+        }
+        fixed[i] = true;
+        newly_fixed += 1;
+        rate[i] = current;
+        for &d in &path_data[path_offsets[i]..path_offsets[i + 1]] {
+            remaining_cap[d as usize] = (remaining_cap[d as usize] - current).max(0.0);
+            unfixed_count[d as usize] -= 1;
+        }
+    }
+    newly_fixed
+}
+
 /// Max–min fair rates (GB/s) for the active flows, indexed by flow id
 /// (entries for inactive flows are 0). Progressive filling: repeatedly find
 /// the channel with the smallest fair share, fix its unfixed flows at that
@@ -61,10 +191,16 @@ impl MaxMinScratch {
 /// Paths are given in CSR form: flow `i` traverses
 /// `path_data[path_offsets[i]..path_offsets[i + 1]]`.
 ///
-/// A lazy-deletion min-heap keyed by the fair share keeps each step
-/// logarithmic: shares can only grow as flows are fixed, so a popped entry
-/// is either still accurate (then its channel really is the bottleneck) or
-/// stale (then the fresh value is pushed back).
+/// Each round's bottleneck is the unique `(share, channel)` minimum,
+/// computed by the parallel scan engine while at least `PAR_THRESHOLD`
+/// channels are live (budgeted to `SCAN_ROUND_BUDGET` rounds) and by an
+/// exact lazy-deletion heap afterwards. Both engines realize the same
+/// argmin, so rates are bit-identical regardless of the switch-over point
+/// or the thread count (see the module docs).
+///
+/// # Panics
+/// Panics if the flow count exceeds `u32::MAX` (the membership arena stores
+/// flow ids compactly; fabrics already cap channels the same way).
 pub fn max_min_rates_csr(
     active: &[usize],
     path_offsets: &[usize],
@@ -75,6 +211,7 @@ pub fn max_min_rates_csr(
 ) {
     let n_channels = capacities.len();
     let n_flows = path_offsets.len().saturating_sub(1);
+    assert!(n_flows <= u32::MAX as usize, "flow ids must fit u32");
     let path = |i: usize| &path_data[path_offsets[i]..path_offsets[i + 1]];
     let MaxMinScratch {
         remaining_cap,
@@ -82,6 +219,7 @@ pub fn max_min_rates_csr(
         member_offsets,
         members,
         cursor,
+        live,
         heap,
         fixed,
     } = scratch;
@@ -96,7 +234,7 @@ pub fn max_min_rates_csr(
     for &i in active {
         rate[i] = 0.0;
         for &c in path(i) {
-            unfixed_count[c] += 1;
+            unfixed_count[c as usize] += 1;
         }
     }
 
@@ -107,7 +245,7 @@ pub fn max_min_rates_csr(
     let mut total = 0usize;
     member_offsets.push(0);
     for &count in unfixed_count.iter() {
-        total += count;
+        total += count as usize;
         member_offsets.push(total);
     }
     cursor.clear();
@@ -116,55 +254,92 @@ pub fn max_min_rates_csr(
     members.resize(total, 0);
     for &i in active {
         for &c in path(i) {
-            members[cursor[c]] = i;
-            cursor[c] += 1;
+            members[cursor[c as usize]] = i as u32;
+            cursor[c as usize] += 1;
         }
     }
 
-    heap.clear();
-    heap.extend((0..n_channels).filter_map(|c| {
-        let unfixed = unfixed_count[c];
-        (unfixed > 0).then(|| Reverse((Share(remaining_cap[c] / unfixed as f64), c)))
-    }));
+    live.clear();
+    live.extend((0..n_channels as ChannelId).filter(|&c| unfixed_count[c as usize] > 0));
 
     let mut fixed_count = 0usize;
+
+    // Phase 1 — scan engine: while the round is wide enough to amortize a
+    // fork/join (and the budget lasts), compact the live list and take the
+    // argmin with the order-preserving parallel reduction.
+    let mut scan_rounds = 0usize;
     while fixed_count < active.len() {
-        let Some(Reverse((Share(share), c))) = heap.pop() else {
-            // No constrained channel left; remaining flows are unbounded in
-            // this model (cannot happen for non-empty paths).
-            for &i in active {
-                if !fixed[i] {
-                    rate[i] = f64::MAX;
-                }
-            }
+        // Channels fully fixed since the last round drop out here; the
+        // retain preserves ascending order, keeping the channel tie-break
+        // stable across rounds.
+        live.retain(|&c| unfixed_count[c as usize] > 0);
+        if live.len() < PAR_THRESHOLD || scan_rounds >= SCAN_ROUND_BUDGET {
+            break;
+        }
+        scan_rounds += 1;
+        let Some((current, c)) = bottleneck_channel(live, remaining_cap, unfixed_count) else {
             break;
         };
-        if unfixed_count[c] == 0 {
-            continue; // stale entry for a fully-fixed channel
+        fixed_count += fix_channel_flows(
+            c,
+            current,
+            member_offsets,
+            members,
+            path_offsets,
+            path_data,
+            fixed,
+            rate,
+            remaining_cap,
+            unfixed_count,
+        );
+    }
+
+    // Phase 2 — heap engine: seed the lazy-deletion min-heap with the fresh
+    // shares of the channels still live. Keys are lower bounds (shares only
+    // grow as flows fix; see the module docs), so a popped entry whose key
+    // equals the fresh share is the exact global argmin; otherwise the
+    // entry is stale and re-enters under its fresh key.
+    if fixed_count < active.len() {
+        heap.clear();
+        for &c in live.iter() {
+            if unfixed_count[c as usize] > 0 {
+                let share = remaining_cap[c as usize] / unfixed_count[c as usize] as f64;
+                heap.push(Reverse((Share(share), c)));
+            }
         }
-        let current = remaining_cap[c] / unfixed_count[c] as f64;
-        if current > share * (1.0 + 1e-12) + f64::MIN_POSITIVE {
-            heap.push(Reverse((Share(current), c)));
-            continue; // stale entry; the fresh share goes back in the heap
-        }
-        // `c` is the bottleneck: fix every unfixed flow crossing it.
-        for &i in &members[member_offsets[c]..member_offsets[c + 1]] {
-            if fixed[i] {
+        while fixed_count < active.len() {
+            let Some(Reverse((stale, c))) = heap.pop() else {
+                // No constrained channel left; remaining flows are
+                // unbounded in this model (cannot happen for non-empty
+                // paths).
+                for &i in active {
+                    if !fixed[i] {
+                        rate[i] = f64::MAX;
+                    }
+                }
+                break;
+            };
+            if unfixed_count[c as usize] == 0 {
+                // Lazily deleted: every flow on `c` fixed en passant.
                 continue;
             }
-            fixed[i] = true;
-            fixed_count += 1;
-            rate[i] = current;
-            for &d in path(i) {
-                remaining_cap[d] = (remaining_cap[d] - current).max(0.0);
-                unfixed_count[d] -= 1;
-                if d != c && unfixed_count[d] > 0 {
-                    heap.push(Reverse((
-                        Share(remaining_cap[d] / unfixed_count[d] as f64),
-                        d,
-                    )));
-                }
+            let current = remaining_cap[c as usize] / unfixed_count[c as usize] as f64;
+            if Share(current) != stale {
+                heap.push(Reverse((Share(current), c)));
+                continue;
             }
+            fixed_count += fix_channel_flows(
+                c,
+                current,
+                member_offsets,
+                members,
+                path_offsets,
+                path_data,
+                fixed,
+                rate,
+                remaining_cap,
+                unfixed_count,
+            );
         }
     }
 }
@@ -227,7 +402,7 @@ mod tests {
         for &i in &active {
             assert!(rates[i] > 0.0);
             for &c in &paths[i] {
-                usage[c] += rates[i];
+                usage[c as usize] += rates[i];
             }
         }
         for (u, cap) in usage.iter().zip(&caps) {
@@ -305,6 +480,70 @@ mod tests {
             let mut fresh = vec![0.0; paths.len()];
             max_min_rates(&active, &paths, &caps, caps.len(), &mut fresh);
             assert_eq!(reused, fresh, "active set {active:?}");
+        }
+    }
+
+    #[test]
+    fn wide_solves_cross_the_parallel_threshold_and_stay_exact() {
+        // 2 * PAR_THRESHOLD channels guarantee the chunked reduction runs.
+        // Disjoint flow pairs over exact-dividing capacities make the
+        // expected rates exact, so this doubles as an order-preservation
+        // check: any wrong argmin would mis-order the subtraction chain.
+        let n = 2 * PAR_THRESHOLD;
+        let mut offsets = vec![0usize];
+        let mut data: Vec<ChannelId> = Vec::new();
+        let mut caps = vec![0.0f64; n];
+        let mut active = Vec::new();
+        // Flow i crosses channels (2i, 2i + 1); the even channel is the
+        // bottleneck with capacity 1 + (i mod 7).
+        for i in 0..n / 2 {
+            data.push(2 * i as ChannelId);
+            data.push(2 * i as ChannelId + 1);
+            offsets.push(data.len());
+            caps[2 * i] = 1.0 + (i % 7) as f64;
+            caps[2 * i + 1] = 64.0;
+            active.push(i);
+        }
+        let mut scratch = MaxMinScratch::new();
+        let mut rates = vec![0.0; n / 2];
+        max_min_rates_csr(&active, &offsets, &data, &caps, &mut scratch, &mut rates);
+        for (i, r) in rates.iter().enumerate() {
+            assert_eq!(*r, 1.0 + (i % 7) as f64, "flow {i}");
+        }
+    }
+
+    #[test]
+    fn many_round_solves_take_the_heap_engine_and_stay_exact() {
+        // A strict capacity ladder over chained pairs: flow i crosses
+        // channels i and i + 1, with caps[i] = 2^min(i, 50). Channel i + 1
+        // becomes the bottleneck only after flow i fixes, so every round
+        // retires exactly one flow — the narrow many-round shape that the
+        // heap engine exists for, hitting its stale-entry re-push path on
+        // every round. The expected rates are exact (integer-valued).
+        let n = 512;
+        let mut paths = Vec::with_capacity(n);
+        let mut caps = vec![0.0f64; n + 1];
+        for i in 0..n {
+            paths.push(vec![i as ChannelId, (i + 1) as ChannelId]);
+        }
+        for (i, cap) in caps.iter_mut().enumerate() {
+            *cap = (1u64 << i.min(50)) as f64;
+        }
+        let active: Vec<usize> = (0..n).collect();
+        let mut rates = vec![0.0; n];
+        max_min_rates(&active, &paths, &caps, n + 1, &mut rates);
+        // Flow 0 is capped by channel 0 (cap 1, sole traversal): rate 1.
+        // Once flow i fixes, channel i + 1 (cap 2^(i+1)) carries only flow
+        // i + 1 with 2^(i+1) - rate_i left — strictly below every wider
+        // channel's share — so rate_{i+1} = 2^(i+1) - rate_i along the
+        // pre-plateau prefix.
+        assert_eq!(rates[0], 1.0);
+        for i in 1..50 {
+            assert_eq!(
+                rates[i],
+                (1u64 << i) as f64 - rates[i - 1],
+                "flow {i} off the ladder"
+            );
         }
     }
 }

@@ -169,7 +169,7 @@ impl Router for DimensionOrdered {
             for _ in 0..disp.unsigned_abs() {
                 let channel = fabric.hop_channel(node, d, direction)?;
                 path.push(channel);
-                node = fabric.channels()[channel].to;
+                node = fabric.channel_dst(channel);
             }
         }
         debug_assert_eq!(node, dst, "route must terminate at the destination");
@@ -327,12 +327,12 @@ fn minimal_route_into(
             .out_channels(node)
             .iter()
             .copied()
-            .filter(|&c| dist[fabric.channels()[c].to] + 1 == dist[node])
+            .filter(|&c| dist[fabric.channel_dst(c)] + 1 == dist[node])
             .collect();
         debug_assert!(!candidates.is_empty(), "BFS distance admits a next hop");
         let chosen = candidates[pick(node, candidates.len())];
         path.push(chosen);
-        node = fabric.channels()[chosen].to;
+        node = fabric.channel_dst(chosen);
     }
     Ok(())
 }
@@ -353,8 +353,8 @@ mod tests {
     fn walk_is_valid(fabric: &Fabric, src: usize, dst: usize, path: &[ChannelId]) {
         let mut node = src;
         for &c in path {
-            assert_eq!(fabric.channels()[c].from, node, "disconnected walk");
-            node = fabric.channels()[c].to;
+            assert_eq!(fabric.channel_src(c), node, "disconnected walk");
+            node = fabric.channel_dst(c);
         }
         assert_eq!(node, dst, "walk must end at the destination");
     }

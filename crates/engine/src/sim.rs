@@ -6,7 +6,7 @@
 //! clock and schedule (or cancel) further events; the driver advances the
 //! clock monotonically to each event's timestamp.
 
-use crate::event::{ComponentId, Event, EventId, EventQueue};
+use crate::event::{ComponentId, Event, EventId, EventQueue, QueueKind};
 use netpart_telemetry::{Telemetry, TelemetryEvent};
 
 /// Default cadence of the [`TelemetryEvent::EngineProgress`] heartbeat, in
@@ -91,10 +91,18 @@ impl<P> Default for Simulation<P> {
 }
 
 impl<P> Simulation<P> {
-    /// A fresh simulation with the clock at 0.
+    /// A fresh simulation with the clock at 0, using the process-default
+    /// [`QueueKind`].
     pub fn new() -> Self {
+        Self::with_queue_kind(QueueKind::process_default())
+    }
+
+    /// A fresh simulation with an explicit event-queue kind. Purely an
+    /// execution knob — the delivered event sequence is identical for every
+    /// kind (see [`QueueKind`]).
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
         Self {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(kind),
             components: Vec::new(),
             names: Vec::new(),
             clock: 0.0,
@@ -102,6 +110,11 @@ impl<P> Simulation<P> {
             telemetry: Telemetry::disabled(),
             progress_mask: PROGRESS_EVERY - 1,
         }
+    }
+
+    /// Which event-queue kind this simulation runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Route a periodic [`TelemetryEvent::EngineProgress`] heartbeat through

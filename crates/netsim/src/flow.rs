@@ -132,7 +132,7 @@ impl FlowSim {
         let mut load = vec![0.0f64; network.num_channels()];
         for (flow, path) in flows.iter().zip(&paths) {
             for &c in path {
-                load[c] += flow.gigabytes;
+                load[c as usize] += flow.gigabytes;
             }
         }
         load.iter()
@@ -281,7 +281,7 @@ mod tests {
         for &i in &active {
             assert!(rates[i] > 0.0, "every active flow gets positive rate");
             for &c in &paths[i] {
-                usage[c] += rates[i];
+                usage[c as usize] += rates[i];
             }
         }
         for (u, cap) in usage.iter().zip(&caps) {

@@ -21,8 +21,10 @@ use netpart_engine::Fabric;
 use netpart_topology::Torus;
 use serde::{Deserialize, Serialize};
 
-/// Identifier of a directed channel (see [`TorusNetwork::num_channels`]).
-pub type ChannelId = usize;
+/// Identifier of a directed channel (see [`TorusNetwork::num_channels`]) —
+/// the engine's compact `u32` id, re-exported so both front ends share one
+/// id type.
+pub type ChannelId = netpart_engine::ChannelId;
 
 /// Typed errors for channel lookups, so sweeps over many networks can skip a
 /// bad query instead of aborting.
@@ -98,8 +100,8 @@ impl TorusNetwork {
                     let id = fabric
                         .hop_channel(node, d, direction)
                         .expect("non-degenerate dimension has a channel");
-                    debug_assert_eq!(id, channels.len(), "fabric enumeration order");
-                    let ch = fabric.channels()[id];
+                    debug_assert_eq!(id as usize, channels.len(), "fabric enumeration order");
+                    let ch = fabric.channel(id);
                     channels.push(Channel {
                         from: ch.from,
                         to: ch.to,
@@ -219,7 +221,7 @@ mod tests {
             for dim in 0..3 {
                 for dir in [1i8, -1] {
                     let id = net.hop_channel(node, dim, dir);
-                    let ch = net.channels()[id];
+                    let ch = net.channels()[id as usize];
                     assert_eq!(ch.from, node);
                     assert_eq!(ch.dim, dim);
                     assert_eq!(ch.direction, dir);
@@ -236,7 +238,8 @@ mod tests {
     fn channel_table_mirrors_the_backing_fabric() {
         let net = TorusNetwork::bgq_partition(&[4, 4, 2]);
         assert_eq!(net.channels().len(), net.fabric().num_channels());
-        for (ours, fabric) in net.channels().iter().zip(net.fabric().channels()) {
+        for (id, ours) in net.channels().iter().enumerate() {
+            let fabric = net.fabric().channel(id as ChannelId);
             assert_eq!(ours.from, fabric.from);
             assert_eq!(ours.to, fabric.to);
             assert_eq!(ours.bandwidth_gbs, fabric.bandwidth_gbs);
@@ -249,7 +252,10 @@ mod tests {
         let plus = net.hop_channel(0, 1, 1);
         let minus = net.hop_channel(0, 1, -1);
         assert_ne!(plus, minus, "the +1 and -1 cables are distinct hardware");
-        assert_eq!(net.channels()[plus].to, net.channels()[minus].to);
+        assert_eq!(
+            net.channels()[plus as usize].to,
+            net.channels()[minus as usize].to
+        );
     }
 
     #[test]

@@ -108,8 +108,8 @@ mod tests {
         let path = routing.route(&net, 1, 20);
         let mut node = 1;
         for &c in &path {
-            assert_eq!(net.channels()[c].from, node);
-            node = net.channels()[c].to;
+            assert_eq!(net.channels()[c as usize].from, node);
+            node = net.channels()[c as usize].to;
         }
         assert_eq!(node, 20);
     }
@@ -121,7 +121,9 @@ mod tests {
         // 0 -> 6 is 2 hops in the -1 direction, not 6 hops in +1.
         let path = routing.route(&net, 0, 6);
         assert_eq!(path.len(), 2);
-        assert!(path.iter().all(|&c| net.channels()[c].direction == -1));
+        assert!(path
+            .iter()
+            .all(|&c| net.channels()[c as usize].direction == -1));
     }
 
     #[test]
@@ -135,7 +137,9 @@ mod tests {
             let dst = (src + 4) % 8;
             let path = routing.route(&net, src, dst);
             assert_eq!(path.len(), 4);
-            assert!(path.iter().all(|&c| net.channels()[c].direction == 1));
+            assert!(path
+                .iter()
+                .all(|&c| net.channels()[c as usize].direction == 1));
         }
     }
 
@@ -149,7 +153,7 @@ mod tests {
         let dirs: std::collections::HashSet<i8> = (0..8)
             .map(|src| {
                 let path = routing.route(&net, src, (src + 4) % 8);
-                net.channels()[path[0]].direction
+                net.channels()[path[0] as usize].direction
             })
             .collect();
         assert_eq!(

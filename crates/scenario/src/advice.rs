@@ -272,7 +272,7 @@ struct Scorer {
     flows: Vec<Flow>,
     sizes: Vec<f64>,
     path_offsets: Vec<usize>,
-    path_data: Vec<usize>,
+    path_data: Vec<netpart_engine::ChannelId>,
     fluid: FluidSim,
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-//!               [--solver batch|incremental]
+//!               [--solver batch|incremental] [--queue heap|calendar]
 //!               [--telemetry-ring PATH] [--telemetry-ring-capacity N]
 //!               [--telemetry-progress-every N]
 //!               [--trace-slow-ms N] [--trace-dir DIR]
@@ -23,14 +23,15 @@
 //! as Chrome trace JSON into `--trace-dir` (default: the ring path with a
 //! `.traces` extension), rotating through a bounded set of slot files.
 
-use netpart_engine::SolverMode;
+use netpart_engine::{QueueKind, SolverMode};
 use netpart_service::server::{serve, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: netpart_serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
-         [--solver batch|incremental] [--telemetry-ring PATH] [--telemetry-ring-capacity N] \
-         [--telemetry-progress-every N] [--trace-slow-ms N] [--trace-dir DIR]"
+         [--solver batch|incremental] [--queue heap|calendar] [--telemetry-ring PATH] \
+         [--telemetry-ring-capacity N] [--telemetry-progress-every N] [--trace-slow-ms N] \
+         [--trace-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -50,6 +51,9 @@ fn main() {
             }
             "--solver" => {
                 config.solver = SolverMode::from_label(&value()).unwrap_or_else(|| usage());
+            }
+            "--queue" => {
+                config.queue = QueueKind::from_label(&value()).unwrap_or_else(|| usage());
             }
             "--telemetry-ring" => {
                 config.telemetry_ring = Some(std::path::PathBuf::from(value()));

@@ -17,7 +17,7 @@ use crate::cache::ResponseCache;
 use crate::handlers;
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, Request, Response};
-use netpart_engine::SolverMode;
+use netpart_engine::{QueueKind, SolverMode};
 use netpart_telemetry::trace::{snapshot, TraceForest};
 use netpart_telemetry::{KindLabel, RingReader, Telemetry, TelemetryEvent, DEFAULT_RING_CAPACITY};
 use std::io::{Read, Write};
@@ -45,6 +45,12 @@ pub struct ServerConfig {
     /// knob only: responses are byte-identical across modes (pinned by the
     /// integration tests), so it never enters cache keys or the protocol.
     pub solver: SolverMode,
+    /// Event-queue core for simulation-backed handlers, installed as the
+    /// process default at startup. Like the solver mode it is an execution
+    /// knob only: pop order is pinned identical across kinds (by the
+    /// `queue_parity` differential suite), so it never enters cache keys or
+    /// the protocol.
+    pub queue: QueueKind,
     /// Path of the file-backed telemetry ring. `None` keeps in-process
     /// solver aggregates for `stats` but writes no ring file. Like the
     /// solver mode, telemetry is an execution knob only — responses are
@@ -79,6 +85,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             solver: SolverMode::default(),
+            queue: QueueKind::default(),
             telemetry_ring: None,
             telemetry_ring_capacity: DEFAULT_RING_CAPACITY,
             trace_slow_ms: None,
@@ -434,6 +441,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     )?;
     let local_addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    QueueKind::set_process_default(config.queue);
     let telemetry = match &config.telemetry_ring {
         Some(path) => Telemetry::to_ring(path, config.telemetry_ring_capacity)?,
         None => Telemetry::counters_only(),

@@ -35,11 +35,11 @@ fn catalog_fabric(i: usize) -> Fabric {
 }
 
 /// Assert that `path` is a connected walk from `src` to `dst` in `fabric`.
-fn assert_valid_walk(fabric: &Fabric, src: usize, dst: usize, path: &[usize]) {
+fn assert_valid_walk(fabric: &Fabric, src: usize, dst: usize, path: &[netpart::engine::ChannelId]) {
     let mut node = src;
     for &c in path {
-        assert_eq!(fabric.channels()[c].from, node, "walk disconnects");
-        node = fabric.channels()[c].to;
+        assert_eq!(fabric.channel_src(c), node, "walk disconnects");
+        node = fabric.channel_dst(c);
     }
     assert_eq!(node, dst, "walk must end at the destination");
 }
@@ -141,11 +141,7 @@ proptest! {
         prop_assert!(outcome.makespan >= outcome.bottleneck_lower_bound - 1e-9);
         for (flow, done) in flows.iter().zip(&outcome.completion) {
             if flow.src != flow.dst {
-                let fastest = fabric
-                    .channels()
-                    .iter()
-                    .map(|c| c.bandwidth_gbs)
-                    .fold(0.0, f64::max);
+                let fastest = fabric.capacities().iter().copied().fold(0.0, f64::max);
                 prop_assert!(*done >= flow.gigabytes / fastest - 1e-9);
             }
         }

@@ -1,0 +1,71 @@
+//! The parallel bottleneck scan must be an *execution* detail: max–min
+//! rates are bit-identical under any worker-thread cap.
+//!
+//! The kernel's per-round reduction is an argmin over a duplicate-free
+//! total order (`(share, channel id)`), so chunked parallel folds and the
+//! serial scan must land on the same bottleneck every round. This test
+//! pins that end to end: a workload wide enough to cross the kernel's
+//! parallel threshold is solved under thread caps 1, 2 and 8 (via the
+//! vendored `rayon::set_max_threads` override) and every rate — plus a
+//! full fluid simulation's makespan and completion times — must agree to
+//! the bit.
+
+use netpart::engine::{
+    max_min_rates_csr, route_flows_csr, simulate_flows, DimensionOrdered, Fabric, MaxMinScratch,
+};
+use netpart::topology::Torus;
+use netpart_bench::engine_workloads::shuffle_flows;
+
+/// Channels the kernel's parallel path requires per round (mirrors the
+/// kernel's internal threshold; the assert below keeps the premise honest).
+const PAR_THRESHOLD: usize = 4096;
+
+#[test]
+fn rates_and_simulations_are_bit_identical_under_any_thread_cap() {
+    // Wide enough that the first rounds scan tens of thousands of live
+    // channels: 4096 nodes, 24576 directed channels, one shuffle flow per
+    // node (the shared bench workload).
+    let fabric = Fabric::from_torus(Torus::new(vec![32, 32, 4]), 2.0);
+    let flows = shuffle_flows(&fabric);
+    let router = DimensionOrdered::default();
+    let mut offsets = Vec::new();
+    let mut data = Vec::new();
+    route_flows_csr(&fabric, &router, &flows, &mut offsets, &mut data).expect("torus routes");
+    let distinct: std::collections::HashSet<_> = data.iter().copied().collect();
+    assert!(
+        distinct.len() >= PAR_THRESHOLD,
+        "workload must cross the parallel threshold ({} live channels)",
+        distinct.len()
+    );
+    let active: Vec<usize> = (0..flows.len()).collect();
+
+    let mut reference: Option<(Vec<u64>, u64, Vec<u64>)> = None;
+    for cap in [1usize, 2, 8] {
+        rayon::set_max_threads(cap);
+        let mut scratch = MaxMinScratch::new();
+        let mut rates = vec![0.0f64; flows.len()];
+        max_min_rates_csr(
+            &active,
+            &offsets,
+            &data,
+            fabric.capacities(),
+            &mut scratch,
+            &mut rates,
+        );
+        let rate_bits: Vec<u64> = rates.iter().map(|r| r.to_bits()).collect();
+
+        let outcome = simulate_flows(&fabric, &router, &flows).expect("torus routes");
+        let makespan_bits = outcome.makespan.to_bits();
+        let completion_bits: Vec<u64> = outcome.completion.iter().map(|t| t.to_bits()).collect();
+
+        match &reference {
+            None => reference = Some((rate_bits, makespan_bits, completion_bits)),
+            Some((r, m, c)) => {
+                assert_eq!(&rate_bits, r, "rates diverged at thread cap {cap}");
+                assert_eq!(makespan_bits, *m, "makespan diverged at thread cap {cap}");
+                assert_eq!(&completion_bits, c, "completions diverged at cap {cap}");
+            }
+        }
+    }
+    rayon::set_max_threads(0);
+}

@@ -1,0 +1,197 @@
+//! Differential tests pinning the calendar event queue bit-identical to the
+//! binary-heap reference core.
+//!
+//! Random operation scripts — pushes with heavily colliding timestamps
+//! (same-time bursts), pops, cancellations of arbitrary earlier events —
+//! are replayed against an [`EventQueue`] of each [`QueueKind`] in
+//! lockstep; every observable (popped event, `next_time`, `len`) must
+//! agree at every step. A simulation-level test drives re-entrant pushes
+//! (handlers emitting at the *current* instant while that instant is being
+//! drained) through both kinds and demands the identical delivery log.
+//!
+//! The CI `queue-parity` job runs this suite with an elevated case count
+//! (`PROPTEST_CASES=512`) alongside the incremental-solver parity suite;
+//! locally it defaults to a fast 64 per property.
+
+use netpart::engine::{Component, Context, Event, EventQueue, QueueKind, Simulation};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One scripted queue operation. Times come from a tiny code space so
+/// same-timestamp collisions are the norm, not the exception.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Push `1 + burst` events at the same decoded timestamp.
+    Push { time_code: u16, burst: u8 },
+    /// Pop the minimum from both queues and compare it field by field.
+    Pop,
+    /// Cancel the `k`-th most recent still-tracked push (ignored when
+    /// nothing was pushed yet); cancelling already-popped ids must be a
+    /// no-op on both kinds.
+    Cancel { back: u8 },
+    /// Compare `next_time` (which prunes cancelled minima).
+    NextTime,
+}
+
+/// Decode a time code into a timestamp. A 37-value grid (quarter steps,
+/// some negative) plus a far-future band, so scripts mix dense collisions
+/// with outliers that force the calendar through resize and long-jump
+/// paths.
+fn decode_time(code: u16) -> f64 {
+    if code > 60_000 {
+        1.0e6 + (code - 60_000) as f64
+    } else {
+        (code % 37) as f64 * 0.25 - 2.0
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        4 => (any::<u16>(), 0u8..4).prop_map(|(time_code, burst)| QueueOp::Push {
+            time_code,
+            burst
+        }),
+        3 => Just(QueueOp::Pop),
+        1 => any::<u8>().prop_map(|back| QueueOp::Cancel { back }),
+        1 => Just(QueueOp::NextTime),
+    ]
+}
+
+/// Replay one script against both queue kinds in lockstep.
+fn replay(ops: &[QueueOp]) {
+    let mut heap: EventQueue<u32> = EventQueue::with_kind(QueueKind::Heap);
+    let mut calendar: EventQueue<u32> = EventQueue::with_kind(QueueKind::Calendar);
+    assert_eq!(heap.kind(), QueueKind::Heap);
+    assert_eq!(calendar.kind(), QueueKind::Calendar);
+    // Ids of every push, in push order (ids are identical across kinds by
+    // construction; the assert below keeps that honest).
+    let mut pushed = Vec::new();
+    let mut payload = 0u32;
+    for op in ops {
+        match op {
+            QueueOp::Push { time_code, burst } => {
+                let time = decode_time(*time_code);
+                for _ in 0..=*burst {
+                    let a = heap.push(time, 0, 1, payload);
+                    let b = calendar.push(time, 0, 1, payload);
+                    assert_eq!(a, b, "event ids must track across kinds");
+                    pushed.push(a);
+                    payload += 1;
+                }
+            }
+            QueueOp::Pop => {
+                let a = heap.pop();
+                let b = calendar.pop();
+                match (&a, &b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.id, y.id, "pop order diverged");
+                        assert_eq!(x.time.to_bits(), y.time.to_bits());
+                        assert_eq!(x.src, y.src);
+                        assert_eq!(x.dest, y.dest);
+                        assert_eq!(x.payload, y.payload);
+                    }
+                    _ => panic!("one kind popped, the other was empty: {a:?} vs {b:?}"),
+                }
+            }
+            QueueOp::Cancel { back } => {
+                if pushed.is_empty() {
+                    continue;
+                }
+                let id = pushed[pushed.len() - 1 - (*back as usize % pushed.len())];
+                heap.cancel(id);
+                calendar.cancel(id);
+            }
+            QueueOp::NextTime => {
+                assert_eq!(
+                    heap.next_time().map(f64::to_bits),
+                    calendar.next_time().map(f64::to_bits)
+                );
+            }
+        }
+        assert_eq!(heap.len(), calendar.len(), "pending counts diverged");
+        assert_eq!(heap.is_empty(), calendar.is_empty());
+    }
+    // Drain both to the end: the residual pop order must agree too.
+    loop {
+        match (heap.pop(), calendar.pop()) {
+            (None, None) => break,
+            (Some(x), Some(y)) => assert_eq!((x.id, x.time.to_bits()), (y.id, y.time.to_bits())),
+            (a, b) => panic!("drain length diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
+
+    /// Every observable of the two queue kinds agrees on random scripts of
+    /// colliding pushes, pops and cancellations.
+    #[test]
+    fn queue_kinds_agree_on_random_scripts(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        replay(&ops);
+    }
+}
+
+/// A same-instant burst must pop in scheduling (id) order on both kinds.
+#[test]
+fn same_timestamp_bursts_pop_in_fifo_order() {
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        let mut queue: EventQueue<u32> = EventQueue::with_kind(kind);
+        for i in 0..100 {
+            queue.push(42.0, 0, 0, i);
+        }
+        for i in 0..100 {
+            let ev = queue.pop().expect("pushed 100");
+            assert_eq!(ev.payload, i, "{kind:?} broke FIFO within a timestamp");
+        }
+    }
+}
+
+/// Handler that fans out re-entrantly: on every event it emits two children
+/// at the *same* instant (delay 0, scheduled while that instant is being
+/// drained) and one in the future, down to a fixed depth, logging every
+/// delivery.
+struct Bursty {
+    log: Rc<RefCell<Vec<(u64, u32)>>>,
+}
+
+impl Component<u32> for Bursty {
+    fn on_event(&mut self, event: Event<u32>, ctx: &mut Context<'_, u32>) {
+        self.log
+            .borrow_mut()
+            .push((ctx.time().to_bits(), event.payload));
+        if event.payload > 0 {
+            ctx.emit_self(event.payload - 1, 0.0);
+            ctx.emit_self(event.payload - 1, 0.0);
+            ctx.emit_self(event.payload - 1, 1.25);
+        }
+    }
+}
+
+/// Re-entrant same-instant cascades (the hardest case for a calendar: the
+/// current window keeps growing while it is being drained) deliver in the
+/// identical order under both kinds.
+#[test]
+fn re_entrant_bursts_deliver_identically() {
+    let mut logs = Vec::new();
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<u32> = Simulation::with_queue_kind(kind);
+        assert_eq!(sim.queue_kind(), kind);
+        let id = sim.add_component(
+            "bursty",
+            Box::new(Bursty {
+                log: Rc::clone(&log),
+            }),
+        );
+        sim.schedule(0.0, id, 7);
+        sim.run();
+        let entries = log.borrow().clone();
+        assert_eq!(entries.len() as u64, sim.events_processed());
+        logs.push(entries);
+    }
+    assert_eq!(logs[0].len(), logs[1].len());
+    assert_eq!(logs[0], logs[1], "delivery logs diverged between kinds");
+}

@@ -148,9 +148,16 @@ macro_rules! prop_assume {
     };
 }
 
-/// Choose uniformly between several strategies with the same value type.
+/// Choose between several strategies with the same value type — uniformly
+/// (`prop_oneof![a, b]`) or weighted (`prop_oneof![3 => a, 1 => b]`),
+/// mirroring real proptest's two arm forms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($strategy)),+

@@ -125,15 +125,36 @@ where
     }
 }
 
-/// Uniform choice between boxed strategies; built by `prop_oneof!`.
+/// Choice between boxed strategies, uniform or weighted; built by
+/// `prop_oneof!`.
 pub struct Union<V> {
-    options: Vec<BoxedStrategy<V>>,
+    /// `(cumulative weight, strategy)` pairs; the last cumulative weight is
+    /// the total.
+    options: Vec<(u64, BoxedStrategy<V>)>,
 }
 
 impl<V> Union<V> {
-    /// Build from a non-empty list of alternatives.
+    /// Build from a non-empty list of equally likely alternatives.
     pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Build from `(weight, strategy)` pairs; an arm is drawn with
+    /// probability proportional to its weight.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        assert!(
+            options.iter().any(|&(w, _)| w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        let mut cumulative = 0u64;
+        let options = options
+            .into_iter()
+            .map(|(w, s)| {
+                cumulative += u64::from(w);
+                (cumulative, s)
+            })
+            .collect();
         Self { options }
     }
 }
@@ -142,8 +163,10 @@ impl<V> Strategy for Union<V> {
     type Value = V;
 
     fn sample(&self, rng: &mut TestRng) -> V {
-        let idx = (rng.next_u64() as usize) % self.options.len();
-        self.options[idx].sample(rng)
+        let total = self.options.last().expect("non-empty").0;
+        let draw = rng.next_u64() % total;
+        let idx = self.options.partition_point(|&(cum, _)| cum <= draw);
+        self.options[idx].1.sample(rng)
     }
 }
 

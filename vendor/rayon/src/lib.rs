@@ -27,7 +27,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// at any instant.
 static ACTIVE_EXTRA_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide thread-count override; `0` means "use the machine's
+/// available parallelism". See [`set_max_threads`].
+static MAX_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap (or raise) the number of threads fan-outs may use, process-wide.
+/// `0` restores the default (the machine's available parallelism). The
+/// counterpart of rayon's global thread-pool sizing, used by determinism
+/// tests to pin runs at 1, 2 or 8 threads regardless of the host.
+pub fn set_max_threads(cap: usize) {
+    MAX_THREADS_OVERRIDE.store(cap, Ordering::Relaxed);
+}
+
 fn max_threads() -> usize {
+    let cap = MAX_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if cap > 0 {
+        return cap;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
