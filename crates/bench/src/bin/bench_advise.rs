@@ -1,13 +1,24 @@
 //! Machine-readable allocation-advice performance baseline.
 //!
-//! Times the candidate-allocation scoring hot path twice — per-candidate
-//! construction (the naive shape) vs the reused CSR/fluid/scratch buffers
-//! that `netpart_scenario::run_advice` actually uses — plus one end-to-end
-//! `run_advice` over the torus-blocks registry entry, and writes
-//! `results/bench_advise.json`. The two scoring paths are asserted
-//! bit-identical before anything is timed.
+//! Three comparisons, written to `results/bench_advise.json`:
+//!
+//! * the historical buffer-reuse pair — per-candidate construction
+//!   (`score_naive`) vs reused CSR/fluid/scratch buffers (`score_reused`);
+//! * the headline delta-scoring ladder — the advice sweep's reset-per-
+//!   candidate shape (`score_reset`, the pre-delta serial loop) vs the
+//!   delta-scored shard sessions (`score_delta`, what `run_advice` runs
+//!   now), over 64/128/256/512 candidate sweeps;
+//! * one end-to-end `run_advice` over the torus-blocks registry entry.
+//!
+//! Every compared pair is asserted bit-identical before anything is timed;
+//! the delta ladder additionally pins its checksum across worker thread
+//! caps 1/2/8, so the recorded speedup can never come from reordered or
+//! diverging answers.
 
-use netpart_bench::advise_workloads::{advise_fabric, candidate_sets, score_naive, score_reused};
+use netpart_bench::advise_workloads::{
+    advise_fabric, candidate_sets, score_delta, score_naive, score_reset, score_reused,
+    scores_checksum,
+};
 use netpart_bench::emit_json_baseline;
 use netpart_engine::DimensionOrdered;
 use netpart_scenario::{named_advice, run_advice};
@@ -53,6 +64,31 @@ fn main() {
             "ratio",
             naive / reused,
         ));
+    }
+
+    // The delta-scoring ladder: reset-per-candidate (the sweep's pre-delta
+    // serial shape) vs the delta-scored shard sessions, at growing candidate
+    // counts. Checksums are pinned bit-identical — including across thread
+    // caps 1/2/8 for the delta path — before any timing.
+    for count in [64usize, 128, 256, 512] {
+        let candidates = candidate_sets(&fabric, 4, count);
+        let reset_scores = score_reset(&fabric, &router, &candidates, gigabytes);
+        let checksum = scores_checksum(&reset_scores);
+        for cap in [1usize, 2, 8] {
+            rayon::set_max_threads(cap);
+            let delta_scores = score_delta(&fabric, &router, &candidates, gigabytes);
+            assert_eq!(
+                scores_checksum(&delta_scores),
+                checksum,
+                "delta scoring diverged from the reset path at thread cap {cap} ({count} candidates)"
+            );
+        }
+        rayon::set_max_threads(0);
+        let reset = time_best(|| score_reset(&fabric, &router, &candidates, gigabytes));
+        let delta = time_best(|| score_delta(&fabric, &router, &candidates, gigabytes));
+        entries.push((format!("advise_{count}x4_reset"), "seconds", reset));
+        entries.push((format!("advise_{count}x4_delta"), "seconds", delta));
+        entries.push((format!("advise_{count}x4_speedup"), "ratio", reset / delta));
     }
 
     let advice_spec = named_advice("advise-torus-blocks").expect("registry entry");

@@ -185,8 +185,9 @@ pub mod engine_workloads {
 pub mod advise_workloads {
     use netpart_engine::{
         route_flows, route_flows_csr, Allocator, BlockedAllocator, ChannelId, CompactAllocator,
-        Fabric, Flow, FluidSim, RandomAllocator, Router, ScatterAllocator,
+        Fabric, Flow, FluidSim, RandomAllocator, Router, ScatterAllocator, SolverMode, Telemetry,
     };
+    use netpart_scenario::CandidateScore;
     use netpart_topology::Torus;
 
     /// The fabric the advise benchmarks score on.
@@ -284,6 +285,60 @@ pub mod advise_workloads {
             total += fluid.time();
         }
         total
+    }
+
+    /// Score the candidates through the advice sweep's pre-delta shape: a
+    /// serial loop that re-arms one fluid solver per candidate (the
+    /// `score_candidates_reset` reference path). Returns per-candidate
+    /// scores in input order.
+    pub fn score_reset(
+        fabric: &Fabric,
+        router: &dyn Router,
+        candidates: &[Vec<usize>],
+        gigabytes: f64,
+    ) -> Vec<CandidateScore> {
+        netpart_scenario::score_candidates_reset(
+            fabric,
+            router,
+            candidates,
+            gigabytes,
+            SolverMode::Batch,
+            &Telemetry::disabled(),
+        )
+        .expect("candidates route")
+    }
+
+    /// Score the candidates through the delta-scored shard sessions (the
+    /// path `run_advice` uses): overlap-ordered candidates, persistent
+    /// incremental solver per shard, spec-scoped route cache. Bit-identical
+    /// scores to [`score_reset`].
+    pub fn score_delta(
+        fabric: &Fabric,
+        router: &dyn Router,
+        candidates: &[Vec<usize>],
+        gigabytes: f64,
+    ) -> Vec<CandidateScore> {
+        netpart_scenario::score_candidates_delta(
+            fabric,
+            router,
+            candidates,
+            gigabytes,
+            &Telemetry::disabled(),
+        )
+        .expect("candidates route")
+    }
+
+    /// Order-dependent checksum over a scored sweep: every simulated time's
+    /// bit pattern and solve count folded in. Two sweeps agree on the
+    /// checksum iff they agree bit-for-bit in order.
+    pub fn scores_checksum(scores: &[CandidateScore]) -> u64 {
+        let mut checksum = 0u64;
+        for score in scores {
+            let bits = score.simulated_seconds.to_bits()
+                ^ (score.solves as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            checksum ^= bits.rotate_left(checksum as u32 & 63);
+        }
+        checksum
     }
 }
 

@@ -38,6 +38,13 @@ pub enum EngineError {
         /// The offending direction.
         direction: i8,
     },
+    /// A [`FabricPatch`](crate::FabricPatch) was malformed: a non-positive
+    /// or non-finite capacity scale, a self-link, or a link between nodes
+    /// that share no channel.
+    InvalidPatch {
+        /// What was wrong with the patch.
+        message: String,
+    },
     /// A fabric constructor was asked for more nodes or channels than the
     /// compact `u32` id space can address. Checked *before* any per-entity
     /// allocation, so a `2^33`-node request fails typed instead of silently
@@ -69,6 +76,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::InvalidDirection { direction } => {
                 write!(f, "direction must be +1 or -1, got {direction}")
+            }
+            EngineError::InvalidPatch { message } => {
+                write!(f, "invalid fabric patch: {message}")
             }
             EngineError::IdSpaceExceeded {
                 entity,

@@ -45,6 +45,54 @@ pub struct Channel {
     pub bandwidth_gbs: f64,
 }
 
+/// One link adjustment of a [`FabricPatch`]: every directed channel between
+/// `a` and `b` (both directions, parallel cables included) has its bandwidth
+/// multiplied by `scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkPatch {
+    /// One endpoint of the link.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// Capacity multiplier (finite and `> 0`).
+    pub scale: f64,
+}
+
+/// One node adjustment of a [`FabricPatch`]: every channel incident to
+/// `node` (both directions) has its bandwidth multiplied by `scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePatch {
+    /// The drained / degraded node.
+    pub node: usize,
+    /// Capacity multiplier (finite and `> 0`).
+    pub scale: f64,
+}
+
+/// A capacity delta against a fabric: degraded or upgraded links and
+/// drained nodes, expressed as per-channel bandwidth multipliers (routing is
+/// capacity-blind, so a patch never changes paths — only rates).
+///
+/// Scales must be finite and strictly positive: a capacity of exactly zero
+/// would leave flows routed over the channel unable to finish (completion
+/// time is undefined), so "failed" links are modeled as deeply degraded
+/// (e.g. `1e-3`), not absolute zero. Entries compose multiplicatively when
+/// they overlap (a drained node containing a degraded link scales that
+/// link's channels by both factors).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FabricPatch {
+    /// Link-level capacity scales.
+    pub links: Vec<LinkPatch>,
+    /// Node-level capacity scales.
+    pub nodes: Vec<NodePatch>,
+}
+
+impl FabricPatch {
+    /// Whether the patch adjusts anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.nodes.is_empty()
+    }
+}
+
 /// A directed-channel network over an arbitrary topology, stored
 /// struct-of-arrays with compact `u32` ids.
 ///
@@ -375,6 +423,87 @@ impl Fabric {
         dist
     }
 
+    /// Apply a [`FabricPatch`] and return the patched fabric together with
+    /// the sorted, deduplicated list of channels whose capacity changed.
+    /// Everything except the capacity lane — node set, channel numbering,
+    /// adjacency, torus metadata — is shared structure, so routers produce
+    /// identical paths on the patched fabric.
+    ///
+    /// Fails typed on out-of-range nodes, self-links, links between nodes
+    /// that share no channel, and non-finite or non-positive scales (see
+    /// [`FabricPatch`] for why zero is rejected).
+    pub fn patched(&self, patch: &FabricPatch) -> Result<(Fabric, Vec<ChannelId>), EngineError> {
+        let check_scale = |scale: f64, what: &str| {
+            if scale.is_finite() && scale > 0.0 {
+                Ok(())
+            } else {
+                Err(EngineError::InvalidPatch {
+                    message: format!("{what} scale must be finite and > 0, got {scale}"),
+                })
+            }
+        };
+        let mut out = self.clone();
+        let mut changed: Vec<ChannelId> = Vec::new();
+        // Per-entry channel set, deduplicated before applying, so one entry
+        // never scales a channel twice (entries still compose across the
+        // patch: a link inside a drained node picks up both factors).
+        let mut touched: Vec<ChannelId> = Vec::new();
+        for link in &patch.links {
+            self.check_node(link.a)?;
+            self.check_node(link.b)?;
+            check_scale(link.scale, "link")?;
+            if link.a == link.b {
+                return Err(EngineError::InvalidPatch {
+                    message: format!("link patch endpoints must differ, got {0}-{0}", link.a),
+                });
+            }
+            touched.clear();
+            for &(u, v) in &[(link.a, link.b), (link.b, link.a)] {
+                for &c in self.out_channels(u) {
+                    if self.dsts[c as usize] as usize == v {
+                        touched.push(c);
+                    }
+                }
+            }
+            if touched.is_empty() {
+                return Err(EngineError::InvalidPatch {
+                    message: format!("no channel between nodes {} and {}", link.a, link.b),
+                });
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for &c in &touched {
+                out.capacities[c as usize] *= link.scale;
+            }
+            changed.extend_from_slice(&touched);
+        }
+        for node in &patch.nodes {
+            self.check_node(node.node)?;
+            check_scale(node.scale, "node")?;
+            touched.clear();
+            for &c in self.out_channels(node.node) {
+                touched.push(c);
+                // The reverse direction: channels into the node, found among
+                // the neighbour's outgoing channels (symmetric channel sets).
+                let neighbour = self.dsts[c as usize] as usize;
+                for &r in self.out_channels(neighbour) {
+                    if self.dsts[r as usize] as usize == node.node {
+                        touched.push(r);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for &c in &touched {
+                out.capacities[c as usize] *= node.scale;
+            }
+            changed.extend_from_slice(&touched);
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        Ok((out, changed))
+    }
+
     /// Validate that `node` is a legal index.
     pub fn check_node(&self, node: usize) -> Result<(), EngineError> {
         if node < self.num_nodes {
@@ -472,6 +601,122 @@ mod tests {
             }
             other => panic!("expected IdSpaceExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn patched_scales_exactly_the_named_channels() {
+        let fabric = Fabric::from_torus(Torus::new(vec![4, 4]), 2.0);
+        let neighbour = fabric.channel_dst(fabric.out_channels(0)[0]);
+        let patch = FabricPatch {
+            links: vec![LinkPatch {
+                a: 0,
+                b: neighbour,
+                scale: 0.5,
+            }],
+            nodes: vec![],
+        };
+        let (patched, changed) = fabric.patched(&patch).unwrap();
+        assert_eq!(changed.len(), 2, "one link, both directions");
+        for c in 0..fabric.num_channels() as ChannelId {
+            let expected = if changed.binary_search(&c).is_ok() {
+                1.0
+            } else {
+                2.0
+            };
+            assert_eq!(patched.channel_bandwidth(c), expected, "channel {c}");
+        }
+        // Structure is untouched: same adjacency, same torus metadata.
+        assert_eq!(patched.num_channels(), fabric.num_channels());
+        assert_eq!(patched.out_channels(0), fabric.out_channels(0));
+        assert!(patched.torus().is_some());
+    }
+
+    #[test]
+    fn drained_node_scales_every_incident_channel_once() {
+        let fabric = Fabric::from_topology(&Hypercube::new(3), 1.0);
+        let patch = FabricPatch {
+            links: vec![],
+            nodes: vec![NodePatch {
+                node: 5,
+                scale: 0.25,
+            }],
+        };
+        let (patched, changed) = fabric.patched(&patch).unwrap();
+        // Degree 3, both directions.
+        assert_eq!(changed.len(), 6);
+        for &c in &changed {
+            assert!(fabric.channel_src(c) == 5 || fabric.channel_dst(c) == 5);
+            assert_eq!(patched.channel_bandwidth(c), 0.25);
+        }
+    }
+
+    #[test]
+    fn overlapping_patch_entries_compose_multiplicatively() {
+        let fabric = Fabric::from_topology(&Hypercube::new(2), 1.0);
+        let neighbour = fabric.channel_dst(fabric.out_channels(0)[0]);
+        let patch = FabricPatch {
+            links: vec![LinkPatch {
+                a: 0,
+                b: neighbour,
+                scale: 0.5,
+            }],
+            nodes: vec![NodePatch {
+                node: 0,
+                scale: 0.5,
+            }],
+        };
+        let (patched, _) = fabric.patched(&patch).unwrap();
+        let link_channel = fabric
+            .out_channels(0)
+            .iter()
+            .copied()
+            .find(|&c| fabric.channel_dst(c) == neighbour)
+            .unwrap();
+        assert_eq!(patched.channel_bandwidth(link_channel), 0.25);
+    }
+
+    #[test]
+    fn invalid_patches_fail_typed() {
+        let fabric = Fabric::from_topology(&Hypercube::new(2), 1.0);
+        let invalid = |patch: FabricPatch| match fabric.patched(&patch) {
+            Err(EngineError::InvalidPatch { .. }) | Err(EngineError::NodeOutOfRange { .. }) => {}
+            other => panic!("expected a typed patch failure, got {other:?}"),
+        };
+        // Zero, negative and non-finite scales.
+        for scale in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            invalid(FabricPatch {
+                links: vec![LinkPatch { a: 0, b: 1, scale }],
+                nodes: vec![],
+            });
+        }
+        // Self-link, absent link, out-of-range endpoints.
+        invalid(FabricPatch {
+            links: vec![LinkPatch {
+                a: 0,
+                b: 0,
+                scale: 0.5,
+            }],
+            nodes: vec![],
+        });
+        invalid(FabricPatch {
+            links: vec![LinkPatch {
+                a: 0,
+                b: 3,
+                scale: 0.5,
+            }],
+            nodes: vec![],
+        });
+        invalid(FabricPatch {
+            links: vec![],
+            nodes: vec![NodePatch {
+                node: 99,
+                scale: 0.5,
+            }],
+        });
+        // An empty patch is legal and changes nothing.
+        let (same, changed) = fabric.patched(&FabricPatch::default()).unwrap();
+        assert!(changed.is_empty());
+        assert_eq!(same.capacities(), fabric.capacities());
     }
 
     #[test]

@@ -239,6 +239,11 @@ impl IncrementalMaxMin {
         self.present_count
     }
 
+    /// The channel capacities (GB/s) the solver was armed with.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
     /// Whether a delta since the last solve is still unrepaired.
     pub fn is_dirty(&self) -> bool {
         !self.dirty.is_empty()

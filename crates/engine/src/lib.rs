@@ -90,6 +90,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod delta;
 pub mod error;
 pub mod event;
 pub mod fabric;
@@ -105,9 +106,10 @@ pub use cluster::{
     Allocator, BlockedAllocator, ClusterJob, ClusterMetrics, ClusterOutcome, CompactAllocator,
     RandomAllocator, ScatterAllocator,
 };
+pub use delta::{DeltaFlow, DeltaFluidScorer, DeltaScore, DeltaStats};
 pub use error::EngineError;
 pub use event::{ComponentId, Event, EventId, EventQueue, QueueKind};
-pub use fabric::{Channel, Fabric};
+pub use fabric::{Channel, Fabric, FabricPatch, LinkPatch, NodePatch};
 pub use flowsim::{route_flows, route_flows_csr, simulate_flows, static_estimate, Flow};
 pub use fluid::{FluidOutcome, FluidSim};
 pub use incremental::{IncrementalMaxMin, SolverMode};

@@ -58,8 +58,9 @@ pub mod spec;
 
 pub use advice::{
     run_advice, run_advice_observed, run_advice_with, run_allocation_sweep,
-    run_allocation_sweep_observed, run_allocation_sweep_with, AdviceResult, AdviceSpec,
-    AllocationSpec, CandidateResult, MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
+    run_allocation_sweep_observed, run_allocation_sweep_with, run_readvise, run_readvise_observed,
+    run_readvise_with, score_candidates_delta, score_candidates_reset, AdviceResult, AdviceSpec,
+    AllocationSpec, CandidateResult, CandidateScore, MAX_ADVICE_CANDIDATES, MAX_RANDOM_SAMPLES,
 };
 pub use registry::{
     advice_registry, named, named_advice, registry, standard_allocation_sweep, standard_sweep,
@@ -71,7 +72,7 @@ pub use run::{
 
 // Re-exported so sweep drivers can construct a sink without a direct
 // `netpart-telemetry` dependency.
-pub use netpart_engine::{Telemetry, TelemetryEvent};
+pub use netpart_engine::{FabricPatch, LinkPatch, NodePatch, Telemetry, TelemetryEvent};
 pub use spec::{
     build_fabric, estimated_size, AllocatorSpec, FabricError, PolicySpec, RoutingSpec,
     ScenarioSpec, TopologySpec, TrafficSpec, MAX_FABRIC_CHANNELS, MAX_FABRIC_NODES, MAX_FLOWS,

@@ -102,6 +102,14 @@ impl ResponseCache {
         found
     }
 
+    /// Look up a canonical key without counting a hit or a miss (recency is
+    /// still refreshed). For internal reuse — e.g. a `readvise` peeking at
+    /// the cached `advise_fabric` answer it patches — where the stats should
+    /// reflect only client-visible cache traffic.
+    pub fn peek(&self, key: &str) -> Option<Arc<String>> {
+        self.shard_for(key).lock().expect("cache lock").touch(key)
+    }
+
     /// Insert (or refresh) an entry, evicting the least-recently-used
     /// entries of its shard beyond capacity.
     pub fn put(&self, key: String, value: Arc<String>) {
@@ -151,6 +159,16 @@ mod tests {
         assert_eq!(cache.get("a").as_deref().map(String::as_str), Some("va"));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn peek_finds_entries_without_counting() {
+        let cache = ResponseCache::new(8, 2);
+        assert!(cache.peek("a").is_none());
+        cache.put("a".into(), arc("va"));
+        assert_eq!(cache.peek("a").as_deref().map(String::as_str), Some("va"));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! back as typed [`Response::Error`]s, never as panics.
 
 use crate::protocol::{
-    AdviceSpec, AdviceSweepLine, AllocatorSpec, ErrorCode, FlowSpec, KernelSpec, PolicySpec,
-    Request, Response, ScenarioSpec, SweepLine, TopologySpec,
+    AdviceResult, AdviceSpec, AdviceSweepLine, AllocatorSpec, ErrorCode, FabricPatch, FlowSpec,
+    KernelSpec, PolicySpec, Request, Response, ScenarioSpec, SweepLine, TopologySpec,
 };
 use netpart_contention::{advise_kernel, ContentionModel, Kernel, NodeModel};
 use netpart_engine::{
@@ -323,6 +323,25 @@ fn handle_advise_fabric(spec: &AdviceSpec, mode: SolverMode, telemetry: &Telemet
     }
 }
 
+/// Re-advise after a fabric delta: score the same advice question on the
+/// patched fabric, carrying over every cached candidate score whose routes
+/// avoid the patched channels. `base` is the server's cached
+/// [`Request::AdviseFabric`] answer for the unpatched spec, when it has one;
+/// `None` degrades to a full sweep on the patched fabric — same bytes,
+/// no reuse.
+pub fn handle_readvise(
+    spec: &AdviceSpec,
+    patch: &FabricPatch,
+    base: Option<&AdviceResult>,
+    mode: SolverMode,
+    telemetry: &Telemetry,
+) -> Response {
+    match netpart_scenario::run_readvise_observed(spec, patch, base, mode, telemetry) {
+        Ok(result) => Response::FabricAdvice(result),
+        Err(e) => unsupported(e.to_string()),
+    }
+}
+
 /// Fan a batch of advice specs out through the parallel advice runner. Each
 /// spec succeeds or fails on its own; a bad spec never fails the batch.
 fn handle_allocation_sweep(
@@ -409,6 +428,9 @@ pub fn handle_observed(request: &Request, mode: SolverMode, telemetry: &Telemetr
         } => handle_policy_sim(machine, *jobs, *seed, *policy),
         Request::Sweep { scenarios } => handle_sweep(scenarios, telemetry),
         Request::AdviseFabric { spec } => handle_advise_fabric(spec, mode, telemetry),
+        // Without server state there is no cached base to patch; the server's
+        // dispatcher calls `handle_readvise` directly with its cache peek.
+        Request::Readvise { spec, patch } => handle_readvise(spec, patch, None, mode, telemetry),
         Request::AllocationSweep { specs } => handle_allocation_sweep(specs, mode, telemetry),
         Request::Health | Request::Stats | Request::Shutdown => Response::error(
             ErrorCode::Internal,

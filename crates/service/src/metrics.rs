@@ -17,7 +17,7 @@ use std::time::Instant;
 ///
 /// `invalid` must stay last: [`Metrics::count_request`] folds unknown kinds
 /// into the final slot.
-pub const KINDS: [&str; 12] = [
+pub const KINDS: [&str; 13] = [
     "advise",
     "bisection",
     "simulate_flows",
@@ -25,6 +25,7 @@ pub const KINDS: [&str; 12] = [
     "policy_sim",
     "sweep",
     "advise_fabric",
+    "readvise",
     "allocation_sweep",
     "health",
     "stats",
@@ -180,6 +181,8 @@ impl Metrics {
             solver_repairs: solver.solver_repairs,
             solver_full_solves: solver.solver_full_solves,
             solver_rounds: solver.solver_rounds,
+            advice_reused_flows: solver.advice_reused_flows,
+            advice_total_flows: solver.advice_total_flows,
         }
     }
 }
@@ -235,6 +238,8 @@ mod tests {
                 solver_repairs: 7,
                 solver_full_solves: 2,
                 solver_rounds: 40,
+                advice_reused_flows: 90,
+                advice_total_flows: 120,
             }),
         );
         // Sorted by kind, zero-count kinds omitted.
@@ -246,6 +251,9 @@ mod tests {
         assert_eq!(s.solver_repairs, 7);
         assert_eq!(s.solver_full_solves, 2);
         assert_eq!(s.solver_rounds, 40);
+        assert_eq!(s.advice_reused_flows, 90);
+        assert_eq!(s.advice_total_flows, 120);
+        assert!((s.advice_reuse_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -293,6 +301,20 @@ mod tests {
                     seed: 0,
                 },
             },
+            Request::Readvise {
+                spec: crate::protocol::AdviceSpec {
+                    topology: crate::protocol::TopologySpec::Torus(vec![2, 2]),
+                    routing: crate::protocol::RoutingSpec::ShortestPath,
+                    nodes: 2,
+                    gigabytes: 1.0,
+                    candidates: vec![],
+                    seed: 0,
+                },
+                patch: crate::protocol::FabricPatch {
+                    links: vec![],
+                    nodes: vec![],
+                },
+            },
             Request::AllocationSweep { specs: vec![] },
             Request::Health,
             Request::Stats,
@@ -307,6 +329,7 @@ mod tests {
                 | Request::PolicySim { .. }
                 | Request::Sweep { .. }
                 | Request::AdviseFabric { .. }
+                | Request::Readvise { .. }
                 | Request::AllocationSweep { .. }
                 | Request::Health
                 | Request::Stats

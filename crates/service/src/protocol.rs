@@ -14,8 +14,8 @@ use std::fmt;
 // renders / parses these shared spec types, so the service, the sweep runner
 // and the experiment drivers all speak about the same scenarios.
 pub use netpart_scenario::{
-    AdviceResult, AdviceSpec, AllocationSpec, AllocatorSpec, CandidateResult, PolicySpec,
-    RoutingSpec, ScenarioSpec, TrafficSpec,
+    AdviceResult, AdviceSpec, AllocationSpec, AllocatorSpec, CandidateResult, FabricPatch,
+    LinkPatch, NodePatch, PolicySpec, RoutingSpec, ScenarioSpec, TrafficSpec,
 };
 
 /// A network fabric, by family and shape (re-exported from
@@ -450,6 +450,77 @@ fn advice_result_from_value(v: &Value) -> Result<AdviceResult, ProtocolError> {
     })
 }
 
+fn patch_to_value(patch: &FabricPatch) -> Value {
+    Value::obj([
+        (
+            "links",
+            Value::Arr(
+                patch
+                    .links
+                    .iter()
+                    .map(|l| {
+                        Value::obj([
+                            ("a", Value::from(l.a)),
+                            ("b", Value::from(l.b)),
+                            ("scale", Value::from(l.scale)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "nodes",
+            Value::Arr(
+                patch
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        Value::obj([
+                            ("node", Value::from(n.node)),
+                            ("scale", Value::from(n.scale)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn patch_from_value(v: &Value) -> Result<FabricPatch, ProtocolError> {
+    // Either entry list may be omitted on the wire; an empty patch is legal
+    // (it re-answers the spec unchanged).
+    let links = match v.get("links") {
+        None => Vec::new(),
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| missing("links"))?
+            .iter()
+            .map(|l| {
+                Ok(LinkPatch {
+                    a: get_usize(l, "a")?,
+                    b: get_usize(l, "b")?,
+                    scale: get_f64(l, "scale")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ProtocolError>>()?,
+    };
+    let nodes = match v.get("nodes") {
+        None => Vec::new(),
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| missing("nodes"))?
+            .iter()
+            .map(|n| {
+                Ok(NodePatch {
+                    node: get_usize(n, "node")?,
+                    scale: get_f64(n, "scale")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ProtocolError>>()?,
+    };
+    Ok(FabricPatch { links, nodes })
+}
+
 /// A kernel for [`Request::Advise`], mirroring `netpart_contention::Kernel`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum KernelSpec {
@@ -620,6 +691,18 @@ pub enum Request {
         /// The advice specs to run.
         specs: Vec<AdviceSpec>,
     },
+    /// Re-answer an advice question after a fabric delta (failed links,
+    /// drained nodes): the patch scales channel capacities, and the service
+    /// reuses its cached [`Request::AdviseFabric`] answer for the unpatched
+    /// spec — re-scoring only the candidates the patch touches — when one is
+    /// present. The response is the same `fabric_advice` document either
+    /// way, bit-identical to advising on the patched fabric from scratch.
+    Readvise {
+        /// The advice question, on the unpatched fabric.
+        spec: AdviceSpec,
+        /// Capacity deltas to apply before re-advising.
+        patch: FabricPatch,
+    },
     /// Liveness probe.
     Health,
     /// Metrics snapshot (request counts, latency percentiles, cache stats).
@@ -640,6 +723,7 @@ impl Request {
             Request::Sweep { .. } => "sweep",
             Request::AdviseFabric { .. } => "advise_fabric",
             Request::AllocationSweep { .. } => "allocation_sweep",
+            Request::Readvise { .. } => "readvise",
             Request::Health => "health",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
@@ -710,6 +794,16 @@ impl Request {
                     Value::Arr(specs.iter().map(advice_spec_to_value).collect()),
                 ),
             ]),
+            Request::Readvise { spec, patch } => {
+                // Spec fields at the top level like advise_fabric, so a
+                // readvise line is an advise_fabric line plus a patch.
+                let Value::Obj(mut fields) = advice_spec_to_value(spec) else {
+                    unreachable!("advice specs encode as objects");
+                };
+                fields.insert("type".to_string(), Value::from("readvise"));
+                fields.insert("patch".to_string(), patch_to_value(patch));
+                Value::Obj(fields)
+            }
             Request::ClusterSim {
                 topology,
                 jobs,
@@ -825,6 +919,10 @@ impl Request {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Request::AllocationSweep { specs })
             }
+            "readvise" => Ok(Request::Readvise {
+                spec: advice_spec_from_value(v)?,
+                patch: patch_from_value(v.get("patch").ok_or_else(|| missing("patch"))?)?,
+            }),
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -911,6 +1009,11 @@ pub struct StatsSnapshot {
     pub solver_full_solves: u64,
     /// Fluid-simulation rounds completed across all handled requests.
     pub solver_rounds: u64,
+    /// Advice flows carried over between delta-scored candidates (telemetry
+    /// aggregate; 0 on snapshots from older servers).
+    pub advice_reused_flows: u64,
+    /// Advice flows scored in total, reused plus freshly inserted.
+    pub advice_total_flows: u64,
 }
 
 impl StatsSnapshot {
@@ -921,6 +1024,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of advice flows scored without re-arming the solver, in
+    /// `[0, 1]` (0 before any advice ran).
+    pub fn advice_reuse_rate(&self) -> f64 {
+        if self.advice_total_flows == 0 {
+            0.0
+        } else {
+            self.advice_reused_flows as f64 / self.advice_total_flows as f64
         }
     }
 }
@@ -1349,6 +1462,14 @@ impl Response {
                         ("rounds", Value::from(s.solver_rounds)),
                     ]),
                 ),
+                (
+                    "advice",
+                    Value::obj([
+                        ("reused_flows", Value::from(s.advice_reused_flows)),
+                        ("total_flows", Value::from(s.advice_total_flows)),
+                        ("reuse_rate", Value::from(s.advice_reuse_rate())),
+                    ]),
+                ),
             ]),
             Response::Ok => Value::obj([("type", Value::from("ok"))]),
             Response::Error { code, message } => Value::obj([
@@ -1450,6 +1571,13 @@ impl Response {
                         Some(s) => Ok(get_usize(s, key)? as u64),
                     }
                 };
+                let advice = v.get("advice");
+                let advice_count = |key: &str| -> Result<u64, ProtocolError> {
+                    match advice {
+                        None => Ok(0),
+                        Some(a) => Ok(get_usize(a, key)? as u64),
+                    }
+                };
                 Ok(Response::Stats(StatsSnapshot {
                     uptime_seconds: get_f64(v, "uptime_seconds")?,
                     requests_total: get_usize(v, "requests_total")? as u64,
@@ -1465,6 +1593,8 @@ impl Response {
                     solver_repairs: solver_count("repairs")?,
                     solver_full_solves: solver_count("full_solves")?,
                     solver_rounds: solver_count("rounds")?,
+                    advice_reused_flows: advice_count("reused_flows")?,
+                    advice_total_flows: advice_count("total_flows")?,
                 }))
             }
             "ok" => Ok(Response::Ok),
@@ -1615,6 +1745,120 @@ mod tests {
         assert!(Request::decode(r#"{"type":"advise","machine":"mira"}"#).is_err());
         assert!(Request::decode(r#"{"type":"advise","machine":"mira","size":-3}"#).is_err());
         assert!(Request::decode("[1,2,3]").is_err());
+    }
+
+    fn sample_advice_spec() -> AdviceSpec {
+        AdviceSpec {
+            topology: TopologySpec::Torus(vec![4, 4, 2]),
+            routing: RoutingSpec::DimensionOrdered,
+            nodes: 8,
+            gigabytes: 0.25,
+            candidates: vec![
+                AllocationSpec::TorusBlocks,
+                AllocationSpec::Scatter { stride: 3 },
+                AllocationSpec::Random { samples: 2 },
+            ],
+            seed: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn readvise_round_trips() {
+        let requests = vec![
+            Request::AdviseFabric {
+                spec: sample_advice_spec(),
+            },
+            Request::Readvise {
+                spec: sample_advice_spec(),
+                patch: FabricPatch {
+                    links: vec![LinkPatch {
+                        a: 0,
+                        b: 1,
+                        scale: 1e-3,
+                    }],
+                    nodes: vec![NodePatch {
+                        node: 3,
+                        scale: 0.5,
+                    }],
+                },
+            },
+            Request::Readvise {
+                spec: sample_advice_spec(),
+                patch: FabricPatch {
+                    links: vec![],
+                    nodes: vec![],
+                },
+            },
+        ];
+        for r in requests {
+            let line = r.encode();
+            assert_eq!(Request::decode(&line).unwrap(), r, "line {line}");
+        }
+    }
+
+    #[test]
+    fn readvise_tolerates_omitted_patch_lists() {
+        let full = Request::Readvise {
+            spec: sample_advice_spec(),
+            patch: FabricPatch {
+                links: vec![],
+                nodes: vec![],
+            },
+        }
+        .encode();
+        // A client may send `"patch":{}` — both lists default to empty.
+        let line = full.replace(r#""patch":{"links":[],"nodes":[]}"#, r#""patch":{}"#);
+        assert_ne!(line, full, "substitution must have applied");
+        let decoded = Request::decode(&line).unwrap();
+        let Request::Readvise { patch, .. } = decoded else {
+            panic!("expected readvise, got {decoded:?}");
+        };
+        assert!(patch.links.is_empty() && patch.nodes.is_empty());
+        // But the patch object itself is mandatory.
+        let without = line.replace(r#","patch":{}"#, "");
+        assert!(Request::decode(&without).is_err());
+    }
+
+    #[test]
+    fn stats_advice_counters_round_trip_and_default_to_zero() {
+        let stats = StatsSnapshot {
+            uptime_seconds: 1.5,
+            requests_total: 7,
+            requests_by_kind: vec![("advise_fabric".into(), 4), ("readvise".into(), 3)],
+            cache_hits: 2,
+            cache_misses: 5,
+            cache_entries: 5,
+            cache_hits_by_kind: vec![("readvise".into(), 2)],
+            cache_misses_by_kind: vec![("advise_fabric".into(), 4), ("readvise".into(), 1)],
+            coalesced: 0,
+            latency_p50_us: 110.0,
+            latency_p99_us: 900.0,
+            solver_repairs: 12,
+            solver_full_solves: 1,
+            solver_rounds: 88,
+            advice_reused_flows: 1800,
+            advice_total_flows: 2048,
+        };
+        let line = Response::Stats(stats.clone()).encode();
+        assert!(
+            line.contains(r#""reused_flows":1800,"total_flows":2048"#),
+            "{line}"
+        );
+        assert_eq!(Response::decode(&line).unwrap(), Response::Stats(stats));
+
+        // Snapshots from servers predating the advice counters decode as 0.
+        // Canonical encoding sorts keys, so "advice" leads the object.
+        let legacy = line.replace(
+            r#""advice":{"reuse_rate":0.87890625,"reused_flows":1800,"total_flows":2048},"#,
+            "",
+        );
+        assert_ne!(legacy, line, "substitution must have applied");
+        let Response::Stats(decoded) = Response::decode(&legacy).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(decoded.advice_reused_flows, 0);
+        assert_eq!(decoded.advice_total_flows, 0);
+        assert_eq!(decoded.advice_reuse_rate(), 0.0);
     }
 
     #[test]

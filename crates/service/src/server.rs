@@ -16,7 +16,7 @@ use crate::batch::Batcher;
 use crate::cache::ResponseCache;
 use crate::handlers;
 use crate::metrics::Metrics;
-use crate::protocol::{ErrorCode, Request, Response};
+use crate::protocol::{AdviceResult, AdviceSpec, ErrorCode, Request, Response};
 use netpart_engine::{QueueKind, SolverMode};
 use netpart_telemetry::trace::{snapshot, TraceForest};
 use netpart_telemetry::{KindLabel, RingReader, Telemetry, TelemetryEvent, DEFAULT_RING_CAPACITY};
@@ -157,6 +157,20 @@ impl ServiceState {
     pub fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
+
+    /// Peek the cached [`Request::AdviseFabric`] answer for `spec`, the base
+    /// a `readvise` patches instead of recomputing from scratch. Uses the
+    /// non-counting cache peek so client-visible hit/miss stats are not
+    /// skewed by internal reuse; a cached non-advice line (impossible today)
+    /// degrades to `None`, never an error.
+    pub fn peek_advice_base(&self, spec: &AdviceSpec) -> Option<AdviceResult> {
+        let key = Request::AdviseFabric { spec: spec.clone() }.cache_key();
+        let line = self.cache.peek(&key)?;
+        match Response::decode(&line) {
+            Ok(Response::FabricAdvice(result)) => Some(result),
+            _ => None,
+        }
+    }
 }
 
 /// Handle to a running server: its bound address plus shutdown/join.
@@ -276,7 +290,7 @@ fn respond(
                             let wait_begin = telemetry.now_micros();
                             let outcome = state.batcher.run(&key, || {
                                 let span = telemetry.span("compute");
-                                let rendered = compute(&request, state.solver, span.telemetry());
+                                let rendered = compute(state, &request, span.telemetry());
                                 drop(span);
                                 rendered
                             });
@@ -294,7 +308,7 @@ fn respond(
                 }
                 _ => {
                     let span = telemetry.span("compute");
-                    let rendered = Arc::new(compute(&request, state.solver, span.telemetry()));
+                    let rendered = Arc::new(compute(state, &request, span.telemetry()));
                     drop(span);
                     rendered
                 }
@@ -326,10 +340,16 @@ fn respond(
 }
 
 /// Run a handler, converting any panic into a typed internal error so a
-/// worker thread can never die on a request.
-fn compute(request: &Request, solver: SolverMode, telemetry: &Telemetry) -> String {
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handlers::handle_observed(request, solver, telemetry).encode()
+/// worker thread can never die on a request. `readvise` is dispatched here
+/// rather than through [`handlers::handle_observed`] because it needs server
+/// state: the cached `advise_fabric` answer it patches.
+fn compute(state: &ServiceState, request: &Request, telemetry: &Telemetry) -> String {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match request {
+        Request::Readvise { spec, patch } => {
+            let base = state.peek_advice_base(spec);
+            handlers::handle_readvise(spec, patch, base.as_ref(), state.solver, telemetry).encode()
+        }
+        _ => handlers::handle_observed(request, state.solver, telemetry).encode(),
     }));
     result.unwrap_or_else(|panic| {
         let reason = panic
@@ -547,6 +567,19 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 mod tests {
     use super::*;
 
+    fn test_state() -> ServiceState {
+        ServiceState {
+            cache: ResponseCache::new(16, 2),
+            batcher: Batcher::new(),
+            metrics: Metrics::new(),
+            workers: 1,
+            solver: SolverMode::default(),
+            telemetry: Telemetry::disabled(),
+            flight: None,
+            stop: AtomicBool::new(false),
+        }
+    }
+
     #[test]
     fn compute_turns_panics_into_internal_errors() {
         // An adversarial dragonfly shape that violates a constructor
@@ -555,7 +588,7 @@ mod tests {
             topology: crate::protocol::TopologySpec::Dragonfly(0, 0, 1),
             flows: vec![],
         };
-        let rendered = compute(&request, SolverMode::default(), &Telemetry::disabled());
+        let rendered = compute(&test_state(), &request, &Telemetry::disabled());
         let response = Response::decode(&rendered).expect("always a valid response line");
         match response {
             Response::Error { code, .. } => {
@@ -563,5 +596,49 @@ mod tests {
             }
             other => panic!("expected an error response, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn readvise_patches_the_cached_advise_fabric_answer() {
+        use crate::protocol::{AllocationSpec, FabricPatch, LinkPatch, RoutingSpec, TopologySpec};
+        let spec = AdviceSpec {
+            topology: TopologySpec::Torus(vec![4, 4]),
+            routing: RoutingSpec::DimensionOrdered,
+            nodes: 4,
+            gigabytes: 0.25,
+            candidates: vec![AllocationSpec::TorusBlocks, AllocationSpec::Blocked],
+            seed: 7,
+        };
+        let patch = FabricPatch {
+            links: vec![LinkPatch {
+                a: 0,
+                b: 1,
+                scale: 1e-3,
+            }],
+            nodes: vec![],
+        };
+        let state = test_state();
+        let readvise = Request::Readvise {
+            spec: spec.clone(),
+            patch: patch.clone(),
+        };
+
+        // Cold cache: no base to patch — full recompute on the patched
+        // fabric.
+        let cold = compute(&state, &readvise, &Telemetry::disabled());
+        assert!(state.peek_advice_base(&spec).is_none());
+
+        // Warm the advise_fabric entry the way the server does, then
+        // readvise again: the patched answer must be byte-identical.
+        let advise = Request::AdviseFabric { spec: spec.clone() };
+        let rendered = compute(&state, &advise, &Telemetry::disabled());
+        state.cache.put(advise.cache_key(), Arc::new(rendered));
+        assert!(state.peek_advice_base(&spec).is_some());
+        let warm = compute(&state, &readvise, &Telemetry::disabled());
+        assert_eq!(cold, warm, "cached-base readvise must not change bytes");
+        assert!(matches!(
+            Response::decode(&warm).unwrap(),
+            Response::FabricAdvice(_)
+        ));
     }
 }

@@ -381,6 +381,8 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 solver_repairs: hits as u64 / 2,
                 solver_full_solves: 1,
                 solver_rounds: misses as u64,
+                advice_reused_flows: hits as u64 / 3,
+                advice_total_flows: (hits + misses) as u64,
             })
         }),
         proptest::collection::vec(

@@ -232,8 +232,10 @@ fn advise_fabric_request_reconstructs_to_a_covering_span_tree() {
         "respond",
         "generate_cands",
         "score_cands",
-        "csr_build",
-        "fluid_solve",
+        // The delta-scored sweep: a full arm for each shard's first
+        // candidate, delta-diffed scoring for the rest.
+        "cand_full",
+        "cand_delta",
     ] {
         assert!(
             labels.contains(expected),

@@ -139,6 +139,10 @@ fn format_human(seq: u64, t_micros: u64, event: &TelemetryEvent) -> String {
         } => format!(
             "{head} label={label} trace_id={trace_id:#x} span_id={span_id:#x} parent={parent_span_id:#x} dur_micros={dur_micros}"
         ),
+        TelemetryEvent::AdviceCandidate {
+            reused_flows,
+            total_flows,
+        } => format!("{head} reused_flows={reused_flows} total_flows={total_flows}"),
     }
 }
 
@@ -196,6 +200,10 @@ fn format_json(seq: u64, t_micros: u64, event: &TelemetryEvent) -> String {
         } => format!(
             "{head},\"label\":\"{label}\",\"trace_id\":{trace_id},\"span_id\":{span_id},\"parent_span_id\":{parent_span_id},\"dur_micros\":{dur_micros}}}"
         ),
+        TelemetryEvent::AdviceCandidate {
+            reused_flows,
+            total_flows,
+        } => format!("{head},\"reused_flows\":{reused_flows},\"total_flows\":{total_flows}}}"),
     }
 }
 

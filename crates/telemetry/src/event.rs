@@ -28,6 +28,8 @@ pub const KIND_REQUEST_DONE: u32 = 5;
 pub const KIND_SPAN_BEGIN: u32 = 6;
 /// Kind code for [`TelemetryEvent::SpanEnd`].
 pub const KIND_SPAN_END: u32 = 7;
+/// Kind code for [`TelemetryEvent::AdviceCandidate`].
+pub const KIND_ADVICE_CANDIDATE: u32 = 8;
 
 /// A request-kind label stored inline as 16 NUL-padded bytes, so
 /// `RequestDone` needs no allocation and no string table.
@@ -170,6 +172,15 @@ pub enum TelemetryEvent {
         /// minutes) — the fallback when the matching begin was lapped.
         dur_micros: u32,
     },
+    /// The advice sweep scored one candidate allocation through the shared
+    /// delta solver session.
+    AdviceCandidate {
+        /// Flows carried over from the previously scored candidate (zero
+        /// for the first candidate of a shard).
+        reused_flows: u64,
+        /// Flows in the candidate's all-to-all exchange.
+        total_flows: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -195,6 +206,7 @@ impl TelemetryEvent {
             TelemetryEvent::RequestDone { .. } => KIND_REQUEST_DONE,
             TelemetryEvent::SpanBegin { .. } => KIND_SPAN_BEGIN,
             TelemetryEvent::SpanEnd { .. } => KIND_SPAN_END,
+            TelemetryEvent::AdviceCandidate { .. } => KIND_ADVICE_CANDIDATE,
         }
     }
 
@@ -208,6 +220,7 @@ impl TelemetryEvent {
             TelemetryEvent::RequestDone { .. } => "RequestDone",
             TelemetryEvent::SpanBegin { .. } => "SpanBegin",
             TelemetryEvent::SpanEnd { .. } => "SpanEnd",
+            TelemetryEvent::AdviceCandidate { .. } => "AdviceCandidate",
         }
     }
 
@@ -295,6 +308,13 @@ impl TelemetryEvent {
                 body[3] = words[0];
                 body[4] = words[1];
             }
+            TelemetryEvent::AdviceCandidate {
+                reused_flows,
+                total_flows,
+            } => {
+                body[0] = reused_flows;
+                body[1] = total_flows;
+            }
         }
         let mut words = [0u64; PAYLOAD_WORDS];
         words[0] = self.kind() as u64 | ((flags as u64) << 32);
@@ -350,6 +370,10 @@ impl TelemetryEvent {
                 parent_span_id: body[2],
                 label: KindLabel::from_words([body[3], body[4]]),
                 dur_micros: flags,
+            },
+            KIND_ADVICE_CANDIDATE => TelemetryEvent::AdviceCandidate {
+                reused_flows: body[0],
+                total_flows: body[1],
             },
             _ => return None,
         };
@@ -422,6 +446,10 @@ mod tests {
             parent_span_id: 42,
             label: KindLabel::new("compute"),
             dur_micros: u32::MAX,
+        });
+        roundtrip(TelemetryEvent::AdviceCandidate {
+            reused_flows: 110,
+            total_flows: 112,
         });
     }
 

@@ -38,8 +38,8 @@ pub mod ring;
 pub mod trace;
 
 pub use event::{
-    KindLabel, TelemetryEvent, KIND_ENGINE_PROGRESS, KIND_REQUEST_DONE, KIND_SOLVER_REPAIR,
-    KIND_SOLVER_ROUND, KIND_SPAN_BEGIN, KIND_SPAN_END, KIND_SWEEP_SPEC_DONE,
+    KindLabel, TelemetryEvent, KIND_ADVICE_CANDIDATE, KIND_ENGINE_PROGRESS, KIND_REQUEST_DONE,
+    KIND_SOLVER_REPAIR, KIND_SOLVER_ROUND, KIND_SPAN_BEGIN, KIND_SPAN_END, KIND_SWEEP_SPEC_DONE,
 };
 pub use ring::{ReadOutcome, RingReader, RingWriter};
 pub use trace::{SpanNode, TraceForest, TraceRecord};
@@ -83,6 +83,8 @@ struct SolverCounters {
     repairs: AtomicU64,
     full_solves: AtomicU64,
     rounds: AtomicU64,
+    advice_reused_flows: AtomicU64,
+    advice_total_flows: AtomicU64,
 }
 
 /// Point-in-time copy of the solver aggregates a handle has accumulated.
@@ -94,6 +96,10 @@ pub struct CounterSnapshot {
     pub solver_full_solves: u64,
     /// Fluid-simulation rounds completed.
     pub solver_rounds: u64,
+    /// Advice flows carried over between delta-scored candidates.
+    pub advice_reused_flows: u64,
+    /// Advice flows scored in total (reused + freshly inserted).
+    pub advice_total_flows: u64,
 }
 
 #[derive(Debug)]
@@ -128,6 +134,17 @@ impl Inner {
             }
             TelemetryEvent::SolverRound { .. } => {
                 self.counters.rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            TelemetryEvent::AdviceCandidate {
+                reused_flows,
+                total_flows,
+            } => {
+                self.counters
+                    .advice_reused_flows
+                    .fetch_add(reused_flows, Ordering::Relaxed);
+                self.counters
+                    .advice_total_flows
+                    .fetch_add(total_flows, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -213,6 +230,8 @@ impl Telemetry {
             solver_repairs: inner.counters.repairs.load(Ordering::Relaxed),
             solver_full_solves: inner.counters.full_solves.load(Ordering::Relaxed),
             solver_rounds: inner.counters.rounds.load(Ordering::Relaxed),
+            advice_reused_flows: inner.counters.advice_reused_flows.load(Ordering::Relaxed),
+            advice_total_flows: inner.counters.advice_total_flows.load(Ordering::Relaxed),
         })
     }
 
@@ -445,6 +464,10 @@ mod tests {
             active_flows: 8,
             retired: 2,
         });
+        t.emit(TelemetryEvent::AdviceCandidate {
+            reused_flows: 40,
+            total_flows: 56,
+        });
         let clone = t.clone(); // clones share the same counters
         assert_eq!(
             clone.counters(),
@@ -452,6 +475,8 @@ mod tests {
                 solver_repairs: 1,
                 solver_full_solves: 1,
                 solver_rounds: 1,
+                advice_reused_flows: 40,
+                advice_total_flows: 56,
             })
         );
         assert_eq!(t.ring_cursor(), None);

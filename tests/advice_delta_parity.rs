@@ -1,0 +1,253 @@
+//! Differential parity suite for the delta-scored advice sweep.
+//!
+//! The advice sweep no longer resets its solver per candidate: candidates
+//! are greedily ordered by flow-set overlap, sharded into contiguous runs,
+//! and each shard is scored through one persistent [`DeltaFluidScorer`]
+//! session that removes/inserts only the symmetric difference between
+//! consecutive all-to-all flow sets. That is a pure execution optimization —
+//! these tests pin it:
+//!
+//! * Delta-scored sweeps must be **bit-identical** to the legacy
+//!   reset-per-candidate batch path, across random fabrics (torus /
+//!   dragonfly / fat-tree / expander), random candidate sets, and worker
+//!   thread caps 1 / 2 / 8 (via the vendored `rayon::set_max_threads`
+//!   override) — and to the reset path under the incremental solver mode.
+//! * Fabric-delta re-advice (`run_readvise`) patching a cached base sweep
+//!   must be bit-identical to a full recompute on the patched fabric, for
+//!   random link/node capacity patches, again at any thread cap.
+//!
+//! Debug builds double the coverage for free: `run_advice`/`run_readvise`
+//! shadow every delta-scored sweep with the reset scorer and assert
+//! bitwise agreement inline.
+//!
+//! [`DeltaFluidScorer`]: netpart::engine::DeltaFluidScorer
+
+use netpart::engine::{
+    DimensionOrdered, Fabric, FabricPatch, LinkPatch, NodePatch, Router, ShortestPath, SolverMode,
+    Telemetry,
+};
+use netpart::scenario::{
+    build_fabric, run_advice, run_readvise, score_candidates_delta, score_candidates_reset,
+    AdviceResult, AdviceSpec, AllocationSpec, RoutingSpec, TopologySpec,
+};
+use netpart_bench::strategies::small_fabric;
+use proptest::prelude::*;
+
+/// The fabric's natural router: dimension-ordered on tori, shortest-path
+/// elsewhere (the same choice the service makes).
+fn natural_router(fabric: &Fabric) -> Box<dyn Router> {
+    if fabric.torus().is_some() {
+        Box::new(DimensionOrdered::default())
+    } else {
+        Box::new(ShortestPath)
+    }
+}
+
+/// Reduce raw index material into sorted duplicate-free candidate node
+/// sets, dropping any that collapse below two nodes.
+fn reduce_candidates(raw: &[Vec<usize>], nodes: usize) -> Vec<Vec<usize>> {
+    raw.iter()
+        .map(|set| {
+            let mut ids: Vec<usize> = set.iter().map(|i| i % nodes).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+        .filter(|c| c.len() >= 2)
+        .collect()
+}
+
+/// A random advice question on a small torus: shortest-path routing so the
+/// spec is valid for every shape, the four generator families mixed.
+fn advice_spec_strategy() -> BoxedStrategy<AdviceSpec> {
+    (
+        proptest::collection::vec(2usize..=4, 2..=3),
+        2usize..=8,
+        (5u64..200).prop_map(|g| g as f64 / 100.0),
+        0u64..1 << 32,
+    )
+        .prop_map(|(dims, nodes, gigabytes, seed)| {
+            let volume: usize = dims.iter().product();
+            AdviceSpec {
+                topology: TopologySpec::Torus(dims),
+                routing: RoutingSpec::ShortestPath,
+                nodes: nodes.clamp(2, volume),
+                gigabytes,
+                candidates: vec![
+                    AllocationSpec::Blocked,
+                    AllocationSpec::Greedy,
+                    AllocationSpec::Scatter { stride: 3 },
+                    AllocationSpec::Random { samples: 2 },
+                ],
+                seed,
+            }
+        })
+        .boxed()
+}
+
+/// Raw material for a fabric patch: link entries as (channel index, scale)
+/// and node entries as (node index, scale), reduced against the actual
+/// fabric in the test body so every entry is valid.
+type RawPatch = (Vec<(usize, f64)>, Vec<(usize, f64)>);
+
+fn raw_patch_strategy() -> BoxedStrategy<RawPatch> {
+    let entry = (0usize..1 << 16, (1u64..300).prop_map(|s| s as f64 / 200.0));
+    (
+        proptest::collection::vec(entry.clone(), 0..=3),
+        proptest::collection::vec(entry, 0..=2),
+    )
+        .boxed()
+}
+
+/// Materialize raw patch entries against `fabric`: channel indices become
+/// the endpoints of real channels, node indices are reduced into range.
+fn reduce_patch(raw: &RawPatch, fabric: &Fabric) -> FabricPatch {
+    let links = raw
+        .0
+        .iter()
+        .map(|&(idx, scale)| {
+            let channel = fabric.channel((idx % fabric.num_channels()) as u32);
+            LinkPatch {
+                a: channel.from,
+                b: channel.to,
+                scale,
+            }
+        })
+        .collect();
+    let nodes = raw
+        .1
+        .iter()
+        .map(|&(idx, scale)| NodePatch {
+            node: idx % fabric.num_nodes(),
+            scale,
+        })
+        .collect();
+    FabricPatch { links, nodes }
+}
+
+/// Bitwise equality of two ranked advice results: every float compared by
+/// its bit pattern, every discrete field exactly.
+fn assert_results_bit_identical(a: &AdviceResult, b: &AdviceResult, context: &str) {
+    prop_assert_eq!(&a.label, &b.label, "label ({})", context);
+    prop_assert_eq!(&a.fabric, &b.fabric, "fabric ({})", context);
+    prop_assert_eq!(a.nodes, b.nodes, "nodes ({})", context);
+    prop_assert_eq!(a.truncated, b.truncated, "truncated ({})", context);
+    prop_assert_eq!(
+        a.ordering_agreement.to_bits(),
+        b.ordering_agreement.to_bits(),
+        "ordering_agreement ({})",
+        context
+    );
+    prop_assert_eq!(
+        a.candidates.len(),
+        b.candidates.len(),
+        "candidate count ({})",
+        context
+    );
+    for (x, y) in a.candidates.iter().zip(&b.candidates) {
+        prop_assert_eq!(&x.label, &y.label, "candidate label ({})", context);
+        prop_assert_eq!(&x.nodes, &y.nodes, "candidate nodes ({})", context);
+        prop_assert_eq!(x.closed_form, y.closed_form, "closed_form ({})", context);
+        prop_assert_eq!(x.solves, y.solves, "solves ({})", context);
+        for (name, xf, yf) in [
+            ("bound_seconds", x.bound_seconds, y.bound_seconds),
+            (
+                "simulated_seconds",
+                x.simulated_seconds,
+                y.simulated_seconds,
+            ),
+            ("gap", x.gap, y.gap),
+            ("cut_gbs", x.cut_gbs, y.cut_gbs),
+            (
+                "internal_bisection_gbs",
+                x.internal_bisection_gbs,
+                y.internal_bisection_gbs,
+            ),
+        ] {
+            prop_assert_eq!(
+                xf.to_bits(),
+                yf.to_bits(),
+                "{} of '{}': {} vs {} ({})",
+                name,
+                x.label,
+                xf,
+                yf,
+                context
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_env(24))]
+
+    #[test]
+    fn delta_scoring_is_bit_identical_to_reset_scoring_at_any_thread_cap(
+        fabric in small_fabric(),
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0usize..1 << 16, 2..10),
+            1..8,
+        ),
+        gigabytes in (5u64..200).prop_map(|g| g as f64 / 100.0),
+    ) {
+        let candidates = reduce_candidates(&raw, fabric.num_nodes());
+        prop_assume!(!candidates.is_empty());
+        let router = natural_router(&fabric);
+        let telemetry = Telemetry::disabled();
+        let reference = score_candidates_reset(
+            &fabric, router.as_ref(), &candidates, gigabytes,
+            SolverMode::Batch, &telemetry,
+        ).expect("strategy emits only routable candidates");
+        // The reset path is also mode-stable; the delta path must match
+        // both faces of it.
+        let incremental = score_candidates_reset(
+            &fabric, router.as_ref(), &candidates, gigabytes,
+            SolverMode::Incremental, &telemetry,
+        ).expect("routable");
+        for (r, i) in reference.iter().zip(&incremental) {
+            prop_assert_eq!(
+                r.simulated_seconds.to_bits(), i.simulated_seconds.to_bits()
+            );
+            prop_assert_eq!(r.solves, i.solves);
+        }
+        for cap in [1usize, 2, 8] {
+            rayon::set_max_threads(cap);
+            let delta = score_candidates_delta(
+                &fabric, router.as_ref(), &candidates, gigabytes, &telemetry,
+            ).expect("routable");
+            rayon::set_max_threads(0);
+            prop_assert_eq!(delta.len(), reference.len());
+            for (i, (d, r)) in delta.iter().zip(&reference).enumerate() {
+                prop_assert_eq!(
+                    d.simulated_seconds.to_bits(),
+                    r.simulated_seconds.to_bits(),
+                    "candidate {} diverged at thread cap {}: {} vs {}",
+                    i, cap, d.simulated_seconds, r.simulated_seconds
+                );
+                prop_assert_eq!(
+                    d.solves, r.solves,
+                    "solve count of candidate {} diverged at cap {}", i, cap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn readvise_from_a_cached_base_matches_a_full_recompute_bitwise(
+        spec in advice_spec_strategy(),
+        raw_patch in raw_patch_strategy(),
+    ) {
+        let fabric = build_fabric(&spec.topology).expect("strategy emits valid tori");
+        let patch = reduce_patch(&raw_patch, &fabric);
+        let base = run_advice(&spec).expect("advice runs on the unpatched fabric");
+        // No base: full recompute on the patched fabric — the ground truth.
+        let full = run_readvise(&spec, &patch, None).expect("patched advice runs");
+        for cap in [1usize, 8] {
+            rayon::set_max_threads(cap);
+            let carried = run_readvise(&spec, &patch, Some(&base));
+            rayon::set_max_threads(0);
+            let carried = carried.expect("patched advice runs with a base");
+            assert_results_bit_identical(&full, &carried, &format!("thread cap {cap}"));
+        }
+    }
+}

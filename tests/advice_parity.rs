@@ -167,6 +167,30 @@ fn solver_mode_never_changes_a_single_response_byte() {
         Request::AllocationSweep {
             specs: netpart::scenario::standard_allocation_sweep(),
         },
+        Request::Readvise {
+            spec: wire::AdviceSpec {
+                topology: wire::TopologySpec::Torus(vec![4, 4]),
+                routing: wire::RoutingSpec::DimensionOrdered,
+                nodes: 4,
+                gigabytes: 0.25,
+                candidates: vec![
+                    wire::AllocationSpec::TorusBlocks,
+                    wire::AllocationSpec::Blocked,
+                ],
+                seed: 3,
+            },
+            patch: wire::FabricPatch {
+                links: vec![wire::LinkPatch {
+                    a: 0,
+                    b: 1,
+                    scale: 1e-3,
+                }],
+                nodes: vec![wire::NodePatch {
+                    node: 5,
+                    scale: 0.5,
+                }],
+            },
+        },
         Request::ClusterSim {
             topology: wire::TopologySpec::Torus(vec![4, 4]),
             jobs: 6,
